@@ -1,0 +1,71 @@
+#pragma once
+/// \file bench_common.h
+/// Shared helpers for the figure-regeneration benches. Every bench binary
+/// reproduces one table/figure of the paper's evaluation section: it runs
+/// the full simulation, prints the figure's rows/series as an ASCII table
+/// and dumps a CSV (<bench>.csv) for external plotting.
+
+#include <memory>
+#include <string>
+
+#include "baselines/morpheus4s_rts.h"
+#include "baselines/offline_optimal_rts.h"
+#include "baselines/rispp_rts.h"
+#include "baselines/risc_only_rts.h"
+#include "rts/mrts.h"
+#include "sim/app_simulator.h"
+#include "sim/metrics.h"
+#include "util/csv.h"
+#include "util/table.h"
+#include "workload/h264_app.h"
+
+namespace mrts::bench {
+
+/// Evaluation workload of Section 5: the H.264 encoder model at CIF size.
+/// MRTS_BENCH_FRAMES overrides the frame count (smaller = faster smoke run).
+inline H264AppParams eval_params() {
+  H264AppParams params;
+  params.frames = 16;
+  params.macroblocks = 396;
+  if (const char* env = std::getenv("MRTS_BENCH_FRAMES")) {
+    const int frames = std::atoi(env);
+    if (frames > 0) params.frames = static_cast<unsigned>(frames);
+  }
+  return params;
+}
+
+struct EvalContext {
+  H264Application app;
+  std::vector<BlockProfile> profile;
+  Cycles risc_cycles = 0;
+
+  explicit EvalContext(const H264AppParams& params = eval_params())
+      : app(build_h264_application(params)),
+        profile(profile_application(app.trace, app.library)) {
+    RiscOnlyRts risc(app.library);
+    risc_cycles = run_application(risc, app.trace).total_cycles;
+  }
+
+  AppRunResult run_mrts(unsigned cg, unsigned prcs,
+                        MRtsConfig config = {}) const {
+    MRts rts(app.library, cg, prcs, config);
+    return run_application(rts, app.trace);
+  }
+
+  AppRunResult run_rispp(unsigned cg, unsigned prcs) const {
+    RisppRts rts(app.library, cg, prcs);
+    return run_application(rts, app.trace);
+  }
+
+  AppRunResult run_morpheus(unsigned cg, unsigned prcs) const {
+    Morpheus4sRts rts(app.library, cg, prcs, profile);
+    return run_application(rts, app.trace);
+  }
+
+  AppRunResult run_offline_optimal(unsigned cg, unsigned prcs) const {
+    OfflineOptimalRts rts(app.library, cg, prcs, profile);
+    return run_application(rts, app.trace);
+  }
+};
+
+}  // namespace mrts::bench

@@ -1,0 +1,123 @@
+// Reproduces Fig. 8: execution time of the whole H.264 encoder under the
+// RISPP-like, offline-optimal, Morpheus/4S-like and mRTS schemes over fabric
+// combinations (PRCs 0..4 x CG fabrics 0..3; combination "00" is RISC mode),
+// plus the speedup-of-mRTS lines. Paper shape: mRTS is fastest everywhere;
+// vs RISPP-like up to ~1.8x (avg ~1.3x), vs Morpheus+4S up to ~2.3x (avg
+// ~1.78x), vs offline-optimal up to ~2.2x (avg ~1.45x); ties at single-grain
+// corners.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <map>
+
+#include "bench_common.h"
+
+namespace {
+
+using namespace mrts;
+using namespace mrts::bench;
+
+const EvalContext& context() {
+  static const EvalContext ctx;
+  return ctx;
+}
+
+struct Row {
+  Cycles rispp = 0;
+  Cycles offline = 0;
+  Cycles morpheus = 0;
+  Cycles mrts = 0;
+};
+
+std::map<std::string, Row>& rows() {
+  static std::map<std::string, Row> r;
+  return r;
+}
+
+void BM_Fig8_Combination(benchmark::State& state) {
+  const auto prcs = static_cast<unsigned>(state.range(0));
+  const auto cg = static_cast<unsigned>(state.range(1));
+  const EvalContext& ctx = context();
+  Row row;
+  for (auto _ : state) {
+    row.rispp = ctx.run_rispp(cg, prcs).total_cycles;
+    row.offline = ctx.run_offline_optimal(cg, prcs).total_cycles;
+    row.morpheus = ctx.run_morpheus(cg, prcs).total_cycles;
+    row.mrts = ctx.run_mrts(cg, prcs).total_cycles;
+  }
+  rows()[FabricCombination{prcs, cg}.label()] = row;
+  state.counters["mrts_Mcycles"] = static_cast<double>(row.mrts) / 1e6;
+  state.counters["speedup_vs_rispp"] = speedup(row.rispp, row.mrts);
+  state.counters["speedup_vs_offline"] = speedup(row.offline, row.mrts);
+  state.counters["speedup_vs_morpheus"] = speedup(row.morpheus, row.mrts);
+}
+
+void register_benchmarks() {
+  for (unsigned prcs = 0; prcs <= 4; ++prcs) {
+    for (unsigned cg = 0; cg <= 3; ++cg) {
+      benchmark::RegisterBenchmark(
+          ("BM_Fig8/" + FabricCombination{prcs, cg}.label()).c_str(),
+          BM_Fig8_Combination)
+          ->Args({static_cast<long>(prcs), static_cast<long>(cg)})
+          ->Iterations(1)
+          ->Unit(benchmark::kMillisecond);
+    }
+  }
+}
+
+void print_figure() {
+  TextTable table({"PRCs/CG", "RISPP-like [Mcyc]", "Offline-opt [Mcyc]",
+                   "Morpheus+4S [Mcyc]", "mRTS [Mcyc]", "vs RISPP",
+                   "vs Offline", "vs Morpheus"});
+  CsvWriter csv("fig8_state_of_the_art.csv");
+  csv.write_header({"prcs", "cg", "rispp_cycles", "offline_cycles",
+                    "morpheus_cycles", "mrts_cycles", "speedup_vs_rispp",
+                    "speedup_vs_offline", "speedup_vs_morpheus"});
+
+  RunningStats vs_rispp;
+  RunningStats vs_offline;
+  RunningStats vs_morpheus;
+  for (unsigned prcs = 0; prcs <= 4; ++prcs) {
+    for (unsigned cg = 0; cg <= 3; ++cg) {
+      const FabricCombination combo{prcs, cg};
+      const Row& row = rows()[combo.label()];
+      const double s_rispp = speedup(row.rispp, row.mrts);
+      const double s_offline = speedup(row.offline, row.mrts);
+      const double s_morpheus = speedup(row.morpheus, row.mrts);
+      if (!combo.risc_only()) {
+        vs_rispp.add(s_rispp);
+        vs_offline.add(s_offline);
+        vs_morpheus.add(s_morpheus);
+      }
+      table.add_values(combo.label(), format_mcycles(row.rispp),
+                       format_mcycles(row.offline),
+                       format_mcycles(row.morpheus), format_mcycles(row.mrts),
+                       s_rispp, s_offline, s_morpheus);
+      csv.write_values(prcs, cg, row.rispp, row.offline, row.morpheus,
+                       row.mrts, s_rispp, s_offline, s_morpheus);
+    }
+  }
+  std::printf("\nFig. 8 — comparison with state-of-the-art approaches "
+              "(written to fig8_state_of_the_art.csv)\n%s",
+              table.render().c_str());
+  std::printf(
+      "mRTS speedup vs RISPP-like:    avg %.2fx, max %.2fx  (paper: avg "
+      "~1.3x, up to 1.8x)\n"
+      "mRTS speedup vs Offline-opt:   avg %.2fx, max %.2fx  (paper: avg "
+      "~1.45x, up to 2.2x)\n"
+      "mRTS speedup vs Morpheus+4S:   avg %.2fx, max %.2fx  (paper: avg "
+      "~1.78x, up to 2.3x)\n",
+      vs_rispp.mean(), vs_rispp.max(), vs_offline.mean(), vs_offline.max(),
+      vs_morpheus.mean(), vs_morpheus.max());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ::benchmark::Initialize(&argc, argv);
+  register_benchmarks();
+  ::benchmark::RunSpecifiedBenchmarks();
+  print_figure();
+  return 0;
+}

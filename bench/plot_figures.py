@@ -1,0 +1,130 @@
+#!/usr/bin/env python3
+"""Plot the CSV series emitted by the bench binaries.
+
+Usage: run the benches first (they write fig*.csv into the working
+directory), then:
+
+    python3 bench/plot_figures.py [output_dir]
+
+Requires matplotlib; produces one PNG per available figure CSV.
+"""
+
+import csv
+import os
+import sys
+
+
+def read_csv(path):
+    with open(path, newline="") as handle:
+        rows = list(csv.DictReader(handle))
+    return rows
+
+
+def plot_fig1(rows, out, plt):
+    xs = [float(r["executions"]) for r in rows]
+    plt.figure(figsize=(7, 4))
+    plt.plot(xs, [float(r["pif_ise1_fg"]) for r in rows], label="ISE-1 (FG)")
+    plt.plot(xs, [float(r["pif_ise2_cg"]) for r in rows], label="ISE-2 (CG)")
+    plt.plot(xs, [float(r["pif_ise3_mg"]) for r in rows], label="ISE-3 (MG)")
+    plt.xlabel("number of executions")
+    plt.ylabel("performance improvement factor (Eq. 1)")
+    plt.title("Fig. 1 — pif of the Deblocking Filter ISEs")
+    plt.legend()
+    plt.grid(alpha=0.3)
+    plt.savefig(out, dpi=150, bbox_inches="tight")
+
+
+def plot_fig2(rows, out, plt):
+    plt.figure(figsize=(7, 4))
+    plt.bar([int(r["frame"]) for r in rows],
+            [int(r["lf_filter_executions"]) for r in rows])
+    plt.xlabel("frame")
+    plt.ylabel("LF_FILTER executions")
+    plt.title("Fig. 2 — execution behaviour over frames")
+    plt.grid(alpha=0.3, axis="y")
+    plt.savefig(out, dpi=150, bbox_inches="tight")
+
+
+def plot_fig8(rows, out, plt):
+    labels = [r["prcs"] + r["cg"] for r in rows]
+    xs = range(len(rows))
+    width = 0.2
+    plt.figure(figsize=(12, 5))
+    for i, (col, name) in enumerate([
+            ("rispp_cycles", "RISPP-like"),
+            ("offline_cycles", "Offline-optimal"),
+            ("morpheus_cycles", "Morpheus+4S"),
+            ("mrts_cycles", "mRTS")]):
+        plt.bar([x + (i - 1.5) * width for x in xs],
+                [float(r[col]) / 1e6 for r in rows], width, label=name)
+    plt.xticks(list(xs), labels)
+    plt.xlabel("PRCs / CG fabrics")
+    plt.ylabel("execution time [Mcycles]")
+    plt.title("Fig. 8 — comparison with state of the art")
+    plt.legend()
+    plt.grid(alpha=0.3, axis="y")
+    plt.savefig(out, dpi=150, bbox_inches="tight")
+
+
+def plot_fig9(rows, out, plt):
+    plt.figure(figsize=(7, 4))
+    for cg in sorted({r["cg"] for r in rows}):
+        series = [r for r in rows if r["cg"] == cg]
+        plt.plot([int(r["prcs"]) for r in series],
+                 [float(r["percent_difference"]) for r in series],
+                 marker="o", label=f"CG={cg}")
+    plt.xlabel("PRCs")
+    plt.ylabel("% difference vs optimal")
+    plt.title("Fig. 9 — heuristic vs run-time optimal")
+    plt.legend()
+    plt.grid(alpha=0.3)
+    plt.savefig(out, dpi=150, bbox_inches="tight")
+
+
+def plot_fig10(rows, out, plt):
+    labels = [r["prcs"] + r["cg"] for r in rows]
+    colors = {"RISC": "gray", "FG-only": "tab:blue", "CG-only": "tab:orange",
+              "MG": "tab:green"}
+    plt.figure(figsize=(10, 4.5))
+    plt.bar(labels, [float(r["speedup"]) for r in rows],
+            color=[colors.get(r["group"], "black") for r in rows])
+    plt.xlabel("PRCs / CG fabrics")
+    plt.ylabel("speedup vs RISC mode")
+    plt.title("Fig. 10 — mRTS speedup vs RISC mode")
+    plt.grid(alpha=0.3, axis="y")
+    handles = [plt.Rectangle((0, 0), 1, 1, color=c) for c in colors.values()]
+    plt.legend(handles, colors.keys())
+    plt.savefig(out, dpi=150, bbox_inches="tight")
+
+
+def main():
+    try:
+        import matplotlib
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+    except ImportError:
+        sys.exit("plot_figures.py requires matplotlib")
+
+    out_dir = sys.argv[1] if len(sys.argv) > 1 else "."
+    os.makedirs(out_dir, exist_ok=True)
+    jobs = [
+        ("fig1_pif.csv", plot_fig1, "fig1_pif.png"),
+        ("fig2_execution_behavior.csv", plot_fig2, "fig2.png"),
+        ("fig8_state_of_the_art.csv", plot_fig8, "fig8.png"),
+        ("fig9_heuristic_vs_optimal.csv", plot_fig9, "fig9.png"),
+        ("fig10_speedup_vs_risc.csv", plot_fig10, "fig10.png"),
+    ]
+    plotted = 0
+    for csv_name, fn, png_name in jobs:
+        if not os.path.exists(csv_name):
+            print(f"skip {csv_name} (not found; run the bench first)")
+            continue
+        fn(read_csv(csv_name), os.path.join(out_dir, png_name), plt)
+        print(f"wrote {os.path.join(out_dir, png_name)}")
+        plotted += 1
+    if plotted == 0:
+        sys.exit("no CSV inputs found")
+
+
+if __name__ == "__main__":
+    main()

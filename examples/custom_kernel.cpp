@@ -1,0 +1,96 @@
+// Extending the library with a custom kernel: an AES-like block cipher
+// round. Shows how the ISE builder's two-part latency model produces the
+// area/performance trade-off of Section 2 for *any* kernel, how to inspect
+// the profit (Eqs. 2-4) of each variant for a given execution forecast, and
+// where the CG -> MG -> FG dominance crossovers fall (a custom Fig. 1).
+//
+// Usage: ./build/examples/custom_kernel
+
+#include <cstdio>
+
+#include "isa/ise_builder.h"
+#include "rts/profit.h"
+#include "rts/reconfig_plan.h"
+#include "rts/selector_heuristic.h"
+#include "util/table.h"
+
+using namespace mrts;
+
+int main() {
+  IseLibrary library;
+
+  IseBuildSpec aes;
+  aes.kernel_name = "AES_ROUND";
+  aes.sw_latency = 1400;
+  // S-box lookups and bit permutations are control-dominant (FG territory);
+  // MixColumns-style GF multiplies are word-level arithmetic (CG territory).
+  aes.control_fraction = 0.55;
+  aes.fg_control_speedup = 14.0;
+  aes.fg_data_speedup = 6.0;
+  aes.cg_control_speedup = 1.2;
+  aes.cg_data_speedup = 4.5;
+  aes.fg_data_path_names = {"sbox_fg", "shiftrows_fg", "keyxor_fg"};
+  aes.cg_data_path_names = {"mixcol_mac_cg", "gf_mul_cg"};
+  aes.fg_control_dps = 2;
+  aes.cg_data_dps = 2;
+  aes.mono_cg_speedup = 1.6;
+  const KernelId kernel = build_kernel_ises(library, aes);
+
+  // --- variant inventory ----------------------------------------------------
+  TextTable inventory(
+      {"variant", "PRCs", "CG", "full latency", "speedup", "reconfig [ms]"});
+  for (IseId id : library.kernel(kernel).ises) {
+    const IseVariant& v = library.ise(id);
+    inventory.add_values(
+        v.name, v.fg_units, v.cg_units, v.full_latency(),
+        static_cast<double>(v.risc_latency()) /
+            static_cast<double>(v.full_latency()),
+        format_double(
+            cycles_to_ms(v.worst_case_reconfig_cycles(library.data_paths())),
+            3));
+  }
+  std::printf("AES_ROUND ISE variants (RISC latency 1400 cycles):\n%s",
+              inventory.render().c_str());
+
+  // --- profit of each variant for different execution forecasts ------------
+  TextTable profits({"variant", "e=100", "e=1000", "e=10000", "e=100000"});
+  for (IseId id : library.kernel(kernel).ises) {
+    const IseVariant& v = library.ise(id);
+    std::vector<std::string> row = {v.name};
+    for (double e : {100.0, 1000.0, 10'000.0, 100'000.0}) {
+      ReconfigPlanner planner(library.data_paths(), 4, 3, 0);
+      TriggerEntry entry{kernel, e, 200, 150};
+      const ProfitResult pr = evaluate_candidate(library, id, entry, planner);
+      row.push_back(format_double(pr.profit / 1000.0, 0) + "k");
+    }
+    profits.add_row(row);
+  }
+  std::printf("\nExpected profit (Eq. 4, saved kcycles) on an idle 4 PRC + 3 "
+              "CG machine:\n%s",
+              profits.render().c_str());
+
+  // --- which variant would the selector pick as e grows? -------------------
+  const HeuristicSelector selector(library);
+  TextTable picks({"expected executions", "selected variant", "kind"});
+  for (double e : {50.0, 300.0, 1500.0, 6000.0, 40'000.0, 300'000.0}) {
+    TriggerInstruction ti;
+    ti.functional_block = FunctionalBlockId{0};
+    ti.entries.push_back({kernel, e, 200, 150});
+    ReconfigPlanner planner(library.data_paths(), 4, 3, 0);
+    const SelectionResult result = selector.select(ti, planner);
+    if (result.selected.empty()) {
+      picks.add_values(static_cast<std::uint64_t>(e), "(none — cannot amortize)",
+                       "-");
+      continue;
+    }
+    const IseVariant& v = library.ise(result.selected[0].ise);
+    picks.add_values(static_cast<std::uint64_t>(e), v.name,
+                     v.is_multi_grained() ? "MG"
+                     : v.is_fg_only()     ? "FG"
+                                          : "CG");
+  }
+  std::printf("\nSelector choice as the execution forecast grows (the "
+              "Section 2 dominance regions):\n%s",
+              picks.render().c_str());
+  return 0;
+}

@@ -1,0 +1,52 @@
+#include "arch/data_path.h"
+
+#include <stdexcept>
+
+namespace mrts {
+
+Cycles DataPathDesc::reconfig_cycles() const {
+  if (grain == Grain::kFine) {
+    return fg_reconfig_cycles_for_bytes(bitstream_bytes) * units;
+  }
+  return static_cast<Cycles>(context_instructions) *
+         kCgCyclesPerContextInstruction * units;
+}
+
+DataPathId DataPathTable::add(DataPathDesc desc) {
+  if (desc.name.empty()) {
+    throw std::invalid_argument("DataPathTable::add: empty name");
+  }
+  if (find(desc.name) != kInvalidDataPath) {
+    throw std::invalid_argument("DataPathTable::add: duplicate name " +
+                                desc.name);
+  }
+  if (desc.units == 0) {
+    throw std::invalid_argument("DataPathTable::add: zero units for " +
+                                desc.name);
+  }
+  if (desc.grain == Grain::kCoarse &&
+      desc.context_instructions > kCgContextMemoryInstructions) {
+    throw std::invalid_argument(
+        "DataPathTable::add: CG context program exceeds context memory for " +
+        desc.name);
+  }
+  desc.id = DataPathId{static_cast<std::uint32_t>(paths_.size())};
+  paths_.push_back(std::move(desc));
+  return paths_.back().id;
+}
+
+const DataPathDesc& DataPathTable::operator[](DataPathId id) const {
+  if (!contains(id)) {
+    throw std::out_of_range("DataPathTable: invalid data path id");
+  }
+  return paths_[raw(id)];
+}
+
+DataPathId DataPathTable::find(const std::string& name) const {
+  for (const auto& dp : paths_) {
+    if (dp.name == name) return dp.id;
+  }
+  return kInvalidDataPath;
+}
+
+}  // namespace mrts

@@ -1,0 +1,374 @@
+#include "arch/fabric_manager.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "util/logging.h"
+
+namespace mrts {
+
+FabricManager::FabricManager(unsigned num_cg_fabrics, unsigned num_prcs,
+                             const DataPathTable* table,
+                             CgFabricParams cg_params)
+    : table_(table), fg_(num_prcs) {
+  if (table_ == nullptr) {
+    throw std::invalid_argument("FabricManager: null data path table");
+  }
+  cg_.reserve(num_cg_fabrics);
+  for (unsigned i = 0; i < num_cg_fabrics; ++i) cg_.emplace_back(cg_params);
+  prc_reserved_.assign(num_prcs, false);
+  cg_reserved_.assign(num_cg_fabrics, false);
+  cg_pinned_.assign(num_cg_fabrics, kInvalidDataPath);
+}
+
+const CgFabric& FabricManager::cg_fabric(unsigned i) const {
+  if (i >= cg_.size()) throw std::out_of_range("FabricManager::cg_fabric");
+  return cg_[i];
+}
+
+std::optional<unsigned> FabricManager::claim_existing_fg(
+    DataPathId dp, std::vector<bool>& claimed) const {
+  for (unsigned i = 0; i < fg_.num_prcs(); ++i) {
+    if (claimed[i]) continue;
+    if (fg_.prc(i).occupant == dp) {
+      claimed[i] = true;
+      return i;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<unsigned> FabricManager::claim_existing_cg(
+    DataPathId dp, std::vector<bool>& claimed) const {
+  for (unsigned i = 0; i < cg_.size(); ++i) {
+    if (claimed[i]) continue;
+    if (cg_[i].slot_of(dp)) {
+      claimed[i] = true;
+      return i;
+    }
+  }
+  return std::nullopt;
+}
+
+std::vector<IsePlacement> FabricManager::install(
+    const std::vector<IsePlacementRequest>& selection, Cycles now) {
+  // --- 1. Check capacity. -------------------------------------------------
+  unsigned need_prcs = 0;
+  unsigned need_cg = 0;
+  for (const auto& req : selection) {
+    for (DataPathId dp : req.data_paths) {
+      const auto& desc = (*table_)[dp];
+      if (desc.grain == Grain::kFine) {
+        need_prcs += desc.units;
+      } else {
+        need_cg += desc.units;
+      }
+    }
+  }
+  if (need_prcs > fg_.num_prcs() || need_cg > cg_.size()) {
+    throw std::invalid_argument(
+        "FabricManager::install: selection exceeds fabric capacity");
+  }
+
+  // --- 2. Match needed instances against what is already placed. ----------
+  std::vector<bool> prc_claimed(fg_.num_prcs(), false);
+  std::vector<bool> cg_claimed(cg_.size(), false);
+
+  struct PendingLoad {
+    std::size_t ise_index;
+    std::size_t instance_index;
+    DataPathId dp;
+  };
+  std::vector<PendingLoad> loads;
+  std::vector<IsePlacement> result(selection.size());
+
+  for (std::size_t s = 0; s < selection.size(); ++s) {
+    const auto& req = selection[s];
+    auto& placement = result[s];
+    placement.ise = req.ise;
+    placement.kernel = req.kernel;
+    placement.instance_ready.assign(req.data_paths.size(), kNeverCycles);
+    for (std::size_t k = 0; k < req.data_paths.size(); ++k) {
+      const DataPathId dp = req.data_paths[k];
+      const auto& desc = (*table_)[dp];
+      if (desc.grain == Grain::kFine) {
+        if (auto prc = claim_existing_fg(dp, prc_claimed)) {
+          placement.instance_ready[k] = fg_.prc(*prc).ready_at;
+          ++placement.reused_instances;
+          continue;
+        }
+      } else {
+        if (auto fab = claim_existing_cg(dp, cg_claimed)) {
+          placement.instance_ready[k] =
+              cg_[*fab].context(*cg_[*fab].slot_of(dp)).ready_at;
+          ++placement.reused_instances;
+          continue;
+        }
+      }
+      loads.push_back({s, k, dp});
+    }
+  }
+
+  // --- 3. Cancel pending loads of data paths the new selection evicts. ----
+  // A queued FG job is kept only if its target PRC was claimed (its data path
+  // is reused by this selection).
+  reconfig_stats_.cancelled_loads += reconfig_.fg_port().cancel_pending(
+      now, [&prc_claimed](const ReconfigJob& job) {
+        return job.container >= prc_claimed.size() ||
+               !prc_claimed[job.container];
+      });
+  reconfig_stats_.cancelled_loads += reconfig_.cg_port().cancel_pending(
+      now, [&cg_claimed](const ReconfigJob& job) {
+        return job.container >= cg_claimed.size() || !cg_claimed[job.container];
+      });
+
+  // --- 4. Schedule loads for the unmatched instances. ----------------------
+  for (const auto& load : loads) {
+    const auto& desc = (*table_)[load.dp];
+    auto& placement = result[load.ise_index];
+    if (desc.grain == Grain::kFine) {
+      auto victim = fg_.find_victim(prc_claimed);
+      if (!victim) {
+        throw std::logic_error("FabricManager::install: no PRC victim");
+      }
+      prc_claimed[*victim] = true;
+      const auto& job = reconfig_.fg_port().enqueue(load.dp, *victim,
+                                                    desc.reconfig_cycles(), now);
+      ++reconfig_stats_.fg_loads;
+      reconfig_stats_.fg_bytes += desc.bitstream_bytes * desc.units;
+      fg_.place(*victim, load.dp, job.completes_at);
+      placement.instance_ready[load.instance_index] = job.completes_at;
+    } else {
+      // Pick the first unclaimed CG fabric (its stale contexts are evicted
+      // lazily by CgFabric::load when the context memory fills up).
+      std::optional<unsigned> victim;
+      for (unsigned i = 0; i < cg_.size(); ++i) {
+        if (!cg_claimed[i]) {
+          victim = i;
+          break;
+        }
+      }
+      if (!victim) {
+        throw std::logic_error("FabricManager::install: no CG victim");
+      }
+      cg_claimed[*victim] = true;
+      const auto& job = reconfig_.cg_port().enqueue(load.dp, *victim,
+                                                    desc.reconfig_cycles(), now);
+      ++reconfig_stats_.cg_loads;
+      reconfig_stats_.cg_bytes +=
+          static_cast<std::uint64_t>(desc.context_instructions) * 10 *
+          desc.units;
+      cg_[*victim].load(load.dp, job.completes_at);
+      placement.instance_ready[load.instance_index] = job.completes_at;
+    }
+  }
+
+  // --- 5. Reservations + prefix ready times. -------------------------------
+  prc_reserved_ = prc_claimed;
+  cg_reserved_ = cg_claimed;
+  cg_pinned_.assign(cg_.size(), kInvalidDataPath);
+  for (unsigned i = 0; i < cg_.size(); ++i) {
+    if (!cg_reserved_[i]) continue;
+    // The claimed context of this fabric is the one the selection uses; it
+    // must survive monoCG context churn.
+    for (const auto& req : selection) {
+      for (DataPathId dp : req.data_paths) {
+        if ((*table_)[dp].grain == Grain::kCoarse && cg_[i].slot_of(dp)) {
+          cg_pinned_[i] = dp;
+        }
+      }
+    }
+  }
+  for (auto& placement : result) {
+    placement.prefix_ready.resize(placement.instance_ready.size());
+    Cycles prefix = 0;
+    for (std::size_t i = 0; i < placement.instance_ready.size(); ++i) {
+      prefix = std::max(prefix, placement.instance_ready[i]);
+      placement.prefix_ready[i] = prefix;
+    }
+  }
+  for (const auto& placement : result) {
+    reconfig_stats_.reused_instances += placement.reused_instances;
+  }
+  reconfig_.fg_port().compact(now);
+  reconfig_.cg_port().compact(now);
+  return result;
+}
+
+std::size_t FabricManager::prefetch(
+    const std::vector<IsePlacementRequest>& future, Cycles now) {
+  std::size_t started = 0;
+  // Containers already claimed during this prefetch round.
+  std::vector<bool> prc_claimed = prc_reserved_;
+  std::vector<bool> cg_claimed = cg_reserved_;
+
+  for (const auto& req : future) {
+    for (DataPathId dp : req.data_paths) {
+      const auto& desc = (*table_)[dp];
+      // Placed (or loading) anywhere already: nothing to do. Instance
+      // multiplicity is intentionally ignored for speculation — the goal is
+      // warming the fabric, not exactness.
+      if (!instance_ready_times(dp).empty()) continue;
+      if (desc.grain == Grain::kFine) {
+        const auto victim = fg_.find_victim(prc_claimed);
+        if (!victim) continue;  // no unreserved PRC left
+        prc_claimed[*victim] = true;
+        const auto& job = reconfig_.fg_port().enqueue(
+            dp, *victim, desc.reconfig_cycles(), now);
+        ++reconfig_stats_.fg_loads;
+        reconfig_stats_.fg_bytes += desc.bitstream_bytes * desc.units;
+        fg_.place(*victim, dp, job.completes_at);
+        ++started;
+      } else {
+        // Use a free context slot of any fabric (the speculative context
+        // must not evict live contexts).
+        std::optional<unsigned> target;
+        for (unsigned i = 0; i < cg_.size(); ++i) {
+          if (!cg_claimed[i] || cg_[i].resident_count() < cg_[i].capacity()) {
+            target = i;
+            break;
+          }
+        }
+        if (!target) continue;
+        const auto& job = reconfig_.cg_port().enqueue(
+            dp, *target, desc.reconfig_cycles(), now);
+        ++reconfig_stats_.cg_loads;
+        reconfig_stats_.cg_bytes +=
+            static_cast<std::uint64_t>(desc.context_instructions) * 10 *
+            desc.units;
+        const DataPathId keep = *target < cg_pinned_.size()
+                                    ? cg_pinned_[*target]
+                                    : kInvalidDataPath;
+        cg_[*target].load(dp, job.completes_at, keep);
+        ++started;
+      }
+    }
+  }
+  return started;
+}
+
+std::optional<Cycles> FabricManager::acquire_mono_cg(DataPathId mono_dp,
+                                                     Cycles now) {
+  const auto& desc = (*table_)[mono_dp];
+  if (desc.grain != Grain::kCoarse) {
+    throw std::invalid_argument(
+        "FabricManager::acquire_mono_cg: monoCG must be a CG data path");
+  }
+  // Already resident somewhere? Just (re-)activate it (2-cycle switch).
+  for (auto& fabric : cg_) {
+    if (auto slot = fabric.slot_of(mono_dp)) {
+      const Cycles ready = fabric.context(*slot).ready_at;
+      const Cycles switch_cost = fabric.activate(*slot);
+      return std::max(now, ready) + switch_cost;
+    }
+  }
+  // Pick a host. A CG fabric stores multiple contexts, so a "free" fabric
+  // in the Fig. 7 sense is one that can take another context without
+  // disturbing the current selection: prefer unreserved fabrics (stale
+  // contexts there may be evicted), otherwise use a free context slot of a
+  // reserved fabric — execution is serialized, only the 2-cycle context
+  // switch is paid.
+  std::optional<unsigned> target;
+  for (unsigned i = 0; i < cg_.size(); ++i) {
+    if (cg_reserved_[i]) continue;
+    if (!target) target = i;
+    if (cg_[i].resident_count() < cg_[i].capacity()) {
+      target = i;
+      break;
+    }
+  }
+  if (!target) {
+    // Reserved fabrics host monoCG contexts too (the context memory stores
+    // multiple contexts); the selection's own context is pinned. Prefer a
+    // fabric with a free slot, else evict the oldest stale/mono context
+    // (capacity permitting).
+    for (unsigned i = 0; i < cg_.size(); ++i) {
+      if (cg_[i].resident_count() < cg_[i].capacity()) {
+        target = i;
+        break;
+      }
+    }
+    if (!target && !cg_.empty() && cg_[0].capacity() > 1) {
+      target = 0;
+    }
+  }
+  if (!target) return std::nullopt;
+  const DataPathId keep = *target < cg_pinned_.size()
+                              ? cg_pinned_[*target]
+                              : kInvalidDataPath;
+  const auto& job =
+      reconfig_.cg_port().enqueue(mono_dp, *target, desc.reconfig_cycles(), now);
+  ++reconfig_stats_.cg_loads;
+  reconfig_stats_.cg_bytes +=
+      static_cast<std::uint64_t>(desc.context_instructions) * 10 * desc.units;
+  const unsigned slot = cg_[*target].load(mono_dp, job.completes_at, keep);
+  const Cycles switch_cost = cg_[*target].activate(slot);
+  return job.completes_at + switch_cost;
+}
+
+Cycles FabricManager::activate_cg_context(DataPathId dp, Cycles now) {
+  for (auto& fabric : cg_) {
+    if (auto slot = fabric.slot_of(dp)) {
+      if (fabric.context(*slot).ready_at > now) return 0;
+      return fabric.activate(*slot);
+    }
+  }
+  return 0;
+}
+
+unsigned FabricManager::available_instances(DataPathId dp, Cycles t) const {
+  unsigned n = 0;
+  for (unsigned i = 0; i < fg_.num_prcs(); ++i) {
+    const auto& prc = fg_.prc(i);
+    if (prc.occupant == dp && prc.ready_at <= t) ++n;
+  }
+  for (const auto& fabric : cg_) {
+    if (fabric.holds(dp, t)) ++n;
+  }
+  return n;
+}
+
+std::vector<Cycles> FabricManager::instance_ready_times(DataPathId dp) const {
+  std::vector<Cycles> out = fg_.instance_ready_times(dp);
+  for (const auto& fabric : cg_) {
+    for (Cycles t : fabric.instance_ready_times(dp)) out.push_back(t);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+unsigned FabricManager::free_cg_fabrics() const {
+  unsigned n = 0;
+  for (bool reserved : cg_reserved_) {
+    if (!reserved) ++n;
+  }
+  return n;
+}
+
+FabricUsage FabricManager::usage() const {
+  FabricUsage u;
+  u.total_prcs = fg_.num_prcs();
+  u.total_cg = static_cast<unsigned>(cg_.size());
+  u.reserved_prcs = static_cast<unsigned>(
+      std::count(prc_reserved_.begin(), prc_reserved_.end(), true));
+  u.reserved_cg = static_cast<unsigned>(
+      std::count(cg_reserved_.begin(), cg_reserved_.end(), true));
+  return u;
+}
+
+Cycles FabricManager::fg_port_free_at(Cycles now) const {
+  return reconfig_.fg_port().busy_until(now);
+}
+
+void FabricManager::reset() {
+  for (unsigned i = 0; i < fg_.num_prcs(); ++i) fg_.evict(i);
+  for (auto& fabric : cg_) fabric.clear();
+  prc_reserved_.assign(fg_.num_prcs(), false);
+  cg_reserved_.assign(cg_.size(), false);
+  cg_pinned_.assign(cg_.size(), kInvalidDataPath);
+  reconfig_ = ReconfigController{};
+  reconfig_stats_ = ReconfigStats{};
+}
+
+}  // namespace mrts

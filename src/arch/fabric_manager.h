@@ -1,0 +1,144 @@
+#pragma once
+/// \file fabric_manager.h
+/// FabricManager owns the placement state of the whole reconfigurable
+/// processor: one FG fabric (a pool of PRCs), an array of CG fabrics and the
+/// reconfiguration controller. It installs functional-block selections
+/// (evicting/reusing data paths), realizes monoCG-Extensions at run time and
+/// answers availability queries for the Execution Control Unit.
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "arch/cg_fabric.h"
+#include "arch/data_path.h"
+#include "arch/fg_fabric.h"
+#include "arch/reconfig_controller.h"
+#include "util/types.h"
+
+namespace mrts {
+
+/// A request to realize one ISE: its data-path instances in reconfiguration
+/// order (repeats allowed — an ISE may use several instances of a data path).
+struct IsePlacementRequest {
+  IseId ise = kInvalidIse;
+  KernelId kernel = kInvalidKernel;
+  std::vector<DataPathId> data_paths;
+};
+
+/// Result of installing one ISE: when each data-path instance becomes usable.
+/// prefix_ready[i] = cycle at which the first (i+1) instances are all usable,
+/// i.e. when the (i+1)-th intermediate ISE becomes executable.
+struct IsePlacement {
+  IseId ise = kInvalidIse;
+  KernelId kernel = kInvalidKernel;
+  std::vector<Cycles> instance_ready;
+  std::vector<Cycles> prefix_ready;
+  /// Number of instances that were reused from the previous configuration
+  /// (no reconfiguration needed).
+  unsigned reused_instances = 0;
+};
+
+/// Aggregate capacity/occupancy snapshot.
+struct FabricUsage {
+  unsigned total_prcs = 0;
+  unsigned total_cg = 0;
+  unsigned reserved_prcs = 0;  ///< claimed by the current selection
+  unsigned reserved_cg = 0;
+};
+
+/// Cumulative reconfiguration-traffic counters since construction/reset.
+struct ReconfigStats {
+  std::uint64_t fg_loads = 0;         ///< partial bitstreams streamed
+  std::uint64_t cg_loads = 0;         ///< context programs streamed
+  std::uint64_t fg_bytes = 0;         ///< bitstream bytes moved
+  std::uint64_t cg_bytes = 0;         ///< context bytes moved
+  std::uint64_t cancelled_loads = 0;  ///< pending loads evicted before start
+  std::uint64_t reused_instances = 0; ///< loads avoided by reuse
+};
+
+class FabricManager {
+ public:
+  /// \param table data-path registry (not owned; must outlive the manager).
+  FabricManager(unsigned num_cg_fabrics, unsigned num_prcs,
+                const DataPathTable* table, CgFabricParams cg_params = {});
+
+  unsigned num_prcs() const { return fg_.num_prcs(); }
+  unsigned num_cg_fabrics() const { return static_cast<unsigned>(cg_.size()); }
+
+  const FgFabric& fg_fabric() const { return fg_; }
+  const CgFabric& cg_fabric(unsigned i) const;
+  const ReconfigController& reconfig() const { return reconfig_; }
+
+  /// Installs a new functional-block selection at cycle \p now.
+  /// Data paths already on the fabric (possibly still loading) are reused;
+  /// everything else is loaded into evicted containers, FG loads serialized
+  /// on the reconfiguration port. Pending loads of evicted data paths are
+  /// cancelled. Throws std::invalid_argument if the selection does not fit.
+  std::vector<IsePlacement> install(
+      const std::vector<IsePlacementRequest>& selection, Cycles now);
+
+  /// Speculatively loads data paths for a *future* selection into fabric the
+  /// current selection does not reserve (cross-block reconfiguration
+  /// lookahead). Data paths already placed anywhere are skipped; nothing
+  /// reserved/pinned by the current selection is touched, and no
+  /// reservations are taken for the speculative loads (the next install()
+  /// will claim them via reuse). Returns the number of loads started.
+  std::size_t prefetch(const std::vector<IsePlacementRequest>& future,
+                       Cycles now);
+
+  /// Realizes (or re-activates) a monoCG-Extension \p mono_dp on a CG fabric
+  /// that is not reserved by the current selection. Returns the cycle at
+  /// which it is executable (includes context load / switch penalty), or
+  /// nullopt when no free CG fabric exists.
+  std::optional<Cycles> acquire_mono_cg(DataPathId mono_dp, Cycles now);
+
+  /// Activates \p dp's context on the CG fabric where it resides, returning
+  /// the context-switch penalty (0 if already active or not CG-resident).
+  Cycles activate_cg_context(DataPathId dp, Cycles now);
+
+  /// Number of instances of \p dp usable at \p t anywhere on the fabric.
+  unsigned available_instances(DataPathId dp, Cycles t) const;
+
+  /// Ready times (ascending) of all placed instances of \p dp, including
+  /// instances still being loaded.
+  std::vector<Cycles> instance_ready_times(DataPathId dp) const;
+
+  /// CG fabrics not reserved by the current selection (hosts for monoCG).
+  unsigned free_cg_fabrics() const;
+
+  FabricUsage usage() const;
+  const ReconfigStats& reconfig_stats() const { return reconfig_stats_; }
+
+  /// Earliest cycle >= now at which the FG reconfiguration port is idle.
+  Cycles fg_port_free_at(Cycles now) const;
+
+  /// Clears all placement state (power-on reset).
+  void reset();
+
+ private:
+  struct Claim {
+    Grain grain;
+    unsigned container;  // PRC index or CG fabric index
+  };
+
+  std::optional<unsigned> claim_existing_fg(DataPathId dp,
+                                            std::vector<bool>& claimed) const;
+  std::optional<unsigned> claim_existing_cg(DataPathId dp,
+                                            std::vector<bool>& claimed) const;
+
+  const DataPathTable* table_;
+  FgFabric fg_;
+  std::vector<CgFabric> cg_;
+  ReconfigController reconfig_;
+
+  /// Fabrics/PRCs reserved by the currently installed selection.
+  std::vector<bool> prc_reserved_;
+  std::vector<bool> cg_reserved_;
+  /// Data path the selection pinned on each reserved CG fabric (protected
+  /// from monoCG context eviction).
+  std::vector<DataPathId> cg_pinned_;
+  ReconfigStats reconfig_stats_;
+};
+
+}  // namespace mrts

@@ -1,0 +1,35 @@
+#include "arch/interconnect.h"
+
+#include <cstdlib>
+
+namespace mrts {
+
+Interconnect::Interconnect(InterconnectParams params) : params_(params) {}
+
+Cycles Interconnect::transfer_cycles(const NodeAddr& src,
+                                     const NodeAddr& dst) const {
+  if (src == dst) return 0;
+  if (src.kind == NodeKind::kCore || dst.kind == NodeKind::kCore) {
+    return params_.core_link_cycles;
+  }
+  if (src.kind == NodeKind::kCgFabric && dst.kind == NodeKind::kCgFabric) {
+    const unsigned lo = std::min(src.index, dst.index);
+    const unsigned hi = std::max(src.index, dst.index);
+    return params_.cg_hop_cycles * static_cast<Cycles>(hi - lo);
+  }
+  if (src.kind == NodeKind::kPrc && dst.kind == NodeKind::kPrc) {
+    return params_.prc_hop_cycles;
+  }
+  // CG <-> FG crossing.
+  return params_.cross_grain_cycles;
+}
+
+Cycles Interconnect::pipeline_cycles(const std::vector<NodeAddr>& chain) const {
+  Cycles total = 0;
+  for (std::size_t i = 1; i < chain.size(); ++i) {
+    total += transfer_cycles(chain[i - 1], chain[i]);
+  }
+  return total;
+}
+
+}  // namespace mrts

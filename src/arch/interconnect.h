@@ -1,0 +1,56 @@
+#pragma once
+/// \file interconnect.h
+/// Communication-timing model between fabric elements (Section 5.1):
+///   * point-to-point links between CG fabrics: 2 cycles per hop,
+///   * communication within the FG fabric (between PRCs): 1 cycle.
+/// The model is a static topology with hop counting; it is consulted when
+/// composing multi-data-path ISEs to charge transfer cycles between the data
+/// paths mapped to different fabric elements.
+
+#include <cstdint>
+#include <vector>
+
+#include "util/types.h"
+
+namespace mrts {
+
+/// Kinds of endpoints connected by the interconnect.
+enum class NodeKind : std::uint8_t { kCore, kCgFabric, kPrc };
+
+struct InterconnectParams {
+  Cycles cg_hop_cycles = 2;     ///< CG <-> CG point-to-point link
+  Cycles prc_hop_cycles = 1;    ///< PRC <-> PRC inside the FG fabric
+  Cycles core_link_cycles = 2;  ///< core <-> any fabric
+  Cycles cross_grain_cycles = 3;  ///< CG <-> FG (via shared scratch pad)
+};
+
+/// Endpoint address: kind plus index within the kind.
+struct NodeAddr {
+  NodeKind kind = NodeKind::kCore;
+  unsigned index = 0;
+
+  friend bool operator==(const NodeAddr&, const NodeAddr&) = default;
+};
+
+/// Computes transfer latencies between nodes. CG fabrics form a linear
+/// point-to-point chain (hop count = index distance); PRCs share an intra-FPGA
+/// network (1 cycle between any two).
+class Interconnect {
+ public:
+  explicit Interconnect(InterconnectParams params = {});
+
+  const InterconnectParams& params() const { return params_; }
+
+  /// Latency of moving one operand (register-sized word) from \p src to
+  /// \p dst. Zero when src == dst.
+  Cycles transfer_cycles(const NodeAddr& src, const NodeAddr& dst) const;
+
+  /// Total transfer cycles along a pipeline of nodes (sum of adjacent
+  /// transfers).
+  Cycles pipeline_cycles(const std::vector<NodeAddr>& chain) const;
+
+ private:
+  InterconnectParams params_;
+};
+
+}  // namespace mrts

@@ -1,0 +1,88 @@
+#pragma once
+/// \file reconfig_controller.h
+/// Reconfiguration scheduling. The FG fabric has a single reconfiguration
+/// port: partial bitstreams are streamed one at a time (this serialization is
+/// what makes FG reconfiguration the dominant latency, ~1.2 ms per data
+/// path). CG context programs are streamed through a separate, much faster
+/// port (~0.15 us per context).
+///
+/// The controller models each port as a FIFO queue of jobs. Jobs that have
+/// not started yet may be cancelled (e.g. when a new functional-block
+/// selection evicts a data path that was still waiting to be loaded); the
+/// queue is then re-timed.
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "util/types.h"
+
+namespace mrts {
+
+/// Identifier of a queued reconfiguration job.
+using ReconfigJobId = std::uint64_t;
+
+/// One queued (or completed) reconfiguration.
+struct ReconfigJob {
+  ReconfigJobId id = 0;
+  DataPathId dp = kInvalidDataPath;
+  /// Container index: PRC index for FG jobs, CG fabric index for CG jobs.
+  unsigned container = 0;
+  Cycles enqueued_at = 0;
+  Cycles duration = 0;
+  Cycles starts_at = 0;
+  Cycles completes_at = 0;
+};
+
+/// FIFO port that processes reconfiguration jobs back to back.
+class ReconfigPort {
+ public:
+  /// Enqueues a job; returns its completion time given the current backlog.
+  const ReconfigJob& enqueue(DataPathId dp, unsigned container,
+                             Cycles duration, Cycles now);
+
+  /// Cancels all jobs that have not started by \p now and match \p predicate,
+  /// then re-times the remaining not-yet-started jobs. Returns the number of
+  /// cancelled jobs.
+  std::size_t cancel_pending(Cycles now,
+                             const std::function<bool(const ReconfigJob&)>&
+                                 predicate);
+
+  /// Cycle until which the port is busy with jobs enqueued so far (>= now).
+  Cycles busy_until(Cycles now) const;
+
+  /// Completion time of job \p id; nullopt if unknown (e.g. cancelled).
+  std::optional<Cycles> completion(ReconfigJobId id) const;
+
+  /// Jobs still queued or running at \p now.
+  std::vector<ReconfigJob> pending(Cycles now) const;
+
+  /// Drops bookkeeping for jobs completed before \p now (memory hygiene).
+  void compact(Cycles now);
+
+  std::uint64_t total_jobs() const { return next_id_; }
+  Cycles total_busy_cycles() const { return total_busy_; }
+
+ private:
+  void retime(Cycles now);
+
+  std::vector<ReconfigJob> jobs_;  // FIFO order
+  ReconfigJobId next_id_ = 0;
+  Cycles total_busy_ = 0;
+};
+
+/// Both ports of the reconfigurable processor.
+class ReconfigController {
+ public:
+  ReconfigPort& fg_port() { return fg_; }
+  const ReconfigPort& fg_port() const { return fg_; }
+  ReconfigPort& cg_port() { return cg_; }
+  const ReconfigPort& cg_port() const { return cg_; }
+
+ private:
+  ReconfigPort fg_;
+  ReconfigPort cg_;
+};
+
+}  // namespace mrts

@@ -1,0 +1,62 @@
+#include "arch/scratchpad.h"
+
+#include <stdexcept>
+
+namespace mrts {
+
+Scratchpad::Scratchpad(ScratchpadParams params)
+    : params_(params), data_(params.size_bytes, 0) {
+  if (params.size_bytes == 0) {
+    throw std::invalid_argument("Scratchpad: zero size");
+  }
+  if (params.port_width_bits % 8 != 0 || params.port_width_bits == 0) {
+    throw std::invalid_argument("Scratchpad: port width must be whole bytes");
+  }
+}
+
+void Scratchpad::check(std::size_t addr, std::size_t bytes) const {
+  if (addr + bytes > data_.size() || addr + bytes < addr) {
+    throw std::out_of_range("Scratchpad: access out of range");
+  }
+}
+
+std::uint8_t Scratchpad::read8(std::size_t addr) const {
+  check(addr, 1);
+  ++reads_;
+  return data_[addr];
+}
+
+void Scratchpad::write8(std::size_t addr, std::uint8_t value) {
+  check(addr, 1);
+  ++writes_;
+  data_[addr] = value;
+}
+
+std::uint32_t Scratchpad::read32(std::size_t addr) const {
+  check(addr, 4);
+  ++reads_;
+  std::uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) v = (v << 8) | data_[addr + static_cast<std::size_t>(i)];
+  return v;
+}
+
+void Scratchpad::write32(std::size_t addr, std::uint32_t value) {
+  check(addr, 4);
+  ++writes_;
+  for (std::size_t i = 0; i < 4; ++i) {
+    data_[addr + i] = static_cast<std::uint8_t>(value >> (8 * i));
+  }
+}
+
+Cycles Scratchpad::access_cycles(std::size_t bytes) const {
+  const std::size_t width_bytes = params_.port_width_bits / 8;
+  const std::size_t beats = (bytes + width_bytes - 1) / width_bytes;
+  return static_cast<Cycles>(beats) * params_.access_cycles;
+}
+
+void Scratchpad::reset() {
+  std::fill(data_.begin(), data_.end(), 0);
+  reads_ = writes_ = 0;
+}
+
+}  // namespace mrts

@@ -1,0 +1,58 @@
+#pragma once
+/// \file scratchpad.h
+/// Scratch-pad memory model. Both fabrics have dedicated scratch pads
+/// connected to the memory hierarchy (Fig. 3) used for fast data access and
+/// intermediate results. The model provides byte-addressed storage with a
+/// simple fixed-latency timing model; it backs the RISC/CG instruction-set
+/// simulators that derive kernel latencies.
+
+#include <cstdint>
+#include <vector>
+
+#include "util/types.h"
+
+namespace mrts {
+
+/// Timing/geometry parameters of a scratch pad port.
+struct ScratchpadParams {
+  std::size_t size_bytes = 64 * 1024;
+  unsigned port_width_bits = 32;   ///< 32 for CG fabrics, 128 for FG fabrics
+  Cycles access_cycles = 1;        ///< latency of one aligned access
+  Cycles miss_penalty_cycles = 20; ///< refill from the memory hierarchy
+};
+
+/// Byte-addressed scratch pad with access counting. Out-of-range accesses
+/// throw (they indicate a broken kernel program, not a recoverable state).
+class Scratchpad {
+ public:
+  explicit Scratchpad(ScratchpadParams params = {});
+
+  const ScratchpadParams& params() const { return params_; }
+  std::size_t size() const { return data_.size(); }
+
+  std::uint8_t read8(std::size_t addr) const;
+  void write8(std::size_t addr, std::uint8_t value);
+
+  std::uint32_t read32(std::size_t addr) const;
+  void write32(std::size_t addr, std::uint32_t value);
+
+  /// Cycles for one access of \p bytes bytes through the port: ceil division
+  /// over the port width times the access latency.
+  Cycles access_cycles(std::size_t bytes) const;
+
+  /// Zero-fills the memory and resets counters.
+  void reset();
+
+  std::uint64_t reads() const { return reads_; }
+  std::uint64_t writes() const { return writes_; }
+
+ private:
+  void check(std::size_t addr, std::size_t bytes) const;
+
+  ScratchpadParams params_;
+  std::vector<std::uint8_t> data_;
+  mutable std::uint64_t reads_ = 0;
+  std::uint64_t writes_ = 0;
+};
+
+}  // namespace mrts

@@ -1,0 +1,141 @@
+#include "baselines/morpheus4s_rts.h"
+
+#include <algorithm>
+#include <map>
+
+namespace mrts {
+
+Morpheus4sRts::Morpheus4sRts(const IseLibrary& lib, unsigned num_cg_fabrics,
+                             unsigned num_prcs,
+                             std::vector<BlockProfile> profile)
+    : lib_(&lib),
+      fabric_(num_cg_fabrics, num_prcs, &lib.data_paths()),
+      ecu_(lib, fabric_,
+           Ecu::Config{/*use_intermediates=*/false,
+                       /*use_cross_coverage=*/false,
+                       /*use_mono_cg=*/false}) {
+  compute_static_selection(profile);
+}
+
+void Morpheus4sRts::compute_static_selection(
+    const std::vector<BlockProfile>& profile) {
+  // Total expected executions of each kernel over the whole application.
+  std::map<std::uint32_t, double> weight;
+  for (const auto& block : profile) {
+    for (const auto& entry : block.average.entries) {
+      weight[raw(entry.kernel)] +=
+          entry.expected_executions * block.invocations;
+    }
+  }
+
+  // Per-kernel single-grain options: (ise, gain, fg units, cg units).
+  struct Option {
+    IseId ise;
+    double gain;
+    unsigned fg;
+    unsigned cg;
+  };
+  struct KernelChoices {
+    KernelId kernel;
+    std::vector<Option> options;
+  };
+  std::vector<KernelChoices> kernels;
+  for (const auto& [kid, w] : weight) {
+    const Kernel& k = lib_->kernel(KernelId{kid});
+    KernelChoices choices;
+    choices.kernel = k.id;
+    for (IseId ise_id : k.ises) {
+      const IseVariant& v = lib_->ise(ise_id);
+      if (v.is_multi_grained()) continue;  // loosely coupled: no MG-ISE
+      if (!v.fits(fabric_.num_prcs(), fabric_.num_cg_fabrics())) continue;
+      const double gain =
+          w * static_cast<double>(v.risc_latency() - v.full_latency());
+      choices.options.push_back({ise_id, gain, v.fg_units, v.cg_units});
+    }
+    if (!choices.options.empty()) kernels.push_back(std::move(choices));
+  }
+
+  // Two-resource knapsack by dynamic programming over (prc, cg) budgets.
+  const unsigned P = fabric_.num_prcs();
+  const unsigned C = fabric_.num_cg_fabrics();
+  const std::size_t states = static_cast<std::size_t>(P + 1) * (C + 1);
+  auto idx = [C](unsigned p, unsigned c) {
+    return static_cast<std::size_t>(p) * (C + 1) + c;
+  };
+  std::vector<double> best(states, 0.0);
+  // choice[k][state]: option index + 1 chosen for kernel k at this state
+  // (0 = none).
+  std::vector<std::vector<std::uint16_t>> choice(
+      kernels.size(), std::vector<std::uint16_t>(states, 0));
+
+  for (std::size_t k = 0; k < kernels.size(); ++k) {
+    std::vector<double> next = best;  // option "none" keeps the value
+    for (unsigned p = 0; p <= P; ++p) {
+      for (unsigned c = 0; c <= C; ++c) {
+        for (std::size_t o = 0; o < kernels[k].options.size(); ++o) {
+          const Option& opt = kernels[k].options[o];
+          if (opt.fg > p || opt.cg > c) continue;
+          const double candidate =
+              best[idx(p - opt.fg, c - opt.cg)] + opt.gain;
+          if (candidate > next[idx(p, c)]) {
+            next[idx(p, c)] = candidate;
+            choice[k][idx(p, c)] = static_cast<std::uint16_t>(o + 1);
+          }
+        }
+      }
+    }
+    best = std::move(next);
+  }
+
+  // Backtrack from the full budget.
+  unsigned p = P;
+  unsigned c = C;
+  for (std::size_t k = kernels.size(); k > 0; --k) {
+    const std::uint16_t picked = choice[k - 1][idx(p, c)];
+    if (picked == 0) continue;
+    const Option& opt = kernels[k - 1].options[picked - 1];
+    const IseVariant& v = lib_->ise(opt.ise);
+    static_selection_.push_back({opt.ise, kernels[k - 1].kernel, v.data_paths});
+    p -= opt.fg;
+    c -= opt.cg;
+  }
+  std::reverse(static_selection_.begin(), static_selection_.end());
+}
+
+SelectionOutcome Morpheus4sRts::on_trigger(const TriggerInstruction& programmed,
+                                           Cycles now) {
+  (void)programmed;
+  if (!installed_) {
+    // Task-level decision: the fabric is configured once, at task start.
+    placements_ = fabric_.install(static_selection_, now);
+    installed_ = true;
+  }
+  ecu_.begin_block(placements_, now);
+  SelectionOutcome outcome;  // decision was made offline: no overhead
+  for (const auto& req : static_selection_) {
+    SelectedIse sel;
+    sel.kernel = req.kernel;
+    sel.ise = req.ise;
+    outcome.selection.selected.push_back(std::move(sel));
+  }
+  return outcome;
+}
+
+ExecOutcome Morpheus4sRts::execute_kernel(KernelId k, Cycles now) {
+  return ecu_.execute(k, now);
+}
+
+void Morpheus4sRts::on_block_end(const BlockObservation& observed,
+                                 Cycles now) {
+  (void)observed;
+  (void)now;  // no run-time monitoring in this baseline
+}
+
+void Morpheus4sRts::reset() {
+  fabric_.reset();
+  ecu_.reset();
+  installed_ = false;
+  placements_.clear();
+}
+
+}  // namespace mrts

@@ -1,0 +1,59 @@
+#pragma once
+/// \file morpheus4s_rts.h
+/// Morpheus [8] / 4S [7]-like baseline (Section 5.2): loosely coupled
+/// multi-grained architectures whose fabric-assignment decision is made at
+/// *compile/task* time:
+///
+///  * one combined offline selection for all functional blocks of the
+///    application (computed from a profiling run),
+///  * each kernel is mapped entirely to either the CG or the FG fabric —
+///    no multi-grained ISE within a functional block,
+///  * no run-time replacement, no intermediate ISEs (a kernel only runs
+///    accelerated once its complete ISE is configured), no monoCG.
+///
+/// The offline selection itself is optimal for its restricted model: a
+/// two-resource knapsack over per-kernel single-grain options, solved by
+/// dynamic programming over the (PRC, CG-fabric) budget.
+
+#include <string>
+#include <vector>
+
+#include "arch/fabric_manager.h"
+#include "isa/ise_library.h"
+#include "rts/ecu.h"
+#include "rts/rts_interface.h"
+#include "util/types.h"
+
+namespace mrts {
+
+class Morpheus4sRts final : public RuntimeSystem {
+ public:
+  Morpheus4sRts(const IseLibrary& lib, unsigned num_cg_fabrics,
+                unsigned num_prcs, std::vector<BlockProfile> profile);
+
+  std::string name() const override { return "Morpheus+4S-like"; }
+  SelectionOutcome on_trigger(const TriggerInstruction& programmed,
+                              Cycles now) override;
+  ExecOutcome execute_kernel(KernelId k, Cycles now) override;
+  void on_block_end(const BlockObservation& observed, Cycles now) override;
+  void reset() override;
+
+  /// The static kernel -> ISE mapping chosen offline (for tests).
+  const std::vector<IsePlacementRequest>& static_selection() const {
+    return static_selection_;
+  }
+
+  const FabricManager& fabric() const { return fabric_; }
+
+ private:
+  void compute_static_selection(const std::vector<BlockProfile>& profile);
+
+  const IseLibrary* lib_;
+  FabricManager fabric_;
+  Ecu ecu_;
+  std::vector<IsePlacementRequest> static_selection_;
+  std::vector<IsePlacement> placements_;
+  bool installed_ = false;
+};
+
+}  // namespace mrts

@@ -1,0 +1,53 @@
+#pragma once
+/// \file offline_optimal_rts.h
+/// Offline-optimal baseline (Section 5.2): optimal ISE selection for the
+/// tightly coupled multi-grained fabric, computed *offline* per functional
+/// block from profiled average trigger values. The fabric is reconfigured
+/// when the application enters a block (so run-time replacement between
+/// blocks still happens and intermediate ISEs are usable while loading),
+/// but the selection never adapts to the actual per-instance execution
+/// counts and there is no monoCG-Extension. This is the strongest static
+/// competitor: the paper reports mRTS is on average 1.45x faster because it
+/// reacts to the run-time variation the profile averages away.
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "arch/fabric_manager.h"
+#include "isa/ise_library.h"
+#include "rts/ecu.h"
+#include "rts/rts_interface.h"
+#include "rts/selector_optimal.h"
+#include "util/types.h"
+
+namespace mrts {
+
+class OfflineOptimalRts final : public RuntimeSystem {
+ public:
+  OfflineOptimalRts(const IseLibrary& lib, unsigned num_cg_fabrics,
+                    unsigned num_prcs, std::vector<BlockProfile> profile);
+
+  std::string name() const override { return "Offline-optimal"; }
+  SelectionOutcome on_trigger(const TriggerInstruction& programmed,
+                              Cycles now) override;
+  ExecOutcome execute_kernel(KernelId k, Cycles now) override;
+  void on_block_end(const BlockObservation& observed, Cycles now) override;
+  void reset() override;
+
+  /// Precomputed selection of one block (empty vector if unknown block).
+  const std::vector<IsePlacementRequest>& selection_for(
+      FunctionalBlockId fb) const;
+
+  const FabricManager& fabric() const { return fabric_; }
+
+ private:
+  const IseLibrary* lib_;
+  FabricManager fabric_;
+  Ecu ecu_;
+  std::unordered_map<std::uint32_t, std::vector<IsePlacementRequest>>
+      per_block_;
+  std::vector<IsePlacementRequest> empty_;
+};
+
+}  // namespace mrts

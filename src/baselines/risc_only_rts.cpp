@@ -1,0 +1,5 @@
+#include "baselines/risc_only_rts.h"
+
+// RiscOnlyRts is fully inline; this translation unit anchors the vtable.
+
+namespace mrts {}  // namespace mrts

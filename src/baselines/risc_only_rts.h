@@ -1,0 +1,45 @@
+#pragma once
+/// \file risc_only_rts.h
+/// Reference "system": every kernel executes in RISC mode on the core
+/// processor. This is the first bar of Fig. 8 and the denominator of every
+/// speedup in Fig. 10; it is also used as the deterministic profiling
+/// vehicle for the offline baselines.
+
+#include <string>
+
+#include "isa/ise_library.h"
+#include "rts/rts_interface.h"
+#include "util/types.h"
+
+namespace mrts {
+
+class RiscOnlyRts final : public RuntimeSystem {
+ public:
+  explicit RiscOnlyRts(const IseLibrary& lib) : lib_(&lib) {}
+
+  std::string name() const override { return "RISC-only"; }
+
+  SelectionOutcome on_trigger(const TriggerInstruction& programmed,
+                              Cycles now) override {
+    (void)programmed;
+    (void)now;
+    return SelectionOutcome{};
+  }
+
+  ExecOutcome execute_kernel(KernelId k, Cycles now) override {
+    (void)now;
+    return ExecOutcome{lib_->kernel(k).sw_latency, ImplKind::kRisc};
+  }
+
+  void on_block_end(const BlockObservation& observed, Cycles now) override {
+    (void)observed;
+    (void)now;
+  }
+
+  void reset() override {}
+
+ private:
+  const IseLibrary* lib_;
+};
+
+}  // namespace mrts

@@ -1,0 +1,246 @@
+#include "cgsim/cg_assembler.h"
+
+#include <cctype>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace mrts::cgsim {
+namespace {
+
+[[noreturn]] void fail(unsigned line, const std::string& message) {
+  throw std::invalid_argument("cgsim asm, line " + std::to_string(line) +
+                              ": " + message);
+}
+
+std::string strip(const std::string& text) {
+  std::size_t begin = 0;
+  std::size_t end = text.size();
+  while (begin < end && std::isspace(static_cast<unsigned char>(text[begin]))) {
+    ++begin;
+  }
+  while (end > begin &&
+         std::isspace(static_cast<unsigned char>(text[end - 1]))) {
+    --end;
+  }
+  return text.substr(begin, end - begin);
+}
+
+std::vector<std::string> split_operands(const std::string& text,
+                                        unsigned line) {
+  std::vector<std::string> out;
+  std::string current;
+  for (char c : text) {
+    if (c == ',') {
+      out.push_back(strip(current));
+      current.clear();
+    } else {
+      current += c;
+    }
+  }
+  const std::string last = strip(current);
+  if (!last.empty()) out.push_back(last);
+  for (const auto& tok : out) {
+    if (tok.empty()) fail(line, "empty operand");
+  }
+  return out;
+}
+
+std::uint8_t parse_register(const std::string& tok, unsigned line) {
+  if (tok.size() < 2 || (tok[0] != 'r' && tok[0] != 'R')) {
+    fail(line, "expected register, got '" + tok + "'");
+  }
+  int value = 0;
+  try {
+    value = std::stoi(tok.substr(1));
+  } catch (const std::exception&) {
+    fail(line, "bad register '" + tok + "'");
+  }
+  if (value < 0 || value >= static_cast<int>(kNumCgRegisters)) {
+    fail(line, "register out of range '" + tok + "'");
+  }
+  return static_cast<std::uint8_t>(value);
+}
+
+std::int32_t parse_imm(const std::string& tok, unsigned line) {
+  try {
+    return static_cast<std::int32_t>(std::stol(tok, nullptr, 0));
+  } catch (const std::exception&) {
+    fail(line, "bad immediate '" + tok + "'");
+  }
+}
+
+std::pair<std::uint8_t, std::int32_t> parse_mem(const std::string& tok,
+                                                unsigned line) {
+  if (tok.size() < 4 || tok.front() != '[' || tok.back() != ']') {
+    fail(line, "expected memory operand [rN+off], got '" + tok + "'");
+  }
+  const std::string inner = strip(tok.substr(1, tok.size() - 2));
+  const std::size_t sep = inner.find_first_of("+-");
+  if (sep == std::string::npos) return {parse_register(inner, line), 0};
+  const std::string base = strip(inner.substr(0, sep));
+  std::string off = strip(inner.substr(sep));
+  if (off.size() > 1 && off[0] == '+') off = off.substr(1);
+  return {parse_register(base, line), parse_imm(off, line)};
+}
+
+}  // namespace
+
+CgContextProgram cg_assemble(const std::string& name,
+                             const std::string& source) {
+  CgContextProgram program;
+  program.name = name;
+  std::vector<std::pair<std::size_t, unsigned>> loop_stack;  // index, line
+
+  std::istringstream stream(source);
+  std::string raw_line;
+  unsigned line_no = 0;
+  while (std::getline(stream, raw_line)) {
+    ++line_no;
+    const std::size_t comment = raw_line.find_first_of(";#");
+    const std::string text =
+        strip(comment == std::string::npos ? raw_line
+                                           : raw_line.substr(0, comment));
+    if (text.empty()) continue;
+
+    const std::size_t space = text.find_first_of(" \t");
+    const std::string mnem =
+        space == std::string::npos ? text : text.substr(0, space);
+    const std::string rest =
+        space == std::string::npos ? "" : strip(text.substr(space));
+
+    if (mnem == "endl") {
+      if (!rest.empty()) fail(line_no, "endl takes no operands");
+      if (loop_stack.empty()) fail(line_no, "endl without loop");
+      const auto [loop_index, loop_line] = loop_stack.back();
+      loop_stack.pop_back();
+      const std::size_t body =
+          program.code.size() - loop_index - 1;
+      if (body == 0) fail(line_no, "empty loop body");
+      program.code[loop_index].aux = static_cast<std::uint16_t>(body);
+      continue;
+    }
+
+    const CgOp op = cg_op_from_mnemonic(mnem);
+    const std::vector<std::string> ops = split_operands(rest, line_no);
+    CgInstr instr;
+    instr.op = op;
+    auto expect = [&](std::size_t n) {
+      if (ops.size() != n) {
+        fail(line_no, "expected " + std::to_string(n) + " operands for '" +
+                          mnem + "', got " + std::to_string(ops.size()));
+      }
+    };
+
+    switch (op) {
+      case CgOp::kNop:
+      case CgOp::kHalt:
+        expect(0);
+        break;
+      case CgOp::kLoop:
+        expect(1);
+        instr.imm = parse_imm(ops[0], line_no);
+        if (instr.imm < 0) fail(line_no, "negative loop count");
+        loop_stack.emplace_back(program.code.size(), line_no);
+        break;
+      case CgOp::kAbs:
+        expect(2);
+        instr.rd = parse_register(ops[0], line_no);
+        instr.rs1 = parse_register(ops[1], line_no);
+        break;
+      case CgOp::kMovi:
+        expect(2);
+        instr.rd = parse_register(ops[0], line_no);
+        instr.imm = parse_imm(ops[1], line_no);
+        break;
+      case CgOp::kAddi:
+      case CgOp::kShli:
+      case CgOp::kShri:
+        expect(3);
+        instr.rd = parse_register(ops[0], line_no);
+        instr.rs1 = parse_register(ops[1], line_no);
+        instr.imm = parse_imm(ops[2], line_no);
+        break;
+      case CgOp::kLd: {
+        expect(2);
+        instr.rd = parse_register(ops[0], line_no);
+        const auto [base, off] = parse_mem(ops[1], line_no);
+        instr.rs1 = base;
+        instr.imm = off;
+        break;
+      }
+      case CgOp::kSt: {
+        expect(2);
+        const auto [base, off] = parse_mem(ops[0], line_no);
+        instr.rs1 = base;
+        instr.imm = off;
+        instr.rs2 = parse_register(ops[1], line_no);
+        break;
+      }
+      default:  // three-register ALU/MAC forms
+        expect(3);
+        instr.rd = parse_register(ops[0], line_no);
+        instr.rs1 = parse_register(ops[1], line_no);
+        instr.rs2 = parse_register(ops[2], line_no);
+        break;
+    }
+    program.code.push_back(instr);
+  }
+
+  if (!loop_stack.empty()) {
+    fail(loop_stack.back().second, "loop without endl");
+  }
+  program.validate();
+  return program;
+}
+
+std::string cg_disassemble(const CgContextProgram& program) {
+  std::ostringstream os;
+  // Pending loop-body end positions (instruction index one past the body).
+  std::vector<std::size_t> ends;
+  for (std::size_t i = 0; i < program.code.size(); ++i) {
+    while (!ends.empty() && ends.back() == i) {
+      ends.pop_back();
+      os << "endl\n";
+    }
+    const CgInstr& in = program.code[i];
+    os << cg_mnemonic(in.op);
+    switch (in.op) {
+      case CgOp::kNop:
+      case CgOp::kHalt:
+        break;
+      case CgOp::kLoop:
+        os << ' ' << in.imm;
+        ends.push_back(i + 1 + in.aux);
+        break;
+      case CgOp::kMovi:
+        os << " r" << +in.rd << ", " << in.imm;
+        break;
+      case CgOp::kAbs:
+        os << " r" << +in.rd << ", r" << +in.rs1;
+        break;
+      case CgOp::kAddi:
+      case CgOp::kShli:
+      case CgOp::kShri:
+        os << " r" << +in.rd << ", r" << +in.rs1 << ", " << in.imm;
+        break;
+      case CgOp::kLd:
+        os << " r" << +in.rd << ", [r" << +in.rs1 << "+" << in.imm << "]";
+        break;
+      case CgOp::kSt:
+        os << " [r" << +in.rs1 << "+" << in.imm << "], r" << +in.rs2;
+        break;
+      default:
+        os << " r" << +in.rd << ", r" << +in.rs1 << ", r" << +in.rs2;
+        break;
+    }
+    os << '\n';
+  }
+  while (!ends.empty()) {
+    ends.pop_back();
+    os << "endl\n";
+  }
+  return os.str();
+}
+
+}  // namespace mrts::cgsim

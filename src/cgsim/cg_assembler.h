@@ -1,0 +1,32 @@
+#pragma once
+/// \file cg_assembler.h
+/// Text assembler for CG context programs. Syntax mirrors the riscsim
+/// assembler except control flow: the only loop construct is the
+/// zero-overhead `loop <count>` ... `endl` pair (nesting allowed as far as
+/// the hardware loop stack goes, i.e. two levels):
+///
+///     movi r1, 0
+///     loop 16
+///       ld   r2, [r1+0]
+///       mac  r10, r2, r2
+///       addi r1, r1, 4
+///     endl
+///     halt
+
+#include <string>
+
+#include "cgsim/cg_isa.h"
+
+namespace mrts::cgsim {
+
+/// Assembles a context program; throws std::invalid_argument with line
+/// information on syntax errors, unbalanced loops, or context-memory
+/// overflow.
+CgContextProgram cg_assemble(const std::string& name,
+                             const std::string& source);
+
+/// Renders a context program back to assembler text that cg_assemble()
+/// accepts (loop bodies re-expanded to loop/endl pairs).
+std::string cg_disassemble(const CgContextProgram& program);
+
+}  // namespace mrts::cgsim

@@ -1,0 +1,122 @@
+#include "cgsim/cg_isa.h"
+
+#include <stdexcept>
+#include <unordered_map>
+
+namespace mrts::cgsim {
+
+std::array<std::uint8_t, 10> CgInstr::encode() const {
+  std::array<std::uint8_t, 10> w{};
+  w[0] = static_cast<std::uint8_t>(op);
+  w[1] = rd;
+  w[2] = rs1;
+  w[3] = rs2;
+  const auto u = static_cast<std::uint32_t>(imm);
+  w[4] = static_cast<std::uint8_t>(u);
+  w[5] = static_cast<std::uint8_t>(u >> 8);
+  w[6] = static_cast<std::uint8_t>(u >> 16);
+  w[7] = static_cast<std::uint8_t>(u >> 24);
+  w[8] = static_cast<std::uint8_t>(aux);
+  w[9] = static_cast<std::uint8_t>(aux >> 8);
+  return w;
+}
+
+CgInstr CgInstr::decode(const std::array<std::uint8_t, 10>& w) {
+  CgInstr in;
+  if (w[0] > static_cast<std::uint8_t>(CgOp::kLoop)) {
+    throw std::invalid_argument("cgsim: bad opcode in instruction word");
+  }
+  in.op = static_cast<CgOp>(w[0]);
+  in.rd = w[1];
+  in.rs1 = w[2];
+  in.rs2 = w[3];
+  in.imm = static_cast<std::int32_t>(
+      static_cast<std::uint32_t>(w[4]) | (static_cast<std::uint32_t>(w[5]) << 8) |
+      (static_cast<std::uint32_t>(w[6]) << 16) |
+      (static_cast<std::uint32_t>(w[7]) << 24));
+  in.aux = static_cast<std::uint16_t>(w[8] | (w[9] << 8));
+  return in;
+}
+
+void CgContextProgram::validate() const {
+  if (code.size() > kCgContextMemoryInstructions) {
+    throw std::invalid_argument("cgsim: context program '" + name +
+                                "' exceeds the 32-instruction context memory");
+  }
+  for (std::size_t i = 0; i < code.size(); ++i) {
+    const CgInstr& in = code[i];
+    if (in.rd >= kNumCgRegisters || in.rs1 >= kNumCgRegisters ||
+        in.rs2 >= kNumCgRegisters) {
+      throw std::invalid_argument("cgsim: register out of range in '" + name +
+                                  "'");
+    }
+    if (in.op == CgOp::kLoop) {
+      if (in.aux == 0 || i + 1 + in.aux > code.size()) {
+        throw std::invalid_argument("cgsim: loop body out of range in '" +
+                                    name + "'");
+      }
+      if (in.imm < 0) {
+        throw std::invalid_argument("cgsim: negative loop count in '" + name +
+                                    "'");
+      }
+    }
+  }
+}
+
+Cycles cg_base_cycles(CgOp op, const CgFabricParams& params) {
+  switch (op) {
+    case CgOp::kMul:
+    case CgOp::kMac: return params.mul_cycles;
+    case CgOp::kDiv: return params.div_cycles;
+    case CgOp::kLd:
+    case CgOp::kSt: return params.load_store_cycles;
+    case CgOp::kLoop: return 1;  // setup only; iterations are free (ZOL)
+    default: return params.alu_op_cycles;
+  }
+}
+
+const char* cg_mnemonic(CgOp op) {
+  switch (op) {
+    case CgOp::kNop: return "nop";
+    case CgOp::kHalt: return "halt";
+    case CgOp::kAdd: return "add";
+    case CgOp::kSub: return "sub";
+    case CgOp::kAnd: return "and";
+    case CgOp::kOr: return "or";
+    case CgOp::kXor: return "xor";
+    case CgOp::kShl: return "shl";
+    case CgOp::kShr: return "shr";
+    case CgOp::kMul: return "mul";
+    case CgOp::kDiv: return "div";
+    case CgOp::kMac: return "mac";
+    case CgOp::kMin: return "min";
+    case CgOp::kMax: return "max";
+    case CgOp::kAbs: return "abs";
+    case CgOp::kAddi: return "addi";
+    case CgOp::kShli: return "shli";
+    case CgOp::kShri: return "shri";
+    case CgOp::kMovi: return "movi";
+    case CgOp::kLd: return "ld";
+    case CgOp::kSt: return "st";
+    case CgOp::kLoop: return "loop";
+  }
+  return "?";
+}
+
+CgOp cg_op_from_mnemonic(const std::string& text) {
+  static const std::unordered_map<std::string, CgOp> table = [] {
+    std::unordered_map<std::string, CgOp> t;
+    for (int i = 0; i <= static_cast<int>(CgOp::kLoop); ++i) {
+      const CgOp op = static_cast<CgOp>(i);
+      t.emplace(cg_mnemonic(op), op);
+    }
+    return t;
+  }();
+  const auto it = table.find(text);
+  if (it == table.end()) {
+    throw std::invalid_argument("cgsim: unknown mnemonic '" + text + "'");
+  }
+  return it->second;
+}
+
+}  // namespace mrts::cgsim

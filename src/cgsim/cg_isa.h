@@ -1,0 +1,83 @@
+#pragma once
+/// \file cg_isa.h
+/// Instruction set of the coarse-grained fabric element (Section 5.1):
+/// 80-bit instructions, up to 32 of them in the context memory, two 32x32
+/// register files, single-cycle ALU ops, 2-cycle multiply, 10-cycle divide
+/// and a zero-overhead loop instruction. Instructions encode to exactly
+/// 10 bytes (80 bits); a context program is what the reconfiguration
+/// controller streams into a CG fabric.
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "arch/cg_fabric.h"
+#include "util/types.h"
+
+namespace mrts::cgsim {
+
+/// 64 architectural registers: r0..r31 map to register file A, r32..r63 to
+/// register file B (two 32x32-bit files per CG fabric).
+inline constexpr unsigned kNumCgRegisters = 64;
+
+enum class CgOp : std::uint8_t {
+  kNop,
+  kHalt,
+  kAdd,
+  kSub,
+  kAnd,
+  kOr,
+  kXor,
+  kShl,
+  kShr,
+  kMul,   // 2 cycles
+  kDiv,   // 10 cycles
+  kMac,   // rd += rs1 * rs2 (2 cycles, multiplier path)
+  kMin,
+  kMax,
+  kAbs,   // rd = |rs1|
+  kAddi,
+  kShli,
+  kShri,
+  kMovi,
+  kLd,    // rd = mem32[rs1 + imm]
+  kSt,    // mem32[rs1 + imm] = rs2
+  kLoop,  // zero-overhead loop: repeat the next `aux` instructions imm times
+};
+
+/// One decoded 80-bit CG instruction.
+struct CgInstr {
+  CgOp op = CgOp::kNop;
+  std::uint8_t rd = 0;
+  std::uint8_t rs1 = 0;
+  std::uint8_t rs2 = 0;
+  std::int32_t imm = 0;
+  std::uint16_t aux = 0;  ///< loop body length for kLoop
+
+  /// Encodes to the 80-bit (10-byte) instruction word.
+  std::array<std::uint8_t, 10> encode() const;
+  static CgInstr decode(const std::array<std::uint8_t, 10>& word);
+
+  friend bool operator==(const CgInstr&, const CgInstr&) = default;
+};
+
+/// A context program: at most kCgContextMemoryInstructions instructions.
+struct CgContextProgram {
+  std::string name;
+  std::vector<CgInstr> code;
+
+  /// Size in bytes when streamed into the context memory.
+  std::size_t stream_bytes() const { return code.size() * 10; }
+
+  /// Throws std::invalid_argument if the program exceeds the context memory
+  /// or contains malformed loops.
+  void validate() const;
+};
+
+Cycles cg_base_cycles(CgOp op, const CgFabricParams& params);
+
+const char* cg_mnemonic(CgOp op);
+CgOp cg_op_from_mnemonic(const std::string& text);
+
+}  // namespace mrts::cgsim

@@ -1,0 +1,25 @@
+#pragma once
+/// \file cg_kernel_programs.h
+/// CG context programs of the data-dominant kernel data paths, written in
+/// the cgsim assembly dialect. Each fits the 32-instruction context memory;
+/// running them on the CgExecutor grounds the CG-ISE/monoCG latencies of the
+/// workload model in the Section 5.1 timing parameters.
+
+#include <string>
+#include <vector>
+
+#include "cgsim/cg_executor.h"
+#include "cgsim/cg_isa.h"
+
+namespace mrts::cgsim {
+
+/// Names: "simd_absdiff" (SAD inner loop), "butterfly4" (DCT/HT),
+/// "filter_mac" (deblocking filter taps), "quant_mulshift".
+std::vector<std::string> cg_kernel_program_names();
+
+const CgContextProgram& cg_kernel_program(const std::string& name);
+
+/// Runs \p name on a fresh executor with deterministic pseudo-random inputs.
+CgRunResult measure_cg_kernel(const std::string& name, std::uint64_t seed = 11);
+
+}  // namespace mrts::cgsim

@@ -1,0 +1,62 @@
+#include "isa/ise.h"
+
+#include <stdexcept>
+
+namespace mrts {
+
+Cycles IseVariant::worst_case_reconfig_cycles(const DataPathTable& table) const {
+  Cycles fg = 0;
+  Cycles cg = 0;
+  for (DataPathId dp : data_paths) {
+    const auto& desc = table[dp];
+    if (desc.grain == Grain::kFine) {
+      fg += desc.reconfig_cycles();
+    } else {
+      cg += desc.reconfig_cycles();
+    }
+  }
+  return std::max(fg, cg);
+}
+
+void IseVariant::validate(const DataPathTable& table) const {
+  if (name.empty()) throw std::invalid_argument("IseVariant: empty name");
+  if (kernel == kInvalidKernel) {
+    throw std::invalid_argument("IseVariant " + name + ": no kernel");
+  }
+  if (latency_after.size() != data_paths.size() + 1) {
+    throw std::invalid_argument("IseVariant " + name +
+                                ": latency_after size must be #dps + 1");
+  }
+  if (data_paths.empty()) {
+    throw std::invalid_argument("IseVariant " + name + ": no data paths");
+  }
+  for (DataPathId dp : data_paths) {
+    if (!table.contains(dp)) {
+      throw std::invalid_argument("IseVariant " + name +
+                                  ": unknown data path");
+    }
+  }
+  for (std::size_t i = 1; i < latency_after.size(); ++i) {
+    if (latency_after[i] > latency_after[i - 1]) {
+      throw std::invalid_argument(
+          "IseVariant " + name +
+          ": latency_after must be non-increasing (more configured data "
+          "paths can never slow a kernel down)");
+    }
+  }
+  if (latency_after.back() == 0) {
+    throw std::invalid_argument("IseVariant " + name +
+                                ": zero execution latency");
+  }
+  if (is_mono_cg) {
+    for (DataPathId dp : data_paths) {
+      if (table[dp].grain != Grain::kCoarse) {
+        throw std::invalid_argument(
+            "IseVariant " + name +
+            ": monoCG-Extensions live entirely on a CG fabric");
+      }
+    }
+  }
+}
+
+}  // namespace mrts

@@ -1,0 +1,61 @@
+#pragma once
+/// \file ise.h
+/// Instruction Set Extension (ISE) variants. An ISE accelerates one kernel
+/// and consists of an ordered list of data-path instances (the order is the
+/// reconfiguration order). While only a prefix of the data paths is
+/// configured, the ISE is usable as an *intermediate ISE* with a reduced
+/// speedup; `latency_after[i]` gives the kernel execution latency once the
+/// first i instances are usable (`latency_after[0]` is the RISC-mode
+/// latency, `latency_after[n]` the fully-configured latency).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "arch/data_path.h"
+#include "util/types.h"
+
+namespace mrts {
+
+struct IseVariant {
+  IseId id = kInvalidIse;
+  KernelId kernel = kInvalidKernel;
+  std::string name;
+
+  /// Data-path instances in reconfiguration order (repeats allowed).
+  std::vector<DataPathId> data_paths;
+
+  /// Kernel execution latency (cycles) after the first i instances are
+  /// configured; size data_paths.size() + 1, non-increasing.
+  std::vector<Cycles> latency_after;
+
+  /// monoCG-Extensions are realized by the Execution Control Unit on a free
+  /// CG fabric; they never take part in the selector's candidate list.
+  bool is_mono_cg = false;
+
+  /// Cached resource demand (filled by IseLibrary::add_ise).
+  unsigned fg_units = 0;  ///< PRCs
+  unsigned cg_units = 0;  ///< CG fabrics
+
+  std::size_t num_data_paths() const { return data_paths.size(); }
+  Cycles risc_latency() const { return latency_after.front(); }
+  Cycles full_latency() const { return latency_after.back(); }
+
+  bool is_fg_only() const { return cg_units == 0 && fg_units > 0; }
+  bool is_cg_only() const { return fg_units == 0 && cg_units > 0; }
+  bool is_multi_grained() const { return fg_units > 0 && cg_units > 0; }
+
+  /// Fits into the given remaining fabric budget?
+  bool fits(unsigned free_prcs, unsigned free_cg) const {
+    return fg_units <= free_prcs && cg_units <= free_cg;
+  }
+
+  /// Total reconfiguration time if nothing is preloaded and the FG port is
+  /// free (FG loads serialized, CG loads serialized on their own port).
+  Cycles worst_case_reconfig_cycles(const DataPathTable& table) const;
+
+  /// Throws std::invalid_argument when the variant is malformed.
+  void validate(const DataPathTable& table) const;
+};
+
+}  // namespace mrts

@@ -1,0 +1,188 @@
+#include "isa/ise_builder.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace mrts {
+namespace {
+
+/// Part speedup with completeness rho in [0,1]: linear interpolation between
+/// no acceleration (1x) and the maximal speedup sigma.
+double part_speedup(double sigma, double rho) {
+  return 1.0 + (sigma - 1.0) * rho;
+}
+
+/// Registers (or finds) a data path by name.
+DataPathId intern_dp(IseLibrary& lib, const std::string& name, Grain grain,
+                     std::uint64_t fg_bitstream_bytes) {
+  DataPathId existing = lib.data_paths().find(name);
+  if (existing != kInvalidDataPath) {
+    if (lib.data_paths()[existing].grain != grain) {
+      throw std::invalid_argument("ise_builder: data path " + name +
+                                  " reused with a different grain");
+    }
+    return existing;
+  }
+  DataPathDesc desc;
+  desc.name = name;
+  desc.grain = grain;
+  if (grain == Grain::kFine && fg_bitstream_bytes != 0) {
+    desc.bitstream_bytes = fg_bitstream_bytes;
+  }
+  return lib.data_paths().add(desc);
+}
+
+}  // namespace
+
+Cycles model_latency(Cycles sw_latency, double control_fraction,
+                     double sigma_ctrl, double rho_ctrl, double sigma_data,
+                     double rho_data, Cycles comm_overhead) {
+  const double l = static_cast<double>(sw_latency);
+  const double ctrl = l * control_fraction / part_speedup(sigma_ctrl, rho_ctrl);
+  const double data =
+      l * (1.0 - control_fraction) / part_speedup(sigma_data, rho_data);
+  const double total = ctrl + data + static_cast<double>(comm_overhead);
+  return std::max<Cycles>(1, static_cast<Cycles>(total + 0.5));
+}
+
+KernelId build_kernel_ises(IseLibrary& lib, const IseBuildSpec& spec) {
+  if (spec.control_fraction < 0.0 || spec.control_fraction > 1.0) {
+    throw std::invalid_argument("ise_builder: control_fraction out of [0,1]");
+  }
+  if (spec.fg_data_path_names.empty() && spec.cg_data_path_names.empty()) {
+    throw std::invalid_argument("ise_builder: kernel " + spec.kernel_name +
+                                " has no data paths at all");
+  }
+
+  const KernelId kid = lib.add_kernel(spec.kernel_name, spec.sw_latency);
+
+  std::vector<DataPathId> fg_dps;
+  fg_dps.reserve(spec.fg_data_path_names.size());
+  for (const auto& name : spec.fg_data_path_names) {
+    fg_dps.push_back(
+        intern_dp(lib, name, Grain::kFine, spec.fg_bitstream_bytes));
+  }
+  std::vector<DataPathId> cg_dps;
+  cg_dps.reserve(spec.cg_data_path_names.size());
+  for (const auto& name : spec.cg_data_path_names) {
+    cg_dps.push_back(intern_dp(lib, name, Grain::kCoarse, 0));
+  }
+
+  const auto n_fg = static_cast<double>(fg_dps.size());
+  const auto n_cg = static_cast<double>(cg_dps.size());
+
+  // --- FG-only variants: FG-k uses the first k FG data paths. -------------
+  for (std::size_t k = 1; k <= fg_dps.size(); ++k) {
+    IseVariant v;
+    v.kernel = kid;
+    v.name = spec.kernel_name + ".FG" + std::to_string(k);
+    v.data_paths.assign(fg_dps.begin(),
+                        fg_dps.begin() + static_cast<std::ptrdiff_t>(k));
+    v.latency_after.resize(k + 1);
+    for (std::size_t i = 0; i <= k; ++i) {
+      const double rho =
+          std::pow(static_cast<double>(i) / n_fg, spec.diminishing_returns);
+      v.latency_after[i] =
+          model_latency(spec.sw_latency, spec.control_fraction,
+                        spec.fg_control_speedup, rho, spec.fg_data_speedup,
+                        rho, /*comm_overhead=*/i ? 1 : 0);
+      if (i > 0) {
+        v.latency_after[i] = std::min(v.latency_after[i], v.latency_after[i - 1]);
+      }
+    }
+    v.latency_after[0] = spec.sw_latency;
+    lib.add_ise(std::move(v));
+  }
+
+  // --- CG-only variants. ---------------------------------------------------
+  for (std::size_t k = 1; k <= cg_dps.size(); ++k) {
+    IseVariant v;
+    v.kernel = kid;
+    v.name = spec.kernel_name + ".CG" + std::to_string(k);
+    v.data_paths.assign(cg_dps.begin(),
+                        cg_dps.begin() + static_cast<std::ptrdiff_t>(k));
+    v.latency_after.resize(k + 1);
+    for (std::size_t i = 0; i <= k; ++i) {
+      const double rho =
+          std::pow(static_cast<double>(i) / n_cg, spec.diminishing_returns);
+      v.latency_after[i] =
+          model_latency(spec.sw_latency, spec.control_fraction,
+                        spec.cg_control_speedup, rho, spec.cg_data_speedup,
+                        rho, /*comm_overhead=*/i ? 1 : 0);
+      if (i > 0) {
+        v.latency_after[i] = std::min(v.latency_after[i], v.latency_after[i - 1]);
+      }
+    }
+    v.latency_after[0] = spec.sw_latency;
+    lib.add_ise(std::move(v));
+  }
+
+  // --- MG variants: c CG data paths (listed first: they reconfigure in us
+  // and provide early intermediate ISEs) plus f FG data paths. The data part
+  // runs on the CG fabric, the control part on the FG fabric; the sub-design
+  // sizes make MG area-efficient (full part-speedups with few units). ------
+  if (spec.build_mg_variants && !fg_dps.empty() && !cg_dps.empty()) {
+    const std::size_t n_ctrl_fg =
+        spec.fg_control_dps != 0
+            ? std::min<std::size_t>(spec.fg_control_dps, fg_dps.size())
+            : (fg_dps.size() + 1) / 2;
+    const std::size_t n_data_cg =
+        spec.cg_data_dps != 0
+            ? std::min<std::size_t>(spec.cg_data_dps, cg_dps.size())
+            : (cg_dps.size() + 1) / 2;
+    for (std::size_t f = 1; f <= n_ctrl_fg; ++f) {
+      for (std::size_t c = 1; c <= n_data_cg; ++c) {
+        IseVariant v;
+        v.kernel = kid;
+        v.name = spec.kernel_name + ".MG" + std::to_string(f) + "c" +
+                 std::to_string(c);
+        v.data_paths.assign(cg_dps.begin(),
+                            cg_dps.begin() + static_cast<std::ptrdiff_t>(c));
+        v.data_paths.insert(v.data_paths.end(), fg_dps.begin(),
+                            fg_dps.begin() + static_cast<std::ptrdiff_t>(f));
+        const std::size_t n = f + c;
+        v.latency_after.resize(n + 1);
+        for (std::size_t j = 0; j <= n; ++j) {
+          const std::size_t c_j = std::min(j, c);
+          const std::size_t f_j = j > c ? j - c : 0;
+          const double rho_ctrl =
+              std::pow(static_cast<double>(f_j) / static_cast<double>(n_ctrl_fg),
+                       spec.diminishing_returns);
+          const double rho_data =
+              std::pow(static_cast<double>(c_j) / static_cast<double>(n_data_cg),
+                       spec.diminishing_returns);
+          const Cycles comm =
+              (c_j > 0 && f_j > 0) ? spec.mg_comm_overhead : Cycles{0};
+          v.latency_after[j] = model_latency(
+              spec.sw_latency, spec.control_fraction, spec.fg_control_speedup,
+              rho_ctrl, spec.cg_data_speedup, rho_data, comm);
+          if (j > 0) {
+            v.latency_after[j] =
+                std::min(v.latency_after[j], v.latency_after[j - 1]);
+          }
+        }
+        v.latency_after[0] = spec.sw_latency;
+        lib.add_ise(std::move(v));
+      }
+    }
+  }
+
+  // --- monoCG-Extension: the whole kernel as one CG context program. ------
+  if (spec.mono_cg_speedup > 1.0) {
+    IseVariant v;
+    v.kernel = kid;
+    v.name = spec.kernel_name + ".monoCG";
+    v.is_mono_cg = true;
+    v.data_paths.push_back(
+        intern_dp(lib, spec.kernel_name + ".mono", Grain::kCoarse, 0));
+    const auto lat = static_cast<Cycles>(
+        static_cast<double>(spec.sw_latency) / spec.mono_cg_speedup + 0.5);
+    v.latency_after = {spec.sw_latency, std::max<Cycles>(1, lat)};
+    lib.add_ise(std::move(v));
+  }
+
+  return kid;
+}
+
+}  // namespace mrts

@@ -1,0 +1,97 @@
+#pragma once
+/// \file ise_builder.h
+/// Programmatic ISE-library generator. It stands in for the paper's
+/// proprietary compile-time tool chain: given a per-kernel acceleration
+/// specification it emits a family of FG-only, CG-only and multi-grained
+/// (MG) ISE variants plus a monoCG-Extension, with a two-component latency
+/// model:
+///
+/// A kernel's work is split into a *control-dominant* part (bit/byte-level,
+/// FG-friendly) and a *data-dominant* part (sub-word arithmetic,
+/// CG-friendly). Each fabric accelerates each part with a different maximal
+/// speedup; partially configured variants accelerate proportionally to the
+/// configured data paths. This reproduces exactly the trade-off structure
+/// of the motivational case study (Section 2): CG variants reconfigure in
+/// microseconds but saturate at lower speedups, FG variants pay ~1.2 ms per
+/// data path but run fastest once loaded, and MG variants sit in between.
+
+#include <string>
+#include <vector>
+
+#include "isa/ise_library.h"
+#include "util/types.h"
+
+namespace mrts {
+
+/// Per-kernel acceleration characteristics.
+struct IseBuildSpec {
+  std::string kernel_name;
+  Cycles sw_latency = 0;
+
+  /// Fraction of the RISC-mode work that is control-dominant; the rest is
+  /// data-dominant. Must be in [0, 1].
+  double control_fraction = 0.5;
+
+  /// Maximal speedups of each part on each fabric (>= 1). Custom FG logic is
+  /// fast for both parts (its price is the 1.2 ms reconfiguration and PRC
+  /// area); the CG ALU array is good at word-level data processing but
+  /// nearly useless for bit-level control logic — this asymmetry is the
+  /// premise of the whole paper.
+  double fg_control_speedup = 10.0;
+  double fg_data_speedup = 7.0;
+  double cg_control_speedup = 1.2;
+  double cg_data_speedup = 5.0;
+
+  /// Data paths of the complete single-grain designs. Variant FG-k uses the
+  /// first k FG data paths (so smaller variants are prefixes of larger ones,
+  /// enabling coverage/reuse); same for CG.
+  /// Ordering convention: the FG list starts with the control-part data
+  /// paths, the CG list with the data-part data paths.
+  std::vector<std::string> fg_data_path_names;
+  std::vector<std::string> cg_data_path_names;
+
+  /// Size of the sub-designs used by multi-grained variants: the first
+  /// `fg_control_dps` FG data paths implement the complete control part, the
+  /// first `cg_data_dps` CG data paths the complete data part. MG(f, c)
+  /// reaches rho_ctrl = f/fg_control_dps and rho_data = c/cg_data_dps — this
+  /// is what makes MG-ISEs area-efficient: one PRC plus one CG fabric can
+  /// carry the full part-speedups. 0 = half of the respective list
+  /// (rounded up).
+  unsigned fg_control_dps = 0;
+  unsigned cg_data_dps = 0;
+
+  /// monoCG-Extension speedup over RISC mode (0 disables the extension).
+  double mono_cg_speedup = 1.8;
+
+  /// Diminishing returns across the data paths of a design: the completeness
+  /// rho = i/n is warped to rho^diminishing_returns before interpolating the
+  /// part speedup. Values < 1 mean the first data path of a design carries
+  /// most of the acceleration (the main pipeline first, helper units later),
+  /// which is what makes small/intermediate variants attractive.
+  double diminishing_returns = 0.6;
+
+  /// Cross-grain communication overhead charged per execution of a
+  /// multi-grained intermediate/full ISE that has both grains active.
+  Cycles mg_comm_overhead = 6;
+
+  /// Generate MG variants? (FG+CG mixes; requires both name lists nonempty.)
+  bool build_mg_variants = true;
+
+  /// FG bitstream size override (bytes); 0 keeps the default (~1.2 ms).
+  std::uint64_t fg_bitstream_bytes = 0;
+};
+
+/// Builds the kernel and all its ISE variants into \p lib; returns the
+/// kernel id. Data-path names shared between kernels map to the same
+/// DataPathId (cross-kernel data-path sharing).
+KernelId build_kernel_ises(IseLibrary& lib, const IseBuildSpec& spec);
+
+/// The latency model used by the builder, exposed for tests and the
+/// case-study bench: execution latency when the control part is accelerated
+/// with completeness rho_ctrl on speedup sigma_ctrl and the data part with
+/// rho_data on sigma_data.
+Cycles model_latency(Cycles sw_latency, double control_fraction,
+                     double sigma_ctrl, double rho_ctrl, double sigma_data,
+                     double rho_data, Cycles comm_overhead);
+
+}  // namespace mrts

@@ -1,0 +1,123 @@
+#include "isa/ise_identify.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace mrts {
+namespace {
+
+using riscsim::Op;
+
+/// Control-dominant operations: decisions, bit/byte manipulation.
+bool is_control_op(Op op) {
+  switch (op) {
+    case Op::kBeq:
+    case Op::kBne:
+    case Op::kBlt:
+    case Op::kBge:
+    case Op::kJmp:
+    case Op::kCmpLt:
+    case Op::kCmpEq:
+    case Op::kAnd:
+    case Op::kOr:
+    case Op::kXor:
+    case Op::kAndi:
+    case Op::kOri:
+    case Op::kSll:
+    case Op::kSrl:
+    case Op::kSra:
+    case Op::kSlli:
+    case Op::kSrli:
+    case Op::kLdb:
+    case Op::kStb:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool is_mul_div(Op op) { return op == Op::kMul || op == Op::kDiv; }
+
+bool is_memory(Op op) { return riscsim::is_memory_op(op); }
+
+}  // namespace
+
+KernelProfile profile_kernel_run(const riscsim::RunResult& run) {
+  KernelProfile profile;
+  profile.cycles = run.cycles;
+  profile.instructions = run.instructions;
+
+  double total = 0.0;
+  double control = 0.0;
+  double mul_div = 0.0;
+  double memory = 0.0;
+  for (std::size_t i = 0; i < riscsim::kNumOpcodes; ++i) {
+    const Op op = static_cast<Op>(i);
+    const double cycles = static_cast<double>(run.op_counts[i]) *
+                          static_cast<double>(riscsim::base_cycles(op));
+    total += cycles;
+    if (is_control_op(op)) control += cycles;
+    if (is_mul_div(op)) mul_div += cycles;
+    if (is_memory(op)) memory += cycles;
+  }
+  if (total > 0.0) {
+    profile.control_cycle_fraction = control / total;
+    profile.mul_div_cycle_fraction = mul_div / total;
+    profile.memory_cycle_fraction = memory / total;
+  }
+  return profile;
+}
+
+IseBuildSpec identify_ise_spec(const std::string& kernel_name,
+                               const riscsim::Program& program,
+                               riscsim::Cpu& cpu) {
+  const riscsim::RunResult run = cpu.run(program);
+  if (!run.halted) {
+    throw std::runtime_error("identify_ise_spec: kernel '" + kernel_name +
+                             "' did not halt within the step limit");
+  }
+  const KernelProfile profile = profile_kernel_run(run);
+
+  IseBuildSpec spec;
+  spec.kernel_name = kernel_name;
+  spec.sw_latency = std::max<Cycles>(1, profile.cycles);
+  spec.control_fraction = std::clamp(profile.control_cycle_fraction, 0.05, 0.95);
+
+  // Rules of thumb for the part speedups:
+  //  * custom FG logic collapses decision/bit work almost entirely; the more
+  //    control-dominant the kernel, the deeper the specialized pipeline.
+  spec.fg_control_speedup = 8.0 + 6.0 * spec.control_fraction;
+  //  * FG data speedup suffers when the kernel is multiply/divide heavy
+  //    (DSP-style work is what the CG fabric's hard multipliers are for).
+  spec.fg_data_speedup = 8.0 - 3.0 * profile.mul_div_cycle_fraction;
+  //  * word ALUs barely help control work, and memory-bound kernels cap the
+  //    CG data speedup (the 32-bit LSU becomes the bottleneck).
+  spec.cg_control_speedup = 1.1 + 0.3 * (1.0 - spec.control_fraction);
+  spec.cg_data_speedup =
+      std::max(2.0, 6.0 - 3.0 * profile.memory_cycle_fraction +
+                        2.0 * profile.mul_div_cycle_fraction);
+
+  // Data-path counts: larger kernels decompose into more data paths.
+  const auto size_class =
+      static_cast<unsigned>(std::min<std::uint64_t>(
+          2, program.code.size() / 16));
+  const unsigned n_fg = 2 + size_class;   // 2..4
+  const unsigned n_cg = 1 + size_class / 2;  // 1..2
+  for (unsigned i = 0; i < n_fg; ++i) {
+    spec.fg_data_path_names.push_back(
+        kernel_name + (i == 0 ? "_ctrl_fg" : "_dp" + std::to_string(i) + "_fg"));
+  }
+  for (unsigned i = 0; i < n_cg; ++i) {
+    spec.cg_data_path_names.push_back(kernel_name + "_dp" + std::to_string(i) +
+                                      "_cg");
+  }
+  spec.fg_control_dps = 1;
+  spec.cg_data_dps = n_cg;
+
+  // A monoCG context program helps most when the kernel has word-level meat.
+  spec.mono_cg_speedup = 1.4 + 0.6 * (1.0 - spec.control_fraction);
+  return spec;
+}
+
+}  // namespace mrts

@@ -1,0 +1,48 @@
+#pragma once
+/// \file ise_identify.h
+/// Toy compile-time ISE identification pass — a stand-in for the proprietary
+/// tool chains the paper builds on ([18] Mitra et al., [19] Pozzi/Ienne).
+/// Given a kernel's RISC micro-program, it profiles one representative run
+/// on the core-processor simulator and derives an IseBuildSpec:
+///
+///   * the measured cycle count becomes the RISC-mode latency,
+///   * the dynamic operation mix (weighted by per-op cycle costs) splits the
+///     work into a control part (branches, compares, bit logic, byte
+///     accesses) and a data part (word arithmetic, multiply/divide, word
+///     accesses),
+///   * part speedups and data-path counts follow simple rules of thumb
+///     (bit-level work maps superbly to FG LUT logic and terribly to word
+///     ALUs; heavy multiply/divide work favours the CG fabric's hard
+///     multipliers).
+///
+/// The result feeds straight into build_kernel_ises(), closing the loop
+/// from assembly to a multi-grained ISE family.
+
+#include <string>
+
+#include "isa/ise_builder.h"
+#include "riscsim/cpu.h"
+
+namespace mrts {
+
+/// Profile summary of one kernel run (exposed for tests/inspection).
+struct KernelProfile {
+  Cycles cycles = 0;
+  std::uint64_t instructions = 0;
+  double control_cycle_fraction = 0.0;  ///< control-ish share of exec cycles
+  double mul_div_cycle_fraction = 0.0;  ///< multiplier/divider share
+  double memory_cycle_fraction = 0.0;   ///< load/store share
+};
+
+/// Classifies and weighs the dynamic op mix of a finished run.
+KernelProfile profile_kernel_run(const riscsim::RunResult& run);
+
+/// Derives an ISE build specification for \p kernel_name by executing
+/// \p program on \p cpu (the caller preloads representative input data).
+/// Throws std::runtime_error if the program does not halt within the step
+/// limit.
+IseBuildSpec identify_ise_spec(const std::string& kernel_name,
+                               const riscsim::Program& program,
+                               riscsim::Cpu& cpu);
+
+}  // namespace mrts

@@ -1,0 +1,31 @@
+#pragma once
+/// \file kernel.h
+/// A kernel is a compute-intensive loop of the application. Each kernel has
+/// a RISC-mode (software) latency and a family of compile-time prepared ISE
+/// variants that accelerate it, plus (optionally) a monoCG-Extension used by
+/// the Execution Control Unit to bridge FG reconfiguration delays.
+
+#include <string>
+#include <vector>
+
+#include "util/types.h"
+
+namespace mrts {
+
+struct Kernel {
+  KernelId id = kInvalidKernel;
+  std::string name;
+
+  /// Per-execution latency in RISC mode (core instruction set only).
+  Cycles sw_latency = 0;
+
+  /// Candidate ISEs for the selector (excludes the monoCG-Extension).
+  std::vector<IseId> ises;
+
+  /// monoCG-Extension (kInvalidIse when the kernel has none).
+  IseId mono_cg = kInvalidIse;
+
+  bool has_mono_cg() const { return mono_cg != kInvalidIse; }
+};
+
+}  // namespace mrts

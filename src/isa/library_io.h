@@ -1,0 +1,36 @@
+#pragma once
+/// \file library_io.h
+/// Text serialization of ISE libraries. The format is line-oriented and
+/// diff-friendly, intended as the interchange point between an external
+/// compile-time ISE tool chain (the paper's [18][19]) and this run-time
+/// system:
+///
+///     # comment
+///     datapath <name> FG units=1 bitstream=83047
+///     datapath <name> CG units=1 ctx=32
+///     kernel   <name> sw=520
+///     ise      <name> kernel=<kernel> dps=<dp1,dp2,...> lat=<l0,l1,...,ln>
+///     ise      <name> kernel=<kernel> mono dps=<dp> lat=<l0,l1>
+///
+/// All validation of IseLibrary/IseVariant applies on load (latencies
+/// non-increasing, monoCG CG-only, sizes consistent, ...).
+
+#include <iosfwd>
+#include <string>
+
+#include "isa/ise_library.h"
+
+namespace mrts {
+
+/// Renders the whole library (data paths, kernels, ISEs incl. monoCG).
+std::string serialize_library(const IseLibrary& lib);
+
+/// Parses a library from text; throws std::invalid_argument with a line
+/// number on malformed input.
+IseLibrary parse_library(const std::string& text);
+
+/// Convenience file wrappers (throw std::runtime_error on I/O failure).
+void save_library(const IseLibrary& lib, const std::string& path);
+IseLibrary load_library(const std::string& path);
+
+}  // namespace mrts

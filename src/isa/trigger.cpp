@@ -1,0 +1,91 @@
+#include "isa/trigger.h"
+
+#include <algorithm>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+namespace mrts {
+
+std::string to_string(const TriggerInstruction& ti) {
+  std::ostringstream os;
+  os << "TI(fb=" << raw(ti.functional_block) << ")[";
+  for (std::size_t i = 0; i < ti.entries.size(); ++i) {
+    const auto& e = ti.entries[i];
+    if (i) os << ", ";
+    os << "{K" << raw(e.kernel) << " e=" << e.expected_executions
+       << " tf=" << e.time_to_first << " tb=" << e.time_between << "}";
+  }
+  os << "]";
+  return os.str();
+}
+
+namespace {
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v >> 16));
+  out.push_back(static_cast<std::uint8_t>(v >> 24));
+}
+
+std::uint32_t get_u32(const std::vector<std::uint8_t>& in, std::size_t at) {
+  return static_cast<std::uint32_t>(in[at]) |
+         (static_cast<std::uint32_t>(in[at + 1]) << 8) |
+         (static_cast<std::uint32_t>(in[at + 2]) << 16) |
+         (static_cast<std::uint32_t>(in[at + 3]) << 24);
+}
+
+std::uint32_t saturate_u32(double v) {
+  if (v <= 0.0) return 0;
+  const double max = static_cast<double>(std::numeric_limits<std::uint32_t>::max());
+  return v >= max ? std::numeric_limits<std::uint32_t>::max()
+                  : static_cast<std::uint32_t>(v);
+}
+
+std::uint32_t saturate_u32(Cycles v) {
+  return v >= std::numeric_limits<std::uint32_t>::max()
+             ? std::numeric_limits<std::uint32_t>::max()
+             : static_cast<std::uint32_t>(v);
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_trigger(const TriggerInstruction& ti) {
+  std::vector<std::uint8_t> out;
+  out.reserve(8 + 16 * ti.entries.size());
+  put_u32(out, raw(ti.functional_block));
+  put_u32(out, static_cast<std::uint32_t>(ti.entries.size()));
+  for (const auto& entry : ti.entries) {
+    put_u32(out, raw(entry.kernel));
+    put_u32(out, saturate_u32(entry.expected_executions));
+    put_u32(out, saturate_u32(entry.time_to_first));
+    put_u32(out, saturate_u32(entry.time_between));
+  }
+  return out;
+}
+
+TriggerInstruction decode_trigger(const std::vector<std::uint8_t>& bytes) {
+  if (bytes.size() < 8) {
+    throw std::invalid_argument("decode_trigger: truncated header");
+  }
+  TriggerInstruction ti;
+  ti.functional_block = FunctionalBlockId{get_u32(bytes, 0)};
+  const std::uint32_t count = get_u32(bytes, 4);
+  if (bytes.size() != 8 + static_cast<std::size_t>(count) * 16) {
+    throw std::invalid_argument("decode_trigger: size does not match count");
+  }
+  ti.entries.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const std::size_t at = 8 + static_cast<std::size_t>(i) * 16;
+    TriggerEntry entry;
+    entry.kernel = KernelId{get_u32(bytes, at)};
+    entry.expected_executions = static_cast<double>(get_u32(bytes, at + 4));
+    entry.time_to_first = get_u32(bytes, at + 8);
+    entry.time_between = get_u32(bytes, at + 12);
+    ti.entries.push_back(entry);
+  }
+  return ti;
+}
+
+}  // namespace mrts

@@ -1,0 +1,52 @@
+#pragma once
+/// \file trigger.h
+/// Trigger Instructions. The application programmer embeds them into the
+/// binary ahead of each functional block; they forecast the kernels of the
+/// upcoming block as 4-tuples {K_i, e_i, tf_i, tb_i} (Section 4.1):
+///   K_i  - kernel id,
+///   e_i  - expected number of executions in this block,
+///   tf_i - time until the first execution (cycles after the trigger),
+///   tb_i - average time between two consecutive executions (gap cycles).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/types.h"
+
+namespace mrts {
+
+struct TriggerEntry {
+  KernelId kernel = kInvalidKernel;
+  double expected_executions = 0.0;
+  Cycles time_to_first = 0;    ///< tf
+  Cycles time_between = 0;     ///< tb
+
+  friend bool operator==(const TriggerEntry&, const TriggerEntry&) = default;
+};
+
+struct TriggerInstruction {
+  FunctionalBlockId functional_block = kInvalidFunctionalBlock;
+  std::vector<TriggerEntry> entries;
+
+  const TriggerEntry* find(KernelId k) const {
+    for (const auto& e : entries) {
+      if (e.kernel == k) return &e;
+    }
+    return nullptr;
+  }
+};
+
+/// Debug/log rendering of a trigger instruction.
+std::string to_string(const TriggerInstruction& ti);
+
+/// Binary encoding, i.e. what the application programmer actually embeds in
+/// the binary "incorporated as assembler instructions" (Section 4): an
+/// 8-byte header (functional block id, entry count) followed by one 16-byte
+/// word per kernel entry {kernel id, e, tf, tb} with 32-bit saturating
+/// fields. decode_trigger throws std::invalid_argument on truncated or
+/// malformed input.
+std::vector<std::uint8_t> encode_trigger(const TriggerInstruction& ti);
+TriggerInstruction decode_trigger(const std::vector<std::uint8_t>& bytes);
+
+}  // namespace mrts

@@ -1,0 +1,96 @@
+#include "riscsim/isa.h"
+
+#include <stdexcept>
+#include <unordered_map>
+
+namespace mrts::riscsim {
+
+Cycles base_cycles(Op op) {
+  switch (op) {
+    // The coprocessor ops charge their real cost through the hooks (wait
+    // duration, RTS blocking, kernel latency); their base cost is zero.
+    case Op::kWait:
+    case Op::kTrig:
+    case Op::kKexec: return 0;
+    case Op::kMul: return 4;
+    case Op::kDiv: return 35;
+    case Op::kLdw:
+    case Op::kStw:
+    case Op::kLdb:
+    case Op::kStb: return 1;  // + memory-port time
+    default: return 1;
+  }
+}
+
+bool is_memory_op(Op op) {
+  return op == Op::kLdw || op == Op::kStw || op == Op::kLdb || op == Op::kStb;
+}
+
+bool is_branch(Op op) {
+  return op == Op::kBeq || op == Op::kBne || op == Op::kBlt ||
+         op == Op::kBge || op == Op::kJmp;
+}
+
+bool is_coprocessor_op(Op op) {
+  return op == Op::kWait || op == Op::kTrig || op == Op::kKexec;
+}
+
+const char* mnemonic(Op op) {
+  switch (op) {
+    case Op::kNop: return "nop";
+    case Op::kHalt: return "halt";
+    case Op::kAdd: return "add";
+    case Op::kSub: return "sub";
+    case Op::kAnd: return "and";
+    case Op::kOr: return "or";
+    case Op::kXor: return "xor";
+    case Op::kSll: return "sll";
+    case Op::kSrl: return "srl";
+    case Op::kSra: return "sra";
+    case Op::kMul: return "mul";
+    case Op::kDiv: return "div";
+    case Op::kCmpLt: return "cmplt";
+    case Op::kCmpEq: return "cmpeq";
+    case Op::kMin: return "min";
+    case Op::kMax: return "max";
+    case Op::kAbs: return "abs";
+    case Op::kAddi: return "addi";
+    case Op::kSubi: return "subi";
+    case Op::kAndi: return "andi";
+    case Op::kOri: return "ori";
+    case Op::kSlli: return "slli";
+    case Op::kSrli: return "srli";
+    case Op::kMovi: return "movi";
+    case Op::kLdw: return "ldw";
+    case Op::kStw: return "stw";
+    case Op::kLdb: return "ldb";
+    case Op::kStb: return "stb";
+    case Op::kBeq: return "beq";
+    case Op::kBne: return "bne";
+    case Op::kBlt: return "blt";
+    case Op::kBge: return "bge";
+    case Op::kJmp: return "jmp";
+    case Op::kWait: return "wait";
+    case Op::kTrig: return "trig";
+    case Op::kKexec: return "kexec";
+  }
+  return "?";
+}
+
+Op op_from_mnemonic(const std::string& text) {
+  static const std::unordered_map<std::string, Op> table = [] {
+    std::unordered_map<std::string, Op> t;
+    for (int i = 0; i <= static_cast<int>(Op::kKexec); ++i) {
+      const Op op = static_cast<Op>(i);
+      t.emplace(mnemonic(op), op);
+    }
+    return t;
+  }();
+  const auto it = table.find(text);
+  if (it == table.end()) {
+    throw std::invalid_argument("riscsim: unknown mnemonic '" + text + "'");
+  }
+  return it->second;
+}
+
+}  // namespace mrts::riscsim

@@ -1,0 +1,29 @@
+#pragma once
+/// \file kernel_programs.h
+/// H.264 kernel micro-programs for the core-processor model, written in the
+/// riscsim assembly dialect. They ground the RISC-mode kernel latencies of
+/// the workload model in measured instruction sequences rather than invented
+/// constants: examples and tests run them on the Cpu and compare against the
+/// latency table of the H.264 application model.
+
+#include <string>
+#include <vector>
+
+#include "riscsim/assembler.h"
+#include "riscsim/cpu.h"
+
+namespace mrts::riscsim {
+
+/// Names of all available kernel micro-programs:
+/// "sad_4x4", "dct4_row", "quant_16", "deblock_edge", "zigzag_16",
+/// "hadamard_4".
+std::vector<std::string> kernel_program_names();
+
+/// Assembled program by name; throws std::invalid_argument on unknown name.
+const Program& kernel_program(const std::string& name);
+
+/// Runs \p name on a fresh Cpu with deterministic pseudo-random input data
+/// preloaded into the scratch pad, returning the measured cycle count.
+RunResult measure_kernel(const std::string& name, std::uint64_t seed = 7);
+
+}  // namespace mrts::riscsim

@@ -1,0 +1,206 @@
+#include "rts/ecu.h"
+
+#include <algorithm>
+
+namespace mrts {
+
+const char* to_string(ImplKind kind) {
+  switch (kind) {
+    case ImplKind::kRisc: return "RISC";
+    case ImplKind::kMonoCg: return "monoCG";
+    case ImplKind::kIntermediate: return "intermediate";
+    case ImplKind::kFullIse: return "full-ISE";
+    case ImplKind::kCoveredIse: return "covered-ISE";
+  }
+  return "?";
+}
+
+Ecu::Ecu(const IseLibrary& lib, FabricManager& fabric, Config config)
+    : lib_(&lib), fabric_(&fabric), config_(config) {}
+
+void Ecu::append_ise_options(const IseVariant& ise, bool is_selected,
+                             const std::vector<Cycles>* installed_prefix,
+                             std::vector<Option>& timeline) const {
+  const std::size_t n = ise.num_data_paths();
+
+  // Availability of each prefix level from the live fabric state: the r-th
+  // occurrence of a data path in the prefix maps to the r-th placed instance
+  // (sorted by ready time).
+  std::unordered_map<std::uint32_t, std::vector<Cycles>> ready_cache;
+  std::unordered_map<std::uint32_t, unsigned> occurrence;
+  Cycles prefix = 0;
+  bool uses_cg = false;
+  for (std::size_t i = 0; i < n; ++i) {
+    const DataPathId dp = ise.data_paths[i];
+    auto it = ready_cache.find(raw(dp));
+    if (it == ready_cache.end()) {
+      it = ready_cache.emplace(raw(dp), fabric_->instance_ready_times(dp))
+               .first;
+    }
+    const unsigned r = occurrence[raw(dp)]++;
+    Cycles ready_live = kNeverCycles;
+    if (r < it->second.size()) ready_live = it->second[r];
+
+    Cycles ready = ready_live;
+    if (installed_prefix != nullptr) {
+      // The installer's own claim is authoritative for the selected ISE;
+      // the live view can only improve it (shared instances ready earlier).
+      ready = std::min(ready, (*installed_prefix)[i]);
+    } else if (!config_.use_cross_coverage) {
+      continue;
+    }
+    if (ready == kNeverCycles) break;  // this and later levels never arrive
+    prefix = std::max(prefix, ready);
+    uses_cg = uses_cg || lib_->data_paths()[dp].grain == Grain::kCoarse;
+
+    const std::size_t level = i + 1;
+    const bool full = level == n;
+    if (!config_.use_intermediates && !full) continue;
+
+    Option opt;
+    opt.at = prefix;
+    opt.latency = ise.latency_after[level];
+    opt.kind = full ? (is_selected ? ImplKind::kFullIse : ImplKind::kCoveredIse)
+                    : (is_selected ? ImplKind::kIntermediate
+                                   : ImplKind::kCoveredIse);
+    opt.uses_cg = uses_cg;
+    timeline.push_back(opt);
+  }
+}
+
+void Ecu::rebuild_kernel(KernelId k, KernelState& st, const IsePlacement* placed,
+                         Cycles now) const {
+  const Kernel& kernel = lib_->kernel(k);
+  st.timeline.clear();
+  st.next = 0;
+  st.current_latency = kernel.sw_latency;
+  st.current_kind = ImplKind::kRisc;
+  st.current_uses_cg = false;
+  st.mono_attempted = false;
+
+  if (placed != nullptr && placed->ise != kInvalidIse) {
+    append_ise_options(lib_->ise(placed->ise), /*is_selected=*/true,
+                       &placed->prefix_ready, st.timeline);
+  }
+  if (config_.use_cross_coverage) {
+    for (IseId other : kernel.ises) {
+      if (placed != nullptr && other == placed->ise) continue;
+      append_ise_options(lib_->ise(other), /*is_selected=*/false, nullptr,
+                         st.timeline);
+    }
+  }
+  std::sort(st.timeline.begin(), st.timeline.end(),
+            [](const Option& a, const Option& b) { return a.at < b.at; });
+
+  // Consume everything already available at block start.
+  while (st.next < st.timeline.size() && st.timeline[st.next].at <= now) {
+    const Option& opt = st.timeline[st.next];
+    if (opt.latency < st.current_latency) {
+      st.current_latency = opt.latency;
+      st.current_kind = opt.kind;
+      st.current_uses_cg = opt.uses_cg;
+    }
+    ++st.next;
+  }
+}
+
+void Ecu::begin_block(const std::vector<IsePlacement>& placements,
+                      Cycles now) {
+  std::unordered_map<std::uint32_t, KernelState> next;
+  for (const auto& p : placements) {
+    KernelState st;
+    if (auto it = state_.find(raw(p.kernel)); it != state_.end()) {
+      st.mono_ready = it->second.mono_ready;  // context may still be resident
+    }
+    rebuild_kernel(p.kernel, st, &p, now);
+    next.emplace(raw(p.kernel), std::move(st));
+  }
+  // Kernels that were not (re-)assigned keep only their monoCG knowledge;
+  // their timeline is rebuilt lazily on first execution.
+  for (auto& [kid, old] : state_) {
+    if (next.count(kid)) continue;
+    KernelState st;
+    st.mono_ready = old.mono_ready;
+    st.timeline.clear();
+    st.next = kNeverCycles;  // marker: needs rebuild
+    next.emplace(kid, std::move(st));
+  }
+  state_ = std::move(next);
+  last_executed_ = kInvalidKernel;
+}
+
+Ecu::KernelState& Ecu::state_for(KernelId k, Cycles now) {
+  auto [it, inserted] = state_.try_emplace(raw(k));
+  KernelState& st = it->second;
+  if (inserted || st.next == kNeverCycles) {
+    const Cycles mono_ready = st.mono_ready;
+    rebuild_kernel(k, st, nullptr, now);
+    st.mono_ready = mono_ready;
+  }
+  return st;
+}
+
+ExecOutcome Ecu::execute(KernelId k, Cycles now) {
+  const Kernel& kernel = lib_->kernel(k);
+  KernelState& st = state_for(k, now);
+
+  // Advance the timeline: implementations only get better over the block.
+  while (st.next < st.timeline.size() && st.timeline[st.next].at <= now) {
+    const Option& opt = st.timeline[st.next];
+    if (opt.latency < st.current_latency) {
+      st.current_latency = opt.latency;
+      st.current_kind = opt.kind;
+      st.current_uses_cg = opt.uses_cg;
+    }
+    ++st.next;
+  }
+
+  Cycles latency = st.current_latency;
+  ImplKind kind = st.current_kind;
+  bool uses_cg = st.current_uses_cg;
+
+  // (c): monoCG-Extension only when nothing of the selected/covered ISEs is
+  // available yet (Fig. 7 priority).
+  if (kind == ImplKind::kRisc && config_.use_mono_cg && kernel.has_mono_cg()) {
+    const IseVariant& mono = lib_->ise(kernel.mono_cg);
+    const DataPathId mono_dp = mono.data_paths.front();
+    if (st.mono_ready <= now &&
+        fabric_->available_instances(mono_dp, now) == 0) {
+      st.mono_ready = kNeverCycles;  // evicted since we last used it
+    }
+    if (st.mono_ready > now && !st.mono_attempted) {
+      if (auto ready = fabric_->acquire_mono_cg(mono_dp, now)) {
+        st.mono_ready = *ready;
+      }
+      st.mono_attempted = true;
+    }
+    if (st.mono_ready <= now) {
+      latency = mono.full_latency();
+      kind = ImplKind::kMonoCg;
+      uses_cg = true;
+    }
+  }
+
+  // Context-switch penalty: executing on a CG fabric whose active context
+  // belonged to a different kernel costs one 2-cycle switch.
+  if (uses_cg && last_executed_ != k) {
+    const Cycles switch_cost = CgFabricParams{}.context_switch_cycles;
+    latency += switch_cost;
+    stats_.context_switch_cycles += switch_cost;
+  }
+  last_executed_ = k;
+
+  stats_.executions[static_cast<std::size_t>(kind)]++;
+  stats_.cycles[static_cast<std::size_t>(kind)] += latency;
+  stats_.saved_vs_risc +=
+      kernel.sw_latency > latency ? kernel.sw_latency - latency : 0;
+  return ExecOutcome{latency, kind};
+}
+
+void Ecu::reset() {
+  state_.clear();
+  stats_ = EcuStats{};
+  last_executed_ = kInvalidKernel;
+}
+
+}  // namespace mrts

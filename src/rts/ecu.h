@@ -1,0 +1,111 @@
+#pragma once
+/// \file ecu.h
+/// Execution Control Unit (Section 4.2, Fig. 7). For every kernel execution
+/// the ECU picks the implementation, in priority order:
+///
+///   a) the selected ISE, if all of its data paths are reconfigured;
+///   b) the best available intermediate ISE — either a configured prefix of
+///      the selected ISE, or another ISE of the kernel whose data paths
+///      happen to be configured (shared data paths of other selections);
+///   c) a monoCG-Extension: the whole kernel on one *free* CG fabric. Its
+///      reconfiguration takes only microseconds, so it bridges the long
+///      delay until the first FG data path arrives;
+///   d) plain RISC-mode execution on the core processor.
+///
+/// Implementation note: within one functional block the set of configured
+/// data paths only grows (installs happen at block boundaries), so each
+/// kernel's decision is a monotone timeline of (time, latency) improvements.
+/// begin_block() precomputes that timeline once; execute() is then O(1)
+/// amortized — this is what makes simulating hundreds of thousands of kernel
+/// executions per second feasible. The one approximation: a monoCG context
+/// load that evicts a stale leftover context mid-block is not reflected in
+/// already-built timelines of *other* kernels (the stale context would
+/// almost never be their best option anyway).
+
+#include <array>
+#include <unordered_map>
+#include <vector>
+
+#include "arch/fabric_manager.h"
+#include "isa/ise_library.h"
+#include "rts/rts_interface.h"
+#include "util/types.h"
+
+namespace mrts {
+
+/// Per-implementation execution counters.
+struct EcuStats {
+  std::array<std::uint64_t, kNumImplKinds> executions{};
+  std::array<Cycles, kNumImplKinds> cycles{};
+  Cycles saved_vs_risc = 0;  ///< total cycles saved compared to RISC mode
+  Cycles context_switch_cycles = 0;
+
+  std::uint64_t total_executions() const {
+    std::uint64_t n = 0;
+    for (auto e : executions) n += e;
+    return n;
+  }
+};
+
+class Ecu {
+ public:
+  struct Config {
+    bool use_intermediates = true;   ///< step (b), prefix part
+    bool use_cross_coverage = true;  ///< step (b), shared-data-path part
+    bool use_mono_cg = true;         ///< step (c)
+  };
+
+  Ecu(const IseLibrary& lib, FabricManager& fabric)
+      : Ecu(lib, fabric, Config{}) {}
+  Ecu(const IseLibrary& lib, FabricManager& fabric, Config config);
+
+  /// Installs the per-kernel assignments of a new functional block and
+  /// precomputes each kernel's implementation timeline.
+  /// \p placements comes from FabricManager::install (real ready times).
+  void begin_block(const std::vector<IsePlacement>& placements, Cycles now);
+
+  /// Decides and accounts one execution of kernel \p k at cycle \p now.
+  /// \p now must be non-decreasing across calls within one block.
+  ExecOutcome execute(KernelId k, Cycles now);
+
+  const EcuStats& stats() const { return stats_; }
+  void reset();
+
+ private:
+  /// One point where a (possibly better) implementation becomes available.
+  struct Option {
+    Cycles at = 0;
+    Cycles latency = 0;
+    ImplKind kind = ImplKind::kRisc;
+    bool uses_cg = false;
+  };
+
+  struct KernelState {
+    std::vector<Option> timeline;  ///< sorted by `at`
+    std::size_t next = 0;
+    Cycles current_latency = 0;
+    ImplKind current_kind = ImplKind::kRisc;
+    bool current_uses_cg = false;
+    bool mono_attempted = false;
+    Cycles mono_ready = kNeverCycles;
+  };
+
+  /// Appends the availability steps of \p ise (levels reachable from the
+  /// fabric's instance-ready times) to \p timeline.
+  void append_ise_options(const IseVariant& ise, bool is_selected,
+                          const std::vector<Cycles>* installed_prefix,
+                          std::vector<Option>& timeline) const;
+
+  KernelState& state_for(KernelId k, Cycles now);
+  void rebuild_kernel(KernelId k, KernelState& st, const IsePlacement* placed,
+                      Cycles now) const;
+
+  const IseLibrary* lib_;
+  FabricManager* fabric_;
+  Config config_;
+  std::unordered_map<std::uint32_t, KernelState> state_;
+  KernelId last_executed_ = kInvalidKernel;
+  EcuStats stats_;
+};
+
+}  // namespace mrts

@@ -1,0 +1,64 @@
+#include "rts/mpu.h"
+
+#include <algorithm>
+
+namespace mrts {
+
+Mpu::Mpu(Config config) : config_(config) {}
+
+TriggerInstruction Mpu::refine(const TriggerInstruction& programmed) const {
+  if (!config_.enabled) return programmed;
+  TriggerInstruction refined = programmed;
+  for (auto& entry : refined.entries) {
+    const auto it =
+        forecasts_.find(key(programmed.functional_block, entry.kernel));
+    if (it == forecasts_.end()) continue;
+    const KernelForecast& f = it->second;
+    entry.expected_executions = std::max(0.0, f.executions.prediction());
+    entry.time_to_first =
+        static_cast<Cycles>(std::max(0.0, f.time_to_first.prediction()));
+    entry.time_between =
+        static_cast<Cycles>(std::max(0.0, f.time_between.prediction()));
+  }
+  return refined;
+}
+
+void Mpu::observe(const BlockObservation& observed) {
+  if (!config_.enabled) return;
+  for (const auto& k : observed.kernels) {
+    const std::uint64_t id = key(observed.functional_block, k.kernel);
+    auto it = forecasts_.find(id);
+    if (it == forecasts_.end()) {
+      KernelForecast f{Ewma(config_.alpha, k.executions),
+                       Ewma(config_.alpha, static_cast<double>(k.time_to_first)),
+                       Ewma(config_.alpha, static_cast<double>(k.time_between))};
+      forecasts_.emplace(id, f);
+    } else {
+      it->second.executions.observe(k.executions);
+      it->second.time_to_first.observe(static_cast<double>(k.time_to_first));
+      it->second.time_between.observe(static_cast<double>(k.time_between));
+    }
+    ++observations_;
+  }
+}
+
+std::optional<TriggerEntry> Mpu::forecast(FunctionalBlockId fb,
+                                          KernelId k) const {
+  const auto it = forecasts_.find(key(fb, k));
+  if (it == forecasts_.end()) return std::nullopt;
+  TriggerEntry entry;
+  entry.kernel = k;
+  entry.expected_executions = it->second.executions.prediction();
+  entry.time_to_first =
+      static_cast<Cycles>(std::max(0.0, it->second.time_to_first.prediction()));
+  entry.time_between =
+      static_cast<Cycles>(std::max(0.0, it->second.time_between.prediction()));
+  return entry;
+}
+
+void Mpu::reset() {
+  forecasts_.clear();
+  observations_ = 0;
+}
+
+}  // namespace mrts

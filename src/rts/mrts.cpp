@@ -1,0 +1,138 @@
+#include "rts/mrts.h"
+
+namespace mrts {
+
+MRts::MRts(const IseLibrary& lib, unsigned num_cg_fabrics, unsigned num_prcs,
+           MRtsConfig config)
+    : lib_(&lib),
+      config_(config),
+      owned_fabric_(std::make_unique<FabricManager>(num_cg_fabrics, num_prcs,
+                                                    &lib.data_paths())),
+      fabric_(owned_fabric_.get()),
+      mpu_(config.mpu),
+      heuristic_(lib, config.selector_cost, config.selector_policy,
+                 config.profit_model),
+      optimal_(lib),
+      ecu_(lib, *fabric_, config.ecu) {}
+
+MRts::MRts(const IseLibrary& lib, FabricManager& shared_fabric,
+           MRtsConfig config)
+    : lib_(&lib),
+      config_(config),
+      fabric_(&shared_fabric),
+      mpu_(config.mpu),
+      heuristic_(lib, config.selector_cost, config.selector_policy,
+                 config.profit_model),
+      optimal_(lib),
+      ecu_(lib, *fabric_, config.ecu) {}
+
+std::string MRts::name() const {
+  return config_.use_optimal_selector ? "mRTS(optimal)" : "mRTS";
+}
+
+SelectionOutcome MRts::on_trigger(const TriggerInstruction& programmed,
+                                  Cycles now) {
+  // MPU: replace the programmer's offline forecasts with monitored values.
+  const TriggerInstruction refined = mpu_.refine(programmed);
+
+  // ISE selector, on a snapshot of the current fabric state.
+  ReconfigPlanner planner(lib_->data_paths(), *fabric_, now);
+  SelectionResult selection = config_.use_optimal_selector
+                                  ? optimal_.select(refined, planner)
+                                  : heuristic_.select(refined, planner);
+
+  // Install the selected set; the reconfiguration controller manages the
+  // actual loading process.
+  std::vector<IsePlacementRequest> requests;
+  requests.reserve(selection.selected.size());
+  for (const auto& sel : selection.selected) {
+    requests.push_back(
+        {sel.ise, sel.kernel, lib_->ise(sel.ise).data_paths});
+  }
+  const std::vector<IsePlacement> placements = fabric_->install(requests, now);
+  ecu_.begin_block(placements, now);
+
+  // Bookkeeping.
+  ++stats_.triggers;
+  stats_.profit_evaluations += selection.profit_evaluations;
+  stats_.total_selection_cycles += selection.overhead_cycles;
+  for (const auto& sel : selection.selected) {
+    const IseVariant& v = lib_->ise(sel.ise);
+    ++stats_.selected_ises;
+    if (v.is_multi_grained()) {
+      ++stats_.selected_mg_ises;
+    } else if (v.is_fg_only()) {
+      ++stats_.selected_fg_ises;
+    } else {
+      ++stats_.selected_cg_ises;
+    }
+  }
+  for (const auto& p : placements) stats_.reused_instances += p.reused_instances;
+
+  // Cross-block lookahead: remember this block's programmed trigger and the
+  // block-transition edge; then warm the leftover fabric for the block the
+  // predictor expects next.
+  trigger_cache_[raw(programmed.functional_block)] = programmed;
+  if (last_block_ != kInvalidFunctionalBlock) {
+    successor_[raw(last_block_)] = raw(programmed.functional_block);
+  }
+  last_block_ = programmed.functional_block;
+  if (config_.enable_lookahead) {
+    const auto next_it = successor_.find(raw(programmed.functional_block));
+    if (next_it != successor_.end() &&
+        next_it->second != raw(programmed.functional_block)) {
+      const auto cached = trigger_cache_.find(next_it->second);
+      if (cached != trigger_cache_.end()) {
+        const TriggerInstruction next_refined = mpu_.refine(cached->second);
+        const FabricUsage usage = fabric_->usage();
+        ReconfigPlanner leftover(lib_->data_paths(),
+                                 usage.total_prcs - usage.reserved_prcs,
+                                 usage.total_cg - usage.reserved_cg, now);
+        const SelectionResult speculative =
+            heuristic_.select(next_refined, leftover);
+        std::vector<IsePlacementRequest> future;
+        future.reserve(speculative.selected.size());
+        for (const auto& sel : speculative.selected) {
+          future.push_back(
+              {sel.ise, sel.kernel, lib_->ise(sel.ise).data_paths});
+        }
+        stats_.lookahead_prefetches += fabric_->prefetch(future, now);
+      }
+    }
+  }
+
+  SelectionOutcome outcome;
+  outcome.selection = std::move(selection);
+  if (config_.charge_selection_overhead) {
+    // Only selecting the first ISE stalls the core; the remaining rounds are
+    // hidden behind the reconfiguration of the first selection (Sec. 5.4).
+    outcome.blocking_overhead = config_.selector_cost.cost(
+        outcome.selection.first_round_evaluations,
+        outcome.selection.first_round_scans);
+  }
+  stats_.total_blocking_cycles += outcome.blocking_overhead;
+  return outcome;
+}
+
+ExecOutcome MRts::execute_kernel(KernelId k, Cycles now) {
+  return ecu_.execute(k, now);
+}
+
+void MRts::on_block_end(const BlockObservation& observed, Cycles now) {
+  (void)now;
+  mpu_.observe(observed);
+}
+
+void MRts::reset() {
+  // A shared fabric belongs to the whole processor (other tasks may still
+  // hold configurations on it); only reset hardware this instance owns.
+  if (owned_fabric_) owned_fabric_->reset();
+  mpu_.reset();
+  ecu_.reset();
+  stats_ = MRtsRunStats{};
+  successor_.clear();
+  trigger_cache_.clear();
+  last_block_ = kInvalidFunctionalBlock;
+}
+
+}  // namespace mrts

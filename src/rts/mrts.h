@@ -1,0 +1,104 @@
+#pragma once
+/// \file mrts.h
+/// The mRTS run-time system (Section 4, Fig. 4): Monitoring & Prediction
+/// Unit + ISE selector + Execution Control Unit, bound to one multi-grained
+/// reconfigurable processor (FabricManager). This is the paper's primary
+/// contribution; the configuration switches expose every design choice for
+/// the ablation benches.
+
+#include <memory>
+#include <unordered_map>
+#include <string>
+
+#include "arch/fabric_manager.h"
+#include "isa/ise_library.h"
+#include "rts/ecu.h"
+#include "rts/mpu.h"
+#include "rts/rts_interface.h"
+#include "rts/selector_heuristic.h"
+#include "rts/selector_optimal.h"
+#include "util/types.h"
+
+namespace mrts {
+
+struct MRtsConfig {
+  Mpu::Config mpu;
+  Ecu::Config ecu;
+  SelectorCostModel selector_cost;
+  SelectionPolicy selector_policy = SelectionPolicy::kMaxProfit;
+  /// Profit-computation variant (ablation of the Eq. 3/4 reconstruction).
+  ProfitModel profit_model;
+  /// Use the optimal (branch & bound) selector instead of the Fig. 6
+  /// heuristic — the "online optimal" competitor of Fig. 9.
+  bool use_optimal_selector = false;
+  /// Charge the blocking part of the selection overhead to the core
+  /// (Section 5.4). Disable to measure the idealized zero-overhead system.
+  bool charge_selection_overhead = true;
+  /// Cross-block reconfiguration lookahead (an extension beyond the paper):
+  /// after installing a block's selection, predict the *next* functional
+  /// block (last-successor predictor), run a speculative selection for it on
+  /// the leftover fabric and start loading its data paths early. Wrong
+  /// predictions only waste fabric that was idle anyway.
+  bool enable_lookahead = false;
+};
+
+/// Aggregated run statistics of one mRTS instance.
+struct MRtsRunStats {
+  std::uint64_t triggers = 0;
+  std::uint64_t profit_evaluations = 0;
+  Cycles total_selection_cycles = 0;   ///< full selector work (Sec. 5.4)
+  Cycles total_blocking_cycles = 0;    ///< part that stalls the core
+  std::uint64_t selected_ises = 0;
+  std::uint64_t selected_mg_ises = 0;
+  std::uint64_t selected_fg_ises = 0;
+  std::uint64_t selected_cg_ises = 0;
+  std::uint64_t reused_instances = 0;
+  std::uint64_t lookahead_prefetches = 0;  ///< speculative loads started
+};
+
+class MRts final : public RuntimeSystem {
+ public:
+  MRts(const IseLibrary& lib, unsigned num_cg_fabrics, unsigned num_prcs,
+       MRtsConfig config = {});
+
+  /// Binds the run-time system to an externally owned fabric, enabling
+  /// several tasks (each with its own MRts instance) to share one
+  /// reconfigurable processor: their installations evict each other's data
+  /// paths exactly like the "fabric shared among various tasks" scenario of
+  /// Section 1. \p shared_fabric must outlive this object; reset() leaves
+  /// it untouched (other tasks may still use it).
+  MRts(const IseLibrary& lib, FabricManager& shared_fabric,
+       MRtsConfig config = {});
+
+  std::string name() const override;
+  SelectionOutcome on_trigger(const TriggerInstruction& programmed,
+                              Cycles now) override;
+  ExecOutcome execute_kernel(KernelId k, Cycles now) override;
+  void on_block_end(const BlockObservation& observed, Cycles now) override;
+  void reset() override;
+
+  const FabricManager& fabric() const { return *fabric_; }
+  bool owns_fabric() const { return owned_fabric_ != nullptr; }
+  const Ecu& ecu() const { return ecu_; }
+  const Mpu& mpu() const { return mpu_; }
+  const MRtsRunStats& run_stats() const { return stats_; }
+  const MRtsConfig& config() const { return config_; }
+
+ private:
+  const IseLibrary* lib_;
+  MRtsConfig config_;
+  std::unique_ptr<FabricManager> owned_fabric_;  ///< null in shared mode
+  FabricManager* fabric_;
+  Mpu mpu_;
+  HeuristicSelector heuristic_;
+  OptimalSelector optimal_;
+  Ecu ecu_;
+  MRtsRunStats stats_;
+
+  // Lookahead state: block-successor predictor + programmed-trigger cache.
+  std::unordered_map<std::uint32_t, std::uint32_t> successor_;
+  std::unordered_map<std::uint32_t, TriggerInstruction> trigger_cache_;
+  FunctionalBlockId last_block_ = kInvalidFunctionalBlock;
+};
+
+}  // namespace mrts

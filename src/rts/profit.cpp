@@ -1,0 +1,93 @@
+#include "rts/profit.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mrts {
+
+ProfitResult compute_profit(const ProfitInputs& in) {
+  if (in.ise == nullptr) {
+    throw std::invalid_argument("compute_profit: null ISE");
+  }
+  const IseVariant& ise = *in.ise;
+  const std::size_t n = ise.num_data_paths();
+  if (n == 0) {
+    throw std::invalid_argument("compute_profit: ISE without data paths");
+  }
+  if (in.ready_rel.size() != n) {
+    throw std::invalid_argument(
+        "compute_profit: ready_rel size must equal #data paths");
+  }
+
+  // recT(i) for i = 1..n: completion of the i-th intermediate ISE = prefix
+  // maximum of the instance ready times (an intermediate ISE needs all of
+  // its leading data paths).
+  std::vector<Cycles> rec(n);
+  Cycles prefix = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    prefix = std::max(prefix, in.ready_rel[i]);
+    rec[i] = prefix;
+  }
+
+  const double e = std::max(0.0, in.expected_executions);
+  const double latency_rm = static_cast<double>(ise.risc_latency());
+  const double tf = static_cast<double>(in.time_to_first);
+  const double tb =
+      in.model.include_tb ? static_cast<double>(in.time_between) : 0.0;
+
+  ProfitResult out;
+  out.noe.reserve(n > 0 ? n - 1 : 0);
+
+  double remaining = e;
+
+  // NoE_RM (Fig. 5): executions in RISC mode before the first data path is
+  // ready. Eq. 4 as printed omits this term, but without it a slow-loading
+  // ISE would be credited for executions that in fact happen unaccelerated;
+  // the authors' own Fig. 1 amortization clearly accounts for it.
+  if (in.model.account_risc_window) {
+    const double rec_1 = static_cast<double>(rec[0]);
+    double noe_rm = 0.0;
+    if (rec_1 > tf) noe_rm = (rec_1 - tf) / (latency_rm + tb);
+    noe_rm = std::clamp(noe_rm, 0.0, remaining);
+    remaining -= noe_rm;
+    out.risc_executions = noe_rm;
+  }
+
+  // Intermediate ISEs i = 1..n-1 live in the window [recT(i), recT(i+1)).
+  for (std::size_t i = 1; i < n; ++i) {
+    const double rec_i = static_cast<double>(rec[i - 1]);
+    const double rec_next = static_cast<double>(rec[i]);
+    const double latency_i = static_cast<double>(ise.latency_after[i]);
+    double noe = 0.0;
+    if (rec_next <= tf) {
+      noe = 0.0;  // the next level is ready before the kernel even starts
+    } else if (rec_i <= tf) {
+      noe = (rec_next - tf) / (latency_i + tb);
+    } else {
+      noe = (rec_next - rec_i) / (latency_i + tb);
+    }
+    noe = std::clamp(noe, 0.0, remaining);
+    remaining -= noe;
+    out.noe.push_back(noe);
+    out.noe_sum += noe;
+    out.profit += noe * (latency_rm - latency_i);
+  }
+
+  // The complete ISE serves whatever executions are left (Eq. 4).
+  const double latency_full = static_cast<double>(ise.full_latency());
+  out.full_executions = remaining;
+  out.profit += remaining * (latency_rm - latency_full);
+  return out;
+}
+
+double performance_improvement_factor(Cycles sw_time, Cycles hw_time,
+                                      Cycles reconfig_latency,
+                                      double executions) {
+  const double numerator = static_cast<double>(sw_time) * executions;
+  const double denominator = static_cast<double>(reconfig_latency) +
+                             static_cast<double>(hw_time) * executions;
+  if (denominator <= 0.0) return 0.0;
+  return numerator / denominator;
+}
+
+}  // namespace mrts

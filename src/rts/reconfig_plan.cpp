@@ -1,0 +1,99 @@
+#include "rts/reconfig_plan.h"
+
+#include <algorithm>
+
+namespace mrts {
+
+ReconfigPlanner::ReconfigPlanner(const DataPathTable& table,
+                                 const FabricManager& fabric, Cycles now)
+    : table_(&table),
+      now_(now),
+      fg_cursor_(fabric.fg_port_free_at(now)),
+      cg_cursor_(fabric.reconfig().cg_port().busy_until(now)),
+      free_prcs_(fabric.num_prcs()),
+      free_cg_(fabric.num_cg_fabrics()) {
+  // Snapshot all placed instances (including ones still loading). Note: the
+  // whole fabric counts as free budget because old contents may be evicted;
+  // reuse only affects the predicted ready times.
+  for (std::size_t i = 0; i < table.size(); ++i) {
+    const DataPathId dp{static_cast<std::uint32_t>(i)};
+    auto ready = fabric.instance_ready_times(dp);
+    if (!ready.empty()) existing_[raw(dp)] = std::move(ready);
+  }
+}
+
+ReconfigPlanner::ReconfigPlanner(const DataPathTable& table,
+                                 unsigned total_prcs, unsigned total_cg,
+                                 Cycles now)
+    : table_(&table),
+      now_(now),
+      fg_cursor_(now),
+      cg_cursor_(now),
+      free_prcs_(total_prcs),
+      free_cg_(total_cg) {}
+
+std::vector<Cycles> ReconfigPlanner::plan_impl(
+    const std::vector<DataPathId>& dps, PlanState& state) const {
+  std::vector<Cycles> ready;
+  ready.reserve(dps.size());
+  for (DataPathId dp : dps) {
+    const auto& desc = (*table_)[dp];
+    // Try to reuse an existing, unclaimed instance.
+    const auto it = existing_.find(raw(dp));
+    unsigned& used = state.claimed[raw(dp)];
+    if (it != existing_.end() && used < it->second.size()) {
+      ready.push_back(it->second[used]);
+      ++used;
+      continue;
+    }
+    // Schedule a fresh load.
+    Cycles duration = desc.reconfig_cycles();
+    if (uniform_reconfig_ != 0) duration = uniform_reconfig_ * desc.units;
+    if (desc.grain == Grain::kFine) {
+      state.fg_cursor = std::max(state.fg_cursor, now_) + duration;
+      ready.push_back(state.fg_cursor);
+    } else {
+      state.cg_cursor = std::max(state.cg_cursor, now_) + duration;
+      ready.push_back(state.cg_cursor);
+    }
+  }
+  return ready;
+}
+
+std::vector<Cycles> ReconfigPlanner::plan(
+    const std::vector<DataPathId>& dps) const {
+  PlanState state{claimed_, fg_cursor_, cg_cursor_};
+  return plan_impl(dps, state);
+}
+
+std::vector<Cycles> ReconfigPlanner::commit(
+    const std::vector<DataPathId>& dps) {
+  PlanState state{claimed_, fg_cursor_, cg_cursor_};
+  auto ready = plan_impl(dps, state);
+  claimed_ = std::move(state.claimed);
+  fg_cursor_ = state.fg_cursor;
+  cg_cursor_ = state.cg_cursor;
+  for (DataPathId dp : dps) {
+    const auto& desc = (*table_)[dp];
+    ++committed_[raw(dp)];
+    if (desc.grain == Grain::kFine) {
+      free_prcs_ = free_prcs_ >= desc.units ? free_prcs_ - desc.units : 0;
+    } else {
+      free_cg_ = free_cg_ >= desc.units ? free_cg_ - desc.units : 0;
+    }
+  }
+  return ready;
+}
+
+bool ReconfigPlanner::covered_by_committed(
+    const std::vector<DataPathId>& dps) const {
+  std::unordered_map<std::uint32_t, unsigned> need;
+  for (DataPathId dp : dps) ++need[raw(dp)];
+  for (const auto& [dp, count] : need) {
+    const auto it = committed_.find(dp);
+    if (it == committed_.end() || it->second < count) return false;
+  }
+  return true;
+}
+
+}  // namespace mrts

@@ -1,0 +1,98 @@
+#pragma once
+/// \file reconfig_plan.h
+/// Predicts *when* the data paths of a candidate ISE would become usable if
+/// it were selected now. Both the ISE selector (hypothetical evaluation of
+/// candidates) and the profit function consume these predictions; the
+/// FabricManager later performs the real installation with the same rules:
+///
+///  * data-path instances already placed on the fabric (possibly still
+///    loading) are reused — their ready time is whatever it already is;
+///  * new FG loads are serialized behind the FG reconfiguration port's
+///    backlog; new CG loads stream through the (fast) CG port;
+///  * instances claimed by previously committed ISEs of the same selection
+///    round cannot be reused again.
+///
+/// The planner is a value type: the optimal selector copies it while
+/// enumerating combinations.
+
+#include <unordered_map>
+#include <vector>
+
+#include "arch/data_path.h"
+#include "arch/fabric_manager.h"
+#include "util/types.h"
+
+namespace mrts {
+
+class ReconfigPlanner {
+ public:
+  /// Snapshots the fabric state at cycle \p now.
+  ReconfigPlanner(const DataPathTable& table, const FabricManager& fabric,
+                  Cycles now);
+
+  /// Planner with an empty fabric and idle ports (used for optimistic upper
+  /// bounds and for compile-time/offline selection).
+  ReconfigPlanner(const DataPathTable& table, unsigned total_prcs,
+                  unsigned total_cg, Cycles now);
+
+  /// Predicted absolute ready time of each data-path instance of \p dps if
+  /// the ISE were committed now, without changing the planner state.
+  std::vector<Cycles> plan(const std::vector<DataPathId>& dps) const;
+
+  /// Like plan() but consumes reused instances, advances the port cursors
+  /// and deducts the fabric budget.
+  std::vector<Cycles> commit(const std::vector<DataPathId>& dps);
+
+  /// Remaining fabric budget (total minus units of committed ISEs).
+  unsigned free_prcs() const { return free_prcs_; }
+  unsigned free_cg() const { return free_cg_; }
+
+  /// Does an ISE with the given demand still fit?
+  bool fits(unsigned fg_units, unsigned cg_units) const {
+    return fg_units <= free_prcs_ && cg_units <= free_cg_;
+  }
+
+  /// Multiset of data paths committed so far (for the selector's step-2b
+  /// coverage pruning).
+  const std::unordered_map<std::uint32_t, unsigned>& committed_paths() const {
+    return committed_;
+  }
+
+  /// True if every instance of \p dps is covered by the committed multiset.
+  bool covered_by_committed(const std::vector<DataPathId>& dps) const;
+
+  Cycles now() const { return now_; }
+
+  /// Override the per-FG-data-path reconfiguration time used for *new* loads
+  /// (0 = use the real per-data-path value). The RISPP-like baseline uses
+  /// this to model a cost function tuned for ms-scale reconfiguration: it
+  /// prices every data path, CG included, at this FG-scale cost.
+  void set_uniform_reconfig_cycles(Cycles cycles) { uniform_reconfig_ = cycles; }
+
+ private:
+  struct PlanState {
+    std::unordered_map<std::uint32_t, unsigned> claimed;  // dp -> #instances
+    Cycles fg_cursor;
+    Cycles cg_cursor;
+  };
+
+  std::vector<Cycles> plan_impl(const std::vector<DataPathId>& dps,
+                                PlanState& state) const;
+
+  const DataPathTable* table_;
+  Cycles now_;
+  Cycles fg_cursor_;  ///< FG port free-at cycle (absolute)
+  Cycles cg_cursor_;
+  unsigned free_prcs_;
+  unsigned free_cg_;
+  Cycles uniform_reconfig_ = 0;
+
+  /// Ready times of instances currently on the fabric, per data path.
+  std::unordered_map<std::uint32_t, std::vector<Cycles>> existing_;
+  /// Instances of existing_ already consumed by committed ISEs.
+  std::unordered_map<std::uint32_t, unsigned> claimed_;
+  /// Multiset of committed data paths.
+  std::unordered_map<std::uint32_t, unsigned> committed_;
+};
+
+}  // namespace mrts

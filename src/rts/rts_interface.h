@@ -1,0 +1,91 @@
+#pragma once
+/// \file rts_interface.h
+/// Abstract interface every run-time system implements (mRTS and the
+/// state-of-the-art baselines). The simulator drives it with three events:
+/// a trigger instruction at the head of each functional block, one call per
+/// kernel execution, and an end-of-block notification carrying the observed
+/// execution statistics (which the MPU uses to update its forecasts).
+
+#include <string>
+#include <vector>
+
+#include "isa/trigger.h"
+#include "rts/selector_heuristic.h"
+#include "util/types.h"
+
+namespace mrts {
+
+/// Which implementation the Execution Control Unit used for one execution.
+enum class ImplKind : std::uint8_t {
+  kRisc = 0,         ///< core instruction set only
+  kMonoCg,           ///< monoCG-Extension on a free CG fabric
+  kIntermediate,     ///< partially reconfigured (intermediate) ISE
+  kFullIse,          ///< the selected ISE, completely reconfigured
+  kCoveredIse,       ///< another ISE of the kernel, covered by shared
+                     ///< data paths that happen to be configured
+};
+inline constexpr std::size_t kNumImplKinds = 5;
+
+const char* to_string(ImplKind kind);
+
+/// Result of one kernel execution.
+struct ExecOutcome {
+  Cycles latency = 0;
+  ImplKind impl = ImplKind::kRisc;
+};
+
+/// What a run-time system did in reaction to a trigger instruction.
+struct SelectionOutcome {
+  /// Cycles the core is blocked before the first kernel can run (the rest of
+  /// the selection is hidden behind the reconfiguration process, Sec. 5.4).
+  Cycles blocking_overhead = 0;
+  /// Full selection for analysis/tests.
+  SelectionResult selection;
+};
+
+/// Observed per-kernel statistics of one functional-block instance.
+struct ObservedKernelStats {
+  KernelId kernel = kInvalidKernel;
+  double executions = 0.0;
+  Cycles time_to_first = 0;
+  Cycles time_between = 0;
+};
+
+struct BlockObservation {
+  FunctionalBlockId functional_block = kInvalidFunctionalBlock;
+  std::vector<ObservedKernelStats> kernels;
+};
+
+/// Offline profile of one functional block: the averaged trigger values over
+/// a profiling run plus how often the block was invoked. The compile-time /
+/// task-level baselines (Morpheus/4S-like, offline-optimal) consume this
+/// instead of run-time information.
+struct BlockProfile {
+  FunctionalBlockId functional_block = kInvalidFunctionalBlock;
+  TriggerInstruction average;
+  double invocations = 0.0;
+};
+
+class RuntimeSystem {
+ public:
+  virtual ~RuntimeSystem() = default;
+
+  virtual std::string name() const = 0;
+
+  /// The core encountered the trigger instruction of a functional block.
+  virtual SelectionOutcome on_trigger(const TriggerInstruction& programmed,
+                                      Cycles now) = 0;
+
+  /// The core is about to execute kernel \p k at cycle \p now; the RTS
+  /// (its ECU) decides which implementation runs and returns its latency.
+  virtual ExecOutcome execute_kernel(KernelId k, Cycles now) = 0;
+
+  /// The functional block finished; \p observed carries the measured
+  /// execution statistics for forecast refinement.
+  virtual void on_block_end(const BlockObservation& observed, Cycles now) = 0;
+
+  /// Power-on reset (clears fabric contents and learned state).
+  virtual void reset() = 0;
+};
+
+}  // namespace mrts

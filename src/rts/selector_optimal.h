@@ -1,0 +1,43 @@
+#pragma once
+/// \file selector_optimal.h
+/// Optimal ISE selection by exhaustive enumeration with branch-and-bound
+/// pruning (Section 4.1). The paper uses this algorithm only to evaluate the
+/// quality of the heuristic (it is O(M^N) — more than 78 million
+/// combinations for six kernels of the H.264 encoder — and therefore not
+/// feasible at run time); we use it for the Fig. 9 comparison and for the
+/// offline-optimal baseline.
+///
+/// Enumeration fixes the reconfiguration order to trigger-instruction order
+/// (the same order the installer uses); each combination is scored as the
+/// sum of the Eq. 4 profits of its members evaluated against the shared
+/// reconfiguration-port backlog. A per-kernel "no ISE" option guarantees
+/// feasibility when the fabric cannot host every kernel.
+
+#include <cstdint>
+
+#include "rts/selector_heuristic.h"
+
+namespace mrts {
+
+class OptimalSelector {
+ public:
+  /// \param node_budget hard cap on explored search nodes; when exceeded the
+  ///        best combination found so far is returned (never triggered at
+  ///        the paper's problem sizes, it guards against pathological
+  ///        libraries).
+  explicit OptimalSelector(const IseLibrary& lib,
+                           std::uint64_t node_budget = 200'000'000);
+
+  SelectionResult select(const TriggerInstruction& ti,
+                         ReconfigPlanner planner) const;
+
+  /// Number of complete combinations evaluated in the last select() call.
+  std::uint64_t last_combinations() const { return last_combinations_; }
+
+ private:
+  const IseLibrary* lib_;
+  std::uint64_t node_budget_;
+  mutable std::uint64_t last_combinations_ = 0;
+};
+
+}  // namespace mrts

@@ -1,0 +1,80 @@
+#include "sim/app_simulator.h"
+
+#include <map>
+
+namespace mrts {
+
+AppRunResult run_application(RuntimeSystem& rts,
+                             const ApplicationTrace& trace) {
+  rts.reset();
+  AppRunResult result;
+  result.rts_name = rts.name();
+  result.block_cycles.reserve(trace.blocks.size());
+
+  Cycles cursor = 0;
+  for (const auto& block : trace.blocks) {
+    const FbRunResult fb = run_block(rts, block, cursor);
+    cursor += fb.cycles;
+    result.block_cycles.push_back(fb.cycles);
+    result.blocking_overhead += fb.blocking_overhead;
+    for (std::size_t i = 0; i < kNumImplKinds; ++i) {
+      result.impl_executions[i] += fb.impl_executions[i];
+      result.impl_cycles[i] += fb.impl_cycles[i];
+    }
+  }
+  result.total_cycles = cursor;
+  return result;
+}
+
+std::vector<Cycles> risc_latency_table(const IseLibrary& lib) {
+  std::vector<Cycles> table(lib.num_kernels(), 0);
+  for (const auto& k : lib.kernels()) table[raw(k.id)] = k.sw_latency;
+  return table;
+}
+
+std::vector<BlockProfile> profile_application(const ApplicationTrace& trace,
+                                              const IseLibrary& lib) {
+  const std::vector<Cycles> latency = risc_latency_table(lib);
+
+  struct Acc {
+    std::map<std::uint32_t, std::array<double, 3>> kernels;  // e, tf, tb sums
+    std::map<std::uint32_t, double> counts;  // instances the kernel appears in
+    double invocations = 0.0;
+  };
+  std::map<std::uint32_t, Acc> per_block;
+
+  for (const auto& instance : trace.blocks) {
+    const TriggerInstruction ti = derive_trigger(instance, latency);
+    Acc& acc = per_block[raw(instance.functional_block)];
+    acc.invocations += 1.0;
+    for (const auto& entry : ti.entries) {
+      auto& sums = acc.kernels[raw(entry.kernel)];
+      sums[0] += entry.expected_executions;
+      sums[1] += static_cast<double>(entry.time_to_first);
+      sums[2] += static_cast<double>(entry.time_between);
+      acc.counts[raw(entry.kernel)] += 1.0;
+    }
+  }
+
+  std::vector<BlockProfile> profile;
+  profile.reserve(per_block.size());
+  for (const auto& [fb, acc] : per_block) {
+    BlockProfile bp;
+    bp.functional_block = FunctionalBlockId{fb};
+    bp.invocations = acc.invocations;
+    bp.average.functional_block = bp.functional_block;
+    for (const auto& [kid, sums] : acc.kernels) {
+      const double n = acc.counts.at(kid);
+      TriggerEntry entry;
+      entry.kernel = KernelId{kid};
+      entry.expected_executions = sums[0] / n;
+      entry.time_to_first = static_cast<Cycles>(sums[1] / n);
+      entry.time_between = static_cast<Cycles>(sums[2] / n);
+      bp.average.entries.push_back(entry);
+    }
+    profile.push_back(std::move(bp));
+  }
+  return profile;
+}
+
+}  // namespace mrts

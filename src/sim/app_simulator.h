@@ -1,0 +1,51 @@
+#pragma once
+/// \file app_simulator.h
+/// Whole-application simulation: runs a trace block by block against a
+/// run-time system and aggregates the metrics the evaluation figures need.
+/// Also hosts the deterministic profiling pass the offline baselines use.
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "isa/ise_library.h"
+#include "rts/rts_interface.h"
+#include "sim/fb_simulator.h"
+#include "sim/schedule.h"
+#include "util/types.h"
+
+namespace mrts {
+
+struct AppRunResult {
+  std::string rts_name;
+  Cycles total_cycles = 0;
+  Cycles blocking_overhead = 0;
+  std::vector<Cycles> block_cycles;  ///< per block instance, trace order
+  std::array<std::uint64_t, kNumImplKinds> impl_executions{};
+  std::array<Cycles, kNumImplKinds> impl_cycles{};
+
+  double impl_fraction(ImplKind kind) const {
+    std::uint64_t total = 0;
+    for (auto e : impl_executions) total += e;
+    if (total == 0) return 0.0;
+    return static_cast<double>(
+               impl_executions[static_cast<std::size_t>(kind)]) /
+           static_cast<double>(total);
+  }
+};
+
+/// Runs the whole trace. The RTS is reset() first so results are
+/// independent of earlier runs.
+AppRunResult run_application(RuntimeSystem& rts, const ApplicationTrace& trace);
+
+/// Deterministic profiling pass (corresponds to the offline profiling the
+/// paper's trigger instructions and static baselines rely on): derives the
+/// RISC-mode trigger values of every block instance and averages them per
+/// functional block.
+std::vector<BlockProfile> profile_application(const ApplicationTrace& trace,
+                                              const IseLibrary& lib);
+
+/// RISC-mode latency lookup table indexed by raw kernel id.
+std::vector<Cycles> risc_latency_table(const IseLibrary& lib);
+
+}  // namespace mrts

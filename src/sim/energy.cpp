@@ -1,0 +1,41 @@
+#include "sim/energy.h"
+
+namespace mrts {
+
+EnergyBreakdown estimate_energy(const AppRunResult& run,
+                                const ReconfigStats& reconfig,
+                                const EnergyParams& params) {
+  const auto cycles_of = [&run](ImplKind kind) {
+    return static_cast<double>(
+        run.impl_cycles[static_cast<std::size_t>(kind)]);
+  };
+
+  double kernel_cycles = 0.0;
+  for (auto c : run.impl_cycles) kernel_cycles += static_cast<double>(c);
+  // Everything outside kernel executions (gaps, trigger handling, selection
+  // stalls) runs on the core.
+  const double other_cycles =
+      static_cast<double>(run.total_cycles) > kernel_cycles
+          ? static_cast<double>(run.total_cycles) - kernel_cycles
+          : 0.0;
+
+  EnergyBreakdown out;
+  const double execution_nj =
+      (cycles_of(ImplKind::kRisc) + other_cycles) * params.core_nj_per_cycle +
+      (cycles_of(ImplKind::kIntermediate) + cycles_of(ImplKind::kFullIse) +
+       cycles_of(ImplKind::kCoveredIse)) *
+          params.accel_nj_per_cycle +
+      cycles_of(ImplKind::kMonoCg) * params.mono_nj_per_cycle;
+  const double reconfig_nj =
+      static_cast<double>(reconfig.fg_bytes) * params.fg_reconfig_nj_per_byte +
+      static_cast<double>(reconfig.cg_bytes) * params.cg_reconfig_nj_per_byte;
+  const double leakage_nj =
+      static_cast<double>(run.total_cycles) * params.leakage_nj_per_cycle;
+
+  out.execution_mj = execution_nj * 1e-6;
+  out.reconfiguration_mj = reconfig_nj * 1e-6;
+  out.leakage_mj = leakage_nj * 1e-6;
+  return out;
+}
+
+}  // namespace mrts

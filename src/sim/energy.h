@@ -1,0 +1,51 @@
+#pragma once
+/// \file energy.h
+/// First-order energy model (beyond the paper, which evaluates performance
+/// only). Dynamic energy is charged per executed cycle with per-resource
+/// rates, reconfiguration energy per transferred byte, and leakage per cycle
+/// of wall-clock runtime. Default rates are plausible 90 nm numbers (LEON
+/// core ~160 mW at 400 MHz -> 0.4 nJ/cycle; embedded-FPGA execution is the
+/// most expensive, the CG ALU array in between); they are parameters, not
+/// claims.
+
+#include "arch/fabric_manager.h"
+#include "sim/app_simulator.h"
+
+namespace mrts {
+
+struct EnergyParams {
+  // Dynamic execution energy [nJ per cycle spent in the implementation].
+  double core_nj_per_cycle = 0.40;   ///< RISC-mode execution + gap code
+  double accel_nj_per_cycle = 0.70;  ///< ISE execution on FG/CG data paths
+  double mono_nj_per_cycle = 0.55;   ///< monoCG-Extension on one CG fabric
+
+  // Reconfiguration energy [nJ per transferred byte].
+  double fg_reconfig_nj_per_byte = 1.2;
+  double cg_reconfig_nj_per_byte = 0.5;
+
+  // Static (leakage) power of the whole chip [nJ per runtime cycle].
+  double leakage_nj_per_cycle = 0.15;
+};
+
+struct EnergyBreakdown {
+  double execution_mj = 0.0;
+  double reconfiguration_mj = 0.0;
+  double leakage_mj = 0.0;
+
+  double total_mj() const {
+    return execution_mj + reconfiguration_mj + leakage_mj;
+  }
+  /// Energy-delay product [mJ * Mcycles]; lower is better.
+  double edp(Cycles runtime_cycles) const {
+    return total_mj() * static_cast<double>(runtime_cycles) / 1e6;
+  }
+};
+
+/// Estimates the energy of one application run. \p run supplies the cycle
+/// distribution over implementation kinds, \p reconfig the transfer
+/// volumes (query the RTS's FabricManager after the run).
+EnergyBreakdown estimate_energy(const AppRunResult& run,
+                                const ReconfigStats& reconfig,
+                                const EnergyParams& params = {});
+
+}  // namespace mrts

@@ -1,0 +1,66 @@
+#include "sim/fb_simulator.h"
+
+#include <map>
+
+namespace mrts {
+
+FbRunResult run_block(RuntimeSystem& rts,
+                      const FunctionalBlockInstance& instance, Cycles start) {
+  FbRunResult result;
+
+  Cycles cursor = start;
+  result.selection = rts.on_trigger(instance.programmed, cursor);
+  result.blocking_overhead = result.selection.blocking_overhead;
+  cursor += result.blocking_overhead;
+
+  struct Acc {
+    double executions = 0.0;
+    Cycles first_start = 0;
+    Cycles last_end = 0;
+    Cycles gap_sum = 0;
+    bool seen = false;
+  };
+  std::map<std::uint32_t, Acc> acc;
+
+  for (const auto& ev : instance.events) {
+    cursor += ev.gap_before;
+    const Cycles exec_start = cursor;
+    const ExecOutcome outcome = rts.execute_kernel(ev.kernel, cursor);
+    cursor += outcome.latency;
+
+    result.impl_executions[static_cast<std::size_t>(outcome.impl)]++;
+    result.impl_cycles[static_cast<std::size_t>(outcome.impl)] +=
+        outcome.latency;
+
+    Acc& a = acc[raw(ev.kernel)];
+    if (!a.seen) {
+      a.first_start = exec_start - start;
+      a.seen = true;
+    } else {
+      a.gap_sum += exec_start - start - a.last_end;
+    }
+    a.executions += 1.0;
+    a.last_end = cursor - start;
+  }
+  cursor += instance.tail_gap;
+
+  result.observed.functional_block = instance.functional_block;
+  for (const auto& [kid, a] : acc) {
+    ObservedKernelStats stats;
+    stats.kernel = KernelId{kid};
+    stats.executions = a.executions;
+    stats.time_to_first = a.first_start;
+    stats.time_between =
+        a.executions > 1.0
+            ? static_cast<Cycles>(static_cast<double>(a.gap_sum) /
+                                  (a.executions - 1.0))
+            : Cycles{0};
+    result.observed.kernels.push_back(stats);
+  }
+
+  rts.on_block_end(result.observed, cursor);
+  result.cycles = cursor - start;
+  return result;
+}
+
+}  // namespace mrts

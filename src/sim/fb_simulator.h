@@ -1,0 +1,30 @@
+#pragma once
+/// \file fb_simulator.h
+/// Simulates one functional-block instance against a run-time system. The
+/// core is single threaded: kernel executions and the surrounding software
+/// run back to back, while reconfiguration proceeds concurrently on the
+/// wall clock (the FabricManager inside the RTS tracks absolute cycles).
+
+#include <array>
+
+#include "rts/rts_interface.h"
+#include "sim/schedule.h"
+#include "util/types.h"
+
+namespace mrts {
+
+struct FbRunResult {
+  Cycles cycles = 0;               ///< total block duration
+  Cycles blocking_overhead = 0;    ///< RTS selection stall at block entry
+  std::array<std::uint64_t, kNumImplKinds> impl_executions{};
+  std::array<Cycles, kNumImplKinds> impl_cycles{};
+  BlockObservation observed;       ///< measured stats (fed back to the MPU)
+  SelectionOutcome selection;
+};
+
+/// Runs \p instance starting at absolute cycle \p start. Calls on_trigger,
+/// then executes every event, then reports the observation via on_block_end.
+FbRunResult run_block(RuntimeSystem& rts, const FunctionalBlockInstance& instance,
+                      Cycles start);
+
+}  // namespace mrts

@@ -1,0 +1,27 @@
+#include "sim/metrics.h"
+
+namespace mrts {
+
+std::vector<FabricCombination> fabric_sweep(unsigned max_prcs,
+                                            unsigned max_cg) {
+  std::vector<FabricCombination> out;
+  out.reserve(static_cast<std::size_t>(max_prcs + 1) * (max_cg + 1));
+  for (unsigned p = 0; p <= max_prcs; ++p) {
+    for (unsigned c = 0; c <= max_cg; ++c) {
+      out.push_back({p, c});
+    }
+  }
+  return out;
+}
+
+double speedup(Cycles baseline, Cycles value) {
+  if (value == 0) return 0.0;
+  return static_cast<double>(baseline) / static_cast<double>(value);
+}
+
+double percent_difference(double reference, double value) {
+  if (reference == 0.0) return 0.0;
+  return 100.0 * (value - reference) / reference;
+}
+
+}  // namespace mrts

@@ -1,0 +1,42 @@
+#pragma once
+/// \file metrics.h
+/// Derived metrics shared by the benches: speedups, fabric-combination
+/// sweeps and their labels ("PRCs/CG fabrics" axes of Figs. 8-10).
+
+#include <string>
+#include <vector>
+
+#include "sim/app_simulator.h"
+#include "util/types.h"
+
+namespace mrts {
+
+/// One point of a fabric sweep: the machine has \p prcs PRCs and \p cg CG
+/// fabrics.
+struct FabricCombination {
+  unsigned prcs = 0;
+  unsigned cg = 0;
+
+  bool risc_only() const { return prcs == 0 && cg == 0; }
+  bool fg_only() const { return prcs > 0 && cg == 0; }
+  bool cg_only() const { return prcs == 0 && cg > 0; }
+  bool multi_grained() const { return prcs > 0 && cg > 0; }
+
+  /// Axis label as in the paper's figures: "<PRCs><CG>".
+  std::string label() const {
+    return std::to_string(prcs) + std::to_string(cg);
+  }
+};
+
+/// Cartesian sweep PRCs x CG fabrics (inclusive upper bounds), ordered as in
+/// the figures: 00, 01, ..., 0C, 10, ..., PC.
+std::vector<FabricCombination> fabric_sweep(unsigned max_prcs, unsigned max_cg);
+
+/// speedup = baseline / value (e.g. RISC cycles / mRTS cycles).
+double speedup(Cycles baseline, Cycles value);
+
+/// Percentage difference of \p value above \p reference:
+/// 100 * (value - reference) / reference.
+double percent_difference(double reference, double value);
+
+}  // namespace mrts

@@ -1,0 +1,52 @@
+#include "sim/multi_app.h"
+
+#include <stdexcept>
+
+#include "sim/fb_simulator.h"
+
+namespace mrts {
+
+TimeSlicedResult run_time_sliced(std::vector<Task> tasks, Cycles start) {
+  for (const Task& t : tasks) {
+    if (t.rts == nullptr || t.trace == nullptr) {
+      throw std::invalid_argument("run_time_sliced: null task member");
+    }
+    if (t.slice_blocks == 0) {
+      throw std::invalid_argument("run_time_sliced: zero slice weight");
+    }
+  }
+
+  TimeSlicedResult result;
+  result.tasks.resize(tasks.size());
+  std::vector<std::size_t> next_block(tasks.size(), 0);
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    result.tasks[i].name = tasks[i].name;
+  }
+
+  Cycles cursor = start;
+  bool any_left = true;
+  while (any_left) {
+    any_left = false;
+    for (std::size_t i = 0; i < tasks.size(); ++i) {
+      for (unsigned slice = 0; slice < tasks[i].slice_blocks; ++slice) {
+        if (next_block[i] >= tasks[i].trace->blocks.size()) break;
+        any_left = true;
+        const FunctionalBlockInstance& block =
+            tasks[i].trace->blocks[next_block[i]++];
+        const FbRunResult r = run_block(*tasks[i].rts, block, cursor);
+        cursor += r.cycles;
+        TaskRunResult& task_result = result.tasks[i];
+        task_result.active_cycles += r.cycles;
+        task_result.finished_at = cursor;
+        task_result.block_cycles.push_back(r.cycles);
+        for (std::size_t k = 0; k < kNumImplKinds; ++k) {
+          task_result.impl_executions[k] += r.impl_executions[k];
+        }
+      }
+    }
+  }
+  result.total_cycles = cursor - start;
+  return result;
+}
+
+}  // namespace mrts

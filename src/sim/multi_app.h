@@ -1,0 +1,57 @@
+#pragma once
+/// \file multi_app.h
+/// Multi-task simulation: several applications time-share the core processor
+/// (round-robin at functional-block granularity) while their run-time
+/// systems share one reconfigurable fabric. This is the "available fabric
+/// shared among various tasks" scenario of Section 1: one task's
+/// installation may evict another task's data paths, and each task's RTS
+/// must re-select under whatever it finds when its turn comes.
+///
+/// Use MRts's shared-fabric constructor to bind every task's RTS to the
+/// same FabricManager.
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "rts/rts_interface.h"
+#include "sim/schedule.h"
+#include "util/types.h"
+
+namespace mrts {
+
+/// One task: a run-time system instance plus its application trace.
+struct Task {
+  std::string name;
+  RuntimeSystem* rts = nullptr;           ///< not owned
+  const ApplicationTrace* trace = nullptr;  ///< not owned
+  /// Scheduling weight: number of consecutive functional blocks the task
+  /// executes per round-robin turn (>= 1). Higher weight = larger share of
+  /// the core and fewer fabric-eviction boundaries.
+  unsigned slice_blocks = 1;
+};
+
+struct TaskRunResult {
+  std::string name;
+  /// Core cycles spent executing this task's blocks (its share of the
+  /// timeline).
+  Cycles active_cycles = 0;
+  /// Absolute cycle at which the task's last block finished.
+  Cycles finished_at = 0;
+  std::vector<Cycles> block_cycles;
+  std::array<std::uint64_t, kNumImplKinds> impl_executions{};
+};
+
+struct TimeSlicedResult {
+  Cycles total_cycles = 0;  ///< end of the last block of any task
+  std::vector<TaskRunResult> tasks;
+};
+
+/// Runs all tasks to completion, weighted round-robin (slice_blocks
+/// functional blocks per turn) on the single core. Tasks are NOT reset
+/// (callers decide whether learned state carries over); the shared fabric
+/// keeps whatever the interleaved installations left behind. Throws
+/// std::invalid_argument on null task members or zero slice weights.
+TimeSlicedResult run_time_sliced(std::vector<Task> tasks, Cycles start = 0);
+
+}  // namespace mrts

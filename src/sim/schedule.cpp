@@ -1,0 +1,56 @@
+#include "sim/schedule.h"
+
+#include <map>
+#include <stdexcept>
+
+namespace mrts {
+
+TriggerInstruction derive_trigger(
+    const FunctionalBlockInstance& instance,
+    const std::vector<Cycles>& risc_latency_by_kernel) {
+  struct Acc {
+    double executions = 0.0;
+    Cycles first_start = 0;
+    Cycles last_end = 0;
+    Cycles gap_sum = 0;  // idle cycles between consecutive executions
+    bool seen = false;
+  };
+  std::map<std::uint32_t, Acc> acc;  // ordered: deterministic entry order
+
+  Cycles cursor = 0;
+  for (const auto& ev : instance.events) {
+    cursor += ev.gap_before;
+    const auto kid = raw(ev.kernel);
+    if (kid >= risc_latency_by_kernel.size()) {
+      throw std::invalid_argument("derive_trigger: kernel without latency");
+    }
+    Acc& a = acc[kid];
+    if (!a.seen) {
+      a.first_start = cursor;
+      a.seen = true;
+    } else {
+      a.gap_sum += cursor - a.last_end;
+    }
+    a.executions += 1.0;
+    cursor += risc_latency_by_kernel[kid];
+    a.last_end = cursor;
+  }
+
+  TriggerInstruction ti;
+  ti.functional_block = instance.functional_block;
+  for (const auto& [kid, a] : acc) {
+    TriggerEntry entry;
+    entry.kernel = KernelId{kid};
+    entry.expected_executions = a.executions;
+    entry.time_to_first = a.first_start;
+    entry.time_between =
+        a.executions > 1.0
+            ? static_cast<Cycles>(static_cast<double>(a.gap_sum) /
+                                  (a.executions - 1.0))
+            : Cycles{0};
+    ti.entries.push_back(entry);
+  }
+  return ti;
+}
+
+}  // namespace mrts

@@ -1,0 +1,64 @@
+#pragma once
+/// \file schedule.h
+/// Application traces. A trace is the sequence of functional-block instances
+/// the core processor executes; each instance carries the programmed trigger
+/// instruction (the static forecast embedded in the binary) and the *actual*
+/// interleaved kernel-execution schedule of that instance (which varies with
+/// the input data — this variation is what the run-time system adapts to).
+
+#include <string>
+#include <vector>
+
+#include "isa/trigger.h"
+#include "util/types.h"
+
+namespace mrts {
+
+/// One kernel execution in program order: \p gap_before is the number of
+/// non-kernel (plain software) cycles the core spends before starting it.
+struct ExecEvent {
+  KernelId kernel = kInvalidKernel;
+  Cycles gap_before = 0;
+};
+
+/// One dynamic instance of a functional block.
+struct FunctionalBlockInstance {
+  FunctionalBlockId functional_block = kInvalidFunctionalBlock;
+  /// Forecast embedded in the binary (from offline profiling); the same for
+  /// every instance of the block.
+  TriggerInstruction programmed;
+  /// Actual execution schedule of this instance.
+  std::vector<ExecEvent> events;
+  /// Non-kernel cycles after the last kernel execution.
+  Cycles tail_gap = 0;
+
+  std::size_t executions_of(KernelId k) const {
+    std::size_t n = 0;
+    for (const auto& e : events) {
+      if (e.kernel == k) ++n;
+    }
+    return n;
+  }
+};
+
+struct ApplicationTrace {
+  std::string name;
+  std::vector<FunctionalBlockInstance> blocks;
+
+  std::size_t total_events() const {
+    std::size_t n = 0;
+    for (const auto& b : blocks) n += b.events.size();
+    return n;
+  }
+};
+
+/// Derives the programmed trigger instruction of a block instance from its
+/// schedule, assuming RISC-mode execution latencies (this is exactly what an
+/// offline profiling run would measure): e = execution count, tf = cycles
+/// from block start to the first execution start, tb = average gap between
+/// the end of one execution and the start of the next of the same kernel.
+TriggerInstruction derive_trigger(
+    const FunctionalBlockInstance& instance,
+    const std::vector<Cycles>& risc_latency_by_kernel);
+
+}  // namespace mrts

@@ -1,0 +1,58 @@
+#pragma once
+/// \file csv.h
+/// CSV emitter used by the benchmark harnesses to dump figure series that can
+/// be re-plotted externally.
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+namespace mrts {
+
+/// Writes rows of a CSV file with proper quoting. The writer owns the stream
+/// and flushes on destruction.
+class CsvWriter {
+ public:
+  /// Opens \p path for writing; throws std::runtime_error on failure.
+  explicit CsvWriter(const std::string& path);
+
+  /// Construct an in-memory writer (for tests); contents via str().
+  CsvWriter();
+
+  void write_header(const std::vector<std::string>& columns);
+  void write_row(const std::vector<std::string>& cells);
+
+  /// Convenience: converts arithmetic values with full precision.
+  template <typename... Ts>
+  void write_values(const Ts&... values) {
+    std::vector<std::string> cells;
+    cells.reserve(sizeof...(values));
+    (cells.push_back(to_cell(values)), ...);
+    write_row(cells);
+  }
+
+  /// Contents so far (in-memory mode only; empty for file mode).
+  std::string str() const;
+
+  static std::string escape(const std::string& cell);
+  static std::string to_cell(const std::string& v) { return v; }
+  static std::string to_cell(const char* v) { return v; }
+  static std::string to_cell(double v);
+  static std::string to_cell(float v) { return to_cell(static_cast<double>(v)); }
+  template <typename T>
+    requires std::is_integral_v<T>
+  static std::string to_cell(T v) {
+    return std::to_string(v);
+  }
+
+ private:
+  void emit(const std::vector<std::string>& cells);
+
+  std::ofstream file_;
+  std::string buffer_;
+  bool to_file_ = false;
+};
+
+}  // namespace mrts

@@ -1,0 +1,31 @@
+#include "util/logging.h"
+
+#include <cstdio>
+
+namespace mrts {
+namespace {
+LogLevel g_level = LogLevel::kWarn;
+}  // namespace
+
+LogLevel log_level() { return g_level; }
+void set_log_level(LogLevel level) { g_level = level; }
+
+const char* to_string(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+void log_message(LogLevel level, const std::string& component,
+                 const std::string& message) {
+  std::fprintf(stderr, "[%s] %s: %s\n", to_string(level), component.c_str(),
+               message.c_str());
+}
+
+}  // namespace mrts

@@ -1,0 +1,56 @@
+#pragma once
+/// \file logging.h
+/// Minimal leveled logger. Logging defaults to Warn so library users see
+/// problems but simulations stay quiet; benches/examples raise it explicitly.
+
+#include <sstream>
+#include <string>
+
+namespace mrts {
+
+enum class LogLevel : int { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+/// Global log threshold; messages below it are discarded.
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+/// Emits one formatted line to stderr (thread-compatible, not thread-safe by
+/// design — the simulator is single threaded).
+void log_message(LogLevel level, const std::string& component,
+                 const std::string& message);
+
+const char* to_string(LogLevel level);
+
+namespace detail {
+
+class LogLine {
+ public:
+  LogLine(LogLevel level, const char* component)
+      : level_(level), component_(component) {}
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+  ~LogLine() {
+    if (level_ >= log_level()) log_message(level_, component_, stream_.str());
+  }
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    if (level_ >= log_level()) stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  const char* component_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+}  // namespace mrts
+
+#define MRTS_LOG(level, component) ::mrts::detail::LogLine(level, component)
+#define MRTS_TRACE(component) MRTS_LOG(::mrts::LogLevel::kTrace, component)
+#define MRTS_DEBUG(component) MRTS_LOG(::mrts::LogLevel::kDebug, component)
+#define MRTS_INFO(component) MRTS_LOG(::mrts::LogLevel::kInfo, component)
+#define MRTS_WARN(component) MRTS_LOG(::mrts::LogLevel::kWarn, component)
+#define MRTS_ERROR(component) MRTS_LOG(::mrts::LogLevel::kError, component)

@@ -1,0 +1,63 @@
+#pragma once
+/// \file table.h
+/// Fixed-width ASCII table printer used by benches and examples to print the
+/// paper's tables/figure series in a readable form.
+
+#include <cstdint>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+namespace mrts {
+
+/// Collects rows of string cells and renders them with aligned columns.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience row builder mirroring CsvWriter::write_values.
+  template <typename... Ts>
+  void add_values(const Ts&... values);
+
+  /// Renders the table (header, separator, rows).
+  std::string render() const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with \p digits fraction digits.
+std::string format_double(double v, int digits = 2);
+
+/// Formats cycles as millions with 2 decimals, e.g. "12.34".
+std::string format_mcycles(std::uint64_t cycles);
+
+}  // namespace mrts
+
+namespace mrts {
+namespace detail {
+inline std::string table_cell(const std::string& v) { return v; }
+inline std::string table_cell(const char* v) { return v; }
+inline std::string table_cell(double v) { return format_double(v, 3); }
+inline std::string table_cell(float v) { return format_double(v, 3); }
+template <typename T>
+  requires std::is_integral_v<T>
+inline std::string table_cell(T v) {
+  return std::to_string(v);
+}
+}  // namespace detail
+
+template <typename... Ts>
+void TextTable::add_values(const Ts&... values) {
+  std::vector<std::string> cells;
+  cells.reserve(sizeof...(values));
+  (cells.push_back(detail::table_cell(values)), ...);
+  add_row(std::move(cells));
+}
+
+}  // namespace mrts

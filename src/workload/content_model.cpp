@@ -1,0 +1,67 @@
+#include "workload/content_model.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mrts {
+namespace {
+
+double clamp01(double x) { return std::clamp(x, 0.0, 1.0); }
+
+}  // namespace
+
+ContentModel::ContentModel(ContentParams params) {
+  if (params.frames == 0) {
+    throw std::invalid_argument("ContentModel: need at least one frame");
+  }
+  Rng rng(params.seed);
+  motion_.reserve(params.frames);
+  detail_.reserve(params.frames);
+  scene_change_.reserve(params.frames);
+
+  double m = params.base_motion;
+  double d = params.base_detail;
+  for (unsigned f = 0; f < params.frames; ++f) {
+    const bool cut = f > 0 && rng.bernoulli(params.scene_change_prob);
+    if (cut) {
+      // A scene change behaves like an intra-coded frame: motion estimation
+      // finds (almost) nothing while residual/entropy work spikes. This is
+      // the abrupt workload shift the run-time system must react to.
+      m = clamp01(rng.uniform(0.02, 0.25));
+      d = clamp01(rng.uniform(0.55, 0.95));
+    } else {
+      m = clamp01(params.base_motion +
+                  params.motion_ar * (m - params.base_motion) +
+                  rng.gaussian(0.0, params.motion_noise));
+      d = clamp01(params.base_detail +
+                  params.detail_ar * (d - params.base_detail) +
+                  rng.gaussian(0.0, params.detail_noise));
+    }
+    motion_.push_back(m);
+    detail_.push_back(d);
+    scene_change_.push_back(cut);
+  }
+}
+
+double ContentModel::motion(unsigned frame) const {
+  if (frame >= motion_.size()) {
+    throw std::out_of_range("ContentModel::motion");
+  }
+  return motion_[frame];
+}
+
+double ContentModel::detail(unsigned frame) const {
+  if (frame >= detail_.size()) {
+    throw std::out_of_range("ContentModel::detail");
+  }
+  return detail_[frame];
+}
+
+bool ContentModel::scene_change(unsigned frame) const {
+  if (frame >= scene_change_.size()) {
+    throw std::out_of_range("ContentModel::scene_change");
+  }
+  return scene_change_[frame];
+}
+
+}  // namespace mrts

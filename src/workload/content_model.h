@@ -1,0 +1,53 @@
+#pragma once
+/// \file content_model.h
+/// Synthetic video-content model. The run-time variation the paper's whole
+/// argument rests on (Fig. 2) comes from the input video: per-frame motion
+/// intensity drives the motion-estimation kernels, per-frame spatial detail
+/// drives transform/entropy/deblocking work. We model both as mean-reverting
+/// AR(1) processes in [0,1] with occasional scene changes that re-randomize
+/// the state — deterministic from the seed.
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace mrts {
+
+struct ContentParams {
+  unsigned frames = 16;
+  std::uint64_t seed = 1;
+
+  double base_motion = 0.40;   ///< long-run mean of the motion process
+  double motion_ar = 0.65;     ///< AR(1) coefficient
+  double motion_noise = 0.18;  ///< innovation standard deviation
+
+  double base_detail = 0.50;
+  double detail_ar = 0.70;
+  double detail_noise = 0.14;
+
+  double scene_change_prob = 0.15;  ///< per frame
+};
+
+class ContentModel {
+ public:
+  explicit ContentModel(ContentParams params = {});
+
+  unsigned frames() const { return static_cast<unsigned>(motion_.size()); }
+
+  /// Motion intensity of \p frame, in [0, 1].
+  double motion(unsigned frame) const;
+
+  /// Spatial detail of \p frame, in [0, 1].
+  double detail(unsigned frame) const;
+
+  /// True if a scene change happened at \p frame.
+  bool scene_change(unsigned frame) const;
+
+ private:
+  std::vector<double> motion_;
+  std::vector<double> detail_;
+  std::vector<bool> scene_change_;
+};
+
+}  // namespace mrts

@@ -1,0 +1,82 @@
+#include "workload/deblocking_case_study.h"
+
+#include "rts/profit.h"
+
+namespace mrts {
+
+DeblockingCaseStudy build_deblocking_case_study() {
+  DeblockingCaseStudy cs;
+  constexpr Cycles kSwLatency = 1000;
+  cs.kernel = cs.library.add_kernel("DBF", kSwLatency);
+
+  auto& table = cs.library.data_paths();
+  DataPathDesc cond_fg;
+  cond_fg.name = "dbf_cond_fg";
+  cond_fg.grain = Grain::kFine;
+  const DataPathId cond_fg_id = table.add(cond_fg);
+
+  DataPathDesc filt_fg;
+  filt_fg.name = "dbf_filter_fg";
+  filt_fg.grain = Grain::kFine;
+  const DataPathId filt_fg_id = table.add(filt_fg);
+
+  DataPathDesc cond_cg;
+  cond_cg.name = "dbf_cond_cg";
+  cond_cg.grain = Grain::kCoarse;
+  const DataPathId cond_cg_id = table.add(cond_cg);
+
+  DataPathDesc filt_cg;
+  filt_cg.name = "dbf_filter_cg";
+  filt_cg.grain = Grain::kCoarse;
+  const DataPathId filt_cg_id = table.add(filt_cg);
+
+  // ISE-1: both data paths on the FG fabric. Bit-level condition logic and
+  // the filter pipeline both run at full custom-logic speed.
+  {
+    IseVariant v;
+    v.kernel = cs.kernel;
+    v.name = "DBF.ISE-1";
+    v.data_paths = {cond_fg_id, filt_fg_id};
+    v.latency_after = {kSwLatency, 420, 100};
+    cs.ise1 = cs.library.add_ise(std::move(v));
+  }
+  // ISE-2: both data paths on the CG fabric. Reconfigures in microseconds
+  // but the bit-level condition part maps poorly to word-level ALUs.
+  {
+    IseVariant v;
+    v.kernel = cs.kernel;
+    v.name = "DBF.ISE-2";
+    v.data_paths = {cond_cg_id, filt_cg_id};
+    v.latency_after = {kSwLatency, 640, 360};
+    cs.ise2 = cs.library.add_ise(std::move(v));
+  }
+  // ISE-3: condition on FG, filter on CG — the multi-grained compromise.
+  // The CG filter data path arrives almost instantly (listed first).
+  {
+    IseVariant v;
+    v.kernel = cs.kernel;
+    v.name = "DBF.ISE-3";
+    v.data_paths = {filt_cg_id, cond_fg_id};
+    v.latency_after = {kSwLatency, 560, 170};
+    cs.ise3 = cs.library.add_ise(std::move(v));
+  }
+  return cs;
+}
+
+double case_study_pif(const DeblockingCaseStudy& cs, IseId ise,
+                      double executions) {
+  const IseVariant& v = cs.library.ise(ise);
+  const Cycles reconfig = v.worst_case_reconfig_cycles(cs.library.data_paths());
+  return performance_improvement_factor(v.risc_latency(), v.full_latency(),
+                                        reconfig, executions);
+}
+
+double pif_crossover(const DeblockingCaseStudy& cs, IseId a, IseId b,
+                     double max_executions) {
+  for (double n = 1.0; n <= max_executions; n *= 1.01) {
+    if (case_study_pif(cs, a, n) >= case_study_pif(cs, b, n)) return n;
+  }
+  return max_executions;
+}
+
+}  // namespace mrts

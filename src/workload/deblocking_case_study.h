@@ -1,0 +1,41 @@
+#pragma once
+/// \file deblocking_case_study.h
+/// The Section 2 motivational case study: the H.264 Deblocking Filter with
+/// exactly the three ISEs the paper discusses —
+///
+///   ISE-1: condition + filter data paths on the FG fabric (2 PRCs,
+///          ~2 x 1.2 ms reconfiguration, fastest execution),
+///   ISE-2: both data paths on the CG fabric (2 CG fabrics, ~0.3 us
+///          reconfiguration, slowest accelerated execution),
+///   ISE-3: condition on FG, filter on CG (multi-grained compromise).
+///
+/// Fig. 1 plots the performance improvement factor (Eq. 1) of the three over
+/// the number of kernel executions; each dominates one region (CG for few
+/// executions, MG in the middle, FG once its reconfiguration amortizes).
+
+#include "isa/ise_library.h"
+#include "util/types.h"
+
+namespace mrts {
+
+struct DeblockingCaseStudy {
+  IseLibrary library;
+  KernelId kernel;
+  IseId ise1;  ///< FG-only
+  IseId ise2;  ///< CG-only
+  IseId ise3;  ///< multi-grained
+};
+
+DeblockingCaseStudy build_deblocking_case_study();
+
+/// pif (Eq. 1) of one case-study ISE at the given execution count, using its
+/// fully-configured latency and its worst-case reconfiguration time.
+double case_study_pif(const DeblockingCaseStudy& cs, IseId ise,
+                      double executions);
+
+/// Execution-count crossover between two ISEs: smallest n >= 1 where `a`'s
+/// pif is at least `b`'s (kNeverCycles-like large value if never).
+double pif_crossover(const DeblockingCaseStudy& cs, IseId a, IseId b,
+                     double max_executions = 1e7);
+
+}  // namespace mrts

@@ -1,0 +1,341 @@
+#include "workload/h264_app.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "isa/ise_builder.h"
+#include "workload/workload_gen.h"
+
+namespace mrts {
+namespace {
+
+/// Kernel acceleration specs. Control-dominant kernels (CAVLC, LF_COND,
+/// SCAN, IPRED) profit most from the FG fabric; data-dominant sub-word
+/// kernels (SAD, MC, DCT, LF_FILTER) from the CG fabric. Shared data-path
+/// names model hardware reuse between related kernels (SAD/SATD share the
+/// absolute-difference tree, DCT/HT/IDCT share the butterfly adders, ...).
+IseBuildSpec sad_spec() {
+  IseBuildSpec s;
+  s.kernel_name = "SAD";
+  s.sw_latency = 520;
+  s.control_fraction = 0.45;
+  s.fg_control_speedup = 14.0;
+  s.fg_data_speedup = 8.5;
+  s.cg_control_speedup = 1.2;
+  s.cg_data_speedup = 7.0;
+  s.fg_data_path_names = {"sad_ctrl_fg", "absdiff_tree_fg", "sad_acc_fg"};
+  s.cg_data_path_names = {"simd_absdiff_cg"};
+  s.fg_control_dps = 1;
+  s.cg_data_dps = 1;
+  s.mono_cg_speedup = 2.1;
+  return s;
+}
+
+IseBuildSpec satd_spec() {
+  IseBuildSpec s;
+  s.kernel_name = "SATD";
+  s.sw_latency = 890;
+  s.control_fraction = 0.45;
+  s.fg_control_speedup = 12.0;
+  s.fg_data_speedup = 7.5;
+  s.cg_control_speedup = 1.2;
+  s.cg_data_speedup = 5.5;
+  s.fg_data_path_names = {"satd_ctrl_fg", "absdiff_tree_fg", "hadamard_fg"};
+  s.cg_data_path_names = {"butterfly_cg", "acc_reduce_cg"};
+  s.fg_control_dps = 1;
+  s.cg_data_dps = 2;
+  s.mono_cg_speedup = 2.2;
+  return s;
+}
+
+IseBuildSpec mc_hz4_spec() {
+  IseBuildSpec s;
+  s.kernel_name = "MC_HZ4";
+  s.sw_latency = 680;
+  s.control_fraction = 0.30;
+  s.fg_control_speedup = 12.0;
+  s.fg_data_speedup = 9.5;
+  s.cg_control_speedup = 1.1;
+  s.cg_data_speedup = 7.0;
+  s.fg_data_path_names = {"mc_ctrl_fg", "sixtap_fg"};
+  s.cg_data_path_names = {"sixtap_mac_cg"};
+  s.fg_control_dps = 1;
+  s.cg_data_dps = 1;
+  s.mono_cg_speedup = 2.2;
+  return s;
+}
+
+IseBuildSpec ipred_spec() {
+  IseBuildSpec s;
+  s.kernel_name = "IPRED";
+  s.sw_latency = 440;
+  s.control_fraction = 0.60;
+  s.fg_control_speedup = 15.0;
+  s.fg_data_speedup = 6.0;
+  s.cg_control_speedup = 1.3;
+  s.cg_data_speedup = 3.0;
+  s.fg_data_path_names = {"ipred_mode_fg", "edge_extend_fg"};
+  s.cg_data_path_names = {"avg_plane_cg"};
+  s.fg_control_dps = 1;
+  s.cg_data_dps = 1;
+  s.mono_cg_speedup = 1.9;
+  return s;
+}
+
+IseBuildSpec dct4_spec() {
+  IseBuildSpec s;
+  s.kernel_name = "DCT4";
+  s.sw_latency = 390;
+  s.control_fraction = 0.35;
+  s.fg_control_speedup = 12.0;
+  s.fg_data_speedup = 8.5;
+  s.cg_control_speedup = 1.15;
+  s.cg_data_speedup = 6.5;
+  s.fg_data_path_names = {"dct_ctrl_fg", "transform_fg"};
+  s.cg_data_path_names = {"butterfly_cg", "shift_add_cg"};
+  s.fg_control_dps = 1;
+  s.cg_data_dps = 2;
+  s.mono_cg_speedup = 2.1;
+  return s;
+}
+
+IseBuildSpec ht_spec() {
+  IseBuildSpec s;
+  s.kernel_name = "HT";
+  s.sw_latency = 300;
+  s.control_fraction = 0.35;
+  s.fg_control_speedup = 10.0;
+  s.fg_data_speedup = 7.5;
+  s.cg_control_speedup = 1.2;
+  s.cg_data_speedup = 5.5;
+  s.fg_data_path_names = {"dct_ctrl_fg", "hadamard_fg"};
+  s.cg_data_path_names = {"butterfly_cg"};
+  s.fg_control_dps = 1;
+  s.cg_data_dps = 1;
+  s.mono_cg_speedup = 2.2;
+  return s;
+}
+
+IseBuildSpec quant_spec() {
+  IseBuildSpec s;
+  s.kernel_name = "QUANT";
+  s.sw_latency = 420;
+  s.control_fraction = 0.40;
+  s.fg_control_speedup = 12.0;
+  s.fg_data_speedup = 8.5;
+  s.cg_control_speedup = 1.15;
+  s.cg_data_speedup = 7.0;
+  s.fg_data_path_names = {"quant_ctrl_fg", "mul_shift_fg"};
+  s.cg_data_path_names = {"quant_mulshift_cg"};
+  s.fg_control_dps = 1;
+  s.cg_data_dps = 1;
+  s.mono_cg_speedup = 2.1;
+  return s;
+}
+
+IseBuildSpec idct_spec() {
+  // The inverse transform reuses the forward transform hardware: identical
+  // data-path sets, so whichever of DCT4/IDCT is selected covers the other
+  // for free (cross-ISE data-path sharing).
+  IseBuildSpec s;
+  s.kernel_name = "IDCT";
+  s.sw_latency = 400;
+  s.control_fraction = 0.35;
+  s.fg_control_speedup = 12.0;
+  s.fg_data_speedup = 8.5;
+  s.cg_control_speedup = 1.15;
+  s.cg_data_speedup = 6.5;
+  s.fg_data_path_names = {"dct_ctrl_fg", "transform_fg"};
+  s.cg_data_path_names = {"butterfly_cg", "shift_add_cg"};
+  s.fg_control_dps = 1;
+  s.cg_data_dps = 2;
+  s.mono_cg_speedup = 2.1;
+  return s;
+}
+
+IseBuildSpec cavlc_spec() {
+  IseBuildSpec s;
+  s.kernel_name = "CAVLC";
+  s.sw_latency = 980;
+  s.control_fraction = 0.80;
+  s.fg_control_speedup = 15.0;
+  s.fg_data_speedup = 5.0;
+  s.cg_control_speedup = 1.3;
+  s.cg_data_speedup = 2.2;
+  s.fg_data_path_names = {"vlc_table_fg", "bitpack_fg", "runlevel_fg"};
+  s.cg_data_path_names = {"coeff_scan_cg"};
+  s.fg_control_dps = 2;
+  s.cg_data_dps = 1;
+  s.mono_cg_speedup = 1.8;
+  return s;
+}
+
+IseBuildSpec scan_spec() {
+  IseBuildSpec s;
+  s.kernel_name = "SCAN";
+  s.sw_latency = 260;
+  s.control_fraction = 0.70;
+  s.fg_control_speedup = 12.0;
+  s.fg_data_speedup = 5.0;
+  s.cg_control_speedup = 1.25;
+  s.cg_data_speedup = 3.0;
+  s.fg_data_path_names = {"runlevel_fg"};
+  s.cg_data_path_names = {"coeff_scan_cg"};
+  s.fg_control_dps = 1;
+  s.cg_data_dps = 1;
+  s.mono_cg_speedup = 1.9;
+  return s;
+}
+
+IseBuildSpec lf_cond_spec() {
+  IseBuildSpec s;
+  s.kernel_name = "LF_COND";
+  s.sw_latency = 340;
+  s.control_fraction = 0.90;
+  s.fg_control_speedup = 14.0;
+  s.fg_data_speedup = 5.0;
+  s.cg_control_speedup = 1.25;
+  s.cg_data_speedup = 2.0;
+  s.fg_data_path_names = {"bs_decision_fg", "threshold_fg"};
+  s.cg_data_path_names = {"cond_mask_cg"};
+  s.fg_control_dps = 1;
+  s.cg_data_dps = 1;
+  s.mono_cg_speedup = 1.9;
+  return s;
+}
+
+IseBuildSpec lf_filter_spec() {
+  IseBuildSpec s;
+  s.kernel_name = "LF_FILTER";
+  s.sw_latency = 560;
+  s.control_fraction = 0.40;
+  s.fg_control_speedup = 15.0;
+  s.fg_data_speedup = 9.5;
+  s.cg_control_speedup = 1.2;
+  s.cg_data_speedup = 6.5;
+  s.fg_data_path_names = {"lf_ctrl_fg", "filter_taps_fg"};
+  s.cg_data_path_names = {"filter_mac_cg"};
+  s.fg_control_dps = 1;
+  s.cg_data_dps = 1;
+  s.mono_cg_speedup = 2.2;
+  return s;
+}
+
+/// Gap cycles before each execution: a small fraction of the kernel's own
+/// RISC latency (address computation, loop control and data movement of the
+/// surrounding software).
+Cycles gap_for(Cycles sw_latency) {
+  return std::max<Cycles>(6, sw_latency / 40);
+}
+
+}  // namespace
+
+std::vector<KernelId> H264Application::all_kernels() const {
+  return {k_sad,  k_satd,  k_mc_hz4, k_ipred, k_dct4,    k_ht,
+          k_quant, k_idct, k_cavlc,  k_scan,  k_lf_cond, k_lf_filter};
+}
+
+std::size_t H264Application::lf_filter_executions(unsigned frame) const {
+  // LF is the third block of each frame.
+  const std::size_t index = static_cast<std::size_t>(frame) * 3 + 2;
+  if (index >= trace.blocks.size()) {
+    throw std::out_of_range("H264Application::lf_filter_executions");
+  }
+  return trace.blocks[index].executions_of(k_lf_filter);
+}
+
+H264Application build_h264_application(const H264AppParams& params) {
+  H264Application app;
+
+  // --- kernels and ISE libraries ------------------------------------------
+  app.k_sad = build_kernel_ises(app.library, sad_spec());
+  app.k_satd = build_kernel_ises(app.library, satd_spec());
+  app.k_mc_hz4 = build_kernel_ises(app.library, mc_hz4_spec());
+  app.k_ipred = build_kernel_ises(app.library, ipred_spec());
+  app.k_dct4 = build_kernel_ises(app.library, dct4_spec());
+  app.k_ht = build_kernel_ises(app.library, ht_spec());
+  app.k_quant = build_kernel_ises(app.library, quant_spec());
+  app.k_idct = build_kernel_ises(app.library, idct_spec());
+  app.k_cavlc = build_kernel_ises(app.library, cavlc_spec());
+  app.k_scan = build_kernel_ises(app.library, scan_spec());
+  app.k_lf_cond = build_kernel_ises(app.library, lf_cond_spec());
+  app.k_lf_filter = build_kernel_ises(app.library, lf_filter_spec());
+
+  // --- content-driven per-frame schedules ---------------------------------
+  ContentParams content = params.content;
+  content.frames = params.frames;
+  content.seed = params.seed;
+  const ContentModel video(content);
+
+  Rng rng(params.seed ^ 0x5eedULL);
+  const double scale = params.workload_scale;
+  auto sw = [&app](KernelId k) { return app.library.kernel(k).sw_latency; };
+
+  app.trace.name = "h264_encoder";
+  app.trace.blocks.reserve(static_cast<std::size_t>(params.frames) * 3);
+
+  // Nominal instances (mid content) provide the programmed triggers the
+  // binary carries — the same forecast for every instance of a block.
+  std::vector<TriggerInstruction> programmed(3);
+  for (unsigned f = 0; f < params.frames; ++f) {
+    // GOP structure: every 8th frame is intra coded — motion estimation
+    // finds nothing, residual work spikes. Together with scene changes this
+    // produces the abrupt per-frame execution-count swings of Fig. 2.
+    const bool intra = f > 0 && f % 8 == 0;
+    const double m = intra ? 0.06 : video.motion(f);
+    const double d = intra ? std::min(1.0, video.detail(f) + 0.25)
+                           : video.detail(f);
+
+    // Motion Estimation: search effort scales with motion. SAD dominates
+    // the block (the paper's "kernel that contributes most").
+    const double m2 = m * m;
+    const std::vector<KernelWork> me_work = {
+        {app.k_sad, scale * (3.0 + 40.0 * m2 + 14.0 * m),
+         gap_for(sw(app.k_sad)), 0.2},
+        {app.k_satd, scale * (0.5 + 6.0 * m), gap_for(sw(app.k_satd)), 0.2},
+        {app.k_mc_hz4, scale * (0.3 + 4.5 * m), gap_for(sw(app.k_mc_hz4)), 0.2},
+        {app.k_ipred, scale * (1.0 + 3.5 * (1.0 - m)),
+         gap_for(sw(app.k_ipred)), 0.2},
+    };
+    // Encoding Engine: residual/entropy work scales with detail; CAVLC is
+    // the heavyweight.
+    const std::vector<KernelWork> ee_work = {
+        {app.k_dct4, scale * (3.5 + 2.5 * d), gap_for(sw(app.k_dct4)), 0.2},
+        {app.k_ht, scale * 1.5, gap_for(sw(app.k_ht)), 0.2},
+        {app.k_quant, scale * (3.5 + 2.0 * d), gap_for(sw(app.k_quant)), 0.2},
+        {app.k_idct, scale * (3.5 + 2.0 * d), gap_for(sw(app.k_idct)), 0.2},
+        {app.k_cavlc, scale * (7.0 + 11.0 * d), gap_for(sw(app.k_cavlc)), 0.2},
+        {app.k_scan, scale * 3.0, gap_for(sw(app.k_scan)), 0.2},
+    };
+    // Loop Filter: number of filtered edges scales with detail (and a bit
+    // with motion: more coded residual -> more boundary strength). The
+    // filter data path dominates (Section 2 case study).
+    const double lf_level = 0.7 * d + 0.3 * m;
+    const std::vector<KernelWork> lf_work = {
+        {app.k_lf_cond, scale * (4.0 + 10.0 * lf_level),
+         gap_for(sw(app.k_lf_cond)), 0.2},
+        {app.k_lf_filter, scale * (3.0 + 14.0 * lf_level + 10.0 * lf_level * lf_level),
+         gap_for(sw(app.k_lf_filter)), 0.2},
+    };
+
+    const std::vector<std::vector<KernelWork>> works = {me_work, ee_work,
+                                                        lf_work};
+    const FunctionalBlockId fbs[3] = {app.fb_me, app.fb_ee, app.fb_lf};
+    for (unsigned b = 0; b < 3; ++b) {
+      FunctionalBlockInstance inst = make_block_instance(
+          fbs[b], params.macroblocks, works[b], /*entry_gap=*/400,
+          /*tail_gap=*/400, rng);
+      if (f == 0) {
+        // The offline profile the programmer embeds as trigger instructions.
+        stamp_programmed_trigger(inst, app.library);
+        programmed[b] = inst.programmed;
+      } else {
+        inst.programmed = programmed[b];
+      }
+      app.trace.blocks.push_back(std::move(inst));
+    }
+  }
+  return app;
+}
+
+}  // namespace mrts

@@ -1,0 +1,244 @@
+#include "workload/sdr_app.h"
+
+#include <algorithm>
+
+#include "isa/ise_builder.h"
+#include "workload/workload_gen.h"
+
+namespace mrts {
+namespace {
+
+IseBuildSpec fir_spec() {
+  IseBuildSpec s;
+  s.kernel_name = "FIR64";
+  s.sw_latency = 900;  // 64-tap MAC loop per sample batch
+  s.control_fraction = 0.15;
+  s.fg_control_speedup = 8.0;
+  s.fg_data_speedup = 9.0;
+  s.cg_control_speedup = 1.2;
+  s.cg_data_speedup = 6.5;
+  s.fg_data_path_names = {"fir_ctrl_fg", "fir_mac_fg", "fir_acc_fg"};
+  s.cg_data_path_names = {"fir_mac_cg", "fir_acc_cg"};
+  s.fg_control_dps = 1;
+  s.cg_data_dps = 2;
+  s.mono_cg_speedup = 2.1;
+  return s;
+}
+
+IseBuildSpec agc_spec() {
+  IseBuildSpec s;
+  s.kernel_name = "AGC_CORDIC";
+  s.sw_latency = 620;  // CORDIC rotations + gain control decisions
+  s.control_fraction = 0.50;
+  s.fg_control_speedup = 11.0;
+  s.fg_data_speedup = 6.0;
+  s.cg_control_speedup = 1.25;
+  s.cg_data_speedup = 4.0;
+  s.fg_data_path_names = {"cordic_ctrl_fg", "cordic_rot_fg"};
+  s.cg_data_path_names = {"cordic_rot_cg"};
+  s.fg_control_dps = 1;
+  s.cg_data_dps = 1;
+  s.mono_cg_speedup = 1.8;
+  return s;
+}
+
+IseBuildSpec decimate_spec() {
+  IseBuildSpec s;
+  s.kernel_name = "DECIMATE";
+  s.sw_latency = 260;
+  s.control_fraction = 0.30;
+  s.fg_control_speedup = 7.0;
+  s.fg_data_speedup = 6.0;
+  s.cg_control_speedup = 1.2;
+  s.cg_data_speedup = 5.0;
+  s.fg_data_path_names = {"decim_fg"};
+  s.cg_data_path_names = {"decim_cg"};
+  s.mono_cg_speedup = 1.9;
+  return s;
+}
+
+IseBuildSpec fft_spec() {
+  IseBuildSpec s;
+  s.kernel_name = "FFT_BFLY";
+  s.sw_latency = 760;  // radix-2 butterfly column with twiddle multiplies
+  s.control_fraction = 0.20;
+  s.fg_control_speedup = 8.0;
+  s.fg_data_speedup = 8.0;
+  s.cg_control_speedup = 1.15;
+  s.cg_data_speedup = 6.0;
+  s.fg_data_path_names = {"fft_ctrl_fg", "fft_bfly_fg"};
+  s.cg_data_path_names = {"fft_bfly_cg", "twiddle_mul_cg"};
+  s.fg_control_dps = 1;
+  s.cg_data_dps = 2;
+  s.mono_cg_speedup = 2.0;
+  return s;
+}
+
+IseBuildSpec equalize_spec() {
+  IseBuildSpec s;
+  s.kernel_name = "EQUALIZE";
+  s.sw_latency = 540;
+  s.control_fraction = 0.35;
+  s.fg_control_speedup = 9.0;
+  s.fg_data_speedup = 7.0;
+  s.cg_control_speedup = 1.2;
+  s.cg_data_speedup = 5.5;
+  s.fg_data_path_names = {"eq_ctrl_fg", "eq_mac_fg"};
+  s.cg_data_path_names = {"eq_mac_cg"};
+  s.fg_control_dps = 1;
+  s.cg_data_dps = 1;
+  s.mono_cg_speedup = 1.9;
+  return s;
+}
+
+IseBuildSpec slicer_spec() {
+  IseBuildSpec s;
+  s.kernel_name = "SLICER";
+  s.sw_latency = 300;  // constellation decisions: bit-level compares
+  s.control_fraction = 0.75;
+  s.fg_control_speedup = 10.0;
+  s.fg_data_speedup = 4.0;
+  s.cg_control_speedup = 1.3;
+  s.cg_data_speedup = 2.5;
+  s.fg_data_path_names = {"slicer_fg"};
+  s.cg_data_path_names = {"slicer_cg"};
+  s.mono_cg_speedup = 1.6;
+  return s;
+}
+
+IseBuildSpec viterbi_spec() {
+  IseBuildSpec s;
+  s.kernel_name = "VITERBI_ACS";
+  s.sw_latency = 1200;  // add-compare-select over the trellis
+  s.control_fraction = 0.65;
+  s.fg_control_speedup = 13.0;
+  s.fg_data_speedup = 5.0;
+  s.cg_control_speedup = 1.3;
+  s.cg_data_speedup = 3.0;
+  s.fg_data_path_names = {"acs_cmp_fg", "acs_path_fg", "branch_metric_fg"};
+  s.cg_data_path_names = {"branch_metric_cg"};
+  s.fg_control_dps = 2;
+  s.cg_data_dps = 1;
+  s.mono_cg_speedup = 1.6;
+  return s;
+}
+
+IseBuildSpec deinterleave_spec() {
+  IseBuildSpec s;
+  s.kernel_name = "DEINTERLEAVE";
+  s.sw_latency = 340;
+  s.control_fraction = 0.70;
+  s.fg_control_speedup = 9.0;
+  s.fg_data_speedup = 4.0;
+  s.cg_control_speedup = 1.25;
+  s.cg_data_speedup = 2.5;
+  s.fg_data_path_names = {"deint_fg"};
+  s.cg_data_path_names = {"deint_cg"};
+  s.mono_cg_speedup = 1.7;
+  return s;
+}
+
+IseBuildSpec crc_spec() {
+  IseBuildSpec s;
+  s.kernel_name = "CRC32";
+  s.sw_latency = 280;  // bit-serial polynomial division
+  s.control_fraction = 0.85;
+  s.fg_control_speedup = 12.0;
+  s.fg_data_speedup = 4.0;
+  s.cg_control_speedup = 1.2;
+  s.cg_data_speedup = 2.0;
+  s.fg_data_path_names = {"crc_lfsr_fg"};
+  s.cg_data_path_names = {"crc_table_cg"};
+  s.mono_cg_speedup = 1.6;
+  return s;
+}
+
+Cycles gap_for(Cycles sw_latency) {
+  return std::max<Cycles>(8, sw_latency / 25);
+}
+
+}  // namespace
+
+std::vector<KernelId> SdrApplication::all_kernels() const {
+  return {k_fir,     k_agc,          k_decimate, k_fft,  k_equalize,
+          k_slicer,  k_viterbi,      k_deinterleave, k_crc};
+}
+
+SdrApplication build_sdr_application(const SdrAppParams& params) {
+  SdrApplication app;
+  app.k_fir = build_kernel_ises(app.library, fir_spec());
+  app.k_agc = build_kernel_ises(app.library, agc_spec());
+  app.k_decimate = build_kernel_ises(app.library, decimate_spec());
+  app.k_fft = build_kernel_ises(app.library, fft_spec());
+  app.k_equalize = build_kernel_ises(app.library, equalize_spec());
+  app.k_slicer = build_kernel_ises(app.library, slicer_spec());
+  app.k_viterbi = build_kernel_ises(app.library, viterbi_spec());
+  app.k_deinterleave = build_kernel_ises(app.library, deinterleave_spec());
+  app.k_crc = build_kernel_ises(app.library, crc_spec());
+
+  // Channel model: reuse the AR(1) content process — "motion" plays the
+  // role of (inverse) SNR, "detail" the channel occupancy.
+  ContentParams content;
+  content.frames = params.bursts;
+  content.seed = params.seed;
+  content.base_motion = 0.45;   // mean noise level
+  content.motion_noise = 0.2;
+  content.scene_change_prob = 0.12;  // fading dips / band switches
+  const ContentModel channel(content);
+
+  Rng rng(params.seed ^ 0x5d12ULL);
+  const double scale = params.workload_scale;
+  auto sw = [&app](KernelId k) { return app.library.kernel(k).sw_latency; };
+
+  app.trace.name = "sdr_receiver";
+  app.trace.blocks.reserve(static_cast<std::size_t>(params.bursts) * 3);
+  std::vector<TriggerInstruction> programmed(3);
+  for (unsigned b = 0; b < params.bursts; ++b) {
+    const double noise = channel.motion(b);      // 0 = clean channel
+    const double occupancy = channel.detail(b);  // share of busy carriers
+
+    const std::vector<KernelWork> filter_work = {
+        {app.k_fir, scale * (6.0 + 4.0 * occupancy), gap_for(sw(app.k_fir)),
+         0.15},
+        {app.k_agc, scale * (1.0 + 3.0 * noise), gap_for(sw(app.k_agc)), 0.15},
+        {app.k_decimate, scale * 2.0, gap_for(sw(app.k_decimate)), 0.15},
+    };
+    const std::vector<KernelWork> demod_work = {
+        {app.k_fft, scale * (4.0 + 3.0 * occupancy), gap_for(sw(app.k_fft)),
+         0.15},
+        // A noisy channel needs more equalizer adaptation iterations.
+        {app.k_equalize, scale * (2.0 + 6.0 * noise + 4.0 * noise * noise),
+         gap_for(sw(app.k_equalize)), 0.15},
+        {app.k_slicer, scale * (2.0 + 2.0 * occupancy),
+         gap_for(sw(app.k_slicer)), 0.15},
+    };
+    const std::vector<KernelWork> decode_work = {
+        // Viterbi work explodes with noise (more trellis survivors kept).
+        {app.k_viterbi, scale * (3.0 + 7.0 * noise),
+         gap_for(sw(app.k_viterbi)), 0.15},
+        {app.k_deinterleave, scale * 2.0, gap_for(sw(app.k_deinterleave)),
+         0.15},
+        {app.k_crc, scale * 1.5, gap_for(sw(app.k_crc)), 0.15},
+    };
+
+    const std::vector<std::vector<KernelWork>> works = {
+        filter_work, demod_work, decode_work};
+    const FunctionalBlockId fbs[3] = {app.fb_filter, app.fb_demod,
+                                      app.fb_decode};
+    for (unsigned i = 0; i < 3; ++i) {
+      FunctionalBlockInstance inst = make_block_instance(
+          fbs[i], params.batches, works[i], /*entry_gap=*/300,
+          /*tail_gap=*/300, rng);
+      if (b == 0) {
+        stamp_programmed_trigger(inst, app.library);
+        programmed[i] = inst.programmed;
+      } else {
+        inst.programmed = programmed[i];
+      }
+      app.trace.blocks.push_back(std::move(inst));
+    }
+  }
+  return app;
+}
+
+}  // namespace mrts

@@ -1,0 +1,50 @@
+#pragma once
+/// \file sdr_app.h
+/// A second evaluation workload beyond the paper: a software-defined-radio
+/// receiver. It exercises the same machinery (heterogeneous kernels,
+/// per-burst workload variation, multi-grained ISE families) on a very
+/// different application shape — long filter pipelines, an FFT butterfly
+/// stage and a control-dominant Viterbi decoder:
+///
+///   * ChannelFilter block: FIR64, AGC_CORDIC, DECIMATE
+///   * Demodulate block:    FFT_BFLY, EQUALIZE, SLICER
+///   * Decode block:        VITERBI_ACS, DEINTERLEAVE, CRC32
+///
+/// Per-burst variation comes from a channel model (SNR and channel
+/// occupancy as AR(1) processes): low SNR inflates the equalizer/Viterbi
+/// work, occupancy scales everything.
+
+#include <vector>
+
+#include "isa/ise_library.h"
+#include "sim/schedule.h"
+#include "workload/content_model.h"
+
+namespace mrts {
+
+struct SdrAppParams {
+  unsigned bursts = 16;
+  /// Sample batches per burst (the "macroblocks" of this workload).
+  unsigned batches = 300;
+  std::uint64_t seed = 0x5D12;
+  double workload_scale = 1.0;
+};
+
+struct SdrApplication {
+  IseLibrary library;
+  ApplicationTrace trace;
+
+  FunctionalBlockId fb_filter{0};
+  FunctionalBlockId fb_demod{1};
+  FunctionalBlockId fb_decode{2};
+
+  KernelId k_fir, k_agc, k_decimate;         // ChannelFilter
+  KernelId k_fft, k_equalize, k_slicer;      // Demodulate
+  KernelId k_viterbi, k_deinterleave, k_crc; // Decode
+
+  std::vector<KernelId> all_kernels() const;
+};
+
+SdrApplication build_sdr_application(const SdrAppParams& params = {});
+
+}  // namespace mrts

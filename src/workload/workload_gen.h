@@ -1,0 +1,45 @@
+#pragma once
+/// \file workload_gen.h
+/// Generic functional-block schedule generation: builds the interleaved
+/// macroblock-loop execution pattern of a block instance from per-kernel
+/// repetition counts, and derives the programmed trigger instruction the
+/// application binary would carry.
+
+#include <vector>
+
+#include "isa/ise_library.h"
+#include "sim/schedule.h"
+#include "util/rng.h"
+#include "util/types.h"
+
+namespace mrts {
+
+/// Work of one kernel inside the macroblock loop of a block instance.
+struct KernelWork {
+  KernelId kernel = kInvalidKernel;
+  /// Average executions per macroblock (fractional values are carried as a
+  /// running remainder so the total over the block matches the mean).
+  double repetitions_per_mb = 0.0;
+  /// Non-kernel software cycles before each execution.
+  Cycles gap_cycles = 0;
+  /// Relative jitter of the gap (0.2 = +-20%), applied deterministically.
+  double gap_jitter = 0.2;
+};
+
+/// Builds the actual schedule of one block instance: the macroblock loop
+/// executes every kernel's repetitions per macroblock, in the listed kernel
+/// order, with per-execution gaps.
+FunctionalBlockInstance make_block_instance(FunctionalBlockId fb,
+                                            unsigned macroblocks,
+                                            const std::vector<KernelWork>& work,
+                                            Cycles entry_gap, Cycles tail_gap,
+                                            Rng& rng);
+
+/// Stamps the programmed trigger of \p instance from its own schedule and
+/// RISC-mode latencies (what an offline profiling of a nominal input would
+/// produce). Usually called once on a *nominal* instance and copied to all
+/// instances of the block.
+void stamp_programmed_trigger(FunctionalBlockInstance& instance,
+                              const IseLibrary& lib);
+
+}  // namespace mrts

@@ -1,0 +1,97 @@
+// Unit tests for the reconfiguration ports: FIFO serialization, cancellation
+// of not-yet-started jobs and queue re-timing.
+
+#include <gtest/gtest.h>
+
+#include "arch/reconfig_controller.h"
+
+namespace mrts {
+namespace {
+
+TEST(ReconfigPort, JobsSerializeBackToBack) {
+  ReconfigPort port;
+  const auto& j0 = port.enqueue(DataPathId{1}, 0, 100, 10);
+  EXPECT_EQ(j0.starts_at, 10u);
+  EXPECT_EQ(j0.completes_at, 110u);
+  const auto& j1 = port.enqueue(DataPathId{2}, 1, 50, 10);
+  EXPECT_EQ(j1.starts_at, 110u);
+  EXPECT_EQ(j1.completes_at, 160u);
+  EXPECT_EQ(port.busy_until(10), 160u);
+}
+
+TEST(ReconfigPort, LateEnqueueStartsAtNow) {
+  ReconfigPort port;
+  port.enqueue(DataPathId{1}, 0, 100, 0);
+  const auto& j = port.enqueue(DataPathId{2}, 1, 10, 500);
+  EXPECT_EQ(j.starts_at, 500u);
+  EXPECT_EQ(j.completes_at, 510u);
+}
+
+TEST(ReconfigPort, BusyUntilIdlePortIsNow) {
+  ReconfigPort port;
+  EXPECT_EQ(port.busy_until(42), 42u);
+}
+
+TEST(ReconfigPort, CancelPendingRemovesAndRetimes) {
+  ReconfigPort port;
+  port.enqueue(DataPathId{1}, 0, 100, 0);   // running at t=50
+  port.enqueue(DataPathId{2}, 1, 100, 0);   // queued
+  port.enqueue(DataPathId{3}, 2, 100, 0);   // queued
+  // Cancel the middle job at t=50 (it has not started).
+  const std::size_t cancelled = port.cancel_pending(
+      50, [](const ReconfigJob& j) { return j.dp == DataPathId{2}; });
+  EXPECT_EQ(cancelled, 1u);
+  // Job 3 now starts right after job 1 completes.
+  const auto pending = port.pending(50);
+  ASSERT_EQ(pending.size(), 2u);
+  EXPECT_EQ(pending[1].dp, DataPathId{3});
+  EXPECT_EQ(pending[1].starts_at, 100u);
+  EXPECT_EQ(pending[1].completes_at, 200u);
+}
+
+TEST(ReconfigPort, CannotCancelStartedJob) {
+  ReconfigPort port;
+  port.enqueue(DataPathId{1}, 0, 100, 0);
+  const std::size_t cancelled =
+      port.cancel_pending(50, [](const ReconfigJob&) { return true; });
+  EXPECT_EQ(cancelled, 0u);
+  EXPECT_EQ(port.busy_until(50), 100u);
+}
+
+TEST(ReconfigPort, CompletionLookup) {
+  ReconfigPort port;
+  const auto id = port.enqueue(DataPathId{1}, 0, 10, 0).id;
+  ASSERT_TRUE(port.completion(id).has_value());
+  EXPECT_EQ(*port.completion(id), 10u);
+  EXPECT_FALSE(port.completion(id + 1).has_value());
+}
+
+TEST(ReconfigPort, CompactDropsFinishedJobs) {
+  ReconfigPort port;
+  port.enqueue(DataPathId{1}, 0, 10, 0);
+  port.enqueue(DataPathId{2}, 1, 10, 0);
+  port.compact(100);
+  EXPECT_TRUE(port.pending(100).empty());
+  // Busy-until falls back to `now` once history is compacted.
+  EXPECT_EQ(port.busy_until(100), 100u);
+}
+
+TEST(ReconfigPort, TotalBusyAccountsCancellations) {
+  ReconfigPort port;
+  port.enqueue(DataPathId{1}, 0, 100, 0);
+  port.enqueue(DataPathId{2}, 1, 50, 0);
+  EXPECT_EQ(port.total_busy_cycles(), 150u);
+  port.cancel_pending(0, [](const ReconfigJob& j) { return j.dp == DataPathId{2}; });
+  EXPECT_EQ(port.total_busy_cycles(), 100u);
+}
+
+TEST(ReconfigController, PortsAreIndependent) {
+  ReconfigController ctrl;
+  ctrl.fg_port().enqueue(DataPathId{1}, 0, 480'000, 0);
+  const auto& cg_job = ctrl.cg_port().enqueue(DataPathId{2}, 0, 60, 0);
+  // The CG load does not wait behind the FG bitstream.
+  EXPECT_EQ(cg_job.completes_at, 60u);
+}
+
+}  // namespace
+}  // namespace mrts

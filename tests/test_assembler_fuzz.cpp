@@ -1,0 +1,218 @@
+// Randomized round-trip tests for both assemblers: generated programs must
+// survive disassemble -> reassemble with identical code and identical
+// execution behaviour (registers, memory, cycle counts).
+
+#include <gtest/gtest.h>
+
+#include "cgsim/cg_assembler.h"
+#include "cgsim/cg_executor.h"
+#include "riscsim/assembler.h"
+#include "riscsim/cpu.h"
+#include "util/rng.h"
+
+namespace mrts {
+namespace {
+
+// --- riscsim ---------------------------------------------------------------
+
+/// Generates a random but well-formed program: a prelude pins r1 to a safe
+/// memory base, the body mixes ALU/memory ops and forward branches, and the
+/// last instruction is halt, so every path terminates.
+riscsim::Program random_risc_program(Rng& rng, std::size_t body_size) {
+  using riscsim::Instr;
+  using riscsim::Op;
+  riscsim::Program p;
+  auto reg = [&rng] { return static_cast<std::uint8_t>(rng.uniform_int(2, 12)); };
+
+  Instr base;
+  base.op = Op::kMovi;
+  base.rd = 1;
+  base.imm = 1024;
+  p.code.push_back(base);
+
+  static constexpr Op kAluOps[] = {Op::kAdd,  Op::kSub,  Op::kAnd, Op::kOr,
+                                   Op::kXor,  Op::kMul,  Op::kMin, Op::kMax,
+                                   Op::kCmpLt, Op::kCmpEq};
+  static constexpr Op kImmOps[] = {Op::kAddi, Op::kSubi, Op::kAndi,
+                                   Op::kOri,  Op::kSlli, Op::kSrli};
+
+  const std::size_t total = 1 + body_size + 1;  // prelude + body + halt
+  for (std::size_t i = 1; i <= body_size; ++i) {
+    Instr in;
+    const int kind = static_cast<int>(rng.uniform_int(0, 9));
+    if (kind < 4) {
+      in.op = kAluOps[rng.next_below(std::size(kAluOps))];
+      in.rd = reg();
+      in.rs1 = reg();
+      in.rs2 = reg();
+    } else if (kind < 7) {
+      in.op = kImmOps[rng.next_below(std::size(kImmOps))];
+      in.rd = reg();
+      in.rs1 = reg();
+      in.imm = static_cast<std::int32_t>(rng.uniform_int(0, 31));
+    } else if (kind == 7) {
+      in.op = rng.bernoulli(0.5) ? Op::kLdw : Op::kStw;
+      in.rd = reg();
+      in.rs1 = 1;  // safe base
+      in.rs2 = reg();
+      in.imm = static_cast<std::int32_t>(rng.uniform_int(0, 63)) * 4;
+    } else if (kind == 8) {
+      in.op = Op::kMovi;
+      in.rd = reg();
+      in.imm = static_cast<std::int32_t>(rng.uniform_int(-1000, 1000));
+    } else {
+      // Forward branch: target strictly after this instruction.
+      static constexpr Op kBranches[] = {Op::kBeq, Op::kBne, Op::kBlt,
+                                         Op::kBge};
+      in.op = kBranches[rng.next_below(std::size(kBranches))];
+      in.rs1 = reg();
+      in.rs2 = reg();
+      in.target = static_cast<std::uint32_t>(
+          rng.uniform_int(static_cast<std::int64_t>(i) + 1,
+                          static_cast<std::int64_t>(total) - 1));
+    }
+    p.code.push_back(in);
+  }
+  Instr halt;
+  halt.op = Op::kHalt;
+  p.code.push_back(halt);
+  p.lines.assign(p.code.size(), 0);
+  return p;
+}
+
+TEST(RiscAssemblerFuzz, DisassembleReassembleRoundTrip) {
+  Rng rng(0xF022);
+  for (int trial = 0; trial < 50; ++trial) {
+    const riscsim::Program original =
+        random_risc_program(rng, 5 + rng.next_below(40));
+    const riscsim::Program rebuilt =
+        riscsim::assemble(riscsim::disassemble(original));
+    ASSERT_EQ(rebuilt.code.size(), original.code.size()) << trial;
+
+    riscsim::Cpu cpu_a;
+    riscsim::Cpu cpu_b;
+    const auto run_a = cpu_a.run(original, 100'000);
+    const auto run_b = cpu_b.run(rebuilt, 100'000);
+    EXPECT_EQ(run_a.cycles, run_b.cycles) << trial;
+    EXPECT_EQ(run_a.instructions, run_b.instructions) << trial;
+    EXPECT_EQ(run_a.halted, run_b.halted) << trial;
+    for (unsigned r = 0; r < riscsim::kNumRegisters; ++r) {
+      ASSERT_EQ(cpu_a.reg(r), cpu_b.reg(r)) << "trial " << trial << " r" << r;
+    }
+  }
+}
+
+// --- cgsim -------------------------------------------------------------------
+
+/// Structured random context program: flat sections and (possibly nested,
+/// depth <= 2) zero-overhead loops, ending with halt; fits the 32-entry
+/// context memory.
+cgsim::CgContextProgram random_cg_program(Rng& rng) {
+  using cgsim::CgInstr;
+  using cgsim::CgOp;
+  cgsim::CgContextProgram p;
+  p.name = "fuzz";
+  auto reg = [&rng] { return static_cast<std::uint8_t>(rng.uniform_int(2, 20)); };
+
+  auto emit_simple = [&](std::size_t count) {
+    static constexpr CgOp kOps[] = {CgOp::kAdd, CgOp::kSub, CgOp::kAnd,
+                                    CgOp::kXor, CgOp::kMul, CgOp::kMac,
+                                    CgOp::kMin, CgOp::kMax};
+    for (std::size_t i = 0; i < count; ++i) {
+      CgInstr in;
+      if (rng.bernoulli(0.2)) {
+        // Only the fields the textual form carries may be set (the
+        // disassembler cannot resurrect unused ones).
+        if (rng.bernoulli(0.5)) {
+          in.op = CgOp::kLd;
+          in.rd = reg();
+        } else {
+          in.op = CgOp::kSt;
+          in.rs2 = reg();
+        }
+        in.rs1 = 1;
+        in.imm = static_cast<std::int32_t>(rng.uniform_int(0, 31)) * 4;
+      } else if (rng.bernoulli(0.2)) {
+        in.op = CgOp::kMovi;
+        in.rd = reg();
+        in.imm = static_cast<std::int32_t>(rng.uniform_int(-50, 50));
+      } else {
+        in.op = kOps[rng.next_below(std::size(kOps))];
+        in.rd = reg();
+        in.rs1 = reg();
+        in.rs2 = reg();
+      }
+      p.code.push_back(in);
+    }
+  };
+
+  // Base register for memory ops.
+  CgInstr base;
+  base.op = CgOp::kMovi;
+  base.rd = 1;
+  base.imm = 256;
+  p.code.push_back(base);
+
+  emit_simple(1 + rng.next_below(3));
+  // One loop, optionally with a nested inner loop.
+  {
+    CgInstr loop;
+    loop.op = CgOp::kLoop;
+    loop.imm = static_cast<std::int32_t>(rng.uniform_int(0, 5));
+    const std::size_t loop_at = p.code.size();
+    p.code.push_back(loop);
+    emit_simple(1 + rng.next_below(3));
+    if (rng.bernoulli(0.5)) {
+      CgInstr inner;
+      inner.op = CgOp::kLoop;
+      inner.imm = static_cast<std::int32_t>(rng.uniform_int(1, 3));
+      const std::size_t inner_at = p.code.size();
+      p.code.push_back(inner);
+      emit_simple(1 + rng.next_below(2));
+      p.code[inner_at].aux =
+          static_cast<std::uint16_t>(p.code.size() - inner_at - 1);
+    }
+    emit_simple(1 + rng.next_below(2));
+    p.code[loop_at].aux =
+        static_cast<std::uint16_t>(p.code.size() - loop_at - 1);
+  }
+  emit_simple(1 + rng.next_below(2));
+  CgInstr halt;
+  halt.op = CgOp::kHalt;
+  p.code.push_back(halt);
+  p.validate();
+  return p;
+}
+
+TEST(CgAssemblerFuzz, DisassembleReassembleRoundTrip) {
+  Rng rng(0xCF02);
+  for (int trial = 0; trial < 50; ++trial) {
+    const cgsim::CgContextProgram original = random_cg_program(rng);
+    const cgsim::CgContextProgram rebuilt =
+        cgsim::cg_assemble("fuzz", cgsim::cg_disassemble(original));
+    ASSERT_EQ(rebuilt.code.size(), original.code.size()) << trial;
+    for (std::size_t i = 0; i < original.code.size(); ++i) {
+      ASSERT_EQ(rebuilt.code[i], original.code[i]) << "trial " << trial
+                                                   << " instr " << i;
+    }
+    cgsim::CgExecutor a;
+    cgsim::CgExecutor b;
+    const auto run_a = a.run(original, 100'000);
+    const auto run_b = b.run(rebuilt, 100'000);
+    EXPECT_EQ(run_a.cycles, run_b.cycles) << trial;
+    EXPECT_EQ(run_a.instructions, run_b.instructions) << trial;
+  }
+}
+
+TEST(CgEncodingFuzz, EncodeDecodeRoundTripsEveryInstruction) {
+  Rng rng(0xE2C);
+  for (int trial = 0; trial < 30; ++trial) {
+    const cgsim::CgContextProgram p = random_cg_program(rng);
+    for (const auto& in : p.code) {
+      EXPECT_EQ(cgsim::CgInstr::decode(in.encode()), in);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mrts

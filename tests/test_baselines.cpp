@@ -1,0 +1,221 @@
+// Tests of the state-of-the-art baselines: RISPP-like, Morpheus/4S-like and
+// the offline-optimal scheme, checking exactly the restrictions the paper
+// attributes to each.
+
+#include <gtest/gtest.h>
+
+#include "baselines/morpheus4s_rts.h"
+#include "baselines/offline_optimal_rts.h"
+#include "baselines/rispp_rts.h"
+#include "baselines/risc_only_rts.h"
+#include "isa/ise_builder.h"
+
+namespace mrts {
+namespace {
+
+IseLibrary library() {
+  IseLibrary lib;
+  IseBuildSpec data;
+  data.kernel_name = "DATA";  // data-dominant: CG-friendly
+  data.sw_latency = 1000;
+  data.control_fraction = 0.15;
+  data.fg_data_speedup = 3.0;  // streaming word-level code: the CG ALU
+  data.cg_data_speedup = 7.0;  // array beats FPGA LUT logic here
+  data.fg_data_path_names = {"d_fg1", "d_fg2"};
+  data.cg_data_path_names = {"d_cg1", "d_cg2"};
+  build_kernel_ises(lib, data);
+  IseBuildSpec ctrl;
+  ctrl.kernel_name = "CTRL";  // control-dominant: FG-friendly
+  ctrl.sw_latency = 900;
+  ctrl.control_fraction = 0.85;
+  ctrl.fg_data_path_names = {"c_fg1", "c_fg2"};
+  ctrl.cg_data_path_names = {"c_cg1"};
+  build_kernel_ises(lib, ctrl);
+  return lib;
+}
+
+TriggerInstruction trigger(const IseLibrary& lib, double e_data,
+                           double e_ctrl) {
+  TriggerInstruction ti;
+  ti.functional_block = FunctionalBlockId{0};
+  ti.entries.push_back({lib.find_kernel("DATA"), e_data, 300, 30});
+  ti.entries.push_back({lib.find_kernel("CTRL"), e_ctrl, 500, 50});
+  return ti;
+}
+
+std::vector<BlockProfile> profile(const IseLibrary& lib, double e_data,
+                                  double e_ctrl, double invocations) {
+  BlockProfile bp;
+  bp.functional_block = FunctionalBlockId{0};
+  bp.average = trigger(lib, e_data, e_ctrl);
+  bp.invocations = invocations;
+  return {bp};
+}
+
+// --- RISC-only --------------------------------------------------------------
+
+TEST(RiscOnlyRts, AlwaysRunsAtSoftwareLatency) {
+  const IseLibrary lib = library();
+  RiscOnlyRts rts(lib);
+  rts.on_trigger(trigger(lib, 1000, 1000), 0);
+  const ExecOutcome out = rts.execute_kernel(lib.find_kernel("DATA"), 50);
+  EXPECT_EQ(out.impl, ImplKind::kRisc);
+  EXPECT_EQ(out.latency, 1000u);
+  EXPECT_EQ(rts.name(), "RISC-only");
+}
+
+// --- RISPP-like --------------------------------------------------------------
+
+TEST(RisppRts, NeverUsesMonoCg) {
+  const IseLibrary lib = library();
+  RisppRts rts(lib, 3, 0);  // CG fabrics only, nothing selected fits FG
+  rts.on_trigger(trigger(lib, 2000, 500), 0);
+  // Drive many executions; monoCG must never appear.
+  for (Cycles t = 0; t < 100'000; t += 5'000) {
+    const ExecOutcome out = rts.execute_kernel(lib.find_kernel("CTRL"), t);
+    EXPECT_NE(out.impl, ImplKind::kMonoCg);
+  }
+}
+
+TEST(RisppRts, CostFunctionUndervaluesFastCgReconfig) {
+  // Few executions: mRTS-style pricing knows the CG variant is ready in
+  // microseconds and profits from it; the RISPP cost function prices it like
+  // a 1.2 ms load, sees (almost) no profit anywhere and effectively guesses.
+  const IseLibrary lib = library();
+  RisppRts rispp(lib, 2, 2);
+  const SelectionOutcome out = rispp.on_trigger(trigger(lib, 40, 30), 0);
+  double rispp_profit = 0.0;
+  for (const auto& sel : out.selection.selected) rispp_profit += sel.profit;
+  // Under FG-scale pricing, 30-40 executions cannot amortize anything.
+  EXPECT_NEAR(rispp_profit, 0.0, 1.0);
+}
+
+TEST(RisppRts, StillAdaptsViaMpu) {
+  const IseLibrary lib = library();
+  RisppRts rts(lib, 2, 2);
+  rts.on_trigger(trigger(lib, 10, 10), 0);
+  BlockObservation obs;
+  obs.functional_block = FunctionalBlockId{0};
+  obs.kernels.push_back({lib.find_kernel("DATA"), 100'000.0, 300, 30});
+  obs.kernels.push_back({lib.find_kernel("CTRL"), 100'000.0, 500, 50});
+  rts.on_block_end(obs, 1'000'000);
+  const SelectionOutcome out = rts.on_trigger(trigger(lib, 10, 10), 2'000'000);
+  double p = 0.0;
+  for (const auto& sel : out.selection.selected) p += sel.profit;
+  EXPECT_GT(p, 0.0);  // the learned 100k executions amortize even FG pricing
+}
+
+// --- Morpheus/4S-like --------------------------------------------------------
+
+TEST(Morpheus4sRts, StaticSelectionIsSingleGrainOnly) {
+  const IseLibrary lib = library();
+  Morpheus4sRts rts(lib, 2, 2, profile(lib, 3000, 3000, 16));
+  ASSERT_FALSE(rts.static_selection().empty());
+  for (const auto& req : rts.static_selection()) {
+    const IseVariant& v = lib.ise(req.ise);
+    EXPECT_FALSE(v.is_multi_grained()) << v.name;
+  }
+}
+
+TEST(Morpheus4sRts, StaticSelectionFitsFabric) {
+  const IseLibrary lib = library();
+  for (unsigned prcs = 0; prcs <= 3; ++prcs) {
+    for (unsigned cg = 0; cg <= 3; ++cg) {
+      Morpheus4sRts rts(lib, cg, prcs, profile(lib, 3000, 3000, 16));
+      unsigned used_fg = 0;
+      unsigned used_cg = 0;
+      for (const auto& req : rts.static_selection()) {
+        used_fg += lib.ise(req.ise).fg_units;
+        used_cg += lib.ise(req.ise).cg_units;
+      }
+      EXPECT_LE(used_fg, prcs);
+      EXPECT_LE(used_cg, cg);
+    }
+  }
+}
+
+TEST(Morpheus4sRts, AssignsDataKernelToCgAndCtrlKernelToFg) {
+  const IseLibrary lib = library();
+  Morpheus4sRts rts(lib, 2, 2, profile(lib, 3000, 3000, 16));
+  for (const auto& req : rts.static_selection()) {
+    const IseVariant& v = lib.ise(req.ise);
+    if (req.kernel == lib.find_kernel("DATA")) {
+      EXPECT_TRUE(v.is_cg_only()) << v.name;
+    } else {
+      EXPECT_TRUE(v.is_fg_only()) << v.name;
+    }
+  }
+}
+
+TEST(Morpheus4sRts, NoIntermediateExecutionBeforeFullConfiguration) {
+  const IseLibrary lib = library();
+  Morpheus4sRts rts(lib, 2, 2, profile(lib, 3000, 3000, 16));
+  rts.on_trigger(trigger(lib, 3000, 3000), 0);
+  // The CTRL kernel got an FG ISE; before its bitstreams complete it must
+  // run in RISC mode (loosely coupled: no intermediate ISEs, no monoCG).
+  const ExecOutcome early = rts.execute_kernel(lib.find_kernel("CTRL"), 1000);
+  EXPECT_EQ(early.impl, ImplKind::kRisc);
+  const ExecOutcome late =
+      rts.execute_kernel(lib.find_kernel("CTRL"), 10'000'000);
+  EXPECT_EQ(late.impl, ImplKind::kFullIse);
+}
+
+TEST(Morpheus4sRts, ReconfiguresOnlyOnce) {
+  const IseLibrary lib = library();
+  Morpheus4sRts rts(lib, 2, 2, profile(lib, 3000, 3000, 16));
+  rts.on_trigger(trigger(lib, 3000, 3000), 0);
+  const auto jobs_after_first = rts.on_trigger(trigger(lib, 1, 1), 500);
+  (void)jobs_after_first;
+  // Second trigger changes nothing on the fabric: a kernel accelerated
+  // before stays accelerated, nothing new is loaded.
+  const ExecOutcome out =
+      rts.execute_kernel(lib.find_kernel("DATA"), 10'000'000);
+  EXPECT_EQ(out.impl, ImplKind::kFullIse);
+}
+
+// --- Offline-optimal ---------------------------------------------------------
+
+TEST(OfflineOptimalRts, PrecomputesPerBlockSelections) {
+  const IseLibrary lib = library();
+  OfflineOptimalRts rts(lib, 2, 2, profile(lib, 3000, 3000, 16));
+  EXPECT_FALSE(rts.selection_for(FunctionalBlockId{0}).empty());
+  EXPECT_TRUE(rts.selection_for(FunctionalBlockId{9}).empty());
+}
+
+TEST(OfflineOptimalRts, UsesIntermediatesButNoMonoCg) {
+  const IseLibrary lib = library();
+  OfflineOptimalRts rts(lib, 2, 2, profile(lib, 50'000, 50'000, 16));
+  rts.on_trigger(trigger(lib, 50'000, 50'000), 0);
+  bool saw_intermediate = false;
+  for (Cycles t = 100; t < 2'000'000; t += 50'000) {
+    const ExecOutcome out = rts.execute_kernel(lib.find_kernel("CTRL"), t);
+    EXPECT_NE(out.impl, ImplKind::kMonoCg);
+    if (out.impl == ImplKind::kIntermediate ||
+        out.impl == ImplKind::kCoveredIse) {
+      saw_intermediate = true;
+    }
+  }
+  EXPECT_TRUE(saw_intermediate);
+}
+
+TEST(OfflineOptimalRts, SelectionIsIdenticalEveryInvocation) {
+  const IseLibrary lib = library();
+  OfflineOptimalRts rts(lib, 2, 2, profile(lib, 3000, 3000, 16));
+  const SelectionOutcome a = rts.on_trigger(trigger(lib, 3000, 3000), 0);
+  // Even with a wildly different actual trigger, the static scheme installs
+  // the same precomputed set.
+  const SelectionOutcome b = rts.on_trigger(trigger(lib, 1, 1), 9'000'000);
+  ASSERT_EQ(a.selection.selected.size(), b.selection.selected.size());
+  for (std::size_t i = 0; i < a.selection.selected.size(); ++i) {
+    EXPECT_EQ(a.selection.selected[i].ise, b.selection.selected[i].ise);
+  }
+}
+
+TEST(OfflineOptimalRts, NoOverheadCharged) {
+  const IseLibrary lib = library();
+  OfflineOptimalRts rts(lib, 2, 2, profile(lib, 3000, 3000, 16));
+  EXPECT_EQ(rts.on_trigger(trigger(lib, 3000, 3000), 0).blocking_overhead, 0u);
+}
+
+}  // namespace
+}  // namespace mrts

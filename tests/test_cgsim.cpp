@@ -1,0 +1,207 @@
+// Unit tests for the CG-fabric executor: 80-bit encoding, zero-overhead
+// loops, timing (1/2/10-cycle ops), context-memory limits and the CG kernel
+// context programs.
+
+#include <gtest/gtest.h>
+
+#include "cgsim/cg_assembler.h"
+#include "cgsim/cg_executor.h"
+#include "cgsim/cg_kernel_programs.h"
+#include "util/rng.h"
+
+namespace mrts::cgsim {
+namespace {
+
+CgRunResult run(CgExecutor& exec, const std::string& asm_text) {
+  return exec.run(cg_assemble("test", asm_text));
+}
+
+TEST(CgIsa, InstructionEncodesToExactlyTenBytes) {
+  CgInstr in;
+  in.op = CgOp::kMac;
+  in.rd = 10;
+  in.rs1 = 33;
+  in.rs2 = 63;
+  in.imm = -123456;
+  in.aux = 7;
+  const auto word = in.encode();
+  static_assert(sizeof(word) == 10, "80-bit instruction");
+  EXPECT_EQ(CgInstr::decode(word), in);
+}
+
+TEST(CgIsa, DecodeRejectsBadOpcode) {
+  std::array<std::uint8_t, 10> word{};
+  word[0] = 0xff;
+  EXPECT_THROW(CgInstr::decode(word), std::invalid_argument);
+}
+
+TEST(CgIsa, ContextProgramStreamSize) {
+  const CgContextProgram& p = cg_kernel_program("simd_absdiff");
+  EXPECT_EQ(p.stream_bytes(), p.code.size() * 10);
+  EXPECT_LE(p.code.size(), kCgContextMemoryInstructions);
+}
+
+TEST(CgAssembler, RejectsOverlongProgram) {
+  std::string src;
+  for (int i = 0; i < 33; ++i) src += "nop\n";
+  EXPECT_THROW(cg_assemble("too-long", src), std::invalid_argument);
+}
+
+TEST(CgAssembler, RejectsUnbalancedLoops) {
+  EXPECT_THROW(cg_assemble("x", "loop 4\nadd r1, r2, r3\n"),
+               std::invalid_argument);
+  EXPECT_THROW(cg_assemble("x", "endl\n"), std::invalid_argument);
+  EXPECT_THROW(cg_assemble("x", "loop 4\nendl\n"), std::invalid_argument);
+}
+
+TEST(CgExecutor, BasicAluAndTiming) {
+  CgExecutor exec;
+  const CgRunResult r = run(exec, R"(
+    movi r1, 6
+    movi r2, 7
+    mul  r3, r1, r2
+    div  r4, r3, r1
+    add  r5, r3, r4
+    halt
+  )");
+  EXPECT_EQ(exec.reg(3), 42u);
+  EXPECT_EQ(exec.reg(4), 7u);
+  EXPECT_EQ(exec.reg(5), 49u);
+  // movi(1)+movi(1)+mul(2)+div(10)+add(1)+halt(1) = 16.
+  EXPECT_EQ(r.cycles, 16u);
+}
+
+TEST(CgExecutor, MacAccumulates) {
+  CgExecutor exec;
+  run(exec, R"(
+    movi r1, 3
+    movi r2, 4
+    movi r10, 100
+    mac  r10, r1, r2
+    mac  r10, r1, r2
+    halt
+  )");
+  EXPECT_EQ(exec.reg(10), 124u);
+}
+
+TEST(CgExecutor, ZeroOverheadLoopRunsExactCount) {
+  CgExecutor exec;
+  const CgRunResult r = run(exec, R"(
+    movi r1, 0
+    loop 10
+      addi r1, r1, 1
+    endl
+    halt
+  )");
+  EXPECT_EQ(exec.reg(1), 10u);
+  // movi(1) + loop setup(1) + 10 * addi(1) + halt(1) = 13 cycles:
+  // iterations cost nothing beyond their body (zero-overhead loop).
+  EXPECT_EQ(r.cycles, 13u);
+}
+
+TEST(CgExecutor, NestedLoopsUpToHardwareDepth) {
+  CgExecutor exec;
+  run(exec, R"(
+    movi r1, 0
+    loop 3
+      loop 4
+        addi r1, r1, 1
+      endl
+    endl
+    halt
+  )");
+  EXPECT_EQ(exec.reg(1), 12u);
+}
+
+TEST(CgExecutor, ThirdLoopLevelThrows) {
+  CgExecutor exec;
+  EXPECT_THROW(run(exec, R"(
+    loop 2
+      loop 2
+        loop 2
+          nop
+        endl
+      endl
+    endl
+    halt
+  )"),
+               std::runtime_error);
+}
+
+TEST(CgExecutor, ZeroTripLoopSkipsBody) {
+  CgExecutor exec;
+  run(exec, R"(
+    movi r1, 5
+    loop 0
+      movi r1, 99
+    endl
+    halt
+  )");
+  EXPECT_EQ(exec.reg(1), 5u);
+}
+
+TEST(CgExecutor, FallingOffContextEndHalts) {
+  CgExecutor exec;
+  const CgRunResult r = run(exec, "movi r1, 1\n");
+  EXPECT_TRUE(r.halted);
+}
+
+TEST(CgExecutor, MemoryRoundTrip) {
+  CgExecutor exec;
+  run(exec, R"(
+    movi r1, 64
+    movi r2, 777
+    st   [r1+0], r2
+    ld   r3, [r1+0]
+    halt
+  )");
+  EXPECT_EQ(exec.reg(3), 777u);
+}
+
+TEST(CgExecutor, DivisionByZeroThrows) {
+  CgExecutor exec;
+  EXPECT_THROW(run(exec, "movi r1, 1\ndiv r2, r1, r0\nhalt\n"),
+               std::runtime_error);
+}
+
+TEST(CgKernelPrograms, AllFitContextMemoryAndHalt) {
+  for (const auto& name : cg_kernel_program_names()) {
+    const CgContextProgram& p = cg_kernel_program(name);
+    EXPECT_LE(p.code.size(), kCgContextMemoryInstructions) << name;
+    const CgRunResult r = measure_cg_kernel(name);
+    EXPECT_TRUE(r.halted) << name;
+    EXPECT_GT(r.cycles, 0u) << name;
+  }
+}
+
+TEST(CgKernelPrograms, SimdAbsdiffMatchesReference) {
+  CgExecutor exec;
+  Rng rng(11);
+  std::uint32_t mem[512];
+  for (std::size_t i = 0; i < 512; ++i) {
+    mem[i] = static_cast<std::uint32_t>(rng.uniform_int(0, 255));
+    exec.memory().write32(4 * i, mem[i]);
+  }
+  std::uint32_t expected = 0;
+  for (std::size_t i = 0; i < 16; ++i) {
+    const auto a = static_cast<std::int32_t>(mem[i]);
+    const auto b = static_cast<std::int32_t>(mem[64 + i]);  // 0x100 / 4
+    expected += static_cast<std::uint32_t>(a > b ? a - b : b - a);
+  }
+  exec.run(cg_kernel_program("simd_absdiff"));
+  EXPECT_EQ(exec.reg(10), expected);
+}
+
+TEST(CgKernelPrograms, CgIsFasterThanRiscPerWorkItem) {
+  // The point of the CG fabric: the SAD inner loop costs far fewer cycles
+  // than on the core (ZOL + wide ALU ops). The CG program handles 16 pairs.
+  const CgRunResult cg = measure_cg_kernel("simd_absdiff");
+  EXPECT_LT(cg.cycles, 200u);
+}
+
+TEST(CgKernelPrograms, UnknownNameThrows) {
+  EXPECT_THROW(cg_kernel_program("nope"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mrts::cgsim

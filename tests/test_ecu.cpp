@@ -1,0 +1,266 @@
+// Unit tests for the Execution Control Unit: the Fig. 7 decision chain
+// (full ISE -> intermediate ISE -> monoCG-Extension -> RISC), cross-ISE
+// coverage and the statistics counters.
+
+#include <gtest/gtest.h>
+
+#include "arch/fabric_manager.h"
+#include "rts/ecu.h"
+
+namespace mrts {
+namespace {
+
+/// One kernel (sw 1000) with:
+///  * K.FG2: two FG data paths, intermediate 400, full 150 (slow to load),
+///  * K.MG:  CG + FG data path, intermediate 600, full 180,
+///  * K.CG:  one CG data path, full 650,
+///  * K.mono: monoCG-Extension, 550.
+class EcuTest : public ::testing::Test {
+ protected:
+  EcuTest() {
+    auto add_dp = [this](const char* name, Grain grain) {
+      DataPathDesc dp;
+      dp.name = name;
+      dp.grain = grain;
+      if (grain == Grain::kCoarse) dp.context_instructions = 30;
+      return lib_.data_paths().add(dp);
+    };
+    cg_ = add_dp("cg", Grain::kCoarse);
+    fg1_ = add_dp("fg1", Grain::kFine);
+    fg2_ = add_dp("fg2", Grain::kFine);
+    mono_dp_ = add_dp("mono", Grain::kCoarse);
+
+    kernel_ = lib_.add_kernel("K", 1000);
+
+    IseVariant fg_ise;
+    fg_ise.kernel = kernel_;
+    fg_ise.name = "K.FG2";
+    fg_ise.data_paths = {fg1_, fg2_};
+    fg_ise.latency_after = {1000, 400, 150};
+    fg2_ise_ = lib_.add_ise(fg_ise);
+
+    IseVariant mg;
+    mg.kernel = kernel_;
+    mg.name = "K.MG";
+    mg.data_paths = {cg_, fg1_};
+    mg.latency_after = {1000, 600, 180};
+    mg_ = lib_.add_ise(mg);
+
+    IseVariant cg_only;
+    cg_only.kernel = kernel_;
+    cg_only.name = "K.CG";
+    cg_only.data_paths = {cg_};
+    cg_only.latency_after = {1000, 650};
+    cg_only_ = lib_.add_ise(cg_only);
+
+    IseVariant mono_ise;
+    mono_ise.kernel = kernel_;
+    mono_ise.name = "K.mono";
+    mono_ise.is_mono_cg = true;
+    mono_ise.data_paths = {mono_dp_};
+    mono_ise.latency_after = {1000, 550};
+    mono_ise_ = lib_.add_ise(mono_ise);
+  }
+
+  Cycles fg_cost() const { return lib_.data_paths()[fg1_].reconfig_cycles(); }
+
+  IseLibrary lib_;
+  DataPathId cg_, fg1_, fg2_, mono_dp_;
+  KernelId kernel_;
+  IseId fg2_ise_, mg_, cg_only_, mono_ise_;
+};
+
+TEST_F(EcuTest, FullFallbackChainWithFgOnlySelection) {
+  FabricManager fabric(1, 2, &lib_.data_paths());
+  Ecu ecu(lib_, fabric);
+  const auto placements =
+      fabric.install({{fg2_ise_, kernel_, lib_.ise(fg2_ise_).data_paths}}, 0);
+  ecu.begin_block(placements, 0);
+
+  // t=0: nothing configured yet, the monoCG context is still streaming
+  // (64 cycles + 2-cycle switch) -> RISC mode.
+  const ExecOutcome at0 = ecu.execute(kernel_, 0);
+  EXPECT_EQ(at0.impl, ImplKind::kRisc);
+  EXPECT_EQ(at0.latency, 1000u);
+
+  // t=100: the monoCG-Extension bridges the FG reconfiguration delay.
+  const ExecOutcome at100 = ecu.execute(kernel_, 100);
+  EXPECT_EQ(at100.impl, ImplKind::kMonoCg);
+  EXPECT_EQ(at100.latency, 550u);  // same kernel as last: no context switch
+
+  // After the first FG data path: the intermediate ISE (better than mono).
+  const ExecOutcome mid = ecu.execute(kernel_, fg_cost() + 10);
+  EXPECT_EQ(mid.impl, ImplKind::kIntermediate);
+  EXPECT_EQ(mid.latency, 400u);
+
+  // After both FG data paths: the full selected ISE.
+  const ExecOutcome late = ecu.execute(kernel_, 2 * fg_cost() + 10);
+  EXPECT_EQ(late.impl, ImplKind::kFullIse);
+  EXPECT_EQ(late.latency, 150u);
+}
+
+TEST_F(EcuTest, MgIntermediateAvailableAlmostInstantly) {
+  FabricManager fabric(1, 1, &lib_.data_paths());
+  Ecu ecu(lib_, fabric);
+  const auto placements =
+      fabric.install({{mg_, kernel_, lib_.ise(mg_).data_paths}}, 0);
+  ecu.begin_block(placements, 0);
+  // The CG data path loads in 60 cycles -> intermediate ISE usable at once,
+  // which is the whole point of listing CG data paths first in MG ISEs.
+  const ExecOutcome out = ecu.execute(kernel_, 100);
+  EXPECT_EQ(out.impl, ImplKind::kIntermediate);
+  EXPECT_EQ(out.latency, 600u + 2u);  // first CG use: one context switch
+}
+
+TEST_F(EcuTest, RiscWhenNothingAvailable) {
+  FabricManager fabric(0, 1, &lib_.data_paths());  // no CG fabric at all
+  Ecu ecu(lib_, fabric);
+  ecu.begin_block({}, 0);
+  const ExecOutcome out = ecu.execute(kernel_, 0);
+  EXPECT_EQ(out.impl, ImplKind::kRisc);
+  EXPECT_EQ(out.latency, 1000u);
+}
+
+TEST_F(EcuTest, MonoCgDisabledFallsBackToRisc) {
+  FabricManager fabric(1, 2, &lib_.data_paths());
+  Ecu ecu(lib_, fabric,
+          Ecu::Config{/*use_intermediates=*/true, /*use_cross_coverage=*/true,
+                      /*use_mono_cg=*/false});
+  const auto placements =
+      fabric.install({{fg2_ise_, kernel_, lib_.ise(fg2_ise_).data_paths}}, 0);
+  ecu.begin_block(placements, 0);
+  EXPECT_EQ(ecu.execute(kernel_, 100).impl, ImplKind::kRisc);
+}
+
+TEST_F(EcuTest, IntermediatesDisabledWaitForFullIse) {
+  FabricManager fabric(0, 2, &lib_.data_paths());
+  Ecu ecu(lib_, fabric,
+          Ecu::Config{/*use_intermediates=*/false,
+                      /*use_cross_coverage=*/false,
+                      /*use_mono_cg=*/false});
+  const auto placements =
+      fabric.install({{fg2_ise_, kernel_, lib_.ise(fg2_ise_).data_paths}}, 0);
+  ecu.begin_block(placements, 0);
+  EXPECT_EQ(ecu.execute(kernel_, fg_cost() + 10).impl, ImplKind::kRisc);
+  EXPECT_EQ(ecu.execute(kernel_, 2 * fg_cost() + 10).impl,
+            ImplKind::kFullIse);
+}
+
+TEST_F(EcuTest, CrossCoverageFindsOtherIsesOfKernel) {
+  // Another kernel's selection loads the shared CG data path; kernel K has
+  // no selection of its own but its K.MG/K.CG variants become (partially)
+  // available through the shared data path.
+  FabricManager fabric(2, 1, &lib_.data_paths());
+  Ecu ecu(lib_, fabric);
+  const KernelId other = lib_.add_kernel("OTHER", 500);
+  IseVariant other_ise;
+  other_ise.kernel = other;
+  other_ise.name = "O.CG";
+  other_ise.data_paths = {cg_};
+  other_ise.latency_after = {500, 300};
+  const IseId other_id = lib_.add_ise(other_ise);
+  const auto placements = fabric.install({{other_id, other, {cg_}}}, 0);
+  ecu.begin_block(placements, 0);
+
+  const ExecOutcome out = ecu.execute(kernel_, 100);
+  // Best covered option: K.MG at level 1 (latency 600), plus one context
+  // switch for the first CG use in this block.
+  EXPECT_EQ(out.impl, ImplKind::kCoveredIse);
+  EXPECT_EQ(out.latency, 600u + 2u);
+}
+
+TEST_F(EcuTest, CrossCoverageDisabledIgnoresSharedPaths) {
+  FabricManager fabric(2, 1, &lib_.data_paths());
+  Ecu ecu(lib_, fabric,
+          Ecu::Config{/*use_intermediates=*/true,
+                      /*use_cross_coverage=*/false,
+                      /*use_mono_cg=*/false});
+  const KernelId other = lib_.add_kernel("OTHER2", 500);
+  IseVariant other_ise;
+  other_ise.kernel = other;
+  other_ise.name = "O2.CG";
+  other_ise.data_paths = {cg_};
+  other_ise.latency_after = {500, 300};
+  const IseId other_id = lib_.add_ise(other_ise);
+  const auto placements = fabric.install({{other_id, other, {cg_}}}, 0);
+  ecu.begin_block(placements, 0);
+  EXPECT_EQ(ecu.execute(kernel_, 100).impl, ImplKind::kRisc);
+}
+
+TEST_F(EcuTest, ContextSwitchChargedOnKernelChange) {
+  FabricManager fabric(2, 0, &lib_.data_paths());
+  Ecu ecu(lib_, fabric,
+          Ecu::Config{/*use_intermediates=*/true,
+                      /*use_cross_coverage=*/false,
+                      /*use_mono_cg=*/false});
+  const auto placements = fabric.install({{cg_only_, kernel_, {cg_}}}, 0);
+  ecu.begin_block(placements, 0);
+  const ExecOutcome first = ecu.execute(kernel_, 1000);
+  EXPECT_EQ(first.impl, ImplKind::kFullIse);
+  EXPECT_EQ(first.latency, 650u + 2u);  // switch: no kernel ran before
+  const ExecOutcome second = ecu.execute(kernel_, 2000);
+  EXPECT_EQ(second.latency, 650u);  // consecutive same kernel: no switch
+  EXPECT_EQ(ecu.stats().context_switch_cycles, 2u);
+}
+
+TEST_F(EcuTest, StatsAccumulatePerImplKind) {
+  FabricManager fabric(1, 2, &lib_.data_paths());
+  Ecu ecu(lib_, fabric);
+  const auto placements =
+      fabric.install({{fg2_ise_, kernel_, lib_.ise(fg2_ise_).data_paths}}, 0);
+  ecu.begin_block(placements, 0);
+  ecu.execute(kernel_, 0);                    // RISC
+  ecu.execute(kernel_, 100);                  // monoCG
+  ecu.execute(kernel_, fg_cost() + 10);       // intermediate
+  ecu.execute(kernel_, 2 * fg_cost() + 10);   // full
+  const EcuStats& stats = ecu.stats();
+  EXPECT_EQ(stats.total_executions(), 4u);
+  EXPECT_EQ(stats.executions[static_cast<std::size_t>(ImplKind::kRisc)], 1u);
+  EXPECT_EQ(stats.executions[static_cast<std::size_t>(ImplKind::kMonoCg)], 1u);
+  EXPECT_EQ(
+      stats.executions[static_cast<std::size_t>(ImplKind::kIntermediate)], 1u);
+  EXPECT_EQ(stats.executions[static_cast<std::size_t>(ImplKind::kFullIse)],
+            1u);
+  EXPECT_GT(stats.saved_vs_risc, 0u);
+  EXPECT_EQ(stats.cycles[static_cast<std::size_t>(ImplKind::kRisc)], 1000u);
+}
+
+TEST_F(EcuTest, MonoCgSurvivesBlockBoundary) {
+  FabricManager fabric(1, 2, &lib_.data_paths());
+  Ecu ecu(lib_, fabric);
+  const auto placements =
+      fabric.install({{fg2_ise_, kernel_, lib_.ise(fg2_ise_).data_paths}}, 0);
+  ecu.begin_block(placements, 0);
+  // First execution kicks off the monoCG context load (66 cycles)...
+  EXPECT_EQ(ecu.execute(kernel_, 100).impl, ImplKind::kRisc);
+  // ...which is ready for the next one.
+  EXPECT_EQ(ecu.execute(kernel_, 300).impl, ImplKind::kMonoCg);
+
+  // New block; the same selection is reinstalled (reuse), and the monoCG
+  // context is still resident on its fabric: usable immediately.
+  const auto again =
+      fabric.install({{fg2_ise_, kernel_, lib_.ise(fg2_ise_).data_paths}},
+                     1000);
+  ecu.begin_block(again, 1000);
+  EXPECT_EQ(ecu.execute(kernel_, 1001).impl, ImplKind::kMonoCg);
+}
+
+TEST_F(EcuTest, ResetClearsStateAndStats) {
+  FabricManager fabric(1, 2, &lib_.data_paths());
+  Ecu ecu(lib_, fabric);
+  ecu.begin_block({}, 0);
+  ecu.execute(kernel_, 0);
+  ecu.reset();
+  EXPECT_EQ(ecu.stats().total_executions(), 0u);
+}
+
+TEST_F(EcuTest, ImplKindNames) {
+  EXPECT_STREQ(to_string(ImplKind::kRisc), "RISC");
+  EXPECT_STREQ(to_string(ImplKind::kMonoCg), "monoCG");
+  EXPECT_STREQ(to_string(ImplKind::kIntermediate), "intermediate");
+  EXPECT_STREQ(to_string(ImplKind::kFullIse), "full-ISE");
+  EXPECT_STREQ(to_string(ImplKind::kCoveredIse), "covered-ISE");
+}
+
+}  // namespace
+}  // namespace mrts

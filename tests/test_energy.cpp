@@ -1,0 +1,119 @@
+// Tests for the fabric reconfiguration statistics and the first-order
+// energy model.
+
+#include <gtest/gtest.h>
+
+#include "baselines/risc_only_rts.h"
+#include "rts/mrts.h"
+#include "sim/app_simulator.h"
+#include "sim/energy.h"
+#include "workload/h264_app.h"
+
+namespace mrts {
+namespace {
+
+TEST(ReconfigStats, CountsLoadsBytesAndReuse) {
+  DataPathTable table;
+  DataPathDesc fg;
+  fg.name = "fg";
+  fg.grain = Grain::kFine;
+  fg.bitstream_bytes = 1000;
+  const DataPathId fg_id = table.add(fg);
+  DataPathDesc cg;
+  cg.name = "cg";
+  cg.grain = Grain::kCoarse;
+  cg.context_instructions = 20;
+  const DataPathId cg_id = table.add(cg);
+
+  FabricManager fm(1, 1, &table);
+  fm.install({{IseId{0}, KernelId{0}, {fg_id, cg_id}}}, 0);
+  const ReconfigStats& s1 = fm.reconfig_stats();
+  EXPECT_EQ(s1.fg_loads, 1u);
+  EXPECT_EQ(s1.fg_bytes, 1000u);
+  EXPECT_EQ(s1.cg_loads, 1u);
+  EXPECT_EQ(s1.cg_bytes, 20u * 10u);  // 80-bit instructions = 10 bytes each
+  EXPECT_EQ(s1.reused_instances, 0u);
+
+  // Reinstalling the same selection transfers nothing new.
+  fm.install({{IseId{0}, KernelId{0}, {fg_id, cg_id}}}, 1'000'000);
+  const ReconfigStats& s2 = fm.reconfig_stats();
+  EXPECT_EQ(s2.fg_loads, 1u);
+  EXPECT_EQ(s2.cg_loads, 1u);
+  EXPECT_EQ(s2.reused_instances, 2u);
+
+  fm.reset();
+  EXPECT_EQ(fm.reconfig_stats().fg_loads, 0u);
+}
+
+TEST(ReconfigStats, CancelledLoadsAreCounted) {
+  DataPathTable table;
+  for (int i = 0; i < 3; ++i) {
+    DataPathDesc fg;
+    fg.name = "fg" + std::to_string(i);
+    fg.grain = Grain::kFine;
+    table.add(fg);
+  }
+  FabricManager fm(0, 2, &table);
+  // fg0 starts loading; fg1 queues behind it.
+  fm.install({{IseId{0}, KernelId{0}, {DataPathId{0}, DataPathId{1}}}}, 0);
+  // New selection drops fg1 (still queued) for fg2.
+  fm.install({{IseId{1}, KernelId{1}, {DataPathId{0}, DataPathId{2}}}}, 100);
+  EXPECT_EQ(fm.reconfig_stats().cancelled_loads, 1u);
+}
+
+TEST(Energy, HandComputedBreakdown) {
+  AppRunResult run;
+  run.total_cycles = 1000;
+  run.impl_cycles[static_cast<std::size_t>(ImplKind::kRisc)] = 300;
+  run.impl_cycles[static_cast<std::size_t>(ImplKind::kFullIse)] = 500;
+  run.impl_cycles[static_cast<std::size_t>(ImplKind::kMonoCg)] = 100;
+  // 100 cycles of gaps remain.
+  ReconfigStats stats;
+  stats.fg_bytes = 10'000;
+  stats.cg_bytes = 1'000;
+
+  EnergyParams p;
+  p.core_nj_per_cycle = 1.0;
+  p.accel_nj_per_cycle = 2.0;
+  p.mono_nj_per_cycle = 3.0;
+  p.fg_reconfig_nj_per_byte = 0.1;
+  p.cg_reconfig_nj_per_byte = 0.2;
+  p.leakage_nj_per_cycle = 0.5;
+
+  const EnergyBreakdown e = estimate_energy(run, stats, p);
+  // execution: (300+100)*1 + 500*2 + 100*3 = 1700 nJ
+  EXPECT_NEAR(e.execution_mj, 1700e-6, 1e-12);
+  // reconfig: 10k*0.1 + 1k*0.2 = 1200 nJ
+  EXPECT_NEAR(e.reconfiguration_mj, 1200e-6, 1e-12);
+  // leakage: 1000*0.5 = 500 nJ
+  EXPECT_NEAR(e.leakage_mj, 500e-6, 1e-12);
+  EXPECT_NEAR(e.total_mj(), 3400e-6, 1e-12);
+  EXPECT_NEAR(e.edp(1000), 3400e-6 * 1e-3, 1e-12);
+}
+
+TEST(Energy, AcceleratedRunSavesEnergyDespiteReconfiguration) {
+  H264AppParams params;
+  params.frames = 3;
+  const H264Application app = build_h264_application(params);
+
+  RiscOnlyRts risc(app.library);
+  const AppRunResult risc_run = run_application(risc, app.trace);
+  const EnergyBreakdown risc_energy =
+      estimate_energy(risc_run, ReconfigStats{});
+
+  MRts rts(app.library, 2, 2);
+  const AppRunResult accel_run = run_application(rts, app.trace);
+  const EnergyBreakdown accel_energy =
+      estimate_energy(accel_run, rts.fabric().reconfig_stats());
+
+  // Accelerated execution costs more per cycle but runs far fewer cycles;
+  // with leakage included the total must drop.
+  EXPECT_LT(accel_energy.total_mj(), risc_energy.total_mj());
+  EXPECT_GT(accel_energy.reconfiguration_mj, 0.0);
+  // And the energy-delay product improves even more.
+  EXPECT_LT(accel_energy.edp(accel_run.total_cycles),
+            0.5 * risc_energy.edp(risc_run.total_cycles));
+}
+
+}  // namespace
+}  // namespace mrts

@@ -1,0 +1,345 @@
+// Unit tests for the ISE model: variant validation, the library registry and
+// the properties of the generated ISE families (ise_builder).
+
+#include <gtest/gtest.h>
+
+#include "isa/ise_builder.h"
+#include "isa/ise_library.h"
+#include "isa/trigger.h"
+
+namespace mrts {
+namespace {
+
+IseLibrary toy_library() {
+  IseLibrary lib;
+  DataPathDesc fg;
+  fg.name = "fg";
+  fg.grain = Grain::kFine;
+  lib.data_paths().add(fg);
+  DataPathDesc cg;
+  cg.name = "cg";
+  cg.grain = Grain::kCoarse;
+  lib.data_paths().add(cg);
+  return lib;
+}
+
+TEST(IseVariant, ValidateCatchesMalformedVariants) {
+  IseLibrary lib = toy_library();
+  const KernelId k = lib.add_kernel("K", 100);
+
+  IseVariant ok;
+  ok.kernel = k;
+  ok.name = "ok";
+  ok.data_paths = {DataPathId{0}};
+  ok.latency_after = {100, 40};
+  EXPECT_NO_THROW(lib.add_ise(ok));
+
+  IseVariant wrong_size = ok;
+  wrong_size.name = "wrong_size";
+  wrong_size.latency_after = {100};
+  EXPECT_THROW(lib.add_ise(wrong_size), std::invalid_argument);
+
+  IseVariant increasing = ok;
+  increasing.name = "increasing";
+  increasing.latency_after = {100, 120};
+  EXPECT_THROW(lib.add_ise(increasing), std::invalid_argument);
+
+  IseVariant no_dps = ok;
+  no_dps.name = "no_dps";
+  no_dps.data_paths = {};
+  no_dps.latency_after = {100};
+  EXPECT_THROW(lib.add_ise(no_dps), std::invalid_argument);
+
+  IseVariant zero_latency = ok;
+  zero_latency.name = "zero_latency";
+  zero_latency.latency_after = {100, 0};
+  EXPECT_THROW(lib.add_ise(zero_latency), std::invalid_argument);
+
+  IseVariant bad_base = ok;
+  bad_base.name = "bad_base";
+  bad_base.latency_after = {90, 40};  // != kernel sw latency
+  EXPECT_THROW(lib.add_ise(bad_base), std::invalid_argument);
+
+  IseVariant fg_mono = ok;
+  fg_mono.name = "fg_mono";
+  fg_mono.is_mono_cg = true;  // monoCG must be CG-only
+  EXPECT_THROW(lib.add_ise(fg_mono), std::invalid_argument);
+}
+
+TEST(IseVariant, ResourceDemandAndGrainClassification) {
+  IseLibrary lib = toy_library();
+  const KernelId k = lib.add_kernel("K", 100);
+  IseVariant mg;
+  mg.kernel = k;
+  mg.name = "mg";
+  mg.data_paths = {DataPathId{0}, DataPathId{1}, DataPathId{0}};
+  mg.latency_after = {100, 80, 60, 40};
+  const IseId id = lib.add_ise(mg);
+  const IseVariant& v = lib.ise(id);
+  EXPECT_EQ(v.fg_units, 2u);
+  EXPECT_EQ(v.cg_units, 1u);
+  EXPECT_TRUE(v.is_multi_grained());
+  EXPECT_FALSE(v.is_fg_only());
+  EXPECT_TRUE(v.fits(2, 1));
+  EXPECT_FALSE(v.fits(1, 1));
+  EXPECT_FALSE(v.fits(2, 0));
+}
+
+TEST(IseVariant, WorstCaseReconfigIsMaxOfPortTimes) {
+  IseLibrary lib = toy_library();
+  const KernelId k = lib.add_kernel("K", 100);
+  IseVariant v;
+  v.kernel = k;
+  v.name = "v";
+  v.data_paths = {DataPathId{0}, DataPathId{1}};
+  v.latency_after = {100, 50, 25};
+  const IseId id = lib.add_ise(v);
+  const auto& table = lib.data_paths();
+  const Cycles fg = table[DataPathId{0}].reconfig_cycles();
+  EXPECT_EQ(lib.ise(id).worst_case_reconfig_cycles(table), fg);
+}
+
+TEST(IseLibrary, KernelRegistryAndLookup) {
+  IseLibrary lib;
+  const KernelId a = lib.add_kernel("A", 10);
+  const KernelId b = lib.add_kernel("B", 20);
+  EXPECT_EQ(lib.num_kernels(), 2u);
+  EXPECT_EQ(lib.find_kernel("B"), b);
+  EXPECT_EQ(lib.find_kernel("C"), kInvalidKernel);
+  EXPECT_EQ(lib.kernel(a).sw_latency, 10u);
+  EXPECT_THROW(lib.add_kernel("A", 5), std::invalid_argument);
+  EXPECT_THROW(lib.add_kernel("", 5), std::invalid_argument);
+  EXPECT_THROW(lib.add_kernel("Z", 0), std::invalid_argument);
+  EXPECT_THROW(lib.kernel(KernelId{9}), std::out_of_range);
+}
+
+TEST(IseLibrary, MonoCgIsKeptOutOfCandidateList) {
+  IseLibrary lib = toy_library();
+  const KernelId k = lib.add_kernel("K", 100);
+  IseVariant mono;
+  mono.kernel = k;
+  mono.name = "K.mono";
+  mono.is_mono_cg = true;
+  mono.data_paths = {DataPathId{1}};
+  mono.latency_after = {100, 55};
+  const IseId mono_id = lib.add_ise(mono);
+  EXPECT_TRUE(lib.kernel(k).ises.empty());
+  EXPECT_EQ(lib.kernel(k).mono_cg, mono_id);
+
+  IseVariant second_mono = mono;
+  second_mono.name = "K.mono2";
+  EXPECT_THROW(lib.add_ise(second_mono), std::invalid_argument);
+}
+
+TEST(IseLibrary, FittingIsesFiltersByTotalCapacity) {
+  IseLibrary lib = toy_library();
+  const KernelId k = lib.add_kernel("K", 100);
+  IseVariant small;
+  small.kernel = k;
+  small.name = "small";
+  small.data_paths = {DataPathId{1}};
+  small.latency_after = {100, 60};
+  IseVariant big;
+  big.kernel = k;
+  big.name = "big";
+  big.data_paths = {DataPathId{0}, DataPathId{0}, DataPathId{0}};
+  big.latency_after = {100, 80, 60, 30};
+  lib.add_ise(small);
+  lib.add_ise(big);
+  EXPECT_EQ(lib.fitting_ises(k, 2, 1).size(), 1u);  // only the CG one
+  EXPECT_EQ(lib.fitting_ises(k, 3, 1).size(), 2u);
+  EXPECT_EQ(lib.fitting_ises(k, 0, 0).size(), 0u);
+}
+
+// --- ise_builder ----------------------------------------------------------
+
+class IseBuilderTest : public ::testing::Test {
+ protected:
+  IseBuilderTest() {
+    spec_.kernel_name = "K";
+    spec_.sw_latency = 1000;
+    spec_.control_fraction = 0.3;
+    spec_.fg_data_path_names = {"k_fg1", "k_fg2", "k_fg3"};
+    spec_.cg_data_path_names = {"k_cg1", "k_cg2"};
+    kernel_ = build_kernel_ises(lib_, spec_);
+  }
+
+  IseLibrary lib_;
+  IseBuildSpec spec_;
+  KernelId kernel_;
+};
+
+TEST_F(IseBuilderTest, GeneratesExpectedVariantFamily) {
+  // FG1..FG3, CG1..CG2, and MG{1..2}x{1} (default sub-design sizes: 2 FG
+  // control data paths, 1 CG data data path) = 3 + 2 + 2 = 7, plus monoCG.
+  EXPECT_EQ(lib_.kernel(kernel_).ises.size(), 7u);
+  EXPECT_TRUE(lib_.kernel(kernel_).has_mono_cg());
+  EXPECT_NE(lib_.find_ise("K.FG3"), kInvalidIse);
+  EXPECT_NE(lib_.find_ise("K.CG2"), kInvalidIse);
+  EXPECT_NE(lib_.find_ise("K.MG2c1"), kInvalidIse);
+  EXPECT_NE(lib_.find_ise("K.monoCG"), kInvalidIse);
+}
+
+TEST_F(IseBuilderTest, LatenciesAreMonotoneNonIncreasing) {
+  for (IseId id : lib_.kernel(kernel_).ises) {
+    const IseVariant& v = lib_.ise(id);
+    for (std::size_t i = 1; i < v.latency_after.size(); ++i) {
+      EXPECT_LE(v.latency_after[i], v.latency_after[i - 1]) << v.name;
+    }
+    EXPECT_EQ(v.latency_after.front(), 1000u) << v.name;
+  }
+}
+
+TEST_F(IseBuilderTest, SmallerVariantsArePrefixesOfLarger) {
+  const IseVariant& fg1 = lib_.ise(lib_.find_ise("K.FG1"));
+  const IseVariant& fg3 = lib_.ise(lib_.find_ise("K.FG3"));
+  ASSERT_LE(fg1.data_paths.size(), fg3.data_paths.size());
+  for (std::size_t i = 0; i < fg1.data_paths.size(); ++i) {
+    EXPECT_EQ(fg1.data_paths[i], fg3.data_paths[i]);
+  }
+}
+
+TEST_F(IseBuilderTest, MgVariantsListCgDataPathsFirst) {
+  const IseVariant& mg = lib_.ise(lib_.find_ise("K.MG2c1"));
+  const auto& table = lib_.data_paths();
+  ASSERT_EQ(mg.data_paths.size(), 3u);
+  EXPECT_EQ(table[mg.data_paths[0]].grain, Grain::kCoarse);
+  EXPECT_EQ(table[mg.data_paths[1]].grain, Grain::kFine);
+  EXPECT_EQ(table[mg.data_paths[2]].grain, Grain::kFine);
+  EXPECT_TRUE(mg.is_multi_grained());
+}
+
+TEST_F(IseBuilderTest, SharedDataPathNamesInternToSameId) {
+  IseBuildSpec other = spec_;
+  other.kernel_name = "L";
+  other.fg_data_path_names = {"k_fg1", "l_fg"};  // shares k_fg1 with K
+  build_kernel_ises(lib_, other);
+  EXPECT_EQ(lib_.data_paths().find("k_fg1"), DataPathId{0});
+  // No duplicate data path was created.
+  std::size_t count = 0;
+  for (const auto& dp : lib_.data_paths()) {
+    if (dp.name == "k_fg1") ++count;
+  }
+  EXPECT_EQ(count, 1u);
+}
+
+TEST_F(IseBuilderTest, GrainMismatchOnSharedNameThrows) {
+  IseBuildSpec bad = spec_;
+  bad.kernel_name = "M";
+  bad.cg_data_path_names = {"k_fg1"};  // previously registered as FG
+  EXPECT_THROW(build_kernel_ises(lib_, bad), std::invalid_argument);
+}
+
+TEST_F(IseBuilderTest, FgIsFasterThanCgForControlKernels) {
+  IseLibrary lib;
+  IseBuildSpec ctrl;
+  ctrl.kernel_name = "CTRL";
+  ctrl.sw_latency = 1000;
+  ctrl.control_fraction = 0.85;
+  ctrl.fg_data_path_names = {"c_fg1", "c_fg2"};
+  ctrl.cg_data_path_names = {"c_cg1"};
+  const KernelId k = build_kernel_ises(lib, ctrl);
+  (void)k;
+  const Cycles fg_full = lib.ise(lib.find_ise("CTRL.FG2")).full_latency();
+  const Cycles cg_full = lib.ise(lib.find_ise("CTRL.CG1")).full_latency();
+  EXPECT_LT(fg_full, cg_full);
+}
+
+TEST_F(IseBuilderTest, CgIsFasterThanFgForDataKernels) {
+  IseLibrary lib;
+  IseBuildSpec data;
+  data.kernel_name = "DATA";
+  data.sw_latency = 1000;
+  data.control_fraction = 0.1;
+  data.fg_control_speedup = 8.0;
+  data.fg_data_speedup = 3.0;
+  data.cg_data_speedup = 8.0;
+  data.fg_data_path_names = {"d_fg1", "d_fg2"};
+  data.cg_data_path_names = {"d_cg1", "d_cg2"};
+  build_kernel_ises(lib, data);
+  const Cycles fg_full = lib.ise(lib.find_ise("DATA.FG2")).full_latency();
+  const Cycles cg_full = lib.ise(lib.find_ise("DATA.CG2")).full_latency();
+  EXPECT_LT(cg_full, fg_full);
+}
+
+TEST_F(IseBuilderTest, MonoCgSpeedupApplied) {
+  const IseVariant& mono = lib_.ise(lib_.kernel(kernel_).mono_cg);
+  EXPECT_TRUE(mono.is_mono_cg);
+  EXPECT_NEAR(static_cast<double>(mono.full_latency()),
+              1000.0 / spec_.mono_cg_speedup, 1.0);
+  EXPECT_EQ(mono.cg_units, 1u);
+}
+
+TEST_F(IseBuilderTest, BadSpecsRejected) {
+  IseLibrary lib;
+  IseBuildSpec no_dps;
+  no_dps.kernel_name = "X";
+  no_dps.sw_latency = 100;
+  EXPECT_THROW(build_kernel_ises(lib, no_dps), std::invalid_argument);
+
+  IseBuildSpec bad_frac;
+  bad_frac.kernel_name = "Y";
+  bad_frac.sw_latency = 100;
+  bad_frac.control_fraction = 1.5;
+  bad_frac.fg_data_path_names = {"y_fg"};
+  EXPECT_THROW(build_kernel_ises(lib, bad_frac), std::invalid_argument);
+}
+
+TEST(ModelLatency, InterpolatesBetweenBounds) {
+  // No acceleration: latency == sw.
+  EXPECT_EQ(model_latency(1000, 0.3, 8.0, 0.0, 6.0, 0.0, 0), 1000u);
+  // Full acceleration: ctrl/8 + data/6.
+  const Cycles full = model_latency(1000, 0.3, 8.0, 1.0, 6.0, 1.0, 0);
+  EXPECT_NEAR(static_cast<double>(full), 300.0 / 8.0 + 700.0 / 6.0, 1.0);
+  // Latency never below 1.
+  EXPECT_GE(model_latency(1, 0.5, 100.0, 1.0, 100.0, 1.0, 0), 1u);
+}
+
+TEST(Trigger, BinaryEncodingRoundTrips) {
+  TriggerInstruction ti;
+  ti.functional_block = FunctionalBlockId{7};
+  ti.entries.push_back({KernelId{3}, 1234.0, 56'789, 321});
+  ti.entries.push_back({KernelId{9}, 0.0, 0, 0});
+  const auto bytes = encode_trigger(ti);
+  EXPECT_EQ(bytes.size(), 8u + 2u * 16u);
+  const TriggerInstruction back = decode_trigger(bytes);
+  EXPECT_EQ(back.functional_block, ti.functional_block);
+  ASSERT_EQ(back.entries.size(), 2u);
+  EXPECT_EQ(back.entries[0], ti.entries[0]);
+  EXPECT_EQ(back.entries[1], ti.entries[1]);
+}
+
+TEST(Trigger, EncodingSaturatesLargeValues) {
+  TriggerInstruction ti;
+  ti.functional_block = FunctionalBlockId{0};
+  ti.entries.push_back({KernelId{1}, 1e20, kNeverCycles, 5});
+  const TriggerInstruction back = decode_trigger(encode_trigger(ti));
+  EXPECT_EQ(back.entries[0].expected_executions, 4294967295.0);
+  EXPECT_EQ(back.entries[0].time_to_first, 4294967295u);
+}
+
+TEST(Trigger, DecodeRejectsMalformedBytes) {
+  EXPECT_THROW(decode_trigger({1, 2, 3}), std::invalid_argument);
+  TriggerInstruction ti;
+  ti.functional_block = FunctionalBlockId{0};
+  ti.entries.push_back({KernelId{1}, 10.0, 1, 1});
+  auto bytes = encode_trigger(ti);
+  bytes.pop_back();
+  EXPECT_THROW(decode_trigger(bytes), std::invalid_argument);
+}
+
+TEST(Trigger, FindAndToString) {
+  TriggerInstruction ti;
+  ti.functional_block = FunctionalBlockId{3};
+  ti.entries.push_back({KernelId{1}, 10.0, 100, 20});
+  ti.entries.push_back({KernelId{2}, 5.0, 50, 10});
+  ASSERT_NE(ti.find(KernelId{2}), nullptr);
+  EXPECT_EQ(ti.find(KernelId{2})->expected_executions, 5.0);
+  EXPECT_EQ(ti.find(KernelId{9}), nullptr);
+  const std::string s = to_string(ti);
+  EXPECT_NE(s.find("fb=3"), std::string::npos);
+  EXPECT_NE(s.find("K1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mrts

@@ -1,0 +1,124 @@
+// Tests for the toy compile-time ISE identification pass: profiling
+// classification and the derived build specifications.
+
+#include <gtest/gtest.h>
+
+#include "isa/ise_identify.h"
+#include "riscsim/assembler.h"
+#include "riscsim/kernel_programs.h"
+#include "util/rng.h"
+
+namespace mrts {
+namespace {
+
+riscsim::Cpu cpu_with_random_memory(std::uint64_t seed = 7) {
+  riscsim::Cpu cpu;
+  Rng rng(seed);
+  for (std::size_t addr = 0; addr < 2048; ++addr) {
+    cpu.memory().write8(addr, static_cast<std::uint8_t>(rng.next_below(256)));
+  }
+  return cpu;
+}
+
+TEST(ProfileKernelRun, ClassifiesPureControlLoop) {
+  // A loop of compares/branches/shifts: nearly all control cycles.
+  riscsim::Cpu cpu;
+  const auto program = riscsim::assemble(R"(
+      movi r1, 64
+    loop:
+      andi r2, r1, 1
+      slli r3, r2, 2
+      xor  r4, r3, r1
+      subi r1, r1, 1
+      bne  r1, r0, loop
+      halt
+  )");
+  const auto run = cpu.run(program);
+  const KernelProfile profile = profile_kernel_run(run);
+  EXPECT_GT(profile.control_cycle_fraction, 0.6);
+  EXPECT_DOUBLE_EQ(profile.mul_div_cycle_fraction, 0.0);
+}
+
+TEST(ProfileKernelRun, ClassifiesMultiplyHeavyLoop) {
+  riscsim::Cpu cpu;
+  const auto program = riscsim::assemble(R"(
+      movi r1, 32
+      movi r5, 3
+    loop:
+      mul  r2, r1, r5
+      mul  r3, r2, r5
+      add  r4, r4, r3
+      subi r1, r1, 1
+      bne  r1, r0, loop
+      halt
+  )");
+  const auto run = cpu.run(program);
+  const KernelProfile profile = profile_kernel_run(run);
+  // Two 4-cycle multiplies dominate the 1-cycle bookkeeping.
+  EXPECT_GT(profile.mul_div_cycle_fraction, 0.5);
+  EXPECT_LT(profile.control_cycle_fraction, 0.3);
+}
+
+TEST(IdentifyIseSpec, ControlKernelGetsFgLeaningSpec) {
+  riscsim::Cpu cpu = cpu_with_random_memory();
+  const IseBuildSpec spec = identify_ise_spec(
+      "DEBLOCK", riscsim::kernel_program("deblock_edge"), cpu);
+  EXPECT_EQ(spec.kernel_name, "DEBLOCK");
+  EXPECT_GT(spec.sw_latency, 0u);
+  // The deblocking edge filter mixes branching/clipping with adds: a
+  // moderate-to-high control fraction.
+  EXPECT_GT(spec.control_fraction, 0.3);
+  EXPECT_GT(spec.fg_control_speedup, spec.cg_control_speedup);
+  EXPECT_FALSE(spec.fg_data_path_names.empty());
+  EXPECT_FALSE(spec.cg_data_path_names.empty());
+}
+
+TEST(IdentifyIseSpec, SpecFeedsDirectlyIntoBuilder) {
+  riscsim::Cpu cpu = cpu_with_random_memory();
+  const IseBuildSpec spec =
+      identify_ise_spec("SAD", riscsim::kernel_program("sad_4x4"), cpu);
+  IseLibrary lib;
+  const KernelId k = build_kernel_ises(lib, spec);
+  EXPECT_FALSE(lib.kernel(k).ises.empty());
+  EXPECT_TRUE(lib.kernel(k).has_mono_cg());
+  // The identified RISC latency matches a fresh measurement.
+  EXPECT_EQ(lib.kernel(k).sw_latency,
+            riscsim::measure_kernel("sad_4x4").cycles);
+}
+
+TEST(IdentifyIseSpec, DistinctKernelsGetDistinctCharacter) {
+  riscsim::Cpu cpu1 = cpu_with_random_memory();
+  const IseBuildSpec quant =
+      identify_ise_spec("QUANT", riscsim::kernel_program("quant_16"), cpu1);
+  riscsim::Cpu cpu2 = cpu_with_random_memory();
+  const IseBuildSpec zigzag =
+      identify_ise_spec("ZIGZAG", riscsim::kernel_program("zigzag_16"), cpu2);
+  // quant_16 is multiply-heavy; zigzag_16 is pure data movement + bit ops.
+  EXPECT_GT(quant.cg_data_speedup, zigzag.cg_data_speedup);
+}
+
+TEST(IdentifyIseSpec, NonHaltingProgramThrows) {
+  riscsim::Cpu cpu;
+  const auto endless = riscsim::assemble("l: jmp l\n");
+  EXPECT_THROW(identify_ise_spec("X", endless, cpu), std::runtime_error);
+}
+
+TEST(RunResult, OpcodeCountsAreExact) {
+  riscsim::Cpu cpu;
+  const auto program = riscsim::assemble(R"(
+      movi r1, 5
+    loop:
+      subi r1, r1, 1
+      bne  r1, r0, loop
+      halt
+  )");
+  const auto run = cpu.run(program);
+  EXPECT_EQ(run.count(riscsim::Op::kMovi), 1u);
+  EXPECT_EQ(run.count(riscsim::Op::kSubi), 5u);
+  EXPECT_EQ(run.count(riscsim::Op::kBne), 5u);
+  EXPECT_EQ(run.count(riscsim::Op::kHalt), 1u);
+  EXPECT_EQ(run.count(riscsim::Op::kMul), 0u);
+}
+
+}  // namespace
+}  // namespace mrts

@@ -1,0 +1,135 @@
+// Tests the application-binary path: the trace compiled into a core binary
+// (trigger instructions + kexec coprocessor calls + wait delays) and executed
+// on the riscsim Cpu must be cycle-exact with the abstract simulator, for
+// every run-time system.
+
+#include <gtest/gtest.h>
+
+#include "baselines/rispp_rts.h"
+#include "baselines/risc_only_rts.h"
+#include "rts/mrts.h"
+#include "sim/app_simulator.h"
+#include "sim/iss_bridge.h"
+#include "workload/h264_app.h"
+#include "workload/sdr_app.h"
+
+namespace mrts {
+namespace {
+
+H264Application small_h264() {
+  H264AppParams params;
+  params.frames = 3;
+  params.macroblocks = 120;
+  return build_h264_application(params);
+}
+
+TEST(IssBridge, CompilationLaysOutTriggersAndEvents) {
+  const H264Application app = small_h264();
+  const IssApplication binary = compile_trace_to_binary(app.trace);
+  // One trig per block, one kexec per event, waits for the gaps, one halt.
+  std::size_t trigs = 0;
+  std::size_t kexecs = 0;
+  for (const auto& in : binary.program.code) {
+    if (in.op == riscsim::Op::kTrig) ++trigs;
+    if (in.op == riscsim::Op::kKexec) ++kexecs;
+  }
+  EXPECT_EQ(trigs, app.trace.blocks.size());
+  EXPECT_EQ(kexecs, app.trace.total_events());
+  EXPECT_EQ(binary.program.code.back().op, riscsim::Op::kHalt);
+  EXPECT_EQ(binary.data_segment.size(), app.trace.blocks.size());
+  EXPECT_GT(binary.memory_bytes, 0u);
+}
+
+TEST(IssBridge, BinaryExecutionIsCycleExactWithAbstractSimulator) {
+  const H264Application app = small_h264();
+  const IssApplication binary = compile_trace_to_binary(app.trace);
+
+  // RISC-only first (no RTS state at all).
+  {
+    RiscOnlyRts abstract_rts(app.library);
+    const Cycles abstract =
+        run_application(abstract_rts, app.trace).total_cycles;
+    RiscOnlyRts binary_rts(app.library);
+    const IssRunResult iss = run_binary(binary, binary_rts);
+    ASSERT_TRUE(iss.halted);
+    // The only extra cycle is the final halt instruction.
+    EXPECT_EQ(iss.cycles, abstract + 1);
+  }
+
+  // Full mRTS: selections, reconfiguration, MPU learning, monoCG — all of
+  // it must behave identically when driven through the instruction stream.
+  {
+    MRts abstract_rts(app.library, 2, 2);
+    const Cycles abstract =
+        run_application(abstract_rts, app.trace).total_cycles;
+    MRts binary_rts(app.library, 2, 2);
+    const IssRunResult iss = run_binary(binary, binary_rts);
+    ASSERT_TRUE(iss.halted);
+    EXPECT_EQ(iss.cycles, abstract + 1);
+  }
+
+  // RISPP-like as well (different selector pricing, no monoCG).
+  {
+    RisppRts abstract_rts(app.library, 2, 2);
+    const Cycles abstract =
+        run_application(abstract_rts, app.trace).total_cycles;
+    RisppRts binary_rts(app.library, 2, 2);
+    const IssRunResult iss = run_binary(binary, binary_rts);
+    EXPECT_EQ(iss.cycles, abstract + 1);
+  }
+}
+
+TEST(IssBridge, WorksOnTheSdrWorkloadToo) {
+  SdrAppParams params;
+  params.bursts = 3;
+  params.batches = 150;
+  const SdrApplication app = build_sdr_application(params);
+  const IssApplication binary = compile_trace_to_binary(app.trace);
+
+  MRts abstract_rts(app.library, 1, 2);
+  const Cycles abstract = run_application(abstract_rts, app.trace).total_cycles;
+  MRts binary_rts(app.library, 1, 2);
+  const IssRunResult iss = run_binary(binary, binary_rts);
+  EXPECT_EQ(iss.cycles, abstract + 1);
+}
+
+TEST(IssBridge, KexecWithoutTriggerThrows) {
+  IseLibrary lib;
+  lib.add_kernel("K", 100);
+  RiscOnlyRts rts(lib);
+  IssApplication app;
+  riscsim::Instr kexec;
+  kexec.op = riscsim::Op::kKexec;
+  kexec.imm = 0;
+  app.program.code.push_back(kexec);
+  riscsim::Instr halt;
+  halt.op = riscsim::Op::kHalt;
+  app.program.code.push_back(halt);
+  EXPECT_THROW(run_binary(app, rts), std::runtime_error);
+}
+
+TEST(IssBridge, TrigWithoutCoprocessorThrows) {
+  riscsim::Cpu cpu;
+  const auto program = riscsim::assemble("trig 0, 8\nhalt\n");
+  EXPECT_THROW(cpu.run(program), std::runtime_error);
+}
+
+TEST(IssBridge, CoprocessorOpsAssembleAndDisassemble) {
+  const auto program = riscsim::assemble(R"(
+    trig  64, 24
+    wait  1000
+    kexec 3
+    halt
+  )");
+  ASSERT_EQ(program.code.size(), 4u);
+  EXPECT_EQ(program.code[0].imm, 64);
+  EXPECT_EQ(program.code[0].target, 24u);
+  EXPECT_EQ(program.code[1].imm, 1000);
+  EXPECT_EQ(program.code[2].imm, 3);
+  const auto back = riscsim::assemble(riscsim::disassemble(program));
+  EXPECT_EQ(back.code.size(), program.code.size());
+  EXPECT_EQ(back.code[0].target, 24u);
+}
+
+}  // namespace
+}  // namespace mrts

@@ -1,0 +1,103 @@
+// Unit tests for the Monitoring & Prediction Unit: forecast refinement via
+// error back-propagation.
+
+#include <gtest/gtest.h>
+
+#include "rts/mpu.h"
+
+namespace mrts {
+namespace {
+
+TriggerInstruction programmed_trigger() {
+  TriggerInstruction ti;
+  ti.functional_block = FunctionalBlockId{1};
+  ti.entries.push_back({KernelId{0}, 100.0, 1000, 50});
+  return ti;
+}
+
+BlockObservation observation(double e, Cycles tf, Cycles tb) {
+  BlockObservation obs;
+  obs.functional_block = FunctionalBlockId{1};
+  obs.kernels.push_back({KernelId{0}, e, tf, tb});
+  return obs;
+}
+
+TEST(Mpu, PassesThroughWithoutObservations) {
+  Mpu mpu;
+  const TriggerInstruction refined = mpu.refine(programmed_trigger());
+  EXPECT_DOUBLE_EQ(refined.entries[0].expected_executions, 100.0);
+  EXPECT_EQ(refined.entries[0].time_to_first, 1000u);
+}
+
+TEST(Mpu, FirstObservationSeedsForecast) {
+  Mpu mpu(Mpu::Config{true, 0.5});
+  mpu.observe(observation(400.0, 2000, 80));
+  const TriggerInstruction refined = mpu.refine(programmed_trigger());
+  EXPECT_DOUBLE_EQ(refined.entries[0].expected_executions, 400.0);
+  EXPECT_EQ(refined.entries[0].time_to_first, 2000u);
+  EXPECT_EQ(refined.entries[0].time_between, 80u);
+}
+
+TEST(Mpu, BackPropagationBlendsObservations) {
+  Mpu mpu(Mpu::Config{true, 0.5});
+  mpu.observe(observation(100.0, 0, 0));
+  mpu.observe(observation(200.0, 0, 0));
+  // prediction = 100 + 0.5*(200-100) = 150.
+  const auto forecast = mpu.forecast(FunctionalBlockId{1}, KernelId{0});
+  ASSERT_TRUE(forecast.has_value());
+  EXPECT_DOUBLE_EQ(forecast->expected_executions, 150.0);
+}
+
+TEST(Mpu, TracksChangingWorkload) {
+  Mpu mpu(Mpu::Config{true, 0.5});
+  for (int i = 0; i < 20; ++i) mpu.observe(observation(1000.0, 500, 20));
+  const TriggerInstruction refined = mpu.refine(programmed_trigger());
+  EXPECT_NEAR(refined.entries[0].expected_executions, 1000.0, 1.0);
+  // Workload halves; the forecast follows within a few frames.
+  for (int i = 0; i < 6; ++i) mpu.observe(observation(500.0, 500, 20));
+  const TriggerInstruction after = mpu.refine(programmed_trigger());
+  EXPECT_NEAR(after.entries[0].expected_executions, 500.0, 20.0);
+}
+
+TEST(Mpu, DisabledMpuNeverRefines) {
+  Mpu mpu(Mpu::Config{false, 0.5});
+  mpu.observe(observation(999.0, 9, 9));
+  const TriggerInstruction refined = mpu.refine(programmed_trigger());
+  EXPECT_DOUBLE_EQ(refined.entries[0].expected_executions, 100.0);
+  EXPECT_EQ(mpu.observations(), 0u);
+  EXPECT_FALSE(mpu.forecast(FunctionalBlockId{1}, KernelId{0}).has_value());
+}
+
+TEST(Mpu, ForecastsAreScopedPerBlockAndKernel) {
+  Mpu mpu;
+  mpu.observe(observation(400.0, 0, 0));
+  // Same kernel id in a different functional block is untouched.
+  TriggerInstruction other = programmed_trigger();
+  other.functional_block = FunctionalBlockId{2};
+  const TriggerInstruction refined = mpu.refine(other);
+  EXPECT_DOUBLE_EQ(refined.entries[0].expected_executions, 100.0);
+  // Unknown kernel in the observed block is untouched, too.
+  EXPECT_FALSE(mpu.forecast(FunctionalBlockId{1}, KernelId{7}).has_value());
+}
+
+TEST(Mpu, ResetForgetsEverything) {
+  Mpu mpu;
+  mpu.observe(observation(400.0, 0, 0));
+  mpu.reset();
+  EXPECT_EQ(mpu.observations(), 0u);
+  const TriggerInstruction refined = mpu.refine(programmed_trigger());
+  EXPECT_DOUBLE_EQ(refined.entries[0].expected_executions, 100.0);
+}
+
+TEST(Mpu, ObservationCounterCountsKernels) {
+  Mpu mpu;
+  BlockObservation obs;
+  obs.functional_block = FunctionalBlockId{1};
+  obs.kernels.push_back({KernelId{0}, 1.0, 0, 0});
+  obs.kernels.push_back({KernelId{1}, 2.0, 0, 0});
+  mpu.observe(obs);
+  EXPECT_EQ(mpu.observations(), 2u);
+}
+
+}  // namespace
+}  // namespace mrts

@@ -1,0 +1,163 @@
+// Integration-level tests of the MRts facade: trigger handling, installation,
+// ECU wiring, MPU learning and the Section 5.4 overhead accounting.
+
+#include <gtest/gtest.h>
+
+#include "isa/ise_builder.h"
+#include "rts/mrts.h"
+
+namespace mrts {
+namespace {
+
+IseLibrary small_library() {
+  IseLibrary lib;
+  IseBuildSpec a;
+  a.kernel_name = "A";
+  a.sw_latency = 900;
+  a.control_fraction = 0.25;
+  a.fg_data_path_names = {"a_fg1", "a_fg2"};
+  a.cg_data_path_names = {"a_cg1", "a_cg2"};
+  build_kernel_ises(lib, a);
+  IseBuildSpec b;
+  b.kernel_name = "B";
+  b.sw_latency = 700;
+  b.control_fraction = 0.75;
+  b.fg_data_path_names = {"b_fg1", "b_fg2"};
+  b.cg_data_path_names = {"b_cg1"};
+  build_kernel_ises(lib, b);
+  return lib;
+}
+
+TriggerInstruction trigger(const IseLibrary& lib, double ea, double eb) {
+  TriggerInstruction ti;
+  ti.functional_block = FunctionalBlockId{0};
+  ti.entries.push_back({lib.find_kernel("A"), ea, 400, 40});
+  ti.entries.push_back({lib.find_kernel("B"), eb, 600, 60});
+  return ti;
+}
+
+TEST(MRts, TriggerSelectsAndInstallsPerKernel) {
+  const IseLibrary lib = small_library();
+  MRts rts(lib, 2, 2);
+  const SelectionOutcome out = rts.on_trigger(trigger(lib, 2000, 800), 0);
+  EXPECT_EQ(out.selection.selected.size(), 2u);
+  EXPECT_GT(out.blocking_overhead, 0u);
+  EXPECT_EQ(rts.run_stats().triggers, 1u);
+  EXPECT_EQ(rts.run_stats().selected_ises, 2u);
+}
+
+TEST(MRts, ExecutionsGetFasterOverTheBlock) {
+  const IseLibrary lib = small_library();
+  MRts rts(lib, 2, 2);
+  rts.on_trigger(trigger(lib, 2000, 800), 0);
+  const KernelId a = lib.find_kernel("A");
+  const Cycles early = rts.execute_kernel(a, 1'000).latency;
+  const Cycles late = rts.execute_kernel(a, 2'000'000).latency;
+  EXPECT_LE(late, early);
+  EXPECT_LT(late, lib.kernel(a).sw_latency);
+}
+
+TEST(MRts, SecondBlockReusesConfiguration) {
+  const IseLibrary lib = small_library();
+  MRts rts(lib, 2, 2);
+  rts.on_trigger(trigger(lib, 2000, 800), 0);
+  const auto first_reuse = rts.run_stats().reused_instances;
+  rts.on_trigger(trigger(lib, 2000, 800), 5'000'000);
+  EXPECT_GT(rts.run_stats().reused_instances, first_reuse);
+  // With everything already loaded, kernel A runs accelerated immediately.
+  const KernelId a = lib.find_kernel("A");
+  const ExecOutcome out = rts.execute_kernel(a, 5'001'000);
+  EXPECT_NE(out.impl, ImplKind::kRisc);
+}
+
+TEST(MRts, MpuLearnsFromObservations) {
+  const IseLibrary lib = small_library();
+  MRts rts(lib, 2, 2);
+  rts.on_trigger(trigger(lib, 10, 10), 0);  // forecast says "cold"
+
+  BlockObservation obs;
+  obs.functional_block = FunctionalBlockId{0};
+  obs.kernels.push_back({lib.find_kernel("A"), 5000.0, 400, 40});
+  obs.kernels.push_back({lib.find_kernel("B"), 5000.0, 600, 60});
+  rts.on_block_end(obs, 1'000'000);
+  rts.on_block_end(obs, 2'000'000);
+  EXPECT_GT(rts.mpu().observations(), 0u);
+
+  // The refined forecast (not the stale programmed one) drives selection:
+  // with thousands of executions the selector can now justify FG/MG fabric.
+  const SelectionOutcome out =
+      rts.on_trigger(trigger(lib, 10, 10), 3'000'000);
+  double total_profit = 0.0;
+  for (const auto& sel : out.selection.selected) total_profit += sel.profit;
+  EXPECT_GT(total_profit, 10'000.0);
+}
+
+TEST(MRts, OverheadIsChargedOnlyWhenEnabled) {
+  const IseLibrary lib = small_library();
+  MRtsConfig free_cfg;
+  free_cfg.charge_selection_overhead = false;
+  MRts charged(lib, 2, 2);
+  MRts free_rts(lib, 2, 2, free_cfg);
+  const Cycles charged_overhead =
+      charged.on_trigger(trigger(lib, 2000, 800), 0).blocking_overhead;
+  const Cycles free_overhead =
+      free_rts.on_trigger(trigger(lib, 2000, 800), 0).blocking_overhead;
+  EXPECT_GT(charged_overhead, 0u);
+  EXPECT_EQ(free_overhead, 0u);
+}
+
+TEST(MRts, BlockingOverheadIsFirstRoundOnly) {
+  const IseLibrary lib = small_library();
+  MRts rts(lib, 2, 2);
+  const SelectionOutcome out = rts.on_trigger(trigger(lib, 2000, 800), 0);
+  EXPECT_LT(out.blocking_overhead, out.selection.overhead_cycles);
+  EXPECT_EQ(rts.run_stats().total_blocking_cycles, out.blocking_overhead);
+  EXPECT_EQ(rts.run_stats().total_selection_cycles,
+            out.selection.overhead_cycles);
+}
+
+TEST(MRts, OptimalSelectorVariantWorks) {
+  const IseLibrary lib = small_library();
+  MRtsConfig cfg;
+  cfg.use_optimal_selector = true;
+  MRts rts(lib, 2, 2, cfg);
+  EXPECT_EQ(rts.name(), "mRTS(optimal)");
+  const SelectionOutcome out = rts.on_trigger(trigger(lib, 2000, 800), 0);
+  EXPECT_FALSE(out.selection.selected.empty());
+}
+
+TEST(MRts, SelectionClassificationCountsGrains) {
+  const IseLibrary lib = small_library();
+  MRts rts(lib, 3, 4);
+  rts.on_trigger(trigger(lib, 5000, 5000), 0);
+  const MRtsRunStats& stats = rts.run_stats();
+  EXPECT_EQ(stats.selected_ises,
+            stats.selected_fg_ises + stats.selected_cg_ises +
+                stats.selected_mg_ises);
+}
+
+TEST(MRts, ResetRestoresPowerOnState) {
+  const IseLibrary lib = small_library();
+  MRts rts(lib, 2, 2);
+  rts.on_trigger(trigger(lib, 2000, 800), 0);
+  rts.execute_kernel(lib.find_kernel("A"), 100);
+  rts.reset();
+  EXPECT_EQ(rts.run_stats().triggers, 0u);
+  EXPECT_EQ(rts.ecu().stats().total_executions(), 0u);
+  EXPECT_EQ(rts.fabric().usage().reserved_prcs, 0u);
+  // After reset the kernel runs in RISC mode again.
+  const ExecOutcome out = rts.execute_kernel(lib.find_kernel("A"), 200);
+  EXPECT_EQ(out.impl, ImplKind::kRisc);
+}
+
+TEST(MRts, ZeroFabricDegradesToRiscOnly) {
+  const IseLibrary lib = small_library();
+  MRts rts(lib, 0, 0);
+  const SelectionOutcome out = rts.on_trigger(trigger(lib, 5000, 5000), 0);
+  EXPECT_TRUE(out.selection.selected.empty());
+  const ExecOutcome exec = rts.execute_kernel(lib.find_kernel("A"), 100);
+  EXPECT_EQ(exec.impl, ImplKind::kRisc);
+}
+
+}  // namespace
+}  // namespace mrts

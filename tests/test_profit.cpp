@@ -1,0 +1,248 @@
+// Unit tests for the profit function (Eqs. 1-4): hand-computed scenarios and
+// parameterized property sweeps.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "rts/profit.h"
+
+namespace mrts {
+namespace {
+
+/// ISE with sw latency 1000, two data paths, intermediate latency 400, full
+/// latency 100.
+IseVariant make_ise(std::vector<Cycles> latency_after = {1000, 400, 100}) {
+  IseVariant v;
+  v.id = IseId{0};
+  v.kernel = KernelId{0};
+  v.name = "test";
+  v.data_paths.assign(latency_after.size() - 1, DataPathId{0});
+  v.latency_after = std::move(latency_after);
+  return v;
+}
+
+TEST(Pif, MatchesEquationOne) {
+  // pif = sw*e / (rec + hw*e)
+  EXPECT_DOUBLE_EQ(performance_improvement_factor(1000, 100, 0, 10.0),
+                   10.0);  // no reconfiguration -> pure speedup
+  EXPECT_DOUBLE_EQ(performance_improvement_factor(1000, 100, 9000, 10.0),
+                   1000.0 * 10 / (9000 + 100 * 10));
+  EXPECT_DOUBLE_EQ(performance_improvement_factor(1000, 100, 0, 0.0), 0.0);
+}
+
+TEST(Pif, ApproachesAsymptoteForLargeE) {
+  const double pif = performance_improvement_factor(1000, 100, 960'000, 1e9);
+  EXPECT_NEAR(pif, 10.0, 0.01);
+}
+
+TEST(Profit, AllReconfiguredBeforeFirstExecution) {
+  // recT(2) <= tf: every execution uses the full ISE.
+  const IseVariant ise = make_ise();
+  ProfitInputs in;
+  in.ise = &ise;
+  in.expected_executions = 50;
+  in.time_to_first = 1000;
+  in.time_between = 10;
+  in.ready_rel = {100, 500};  // both well before tf
+  const ProfitResult r = compute_profit(in);
+  EXPECT_DOUBLE_EQ(r.noe_sum, 0.0);
+  EXPECT_DOUBLE_EQ(r.risc_executions, 0.0);
+  EXPECT_DOUBLE_EQ(r.full_executions, 50.0);
+  EXPECT_DOUBLE_EQ(r.profit, 50.0 * (1000 - 100));
+}
+
+TEST(Profit, IntermediateWindowMatchesEquationThree) {
+  // tf = 0; dp1 ready at 4100, dp2 at 8200. RISC window [0, 4100):
+  // NoE_RM = 4100 / (1000+25) = 4. Intermediate window [4100, 8200):
+  // NoE(1) = 4100 / (400+25) ~ 9.647.
+  const IseVariant ise = make_ise();
+  ProfitInputs in;
+  in.ise = &ise;
+  in.expected_executions = 100;
+  in.time_to_first = 0;
+  in.time_between = 25;
+  in.ready_rel = {4100, 8200};
+  const ProfitResult r = compute_profit(in);
+  EXPECT_NEAR(r.risc_executions, 4.0, 1e-9);
+  ASSERT_EQ(r.noe.size(), 1u);
+  EXPECT_NEAR(r.noe[0], 4100.0 / 425.0, 1e-9);
+  EXPECT_NEAR(r.full_executions, 100.0 - 4.0 - 4100.0 / 425.0, 1e-9);
+  const double expected_profit =
+      (4100.0 / 425.0) * (1000 - 400) + r.full_executions * (1000 - 100);
+  EXPECT_NEAR(r.profit, expected_profit, 1e-6);
+}
+
+TEST(Profit, TfInsideIntermediateWindow) {
+  // recT(1)=1000 <= tf=2000 <= recT(2)=5000:
+  // NoE(1) = (5000-2000)/(400+0) = 7.5; no RISC executions.
+  const IseVariant ise = make_ise();
+  ProfitInputs in;
+  in.ise = &ise;
+  in.expected_executions = 20;
+  in.time_to_first = 2000;
+  in.time_between = 0;
+  in.ready_rel = {1000, 5000};
+  const ProfitResult r = compute_profit(in);
+  EXPECT_DOUBLE_EQ(r.risc_executions, 0.0);
+  EXPECT_DOUBLE_EQ(r.noe[0], 7.5);
+  EXPECT_DOUBLE_EQ(r.full_executions, 12.5);
+}
+
+TEST(Profit, NoESumNeverExceedsExpectedExecutions) {
+  // Tiny e: the windows would allow many executions but only e happen.
+  const IseVariant ise = make_ise();
+  ProfitInputs in;
+  in.ise = &ise;
+  in.expected_executions = 3;
+  in.time_to_first = 0;
+  in.time_between = 0;
+  in.ready_rel = {1'000'000, 2'000'000};
+  const ProfitResult r = compute_profit(in);
+  EXPECT_LE(r.noe_sum + r.risc_executions + r.full_executions, 3.0 + 1e-9);
+  // All executions happen before anything is configured: zero profit.
+  EXPECT_DOUBLE_EQ(r.profit, 0.0);
+}
+
+TEST(Profit, NonMonotoneReadyTimesUsePrefixMaximum) {
+  // Second data path "ready" before the first (e.g. reused instance): the
+  // intermediate level still waits for the first.
+  const IseVariant ise = make_ise();
+  ProfitInputs in;
+  in.ise = &ise;
+  in.expected_executions = 10;
+  in.time_to_first = 0;
+  in.time_between = 0;
+  in.ready_rel = {5000, 100};
+  const ProfitResult r = compute_profit(in);
+  // recT(1) = 5000, recT(2) = 5000: no intermediate window at all.
+  EXPECT_DOUBLE_EQ(r.noe_sum, 0.0);
+  EXPECT_GT(r.full_executions, 0.0);
+}
+
+TEST(Profit, InstantAvailabilityYieldsMaximumProfit) {
+  const IseVariant ise = make_ise();
+  ProfitInputs in;
+  in.ise = &ise;
+  in.expected_executions = 42;
+  in.time_to_first = 0;
+  in.time_between = 10;
+  in.ready_rel = {0, 0};
+  const ProfitResult r = compute_profit(in);
+  EXPECT_DOUBLE_EQ(r.profit, 42.0 * 900.0);
+}
+
+TEST(Profit, RejectsMalformedInputs) {
+  ProfitInputs in;
+  EXPECT_THROW(compute_profit(in), std::invalid_argument);
+  const IseVariant ise = make_ise();
+  in.ise = &ise;
+  in.ready_rel = {1};  // wrong size
+  EXPECT_THROW(compute_profit(in), std::invalid_argument);
+}
+
+TEST(Profit, SingleDataPathIseHasNoIntermediates) {
+  const IseVariant ise = make_ise({1000, 250});
+  ProfitInputs in;
+  in.ise = &ise;
+  in.expected_executions = 10;
+  in.time_to_first = 0;
+  in.time_between = 50;
+  in.ready_rel = {2100};
+  const ProfitResult r = compute_profit(in);
+  EXPECT_TRUE(r.noe.empty());
+  // NoE_RM = 2100/(1000+50) = 2 executions in RISC mode.
+  EXPECT_NEAR(r.risc_executions, 2.0, 1e-9);
+  EXPECT_NEAR(r.profit, 8.0 * 750.0, 1e-6);
+}
+
+TEST(ProfitModel, LiteralEq4OvervaluesSlowLoaders) {
+  // All executions happen before the first data path arrives. The corrected
+  // model yields zero profit; the literal Eq. 4 books them into the first
+  // intermediate window and credits the ISE with every execution at the
+  // intermediate speedup — the failure mode the NoE_RM term fixes.
+  const IseVariant ise = make_ise();
+  ProfitInputs in;
+  in.ise = &ise;
+  in.expected_executions = 5;
+  in.time_to_first = 0;
+  in.time_between = 0;
+  in.ready_rel = {2'000'000, 4'000'000};
+  EXPECT_DOUBLE_EQ(compute_profit(in).profit, 0.0);
+
+  in.model.account_risc_window = false;
+  EXPECT_DOUBLE_EQ(compute_profit(in).profit, 5.0 * (1000.0 - 400.0));
+}
+
+TEST(ProfitModel, TbTermShrinksIntermediateWindows) {
+  // Without tb the window [recT(1), recT(2)) appears to hold more
+  // executions, inflating the intermediate share.
+  const IseVariant ise = make_ise();
+  ProfitInputs in;
+  in.ise = &ise;
+  in.expected_executions = 1000;
+  in.time_to_first = 0;
+  in.time_between = 400;
+  in.ready_rel = {0, 400'000};
+  const double with_tb = compute_profit(in).noe_sum;
+  in.model.include_tb = false;
+  const double without_tb = compute_profit(in).noe_sum;
+  EXPECT_GT(without_tb, with_tb);
+}
+
+// --- property sweeps --------------------------------------------------------
+
+struct ProfitSweepParam {
+  double e;
+  Cycles tf;
+  Cycles tb;
+  Cycles ready1;
+  Cycles ready2;
+};
+
+class ProfitProperties : public ::testing::TestWithParam<ProfitSweepParam> {};
+
+TEST_P(ProfitProperties, InvariantsHold) {
+  const auto p = GetParam();
+  const IseVariant ise = make_ise();
+  ProfitInputs in;
+  in.ise = &ise;
+  in.expected_executions = p.e;
+  in.time_to_first = p.tf;
+  in.time_between = p.tb;
+  in.ready_rel = {p.ready1, p.ready2};
+  const ProfitResult r = compute_profit(in);
+
+  // Profit is non-negative and bounded by the ideal e * max saving.
+  EXPECT_GE(r.profit, 0.0);
+  EXPECT_LE(r.profit, p.e * 900.0 + 1e-6);
+  // Execution-count bookkeeping is conserved.
+  EXPECT_NEAR(r.risc_executions + r.noe_sum + r.full_executions, p.e, 1e-6);
+  EXPECT_GE(r.full_executions, -1e-9);
+
+  // Monotonicity in availability: making data paths ready earlier can only
+  // help (or tie).
+  ProfitInputs earlier = in;
+  earlier.ready_rel = {p.ready1 / 2, p.ready2 / 2};
+  EXPECT_GE(compute_profit(earlier).profit, r.profit - 1e-6);
+
+  // Monotonicity in e.
+  ProfitInputs more = in;
+  more.expected_executions = p.e * 2;
+  EXPECT_GE(compute_profit(more).profit, r.profit - 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ProfitProperties,
+    ::testing::Values(
+        ProfitSweepParam{10, 0, 0, 0, 0},
+        ProfitSweepParam{10, 100, 20, 500, 1000},
+        ProfitSweepParam{1000, 0, 50, 480'000, 960'000},
+        ProfitSweepParam{5, 1'000'000, 100, 480'000, 960'000},
+        ProfitSweepParam{0, 0, 0, 100, 200},
+        ProfitSweepParam{2500, 400, 30, 60, 480'000},
+        ProfitSweepParam{100, 50'000, 10, 60, 120},
+        ProfitSweepParam{7, 0, 1'000'000, 480'000, 960'000}));
+
+}  // namespace
+}  // namespace mrts

@@ -1,0 +1,122 @@
+// Unit tests for the ReconfigPlanner: hypothetical install schedules shared
+// by the selectors and the profit function.
+
+#include <gtest/gtest.h>
+
+#include "arch/fabric_manager.h"
+#include "rts/reconfig_plan.h"
+
+namespace mrts {
+namespace {
+
+class PlannerTest : public ::testing::Test {
+ protected:
+  PlannerTest() {
+    DataPathDesc fg1;
+    fg1.name = "fg1";
+    fg1.grain = Grain::kFine;
+    fg1_ = table_.add(fg1);
+    DataPathDesc fg2;
+    fg2.name = "fg2";
+    fg2.grain = Grain::kFine;
+    fg2_ = table_.add(fg2);
+    DataPathDesc cg1;
+    cg1.name = "cg1";
+    cg1.grain = Grain::kCoarse;
+    cg1.context_instructions = 30;
+    cg1_ = table_.add(cg1);
+  }
+
+  Cycles fg_cost() const { return table_[fg1_].reconfig_cycles(); }
+
+  DataPathTable table_;
+  DataPathId fg1_, fg2_, cg1_;
+};
+
+TEST_F(PlannerTest, EmptyFabricSerializesFgLoads) {
+  ReconfigPlanner planner(table_, /*total_prcs=*/4, /*total_cg=*/2, /*now=*/0);
+  const auto ready = planner.plan({fg1_, fg2_, cg1_});
+  ASSERT_EQ(ready.size(), 3u);
+  EXPECT_EQ(ready[0], fg_cost());
+  EXPECT_EQ(ready[1], 2 * fg_cost());
+  EXPECT_EQ(ready[2], 60u);  // CG on its own port
+}
+
+TEST_F(PlannerTest, PlanDoesNotMutateCommitDoes) {
+  ReconfigPlanner planner(table_, 4, 2, 0);
+  const auto first = planner.plan({fg1_});
+  const auto second = planner.plan({fg1_});
+  EXPECT_EQ(first, second);  // plan is pure
+  planner.commit({fg1_});
+  const auto after = planner.plan({fg2_});
+  EXPECT_EQ(after[0], 2 * fg_cost());  // behind the committed load
+  EXPECT_EQ(planner.free_prcs(), 3u);
+}
+
+TEST_F(PlannerTest, ReusesExistingInstancesOnce) {
+  FabricManager fm(1, 2, &table_);
+  fm.install({{IseId{0}, KernelId{0}, {fg1_}}}, 0);
+  // fg1 is on the fabric (ready at fg_cost()).
+  ReconfigPlanner planner(table_, fm, /*now=*/10);
+  const auto a = planner.commit({fg1_});
+  EXPECT_EQ(a[0], fg_cost());  // reused, keeps its completion time
+  // A second instance of fg1 must be loaded fresh.
+  const auto b = planner.commit({fg1_});
+  EXPECT_GT(b[0], fg_cost());
+}
+
+TEST_F(PlannerTest, SnapshotsPortBacklog) {
+  FabricManager fm(1, 2, &table_);
+  fm.install({{IseId{0}, KernelId{0}, {fg1_}}}, 0);
+  ReconfigPlanner planner(table_, fm, /*now=*/100);
+  // A fresh FG load waits for the running fg1 bitstream.
+  const auto ready = planner.plan({fg2_});
+  EXPECT_EQ(ready[0], 2 * fg_cost());
+}
+
+TEST_F(PlannerTest, FitsTracksBudget) {
+  ReconfigPlanner planner(table_, 2, 1, 0);
+  EXPECT_TRUE(planner.fits(2, 1));
+  EXPECT_FALSE(planner.fits(3, 0));
+  planner.commit({fg1_, cg1_});
+  EXPECT_EQ(planner.free_prcs(), 1u);
+  EXPECT_EQ(planner.free_cg(), 0u);
+  EXPECT_FALSE(planner.fits(0, 1));
+  EXPECT_TRUE(planner.fits(1, 0));
+}
+
+TEST_F(PlannerTest, CoveredByCommittedUsesMultiplicity) {
+  ReconfigPlanner planner(table_, 4, 2, 0);
+  planner.commit({fg1_, cg1_});
+  EXPECT_TRUE(planner.covered_by_committed({fg1_}));
+  EXPECT_TRUE(planner.covered_by_committed({cg1_, fg1_}));
+  EXPECT_FALSE(planner.covered_by_committed({fg1_, fg1_}));  // needs 2
+  EXPECT_FALSE(planner.covered_by_committed({fg2_}));
+  planner.commit({fg1_});
+  EXPECT_TRUE(planner.covered_by_committed({fg1_, fg1_}));
+}
+
+TEST_F(PlannerTest, UniformReconfigOverridePricesCgLikeFg) {
+  ReconfigPlanner planner(table_, 4, 2, 0);
+  planner.set_uniform_reconfig_cycles(fg_cost());
+  const auto ready = planner.plan({cg1_});
+  // The RISPP-style cost model claims the CG context takes an FG-scale load.
+  EXPECT_EQ(ready[0], fg_cost());
+}
+
+TEST_F(PlannerTest, NowOffsetsSchedules) {
+  ReconfigPlanner planner(table_, 4, 2, /*now=*/5000);
+  const auto ready = planner.plan({cg1_});
+  EXPECT_EQ(ready[0], 5060u);
+}
+
+TEST_F(PlannerTest, CopySemanticsForBranchAndBound) {
+  ReconfigPlanner planner(table_, 2, 2, 0);
+  ReconfigPlanner copy = planner;
+  copy.commit({fg1_});
+  EXPECT_EQ(planner.free_prcs(), 2u);  // original untouched
+  EXPECT_EQ(copy.free_prcs(), 1u);
+}
+
+}  // namespace
+}  // namespace mrts

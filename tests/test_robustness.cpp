@@ -1,0 +1,157 @@
+// Failure injection: the run-time system must stay correct (and degrade
+// gracefully) under programmer errors and pathological forecasts — wildly
+// wrong trigger values, kernels that were never forecast, empty triggers,
+// kernels without ISEs, and executions before any trigger at all.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "isa/ise_builder.h"
+#include "rts/mrts.h"
+#include "sim/app_simulator.h"
+#include "workload/workload_gen.h"
+
+namespace mrts {
+namespace {
+
+IseLibrary two_kernel_library() {
+  IseLibrary lib;
+  for (const char* name : {"A", "B"}) {
+    IseBuildSpec spec;
+    spec.kernel_name = name;
+    spec.sw_latency = 600;
+    spec.control_fraction = 0.4;
+    spec.fg_data_path_names = {std::string(name) + "_ctrl_fg",
+                               std::string(name) + "_dp_fg"};
+    spec.cg_data_path_names = {std::string(name) + "_mac_cg"};
+    spec.fg_control_dps = 1;
+    spec.cg_data_dps = 1;
+    build_kernel_ises(lib, spec);
+  }
+  return lib;
+}
+
+TEST(Robustness, ExecutionBeforeAnyTriggerRunsInRiscMode) {
+  const IseLibrary lib = two_kernel_library();
+  MRts rts(lib, 2, 2);
+  const ExecOutcome out = rts.execute_kernel(lib.find_kernel("A"), 100);
+  // No selection exists; with a CG fabric free the ECU may still bridge via
+  // monoCG once loaded, but the very first execution is plain RISC.
+  EXPECT_EQ(out.impl, ImplKind::kRisc);
+  EXPECT_EQ(out.latency, 600u);
+}
+
+TEST(Robustness, EmptyTriggerSelectsNothingAndKeepsRunning) {
+  const IseLibrary lib = two_kernel_library();
+  MRts rts(lib, 2, 2);
+  TriggerInstruction empty;
+  empty.functional_block = FunctionalBlockId{0};
+  const SelectionOutcome out = rts.on_trigger(empty, 0);
+  EXPECT_TRUE(out.selection.selected.empty());
+  const ExecOutcome exec = rts.execute_kernel(lib.find_kernel("A"), 50);
+  EXPECT_GT(exec.latency, 0u);
+}
+
+TEST(Robustness, UnforecastKernelStillGetsAccelerationOpportunities) {
+  const IseLibrary lib = two_kernel_library();
+  MRts rts(lib, 2, 2);
+  // Only kernel A is forecast; B shows up anyway (programmer forgot it).
+  TriggerInstruction ti;
+  ti.functional_block = FunctionalBlockId{0};
+  ti.entries.push_back({lib.find_kernel("A"), 5000.0, 400, 100});
+  rts.on_trigger(ti, 0);
+  // B is never selected, but after A's selection is loaded B can still be
+  // executed (RISC or opportunistically mono/covered) without crashing.
+  const ExecOutcome early = rts.execute_kernel(lib.find_kernel("B"), 100);
+  EXPECT_GT(early.latency, 0u);
+  const ExecOutcome late =
+      rts.execute_kernel(lib.find_kernel("B"), 5'000'000);
+  EXPECT_LE(late.latency, lib.kernel(lib.find_kernel("B")).sw_latency);
+}
+
+TEST(Robustness, ZeroForecastIsCorrectedByTheMpu) {
+  const IseLibrary lib = two_kernel_library();
+  MRts rts(lib, 2, 2);
+  const KernelId a = lib.find_kernel("A");
+
+  TriggerInstruction broken;
+  broken.functional_block = FunctionalBlockId{0};
+  broken.entries.push_back({a, 0.0, 0, 0});  // "this kernel never runs"
+  const SelectionOutcome first = rts.on_trigger(broken, 0);
+  EXPECT_TRUE(first.selection.selected.empty())
+      << "zero expected executions cannot justify any reconfiguration";
+
+  // Reality: thousands of executions. Feed two observations.
+  BlockObservation obs;
+  obs.functional_block = FunctionalBlockId{0};
+  obs.kernels.push_back({a, 8000.0, 400, 100});
+  rts.on_block_end(obs, 1'000'000);
+  rts.on_block_end(obs, 2'000'000);
+
+  const SelectionOutcome corrected = rts.on_trigger(broken, 3'000'000);
+  EXPECT_FALSE(corrected.selection.selected.empty())
+      << "the MPU must override the broken programmed forecast";
+}
+
+TEST(Robustness, AbsurdlyLargeForecastDoesNotOverflow) {
+  const IseLibrary lib = two_kernel_library();
+  MRts rts(lib, 2, 2);
+  TriggerInstruction huge;
+  huge.functional_block = FunctionalBlockId{0};
+  huge.entries.push_back({lib.find_kernel("A"), 1e15, kNeverCycles / 2,
+                          kNeverCycles / 4});
+  const SelectionOutcome out = rts.on_trigger(huge, 0);
+  for (const auto& sel : out.selection.selected) {
+    EXPECT_TRUE(std::isfinite(sel.profit));
+    EXPECT_GE(sel.profit, 0.0);
+  }
+  EXPECT_GT(rts.execute_kernel(lib.find_kernel("A"), 10).latency, 0u);
+}
+
+TEST(Robustness, KernelWithoutCandidateIsesIsLegal) {
+  IseLibrary lib = two_kernel_library();
+  const KernelId plain = lib.add_kernel("PLAIN", 300);  // no ISEs at all
+  MRts rts(lib, 2, 2);
+  TriggerInstruction ti;
+  ti.functional_block = FunctionalBlockId{0};
+  ti.entries.push_back({plain, 1000.0, 100, 50});
+  const SelectionOutcome out = rts.on_trigger(ti, 0);
+  EXPECT_TRUE(out.selection.selected.empty());
+  EXPECT_EQ(rts.execute_kernel(plain, 50).latency, 300u);
+}
+
+TEST(Robustness, UnknownKernelIdThrowsCleanly) {
+  const IseLibrary lib = two_kernel_library();
+  MRts rts(lib, 2, 2);
+  EXPECT_THROW(rts.execute_kernel(KernelId{99}, 0), std::out_of_range);
+  TriggerInstruction ti;
+  ti.functional_block = FunctionalBlockId{0};
+  ti.entries.push_back({KernelId{99}, 10.0, 0, 0});
+  EXPECT_THROW(rts.on_trigger(ti, 0), std::out_of_range);
+}
+
+TEST(Robustness, StaleForecastsAcrossBlocksAreIndependent) {
+  // A forecast learned for block 0 must not leak into block 1's selections.
+  const IseLibrary lib = two_kernel_library();
+  MRts rts(lib, 2, 2);
+  const KernelId a = lib.find_kernel("A");
+
+  BlockObservation obs0;
+  obs0.functional_block = FunctionalBlockId{0};
+  obs0.kernels.push_back({a, 100'000.0, 400, 100});
+  rts.on_block_end(obs0, 1'000'000);
+
+  TriggerInstruction block1;
+  block1.functional_block = FunctionalBlockId{1};
+  block1.entries.push_back({a, 5.0, 0, 0});  // honest tiny forecast
+  const SelectionOutcome out = rts.on_trigger(block1, 2'000'000);
+  // Block 1 never observed anything; the tiny programmed value stands, and 5
+  // executions cannot amortize an FG load.
+  for (const auto& sel : out.selection.selected) {
+    EXPECT_EQ(lib.ise(sel.ise).fg_units, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace mrts

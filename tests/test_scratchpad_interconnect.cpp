@@ -1,0 +1,109 @@
+// Unit tests for the scratch-pad memory and interconnect timing models.
+
+#include <gtest/gtest.h>
+
+#include "arch/interconnect.h"
+#include "arch/scratchpad.h"
+
+namespace mrts {
+namespace {
+
+TEST(Scratchpad, ByteAndWordAccess) {
+  Scratchpad mem;
+  mem.write32(16, 0xdeadbeef);
+  EXPECT_EQ(mem.read32(16), 0xdeadbeefu);
+  EXPECT_EQ(mem.read8(16), 0xefu);  // little-endian layout
+  EXPECT_EQ(mem.read8(19), 0xdeu);
+  mem.write8(16, 0x01);
+  EXPECT_EQ(mem.read32(16), 0xdeadbe01u);
+}
+
+TEST(Scratchpad, OutOfRangeThrows) {
+  ScratchpadParams p;
+  p.size_bytes = 16;
+  Scratchpad mem(p);
+  EXPECT_THROW(mem.read8(16), std::out_of_range);
+  EXPECT_THROW(mem.read32(13), std::out_of_range);
+  EXPECT_THROW(mem.write32(14, 0), std::out_of_range);
+}
+
+TEST(Scratchpad, AccessCountersAndReset) {
+  Scratchpad mem;
+  mem.write32(0, 1);
+  (void)mem.read32(0);
+  (void)mem.read8(1);
+  EXPECT_EQ(mem.writes(), 1u);
+  EXPECT_EQ(mem.reads(), 2u);
+  mem.reset();
+  EXPECT_EQ(mem.reads(), 0u);
+  EXPECT_EQ(mem.read32(0), 0u);
+}
+
+TEST(Scratchpad, PortWidthDeterminesBeats) {
+  ScratchpadParams cg_port;  // 32-bit port
+  cg_port.port_width_bits = 32;
+  Scratchpad cg_mem(cg_port);
+  EXPECT_EQ(cg_mem.access_cycles(4), 1u);
+  EXPECT_EQ(cg_mem.access_cycles(16), 4u);
+
+  ScratchpadParams fg_port;  // the FG fabric has a 128-bit load/store unit
+  fg_port.port_width_bits = 128;
+  Scratchpad fg_mem(fg_port);
+  EXPECT_EQ(fg_mem.access_cycles(16), 1u);
+  EXPECT_EQ(fg_mem.access_cycles(17), 2u);
+}
+
+TEST(Scratchpad, BadParamsRejected) {
+  ScratchpadParams zero;
+  zero.size_bytes = 0;
+  EXPECT_THROW(Scratchpad bad(zero), std::invalid_argument);
+  ScratchpadParams odd;
+  odd.port_width_bits = 12;
+  EXPECT_THROW(Scratchpad bad(odd), std::invalid_argument);
+}
+
+TEST(Interconnect, SameNodeIsFree) {
+  Interconnect net;
+  const NodeAddr a{NodeKind::kCgFabric, 1};
+  EXPECT_EQ(net.transfer_cycles(a, a), 0u);
+}
+
+TEST(Interconnect, CgPointToPointChainCosts) {
+  // Section 5.1: point-to-point connection between CG fabrics, 2 cycles.
+  Interconnect net;
+  const NodeAddr cg0{NodeKind::kCgFabric, 0};
+  const NodeAddr cg1{NodeKind::kCgFabric, 1};
+  const NodeAddr cg3{NodeKind::kCgFabric, 3};
+  EXPECT_EQ(net.transfer_cycles(cg0, cg1), 2u);
+  EXPECT_EQ(net.transfer_cycles(cg0, cg3), 6u);  // 3 hops
+  EXPECT_EQ(net.transfer_cycles(cg3, cg0), 6u);  // symmetric
+}
+
+TEST(Interconnect, PrcToPrcIsSingleCycle) {
+  // Section 5.1: communication within the FG fabric takes a single cycle.
+  Interconnect net;
+  const NodeAddr p0{NodeKind::kPrc, 0};
+  const NodeAddr p5{NodeKind::kPrc, 5};
+  EXPECT_EQ(net.transfer_cycles(p0, p5), 1u);
+}
+
+TEST(Interconnect, CrossGrainAndCoreLinks) {
+  Interconnect net;
+  const NodeAddr core{NodeKind::kCore, 0};
+  const NodeAddr cg{NodeKind::kCgFabric, 0};
+  const NodeAddr prc{NodeKind::kPrc, 0};
+  EXPECT_EQ(net.transfer_cycles(core, cg), 2u);
+  EXPECT_EQ(net.transfer_cycles(prc, cg), 3u);
+  EXPECT_EQ(net.transfer_cycles(cg, prc), 3u);
+}
+
+TEST(Interconnect, PipelineSumsAdjacentTransfers) {
+  Interconnect net;
+  const std::vector<NodeAddr> chain = {
+      {NodeKind::kCore, 0}, {NodeKind::kCgFabric, 0}, {NodeKind::kCgFabric, 2}};
+  EXPECT_EQ(net.pipeline_cycles(chain), 2u + 4u);
+  EXPECT_EQ(net.pipeline_cycles({}), 0u);
+}
+
+}  // namespace
+}  // namespace mrts

@@ -1,0 +1,97 @@
+// Tests for the SDR receiver workload and — more importantly — that the
+// run-time system's qualitative behaviour (Fig. 8 / Fig. 10 orderings) is
+// not an artifact of the H.264 model: it must generalize to a structurally
+// different application.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "baselines/morpheus4s_rts.h"
+#include "baselines/risc_only_rts.h"
+#include "rts/mrts.h"
+#include "sim/app_simulator.h"
+#include "sim/metrics.h"
+#include "workload/sdr_app.h"
+
+namespace mrts {
+namespace {
+
+SdrAppParams small_params() {
+  SdrAppParams p;
+  p.bursts = 5;
+  p.batches = 250;
+  return p;
+}
+
+TEST(SdrApp, StructureThreeBlocksPerBurst) {
+  const SdrApplication app = build_sdr_application(small_params());
+  ASSERT_EQ(app.trace.blocks.size(), 15u);
+  EXPECT_EQ(app.trace.blocks[0].functional_block, app.fb_filter);
+  EXPECT_EQ(app.trace.blocks[1].functional_block, app.fb_demod);
+  EXPECT_EQ(app.trace.blocks[2].functional_block, app.fb_decode);
+  EXPECT_EQ(app.library.num_kernels(), 9u);
+}
+
+TEST(SdrApp, DeterministicFromSeed) {
+  const SdrApplication a = build_sdr_application(small_params());
+  const SdrApplication b = build_sdr_application(small_params());
+  EXPECT_EQ(a.trace.total_events(), b.trace.total_events());
+}
+
+TEST(SdrApp, NoiseDrivesViterbiWorkVariation) {
+  SdrAppParams p;
+  p.bursts = 12;
+  p.batches = 250;
+  const SdrApplication app = build_sdr_application(p);
+  std::set<std::size_t> counts;
+  for (unsigned b = 0; b < p.bursts; ++b) {
+    counts.insert(
+        app.trace.blocks[b * 3 + 2].executions_of(app.k_viterbi));
+  }
+  EXPECT_GE(counts.size(), 6u) << "per-burst decode work must vary";
+}
+
+TEST(SdrApp, EveryKernelHasIseFamilyAndMono) {
+  const SdrApplication app = build_sdr_application(small_params());
+  for (KernelId k : app.all_kernels()) {
+    EXPECT_FALSE(app.library.kernel(k).ises.empty());
+    EXPECT_TRUE(app.library.kernel(k).has_mono_cg());
+  }
+}
+
+TEST(SdrApp, MrtsGeneralizesBeyondH264) {
+  const SdrApplication app = build_sdr_application(small_params());
+  const auto profile = profile_application(app.trace, app.library);
+
+  RiscOnlyRts risc(app.library);
+  const Cycles risc_cycles = run_application(risc, app.trace).total_cycles;
+
+  MRts mrts_rts(app.library, 2, 2);
+  const Cycles mrts_cycles = run_application(mrts_rts, app.trace).total_cycles;
+
+  Morpheus4sRts morpheus(app.library, 2, 2, profile);
+  const Cycles morpheus_cycles =
+      run_application(morpheus, app.trace).total_cycles;
+
+  EXPECT_GT(speedup(risc_cycles, mrts_cycles), 1.8)
+      << "the receiver must accelerate well on a 2+2 fabric";
+  EXPECT_LT(mrts_cycles, morpheus_cycles)
+      << "run-time selection must beat the task-level static scheme";
+}
+
+TEST(SdrApp, MultiGrainedDominanceHoldsHere) {
+  const SdrApplication app = build_sdr_application(small_params());
+  auto run = [&app](unsigned cg, unsigned prcs) {
+    MRts rts(app.library, cg, prcs);
+    return run_application(rts, app.trace).total_cycles;
+  };
+  const Cycles mg_small = run(1, 1);
+  const Cycles fg_only = run(0, 2);
+  const Cycles cg_only = run(2, 0);
+  EXPECT_LT(mg_small, fg_only);
+  EXPECT_LT(mg_small, cg_only);
+}
+
+}  // namespace
+}  // namespace mrts

@@ -1,0 +1,99 @@
+// Parameterized robustness sweep: the paper's qualitative claims must hold
+// across random seeds and fabric combinations, not just for the default
+// workload. Uses a reduced frame count to stay fast.
+
+#include <gtest/gtest.h>
+
+#include "baselines/morpheus4s_rts.h"
+#include "baselines/rispp_rts.h"
+#include "baselines/risc_only_rts.h"
+#include "rts/mrts.h"
+#include "sim/app_simulator.h"
+#include "sim/metrics.h"
+#include "workload/h264_app.h"
+
+namespace mrts {
+namespace {
+
+struct SweepParam {
+  std::uint64_t seed;
+};
+
+void PrintTo(const SweepParam& p, std::ostream* os) { *os << "seed" << p.seed; }
+
+class ShapeSweep : public ::testing::TestWithParam<SweepParam> {
+ protected:
+  static H264Application build(std::uint64_t seed) {
+    H264AppParams params;
+    params.frames = 4;
+    params.macroblocks = 396;
+    params.seed = seed;
+    return build_h264_application(params);
+  }
+};
+
+TEST_P(ShapeSweep, MrtsDominatesAcrossSeeds) {
+  const H264Application app = build(GetParam().seed);
+  const auto profile = profile_application(app.trace, app.library);
+  RiscOnlyRts risc(app.library);
+  const Cycles risc_cycles = run_application(risc, app.trace).total_cycles;
+
+  for (const auto& combo :
+       {FabricCombination{1, 1}, FabricCombination{2, 2}}) {
+    MRts mrts_rts(app.library, combo.cg, combo.prcs);
+    const Cycles mrts_cycles =
+        run_application(mrts_rts, app.trace).total_cycles;
+    RisppRts rispp(app.library, combo.cg, combo.prcs);
+    const Cycles rispp_cycles =
+        run_application(rispp, app.trace).total_cycles;
+    Morpheus4sRts morpheus(app.library, combo.cg, combo.prcs, profile);
+    const Cycles morpheus_cycles =
+        run_application(morpheus, app.trace).total_cycles;
+
+    // Core ordering claims of Fig. 8, for every seed.
+    EXPECT_LT(mrts_cycles, risc_cycles) << combo.label();
+    EXPECT_LE(mrts_cycles, rispp_cycles + rispp_cycles / 100)
+        << combo.label();
+    EXPECT_LT(mrts_cycles, morpheus_cycles) << combo.label();
+  }
+}
+
+TEST_P(ShapeSweep, MultiGrainedDominanceAcrossSeeds) {
+  const H264Application app = build(GetParam().seed);
+  RiscOnlyRts risc(app.library);
+  const Cycles risc_cycles = run_application(risc, app.trace).total_cycles;
+
+  auto run = [&app](unsigned cg, unsigned prcs) {
+    MRts rts(app.library, cg, prcs);
+    return run_application(rts, app.trace).total_cycles;
+  };
+  const Cycles mg_small = run(1, 1);
+  const Cycles fg_only = run(0, 3);
+  const Cycles cg_only = run(3, 0);
+
+  // Fig. 10's headline holds for every seed.
+  EXPECT_LT(mg_small, fg_only);
+  EXPECT_LT(mg_small, cg_only);
+  EXPECT_GT(speedup(risc_cycles, mg_small), 1.5);
+}
+
+TEST_P(ShapeSweep, WorkloadVariationIsPresent) {
+  const H264Application app = build(GetParam().seed);
+  std::size_t lo = SIZE_MAX;
+  std::size_t hi = 0;
+  for (unsigned f = 0; f < 4; ++f) {
+    const std::size_t e = app.lf_filter_executions(f);
+    lo = std::min(lo, e);
+    hi = std::max(hi, e);
+  }
+  EXPECT_GT(hi, lo) << "frames must differ (Fig. 2 premise)";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ShapeSweep,
+                         ::testing::Values(SweepParam{0xC0FFEE},
+                                           SweepParam{1234567},
+                                           SweepParam{42},
+                                           SweepParam{987654321}));
+
+}  // namespace
+}  // namespace mrts

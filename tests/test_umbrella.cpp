@@ -1,0 +1,30 @@
+// Compile-level test: the umbrella header must expose the whole public API
+// without conflicts, and the headline types must be usable from it alone.
+
+#include "mrts.h"
+
+#include <gtest/gtest.h>
+
+namespace mrts {
+namespace {
+
+TEST(Umbrella, PublicApiIsReachable) {
+  IseLibrary lib;
+  IseBuildSpec spec;
+  spec.kernel_name = "K";
+  spec.sw_latency = 100;
+  spec.fg_data_path_names = {"k_fg"};
+  spec.cg_data_path_names = {"k_cg"};
+  const KernelId k = build_kernel_ises(lib, spec);
+
+  MRts rts(lib, 1, 1);
+  TriggerInstruction ti;
+  ti.functional_block = FunctionalBlockId{0};
+  ti.entries.push_back({k, 100.0, 10, 10});
+  const SelectionOutcome out = rts.on_trigger(ti, 0);
+  EXPECT_FALSE(out.selection.selected.empty());
+  EXPECT_EQ(rts.execute_kernel(k, 0).latency, 100u);
+}
+
+}  // namespace
+}  // namespace mrts

@@ -1,0 +1,182 @@
+// Unit tests for src/util: RNG, statistics, CSV/table writers and the
+// cycle-conversion helpers in types.h.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "util/csv.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/table.h"
+#include "util/types.h"
+
+namespace mrts {
+namespace {
+
+TEST(Types, ClockConstantsMatchPaper) {
+  // Section 5.1: core/CG at 400 MHz, FG at 100 MHz.
+  EXPECT_DOUBLE_EQ(kCoreClockHz, 400.0e6);
+  EXPECT_DOUBLE_EQ(kFgClockHz, 100.0e6);
+  EXPECT_EQ(kFgClockRatio, 4u);
+}
+
+TEST(Types, MsToCyclesRoundTrip) {
+  EXPECT_EQ(ms_to_cycles(1.0), 400'000u);
+  EXPECT_EQ(us_to_cycles(1.0), 400u);
+  EXPECT_NEAR(cycles_to_ms(400'000), 1.0, 1e-12);
+}
+
+TEST(Types, FgReconfigBandwidthMatchesPaper) {
+  // 67584 KB/s: streaming ~83 KB takes ~1.2 ms = ~480k core cycles.
+  const Cycles c = fg_reconfig_cycles_for_bytes(83047);
+  EXPECT_NEAR(static_cast<double>(c), 480'000.0, 2'000.0);
+}
+
+TEST(Rng, DeterministicFromSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, Uniform01InRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.uniform01();
+    ASSERT_GE(x, 0.0);
+    ASSERT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, NextBelowIsUnbiasedEnough) {
+  Rng rng(99);
+  int counts[10] = {};
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) counts[rng.next_below(10)]++;
+  for (int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c), n / 10.0, 5.0 * std::sqrt(n / 10.0));
+  }
+}
+
+TEST(Rng, UniformIntBoundsInclusive) {
+  Rng rng(5);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.uniform_int(-2, 2));
+  EXPECT_EQ(seen.size(), 5u);
+  EXPECT_TRUE(seen.count(-2));
+  EXPECT_TRUE(seen.count(2));
+}
+
+TEST(Rng, GaussianMomentsRoughlyStandard) {
+  Rng rng(31);
+  RunningStats stats;
+  for (int i = 0; i < 50000; ++i) stats.add(rng.gaussian());
+  EXPECT_NEAR(stats.mean(), 0.0, 0.02);
+  EXPECT_NEAR(stats.stddev(), 1.0, 0.02);
+}
+
+TEST(Rng, BernoulliEdgeCases) {
+  Rng rng(3);
+  EXPECT_FALSE(rng.bernoulli(0.0));
+  EXPECT_TRUE(rng.bernoulli(1.0));
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng a(42);
+  Rng child = a.split();
+  EXPECT_NE(a.next_u64(), child.next_u64());
+}
+
+TEST(RunningStats, MeanVarianceMinMax) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 4.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(Ewma, BackPropagationMovesTowardObservation) {
+  Ewma e(0.5, 100.0);
+  e.observe(200.0);
+  EXPECT_DOUBLE_EQ(e.prediction(), 150.0);
+  e.observe(200.0);
+  EXPECT_DOUBLE_EQ(e.prediction(), 175.0);
+}
+
+TEST(Ewma, AlphaOneTracksExactly) {
+  Ewma e(1.0, 0.0);
+  e.observe(42.0);
+  EXPECT_DOUBLE_EQ(e.prediction(), 42.0);
+}
+
+TEST(Ewma, ConvergesToConstantSignal) {
+  Ewma e(0.3, 0.0);
+  for (int i = 0; i < 100; ++i) e.observe(10.0);
+  EXPECT_NEAR(e.prediction(), 10.0, 1e-6);
+}
+
+TEST(Means, GeometricAndArithmetic) {
+  EXPECT_DOUBLE_EQ(geometric_mean({2.0, 8.0}), 4.0);
+  EXPECT_DOUBLE_EQ(arithmetic_mean({2.0, 8.0}), 5.0);
+  EXPECT_DOUBLE_EQ(geometric_mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(geometric_mean({1.0, 0.0}), 0.0);
+}
+
+TEST(Csv, EscapesSpecialCharacters) {
+  EXPECT_EQ(CsvWriter::escape("plain"), "plain");
+  EXPECT_EQ(CsvWriter::escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(CsvWriter::escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+}
+
+TEST(Csv, InMemoryRows) {
+  CsvWriter csv;
+  csv.write_header({"a", "b"});
+  csv.write_values(1, 2.5);
+  EXPECT_EQ(csv.str(), "a,b\n1,2.5\n");
+}
+
+TEST(TextTable, RendersAlignedColumns) {
+  TextTable t({"name", "value"});
+  t.add_values("x", 1);
+  t.add_values("longer", 23);
+  const std::string out = t.render();
+  EXPECT_NE(out.find("| name"), std::string::npos);
+  EXPECT_NE(out.find("| longer"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(TextTable, RejectsWrongWidth) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(TextTable, FormatHelpers) {
+  EXPECT_EQ(format_double(1.23456, 2), "1.23");
+  EXPECT_EQ(format_mcycles(12'340'000), "12.34");
+}
+
+}  // namespace
+}  // namespace mrts

@@ -1,0 +1,185 @@
+// mrts_cli — command-line driver for the mRTS library.
+//
+//   mrts_cli info <library.txt>
+//       Print the kernels and ISE variants of a library file.
+//
+//   mrts_cli select <library.txt> <prcs> <cg> <KERNEL=e[,tf,tb]> ...
+//       Run one heuristic selection for the given trigger forecast on an
+//       idle machine and print the round-by-round trace.
+//
+//   mrts_cli run <h264|sdr> [prcs] [cg] [frames]
+//       Run a built-in workload under every run-time system and print the
+//       comparison summary.
+//
+// Exit code 0 on success, 1 on usage errors, 2 on input errors.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "mrts.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace mrts;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  mrts_cli info <library.txt>\n"
+               "  mrts_cli select <library.txt> <prcs> <cg> "
+               "<KERNEL=e[,tf,tb]> ...\n"
+               "  mrts_cli run <h264|sdr> [prcs] [cg] [frames]\n");
+  return 1;
+}
+
+int cmd_info(const std::string& path) {
+  const IseLibrary lib = load_library(path);
+  std::printf("%zu data paths, %zu kernels, %zu ISE variants\n\n",
+              lib.data_paths().size(), lib.num_kernels(), lib.num_ises());
+  TextTable table({"kernel", "sw cycles", "variant", "PRCs", "CG",
+                   "full latency", "speedup", "reconfig [ms]"});
+  for (const auto& kernel : lib.kernels()) {
+    auto add = [&](IseId id) {
+      const IseVariant& v = lib.ise(id);
+      table.add_values(
+          kernel.name, kernel.sw_latency, v.name, v.fg_units, v.cg_units,
+          v.full_latency(),
+          static_cast<double>(v.risc_latency()) /
+              static_cast<double>(v.full_latency()),
+          format_double(
+              cycles_to_ms(v.worst_case_reconfig_cycles(lib.data_paths())),
+              3));
+    };
+    for (IseId id : kernel.ises) add(id);
+    if (kernel.has_mono_cg()) add(kernel.mono_cg);
+  }
+  std::printf("%s", table.render().c_str());
+  return 0;
+}
+
+int cmd_select(const std::string& path, unsigned prcs, unsigned cg,
+               char** specs, int count) {
+  const IseLibrary lib = load_library(path);
+  TriggerInstruction ti;
+  ti.functional_block = FunctionalBlockId{0};
+  for (int i = 0; i < count; ++i) {
+    const std::string spec = specs[i];
+    const std::size_t eq = spec.find('=');
+    if (eq == std::string::npos) {
+      std::fprintf(stderr, "bad trigger entry '%s' (expected KERNEL=e[,tf,tb])\n",
+                   spec.c_str());
+      return 2;
+    }
+    const KernelId k = lib.find_kernel(spec.substr(0, eq));
+    if (k == kInvalidKernel) {
+      std::fprintf(stderr, "unknown kernel '%s'\n",
+                   spec.substr(0, eq).c_str());
+      return 2;
+    }
+    TriggerEntry entry;
+    entry.kernel = k;
+    entry.time_to_first = 500;
+    entry.time_between = 100;
+    char* cursor = nullptr;
+    entry.expected_executions = std::strtod(spec.c_str() + eq + 1, &cursor);
+    if (cursor != nullptr && *cursor == ',') {
+      entry.time_to_first = std::strtoull(cursor + 1, &cursor, 10);
+      if (*cursor == ',') {
+        entry.time_between = std::strtoull(cursor + 1, nullptr, 10);
+      }
+    }
+    ti.entries.push_back(entry);
+  }
+  if (ti.entries.empty()) return usage();
+
+  const HeuristicSelector selector(lib);
+  ReconfigPlanner planner(lib.data_paths(), prcs, cg, 0);
+  std::string trace;
+  const SelectionResult result =
+      selector.select_with_trace(ti, planner, trace);
+  std::printf("%s\n", trace.c_str());
+  std::printf("selected %zu ISE(s), total expected profit %.0f cycles, "
+              "selection overhead ~%llu cycles\n",
+              result.selected.size(), result.total_profit,
+              static_cast<unsigned long long>(result.overhead_cycles));
+  return 0;
+}
+
+int cmd_run(const std::string& which, unsigned prcs, unsigned cg,
+            unsigned frames) {
+  IseLibrary const* lib = nullptr;
+  ApplicationTrace const* trace = nullptr;
+  H264Application h264;
+  SdrApplication sdr;
+  if (which == "h264") {
+    H264AppParams params;
+    params.frames = frames;
+    h264 = build_h264_application(params);
+    lib = &h264.library;
+    trace = &h264.trace;
+  } else if (which == "sdr") {
+    SdrAppParams params;
+    params.bursts = frames;
+    sdr = build_sdr_application(params);
+    lib = &sdr.library;
+    trace = &sdr.trace;
+  } else {
+    return usage();
+  }
+
+  RiscOnlyRts risc(*lib);
+  const AppRunResult risc_run = run_application(risc, *trace);
+  const auto profile = profile_application(*trace, *lib);
+
+  TextTable table({"run-time system", "Mcycles", "speedup"});
+  auto report = [&](RuntimeSystem& rts) {
+    const AppRunResult r = run_application(rts, *trace);
+    table.add_values(r.rts_name, format_mcycles(r.total_cycles),
+                     speedup(risc_run.total_cycles, r.total_cycles));
+  };
+  report(risc);
+  MRts mrts_rts(*lib, cg, prcs);
+  report(mrts_rts);
+  RisppRts rispp(*lib, cg, prcs);
+  report(rispp);
+  Morpheus4sRts morpheus(*lib, cg, prcs, profile);
+  report(morpheus);
+  OfflineOptimalRts offline(*lib, cg, prcs, profile);
+  report(offline);
+
+  std::printf("%s on %u PRCs + %u CG fabrics, %u frames/bursts:\n%s",
+              which.c_str(), prcs, cg, frames, table.render().c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  try {
+    if (command == "info" && argc == 3) return cmd_info(argv[2]);
+    if (command == "select" && argc >= 6) {
+      return cmd_select(argv[2],
+                        static_cast<unsigned>(std::atoi(argv[3])),
+                        static_cast<unsigned>(std::atoi(argv[4])), argv + 5,
+                        argc - 5);
+    }
+    if (command == "run" && argc >= 3) {
+      const unsigned prcs =
+          argc > 3 ? static_cast<unsigned>(std::atoi(argv[3])) : 2;
+      const unsigned cg =
+          argc > 4 ? static_cast<unsigned>(std::atoi(argv[4])) : 2;
+      const unsigned frames =
+          argc > 5 ? static_cast<unsigned>(std::atoi(argv[5])) : 8;
+      return cmd_run(argv[2], prcs, cg, frames);
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+  return usage();
+}
