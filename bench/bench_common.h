@@ -5,6 +5,10 @@
 /// the full simulation, prints the figure's rows/series as an ASCII table
 /// and dumps a CSV (<bench>.csv) for external plotting.
 
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <memory>
 #include <string>
 
@@ -15,6 +19,7 @@
 #include "rts/mrts.h"
 #include "sim/app_simulator.h"
 #include "sim/metrics.h"
+#include "sim/sweep_runner.h"
 #include "util/csv.h"
 #include "util/table.h"
 #include "workload/h264_app.h"
@@ -67,5 +72,53 @@ struct EvalContext {
     return run_application(rts, app.trace);
   }
 };
+
+/// Parses and strips a `--jobs N` / `--jobs=N` flag from the command line.
+/// Must run *before* benchmark::Initialize (google-benchmark rejects flags
+/// it does not know). Returns the sweep worker count: 0 means "one worker
+/// per hardware thread" (SweepRunner resolves it); `--jobs 1` is the exact
+/// legacy serial path. The MRTS_BENCH_JOBS environment variable supplies
+/// the default when the flag is absent.
+inline unsigned parse_jobs(int* argc, char** argv) {
+  unsigned jobs = 0;
+  if (const char* env = std::getenv("MRTS_BENCH_JOBS")) {
+    const int v = std::atoi(env);
+    if (v > 0) jobs = static_cast<unsigned>(v);
+  }
+  int out = 1;  // argv[0] always kept
+  for (int i = 1; i < *argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--jobs") == 0 && i + 1 < *argc) {
+      const int v = std::atoi(argv[++i]);
+      if (v > 0) jobs = static_cast<unsigned>(v);
+      continue;
+    }
+    if (std::strncmp(arg, "--jobs=", 7) == 0) {
+      const int v = std::atoi(arg + 7);
+      if (v > 0) jobs = static_cast<unsigned>(v);
+      continue;
+    }
+    argv[out++] = argv[i];
+  }
+  *argc = out;
+  argv[out] = nullptr;
+  return jobs;
+}
+
+/// Runs \p run_sweep (which is expected to drive a SweepRunner with \p jobs
+/// workers) and prints the sweep's wall-clock and worker count, so the
+/// --jobs speedup is visible in the harness output.
+template <typename Fn>
+void timed_sweep(const char* what, unsigned jobs, Fn&& run_sweep) {
+  const SweepRunner runner(jobs);
+  const auto t0 = std::chrono::steady_clock::now();
+  run_sweep(runner);
+  const auto t1 = std::chrono::steady_clock::now();
+  const double seconds =
+      std::chrono::duration_cast<std::chrono::duration<double>>(t1 - t0)
+          .count();
+  std::printf("[sweep] %s: %u worker(s), %.3f s wall-clock\n", what,
+              runner.jobs(), seconds);
+}
 
 }  // namespace mrts::bench

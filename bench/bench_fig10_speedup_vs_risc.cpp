@@ -4,11 +4,16 @@
 // FG-only combinations reach ~1.8-2.2x; multi-grained combinations are the
 // clear winners (paper: >5x) because mRTS starts employing MG-ISEs and the
 // monoCG-Extension; 1 PRC + 1 CG beats 3 PRCs-only and 3 CGs-only.
+//
+// The 16-point sweep fans out over a SweepRunner (--jobs N); each point
+// builds a private MRts instance and results merge in submission order, so
+// the output is byte-identical to `--jobs 1`.
 
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
 #include <map>
+#include <vector>
 
 #include "bench_common.h"
 
@@ -33,32 +38,51 @@ std::map<std::string, Point>& points() {
   return p;
 }
 
+const std::vector<FabricCombination>& sweep_points() {
+  static const std::vector<FabricCombination> p = fabric_sweep(3, 3);
+  return p;
+}
+
+Point run_point(const FabricCombination& combo) {
+  const EvalContext& ctx = context();
+  MRts rts(ctx.app.library, combo.cg, combo.prcs);
+  const AppRunResult r = run_application(rts, ctx.app.trace);
+  Point point;
+  point.speedup = speedup(ctx.risc_cycles, r.total_cycles);
+  point.mono_fraction = r.impl_fraction(ImplKind::kMonoCg);
+  point.mg_selected = static_cast<double>(rts.run_stats().selected_mg_ises);
+  return point;
+}
+
+void run_sweep(unsigned jobs) {
+  (void)context();
+  timed_sweep("Fig. 10", jobs, [](const SweepRunner& runner) {
+    const auto& combos = sweep_points();
+    const std::vector<Point> results = runner.map(combos, run_point);
+    for (std::size_t i = 0; i < combos.size(); ++i) {
+      points()[combos[i].label()] = results[i];
+    }
+  });
+}
+
+/// Reporting stub over the precomputed sweep results.
 void BM_Fig10_Combination(benchmark::State& state) {
   const auto prcs = static_cast<unsigned>(state.range(0));
   const auto cg = static_cast<unsigned>(state.range(1));
-  const EvalContext& ctx = context();
-  Point point;
+  const Point& point = points()[FabricCombination{prcs, cg}.label()];
   for (auto _ : state) {
-    MRts rts(ctx.app.library, cg, prcs);
-    const AppRunResult r = run_application(rts, ctx.app.trace);
-    point.speedup = speedup(ctx.risc_cycles, r.total_cycles);
-    point.mono_fraction = r.impl_fraction(ImplKind::kMonoCg);
-    point.mg_selected = static_cast<double>(rts.run_stats().selected_mg_ises);
+    benchmark::DoNotOptimize(point.speedup);
   }
-  points()[FabricCombination{prcs, cg}.label()] = point;
   state.counters["speedup_vs_risc"] = point.speedup;
 }
 
 void register_benchmarks() {
-  for (unsigned prcs = 0; prcs <= 3; ++prcs) {
-    for (unsigned cg = 0; cg <= 3; ++cg) {
-      benchmark::RegisterBenchmark(
-          ("BM_Fig10/" + FabricCombination{prcs, cg}.label()).c_str(),
-          BM_Fig10_Combination)
-          ->Args({static_cast<long>(prcs), static_cast<long>(cg)})
-          ->Iterations(1)
-          ->Unit(benchmark::kMillisecond);
-    }
+  for (const FabricCombination& combo : sweep_points()) {
+    benchmark::RegisterBenchmark(("BM_Fig10/" + combo.label()).c_str(),
+                                 BM_Fig10_Combination)
+        ->Args({static_cast<long>(combo.prcs), static_cast<long>(combo.cg)})
+        ->Iterations(1)
+        ->Unit(benchmark::kMillisecond);
   }
 }
 
@@ -73,23 +97,20 @@ void print_figure() {
   RunningStats fg_only;
   RunningStats cg_only;
   RunningStats mg;
-  for (unsigned prcs = 0; prcs <= 3; ++prcs) {
-    for (unsigned cg = 0; cg <= 3; ++cg) {
-      const FabricCombination combo{prcs, cg};
-      const Point& p = points()[combo.label()];
-      const char* group = combo.risc_only() ? "RISC"
-                          : combo.fg_only() ? "FG-only"
-                          : combo.cg_only() ? "CG-only"
-                                            : "MG";
-      if (combo.fg_only()) fg_only.add(p.speedup);
-      if (combo.cg_only()) cg_only.add(p.speedup);
-      if (combo.multi_grained()) mg.add(p.speedup);
-      if (!combo.risc_only()) all.add(p.speedup);
-      table.add_values(combo.label(), group, p.speedup, p.mono_fraction,
-                       static_cast<std::uint64_t>(p.mg_selected));
-      csv.write_values(prcs, cg, group, p.speedup, p.mono_fraction,
-                       p.mg_selected);
-    }
+  for (const FabricCombination& combo : sweep_points()) {
+    const Point& p = points()[combo.label()];
+    const char* group = combo.risc_only() ? "RISC"
+                        : combo.fg_only() ? "FG-only"
+                        : combo.cg_only() ? "CG-only"
+                                          : "MG";
+    if (combo.fg_only()) fg_only.add(p.speedup);
+    if (combo.cg_only()) cg_only.add(p.speedup);
+    if (combo.multi_grained()) mg.add(p.speedup);
+    if (!combo.risc_only()) all.add(p.speedup);
+    table.add_values(combo.label(), group, p.speedup, p.mono_fraction,
+                     static_cast<std::uint64_t>(p.mg_selected));
+    csv.write_values(combo.prcs, combo.cg, group, p.speedup, p.mono_fraction,
+                     p.mg_selected);
   }
   std::printf("\nFig. 10 — mRTS speedup vs RISC mode (written to "
               "fig10_speedup_vs_risc.csv)\n%s",
@@ -106,7 +127,9 @@ void print_figure() {
 }  // namespace
 
 int main(int argc, char** argv) {
+  const unsigned jobs = parse_jobs(&argc, argv);
   ::benchmark::Initialize(&argc, argv);
+  run_sweep(jobs);
   register_benchmarks();
   ::benchmark::RunSpecifiedBenchmarks();
   print_figure();

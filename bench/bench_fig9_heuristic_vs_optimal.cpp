@@ -4,11 +4,17 @@
 // stays within ~3% whenever at least one CG fabric is available; the worst
 // case (~11%) occurs at PRC-only combinations where the optimal distributes
 // the PRCs over two kernels while the greedy gives most of them to one.
+//
+// The 27-point sweep (the RISC-only corner has nothing to select) fans out
+// over a SweepRunner (--jobs N); each point runs its three simulations on
+// private simulator instances and results merge in submission order, so the
+// output is byte-identical to `--jobs 1`.
 
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
 #include <map>
+#include <vector>
 
 #include "bench_common.h"
 
@@ -22,55 +28,81 @@ const EvalContext& context() {
   return ctx;
 }
 
-std::map<std::string, double>& differences() {
-  static std::map<std::string, double> d;
+struct Diffs {
+  double heuristic = 0.0;  ///< max-profit heuristic vs optimal
+  double density = 0.0;    ///< profit-density policy vs optimal
+};
+
+std::map<std::string, Diffs>& diffs() {
+  static std::map<std::string, Diffs> d;
   return d;
 }
 
-std::map<std::string, double>& density_differences() {
-  static std::map<std::string, double> d;
+const std::vector<FabricCombination>& sweep_points() {
+  static const std::vector<FabricCombination> points = []() {
+    std::vector<FabricCombination> out;
+    for (const FabricCombination& c : fabric_sweep(6, 3)) {
+      if (!c.risc_only()) out.push_back(c);  // RISC mode: nothing to select
+    }
+    return out;
+  }();
+  return points;
+}
+
+Diffs run_point(const FabricCombination& combo) {
+  const EvalContext& ctx = context();
+  MRtsConfig heuristic_cfg;
+  heuristic_cfg.charge_selection_overhead = false;  // isolate selection
+  const Cycles heuristic =
+      ctx.run_mrts(combo.cg, combo.prcs, heuristic_cfg).total_cycles;
+  MRtsConfig optimal_cfg;
+  optimal_cfg.use_optimal_selector = true;
+  optimal_cfg.charge_selection_overhead = false;
+  const Cycles optimal =
+      ctx.run_mrts(combo.cg, combo.prcs, optimal_cfg).total_cycles;
+  MRtsConfig density_cfg;
+  density_cfg.selector_policy = SelectionPolicy::kMaxProfitDensity;
+  density_cfg.charge_selection_overhead = false;
+  const Cycles density =
+      ctx.run_mrts(combo.cg, combo.prcs, density_cfg).total_cycles;
+
+  Diffs d;
+  d.heuristic = percent_difference(static_cast<double>(optimal),
+                                   static_cast<double>(heuristic));
+  d.density = percent_difference(static_cast<double>(optimal),
+                                 static_cast<double>(density));
   return d;
 }
 
+void run_sweep(unsigned jobs) {
+  (void)context();
+  timed_sweep("Fig. 9", jobs, [](const SweepRunner& runner) {
+    const auto& points = sweep_points();
+    const std::vector<Diffs> results = runner.map(points, run_point);
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      diffs()[points[i].label()] = results[i];
+    }
+  });
+}
+
+/// Reporting stub over the precomputed sweep results.
 void BM_Fig9_Combination(benchmark::State& state) {
   const auto prcs = static_cast<unsigned>(state.range(0));
   const auto cg = static_cast<unsigned>(state.range(1));
-  const EvalContext& ctx = context();
-  double diff = 0.0;
+  const Diffs& d = diffs()[FabricCombination{prcs, cg}.label()];
   for (auto _ : state) {
-    MRtsConfig heuristic_cfg;
-    heuristic_cfg.charge_selection_overhead = false;  // isolate selection
-    const Cycles heuristic = ctx.run_mrts(cg, prcs, heuristic_cfg).total_cycles;
-    MRtsConfig optimal_cfg;
-    optimal_cfg.use_optimal_selector = true;
-    optimal_cfg.charge_selection_overhead = false;
-    const Cycles optimal = ctx.run_mrts(cg, prcs, optimal_cfg).total_cycles;
-    diff = percent_difference(static_cast<double>(optimal),
-                              static_cast<double>(heuristic));
-
-    MRtsConfig density_cfg;
-    density_cfg.selector_policy = SelectionPolicy::kMaxProfitDensity;
-    density_cfg.charge_selection_overhead = false;
-    const Cycles density = ctx.run_mrts(cg, prcs, density_cfg).total_cycles;
-    density_differences()[FabricCombination{prcs, cg}.label()] =
-        percent_difference(static_cast<double>(optimal),
-                           static_cast<double>(density));
+    benchmark::DoNotOptimize(d.heuristic);
   }
-  differences()[FabricCombination{prcs, cg}.label()] = diff;
-  state.counters["percent_difference"] = diff;
+  state.counters["percent_difference"] = d.heuristic;
 }
 
 void register_benchmarks() {
-  for (unsigned prcs = 0; prcs <= 6; ++prcs) {
-    for (unsigned cg = 0; cg <= 3; ++cg) {
-      if (prcs == 0 && cg == 0) continue;  // RISC mode: nothing to select
-      benchmark::RegisterBenchmark(
-          ("BM_Fig9/" + FabricCombination{prcs, cg}.label()).c_str(),
-          BM_Fig9_Combination)
-          ->Args({static_cast<long>(prcs), static_cast<long>(cg)})
-          ->Iterations(1)
-          ->Unit(benchmark::kMillisecond);
-    }
+  for (const FabricCombination& combo : sweep_points()) {
+    benchmark::RegisterBenchmark(("BM_Fig9/" + combo.label()).c_str(),
+                                 BM_Fig9_Combination)
+        ->Args({static_cast<long>(combo.prcs), static_cast<long>(combo.cg)})
+        ->Iterations(1)
+        ->Unit(benchmark::kMillisecond);
   }
 }
 
@@ -88,7 +120,8 @@ void print_figure() {
         cells.push_back("-");
         continue;
       }
-      const double diff = differences()[FabricCombination{prcs, cg}.label()];
+      const double diff =
+          diffs()[FabricCombination{prcs, cg}.label()].heuristic;
       cells.push_back(format_double(diff, 2) + "%");
       csv.write_values(prcs, cg, diff);
       if (diff > worst) {
@@ -113,8 +146,9 @@ void print_figure() {
   RunningStats density_cg0;
   RunningStats maxprofit_cg0;
   for (unsigned prcs = 1; prcs <= 6; ++prcs) {
-    density_cg0.add(density_differences()[FabricCombination{prcs, 0}.label()]);
-    maxprofit_cg0.add(differences()[FabricCombination{prcs, 0}.label()]);
+    const Diffs& d = diffs()[FabricCombination{prcs, 0}.label()];
+    density_cg0.add(d.density);
+    maxprofit_cg0.add(d.heuristic);
   }
   std::printf("PRC-only column with the profit-density policy (extension): "
               "avg %.2f%% / max %.2f%% vs %.2f%% / %.2f%% for the paper's "
@@ -126,7 +160,9 @@ void print_figure() {
 }  // namespace
 
 int main(int argc, char** argv) {
+  const unsigned jobs = parse_jobs(&argc, argv);
   ::benchmark::Initialize(&argc, argv);
+  run_sweep(jobs);
   register_benchmarks();
   ::benchmark::RunSpecifiedBenchmarks();
   print_figure();

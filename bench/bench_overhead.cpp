@@ -4,10 +4,17 @@
 // blocks the core (the rest is hidden behind the reconfiguration process).
 // Also measures the *host* wall-clock cost of a selection, i.e. how fast the
 // library itself is.
+//
+// The Section 4.1 scaling sweep (kernel count x data-path shape) fans out
+// over a SweepRunner (--jobs N): each point builds its own synthetic
+// library, selector and planner, and results merge in submission order, so
+// the table/CSV are byte-identical to `--jobs 1`. The two host wall-clock
+// micro-benchmarks stay serial — they time the calling thread.
 
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <vector>
 
 #include "bench_common.h"
 #include "isa/ise_builder.h"
@@ -128,36 +135,73 @@ IseLibrary scaling_library(unsigned kernels, unsigned fg_dps, unsigned cg_dps) {
   return lib;
 }
 
+/// One point of the Section 4.1 scaling sweep.
+struct ScalingPoint {
+  unsigned kernels = 0;
+  unsigned fg_dps = 0;
+  unsigned cg_dps = 0;
+};
+
+struct ScalingResult {
+  unsigned variants = 0;
+  std::uint64_t profit_evaluations = 0;
+  Cycles overhead_cycles = 0;
+};
+
+std::vector<ScalingPoint> scaling_points() {
+  std::vector<ScalingPoint> points;
+  for (unsigned kernels : {2u, 4u, 8u}) {
+    for (auto [fg, cg] :
+         {std::pair<unsigned, unsigned>{2, 1}, {4, 2}, {5, 4}}) {
+      points.push_back({kernels, fg, cg});
+    }
+  }
+  return points;
+}
+
+/// Fully independent: builds its own library, selector and planner.
+ScalingResult run_scaling_point(const ScalingPoint& p) {
+  const IseLibrary lib = scaling_library(p.kernels, p.fg_dps, p.cg_dps);
+  ScalingResult out;
+  out.variants = static_cast<unsigned>(lib.kernel(KernelId{0}).ises.size());
+  TriggerInstruction ti;
+  ti.functional_block = FunctionalBlockId{0};
+  for (const auto& kernel : lib.kernels()) {
+    ti.entries.push_back({kernel.id, 3000.0, 400, 200});
+  }
+  const HeuristicSelector selector(lib);
+  ReconfigPlanner planner(lib.data_paths(), 6, 4, 0);
+  const SelectionResult r = selector.select(ti, planner);
+  out.profit_evaluations = r.profit_evaluations;
+  out.overhead_cycles = r.overhead_cycles;
+  return out;
+}
+
 /// The O(N*M) complexity claim of Section 4.1: selection work (profit
 /// evaluations and the modelled cycle cost) must grow linearly in both the
 /// kernel count N and the per-kernel variant count M.
-void print_scaling_table() {
+void print_scaling_table(unsigned jobs) {
+  const std::vector<ScalingPoint> points = scaling_points();
+  std::vector<ScalingResult> results;
+  timed_sweep("Scaling", jobs, [&](const SweepRunner& runner) {
+    results = runner.map(points, run_scaling_point);
+  });
+
   TextTable table({"kernels N", "variants M", "candidates N*M",
                    "profit evals", "modelled cycles", "cycles/kernel"});
   CsvWriter csv("overhead_scaling.csv");
   csv.write_header({"kernels", "variants", "candidates", "profit_evals",
                     "modelled_cycles"});
-  for (unsigned kernels : {2u, 4u, 8u}) {
-    for (auto [fg, cg] : {std::pair<unsigned, unsigned>{2, 1}, {4, 2}, {5, 4}}) {
-      const IseLibrary lib = scaling_library(kernels, fg, cg);
-      const unsigned variants =
-          static_cast<unsigned>(lib.kernel(KernelId{0}).ises.size());
-      TriggerInstruction ti;
-      ti.functional_block = FunctionalBlockId{0};
-      for (const auto& kernel : lib.kernels()) {
-        ti.entries.push_back({kernel.id, 3000.0, 400, 200});
-      }
-      const HeuristicSelector selector(lib);
-      ReconfigPlanner planner(lib.data_paths(), 6, 4, 0);
-      const SelectionResult r = selector.select(ti, planner);
-      table.add_values(kernels, variants, kernels * variants,
-                       r.profit_evaluations, r.overhead_cycles,
-                       format_double(static_cast<double>(r.overhead_cycles) /
-                                         kernels,
-                                     0));
-      csv.write_values(kernels, variants, kernels * variants,
-                       r.profit_evaluations, r.overhead_cycles);
-    }
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const ScalingPoint& p = points[i];
+    const ScalingResult& r = results[i];
+    table.add_values(p.kernels, r.variants, p.kernels * r.variants,
+                     r.profit_evaluations, r.overhead_cycles,
+                     format_double(static_cast<double>(r.overhead_cycles) /
+                                       p.kernels,
+                                   0));
+    csv.write_values(p.kernels, r.variants, p.kernels * r.variants,
+                     r.profit_evaluations, r.overhead_cycles);
   }
   std::printf("\nSelection-cost scaling (Section 4.1's O(N*M); written to "
               "overhead_scaling.csv)\n%s",
@@ -167,9 +211,10 @@ void print_scaling_table() {
 }  // namespace
 
 int main(int argc, char** argv) {
+  const unsigned jobs = parse_jobs(&argc, argv);
   ::benchmark::Initialize(&argc, argv);
   ::benchmark::RunSpecifiedBenchmarks();
   print_table();
-  print_scaling_table();
+  print_scaling_table(jobs);
   return 0;
 }

@@ -1,6 +1,7 @@
 #include "riscsim/kernel_programs.h"
 
 #include <map>
+#include <mutex>
 #include <stdexcept>
 
 #include "util/rng.h"
@@ -291,7 +292,11 @@ std::vector<std::string> kernel_program_names() {
 }
 
 const Program& kernel_program(const std::string& name) {
+  // Guarded: sweep workers may assemble concurrently. References stay valid
+  // because std::map never relocates its nodes.
+  static std::mutex mutex;
   static std::map<std::string, Program> cache;
+  std::lock_guard<std::mutex> lock(mutex);
   auto it = cache.find(name);
   if (it == cache.end()) {
     const auto src = sources().find(name);

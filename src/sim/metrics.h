@@ -22,9 +22,15 @@ struct FabricCombination {
   bool cg_only() const { return prcs == 0 && cg > 0; }
   bool multi_grained() const { return prcs > 0 && cg > 0; }
 
-  /// Axis label as in the paper's figures: "<PRCs><CG>".
+  /// Axis label. Single-digit points keep the paper's figure form
+  /// "<PRCs><CG>" ("00", "23", ...); when either value has more than one
+  /// digit the concatenation is ambiguous ({11,1} and {1,11} would both
+  /// read "111"), so those points use the explicit "<PRCs>x<CG>" form.
   std::string label() const {
-    return std::to_string(prcs) + std::to_string(cg);
+    if (prcs < 10 && cg < 10) {
+      return std::to_string(prcs) + std::to_string(cg);
+    }
+    return std::to_string(prcs) + "x" + std::to_string(cg);
   }
 };
 

@@ -6,7 +6,8 @@
 
 namespace mrts {
 
-TimeSlicedResult run_time_sliced(std::vector<Task> tasks, Cycles start) {
+TimeSlicedResult run_time_sliced(const std::vector<Task>& tasks,
+                                 Cycles start) {
   for (const Task& t : tasks) {
     if (t.rts == nullptr || t.trace == nullptr) {
       throw std::invalid_argument("run_time_sliced: null task member");

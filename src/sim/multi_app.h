@@ -52,6 +52,7 @@ struct TimeSlicedResult {
 /// (callers decide whether learned state carries over); the shared fabric
 /// keeps whatever the interleaved installations left behind. Throws
 /// std::invalid_argument on null task members or zero slice weights.
-TimeSlicedResult run_time_sliced(std::vector<Task> tasks, Cycles start = 0);
+TimeSlicedResult run_time_sliced(const std::vector<Task>& tasks,
+                                 Cycles start = 0);
 
 }  // namespace mrts

@@ -1,0 +1,45 @@
+#include "sim/sweep_runner.h"
+
+#include <algorithm>
+#include <exception>
+#include <future>
+
+#include "util/thread_pool.h"
+
+namespace mrts {
+
+SweepRunner::SweepRunner(unsigned jobs)
+    : jobs_(jobs == 0 ? ThreadPool::default_jobs() : jobs) {}
+
+void SweepRunner::run_indexed(
+    std::size_t count, const std::function<void(std::size_t)>& fn) const {
+  if (count == 0) return;
+
+  if (jobs_ == 1 || count == 1) {
+    // Legacy serial path: no pool, exceptions propagate directly.
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+
+  std::vector<std::future<void>> futures;
+  futures.reserve(count);
+  {
+    ThreadPool pool(std::min<std::size_t>(jobs_, count));
+    for (std::size_t i = 0; i < count; ++i) {
+      futures.push_back(pool.submit([&fn, i]() { fn(i); }));
+    }
+    // Collect in submission order so the *lowest-index* failure wins,
+    // matching what the serial loop would have thrown first.
+    std::exception_ptr first_error;
+    for (std::future<void>& f : futures) {
+      try {
+        f.get();
+      } catch (...) {
+        if (!first_error) first_error = std::current_exception();
+      }
+    }
+    if (first_error) std::rethrow_exception(first_error);
+  }
+}
+
+}  // namespace mrts

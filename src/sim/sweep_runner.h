@@ -1,0 +1,58 @@
+#pragma once
+/// \file sweep_runner.h
+/// Deterministic parallel sweep runner for the figure benches. A sweep is a
+/// list of independent points (fabric combinations, config variants, seeded
+/// workloads); each point's full simulation runs on its own simulator
+/// instance in a pool worker, and results are merged back in submission
+/// order, so the harness output (tables, CSV) is byte-identical to the
+/// serial run regardless of worker count.
+///
+/// Sharing rules (audited; see docs/ARCHITECTURE.md):
+///  * the point function receives only const access to shared inputs
+///    (IseLibrary, DataPathTable, ApplicationTrace, profiles) — these are
+///    immutable after construction and safe for concurrent readers;
+///  * every mutable simulation object (MRts, baselines, FabricManager,
+///    planners) must be constructed inside the point function, never shared;
+///  * result slots are index-addressed, one per point, so no two workers
+///    write the same location.
+
+#include <cstddef>
+#include <functional>
+#include <type_traits>
+#include <vector>
+
+namespace mrts {
+
+class SweepRunner {
+ public:
+  /// \p jobs = worker count. 0 = one worker per hardware thread.
+  /// jobs == 1 runs every point inline on the calling thread — the exact
+  /// legacy serial path (no pool, no thread creation).
+  explicit SweepRunner(unsigned jobs = 0);
+
+  /// Resolved worker count (never 0).
+  unsigned jobs() const { return jobs_; }
+
+  /// Invokes fn(i) once for every i in [0, count); calls for distinct i may
+  /// run concurrently. Blocks until all points finished. If points throw,
+  /// the exception of the lowest-index failing point is rethrown after all
+  /// workers completed — the same exception the serial run would surface.
+  void run_indexed(std::size_t count,
+                   const std::function<void(std::size_t)>& fn) const;
+
+  /// Maps each point through \p fn; out[i] corresponds to points[i]
+  /// (submission order) independent of which worker computed it.
+  template <typename Point, typename Fn>
+  auto map(const std::vector<Point>& points, Fn&& fn) const
+      -> std::vector<std::invoke_result_t<Fn&, const Point&>> {
+    std::vector<std::invoke_result_t<Fn&, const Point&>> out(points.size());
+    run_indexed(points.size(),
+                [&](std::size_t i) { out[i] = fn(points[i]); });
+    return out;
+  }
+
+ private:
+  unsigned jobs_;
+};
+
+}  // namespace mrts

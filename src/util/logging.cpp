@@ -1,14 +1,17 @@
 #include "util/logging.h"
 
+#include <atomic>
 #include <cstdio>
 
 namespace mrts {
 namespace {
-LogLevel g_level = LogLevel::kWarn;
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
 }  // namespace
 
-LogLevel log_level() { return g_level; }
-void set_log_level(LogLevel level) { g_level = level; }
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
+void set_log_level(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
 
 const char* to_string(LogLevel level) {
   switch (level) {

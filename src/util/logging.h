@@ -10,12 +10,20 @@ namespace mrts {
 
 enum class LogLevel : int { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
 
-/// Global log threshold; messages below it are discarded.
+/// Global log threshold; messages below it are discarded. The level is
+/// atomic, so reading/setting it from any thread is safe.
 LogLevel log_level();
 void set_log_level(LogLevel level);
 
-/// Emits one formatted line to stderr (thread-compatible, not thread-safe by
-/// design — the simulator is single threaded).
+/// Emits one formatted line to stderr. Historical note: this used to be
+/// documented as "not thread-safe — the simulator is single threaded"; that
+/// no longer holds since the bench harness fans sweep points out over a
+/// thread pool (sim/sweep_runner.h). The rule now is: each line is written
+/// with a single fprintf, which POSIX stdio locks per call, so concurrent
+/// lines never interleave *within* a line; their relative order across
+/// threads is unspecified. Simulator objects themselves are still
+/// single-threaded — only the logger and the level may be touched from
+/// multiple sweep workers.
 void log_message(LogLevel level, const std::string& component,
                  const std::string& message);
 

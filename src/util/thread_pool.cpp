@@ -1,0 +1,52 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace mrts {
+
+ThreadPool::ThreadPool(unsigned num_threads) {
+  const unsigned n = std::max(1u, num_threads);
+  workers_.reserve(n);
+  for (unsigned i = 0; i < n; ++i) {
+    workers_.emplace_back([this]() { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+unsigned ThreadPool::default_jobs() {
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+void ThreadPool::enqueue(std::function<void()> job) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push(std::move(job));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> job;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this]() { return stop_ || !queue_.empty(); });
+      // Drain the queue even when stopping: submitted futures must resolve.
+      if (queue_.empty()) return;
+      job = std::move(queue_.front());
+      queue_.pop();
+    }
+    job();
+  }
+}
+
+}  // namespace mrts

@@ -1,0 +1,62 @@
+#pragma once
+/// \file thread_pool.h
+/// Fixed-size thread pool: a single FIFO queue drained by N worker threads
+/// (no work stealing, so task pickup order is the submission order). Used by
+/// the sweep runner (sim/sweep_runner.h) to fan independent simulation
+/// points out over the host cores. Tasks must not touch shared mutable
+/// state unless they synchronize it themselves; see docs/ARCHITECTURE.md
+/// ("Parallel sweep engine") for the sharing rules the benches follow.
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace mrts {
+
+class ThreadPool {
+ public:
+  /// Spawns \p num_threads workers (clamped to >= 1).
+  explicit ThreadPool(unsigned num_threads);
+
+  /// Signals shutdown, drains already-queued tasks and joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  unsigned size() const { return static_cast<unsigned>(workers_.size()); }
+
+  /// Enqueues \p f and returns a future carrying its result. An exception
+  /// thrown by the task is captured and rethrown from future::get().
+  template <typename F>
+  auto submit(F&& f) -> std::future<std::invoke_result_t<F&>> {
+    using R = std::invoke_result_t<F&>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
+    std::future<R> future = task->get_future();
+    enqueue([task]() { (*task)(); });
+    return future;
+  }
+
+  /// Worker count to use when the caller does not specify one:
+  /// hardware_concurrency, clamped to >= 1.
+  static unsigned default_jobs();
+
+ private:
+  void enqueue(std::function<void()> job);
+  void worker_loop();
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::queue<std::function<void()>> queue_;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace mrts

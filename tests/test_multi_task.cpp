@@ -148,6 +148,44 @@ TEST(MultiTask, SharedFabricContentionSlowsTasksButBeatsRisc) {
   EXPECT_LT(shared_a, risc_cycles);
 }
 
+TEST(MultiTask, UnevenTraceLengthsPinInterleaving) {
+  // One task exhausts its trace while the other continues: A has 1 block,
+  // B has 3. Round-robin order is A1 B1 | B2 | B3 — after A's trace ends,
+  // B gets the core back-to-back and the timeline stays gap-free. This
+  // pins the interleaving semantics the sweep runner's multi-tenant
+  // scenarios build on.
+  SmallApp a = make_app("A", 1, 1);
+  SmallApp b = make_app("B", 3, 2);
+  RiscOnlyRts rts_a(a.library);
+  RiscOnlyRts rts_b(b.library);
+  const std::vector<Task> tasks = {{"A", &rts_a, &a.trace},
+                                   {"B", &rts_b, &b.trace}};
+  const TimeSlicedResult r = run_time_sliced(tasks);
+
+  ASSERT_EQ(r.tasks[0].block_cycles.size(), 1u);
+  ASSERT_EQ(r.tasks[1].block_cycles.size(), 3u);
+  // A runs first in round 1, so it finishes exactly when its only block
+  // ends — before any later block of B.
+  EXPECT_EQ(r.tasks[0].finished_at, r.tasks[0].block_cycles[0]);
+  // B's last block closes the gap-free timeline.
+  EXPECT_EQ(r.tasks[1].finished_at, r.total_cycles);
+  EXPECT_EQ(r.total_cycles,
+            r.tasks[0].active_cycles + r.tasks[1].active_cycles);
+}
+
+TEST(MultiTask, TaskVectorIsNotCopied) {
+  // run_time_sliced takes the task list by const reference; the caller's
+  // vector (including the non-owned pointers) must be left untouched.
+  SmallApp a = make_app("A", 2, 1);
+  RiscOnlyRts rts(a.library);
+  const std::vector<Task> tasks = {{"A", &rts, &a.trace, 2}};
+  const Task* before = tasks.data();
+  const TimeSlicedResult r = run_time_sliced(tasks);
+  EXPECT_EQ(tasks.data(), before);
+  EXPECT_EQ(tasks[0].rts, &rts);
+  EXPECT_EQ(r.tasks[0].block_cycles.size(), 2u);
+}
+
 TEST(MultiTask, WeightedSlicesGiveLargerShare) {
   SmallApp a = make_app("A", 6, 1);
   SmallApp b = make_app("B", 6, 2);

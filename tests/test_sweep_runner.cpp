@@ -1,0 +1,184 @@
+// Tests for the concurrency substrate of the figure benches: the fixed-size
+// thread pool (util/thread_pool.h), the deterministic parallel sweep runner
+// (sim/sweep_runner.h) and the FabricCombination label fix the sweeps rely
+// on. The determinism test mirrors a fig-8-style sweep and asserts the
+// parallel runs are byte-identical to --jobs 1.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "baselines/rispp_rts.h"
+#include "rts/mrts.h"
+#include "sim/app_simulator.h"
+#include "sim/metrics.h"
+#include "sim/sweep_runner.h"
+#include "util/csv.h"
+#include "util/thread_pool.h"
+#include "workload/h264_app.h"
+
+namespace mrts {
+namespace {
+
+// --- ThreadPool ------------------------------------------------------------
+
+TEST(ThreadPool, SubmitReturnsFutureResults) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4u);
+  std::vector<std::future<int>> futures;
+  for (int i = 0; i < 32; ++i) {
+    futures.push_back(pool.submit([i]() { return i * i; }));
+  }
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_EQ(futures[static_cast<std::size_t>(i)].get(), i * i);
+  }
+}
+
+TEST(ThreadPool, DestructorDrainsQueueAndJoins) {
+  std::atomic<int> done{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 100; ++i) {
+      pool.submit([&done]() { done.fetch_add(1, std::memory_order_relaxed); });
+    }
+  }  // destructor must run every queued task before joining
+  EXPECT_EQ(done.load(), 100);
+}
+
+TEST(ThreadPool, ExceptionPropagatesThroughFuture) {
+  ThreadPool pool(2);
+  auto ok = pool.submit([]() { return 7; });
+  auto bad = pool.submit(
+      []() -> int { throw std::runtime_error("task failed"); });
+  EXPECT_EQ(ok.get(), 7);
+  EXPECT_THROW(bad.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, ZeroThreadsClampedToOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.size(), 1u);
+  EXPECT_EQ(pool.submit([]() { return 1; }).get(), 1);
+}
+
+TEST(ThreadPool, DefaultJobsIsAtLeastOne) {
+  EXPECT_GE(ThreadPool::default_jobs(), 1u);
+}
+
+// --- SweepRunner -----------------------------------------------------------
+
+TEST(SweepRunner, ResolvesZeroJobsToHardwareConcurrency) {
+  EXPECT_EQ(SweepRunner(0).jobs(), ThreadPool::default_jobs());
+  EXPECT_EQ(SweepRunner(3).jobs(), 3u);
+}
+
+TEST(SweepRunner, RunIndexedCoversEveryIndexExactlyOnce) {
+  for (unsigned jobs : {1u, 2u, 4u, 8u}) {
+    std::vector<std::atomic<int>> hits(57);
+    SweepRunner runner(jobs);
+    runner.run_indexed(hits.size(), [&](std::size_t i) {
+      hits[i].fetch_add(1, std::memory_order_relaxed);
+    });
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1) << "jobs=" << jobs;
+  }
+}
+
+TEST(SweepRunner, MapPreservesSubmissionOrder) {
+  std::vector<int> points(64);
+  std::iota(points.begin(), points.end(), 0);
+  const std::vector<int> serial =
+      SweepRunner(1).map(points, [](const int& p) { return p * 3 + 1; });
+  for (unsigned jobs : {2u, 4u, 8u}) {
+    const std::vector<int> parallel =
+        SweepRunner(jobs).map(points, [](const int& p) { return p * 3 + 1; });
+    EXPECT_EQ(parallel, serial) << "jobs=" << jobs;
+  }
+}
+
+TEST(SweepRunner, LowestIndexExceptionWinsRegardlessOfJobs) {
+  for (unsigned jobs : {1u, 2u, 8u}) {
+    SweepRunner runner(jobs);
+    try {
+      runner.run_indexed(16, [](std::size_t i) {
+        if (i == 3 || i == 11) {
+          throw std::runtime_error("point " + std::to_string(i));
+        }
+      });
+      FAIL() << "expected an exception (jobs=" << jobs << ")";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "point 3") << "jobs=" << jobs;
+    }
+  }
+}
+
+TEST(SweepRunner, EmptySweepIsANoop) {
+  SweepRunner runner(4);
+  bool called = false;
+  runner.run_indexed(0, [&](std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+// --- FabricCombination::label (regression for the {11,1}/{1,11} clash) -----
+
+TEST(FabricCombinationLabel, SingleDigitKeepsPaperForm) {
+  EXPECT_EQ((FabricCombination{0, 0}.label()), "00");
+  EXPECT_EQ((FabricCombination{2, 3}.label()), "23");
+  EXPECT_EQ((FabricCombination{9, 9}.label()), "99");
+}
+
+TEST(FabricCombinationLabel, MultiDigitIsUnambiguous) {
+  EXPECT_EQ((FabricCombination{11, 1}.label()), "11x1");
+  EXPECT_EQ((FabricCombination{1, 11}.label()), "1x11");
+  EXPECT_NE((FabricCombination{11, 1}.label()),
+            (FabricCombination{1, 11}.label()));
+  EXPECT_EQ((FabricCombination{10, 0}.label()), "10x0");
+}
+
+// --- Determinism of a fig-8-style simulation sweep -------------------------
+
+/// Renders a mini fig-8-style sweep (mRTS + RISPP-like cycles per fabric
+/// combination) to a CSV string, fanning the points out over \p jobs
+/// workers. Every point builds its own simulator instances; the application
+/// (library + trace) is shared read-only.
+std::string render_sweep_csv(const H264Application& app, unsigned jobs) {
+  const std::vector<FabricCombination> points = fabric_sweep(2, 1);
+  struct Row {
+    Cycles mrts = 0;
+    Cycles rispp = 0;
+  };
+  const SweepRunner runner(jobs);
+  const std::vector<Row> rows =
+      runner.map(points, [&app](const FabricCombination& c) {
+        Row row;
+        MRts mrts_rts(app.library, c.cg, c.prcs);
+        row.mrts = run_application(mrts_rts, app.trace).total_cycles;
+        RisppRts rispp_rts(app.library, c.cg, c.prcs);
+        row.rispp = run_application(rispp_rts, app.trace).total_cycles;
+        return row;
+      });
+
+  CsvWriter csv;
+  csv.write_header({"label", "mrts_cycles", "rispp_cycles"});
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    csv.write_values(points[i].label(), rows[i].mrts, rows[i].rispp);
+  }
+  return csv.str();
+}
+
+TEST(SweepDeterminism, ParallelSweepMatchesSerialByteForByte) {
+  H264AppParams params;
+  params.frames = 2;  // keep the test fast; same setting as the bench smokes
+  const H264Application app = build_h264_application(params);
+
+  const std::string serial = render_sweep_csv(app, 1);
+  ASSERT_FALSE(serial.empty());
+  for (unsigned jobs : {2u, 4u, 8u}) {
+    EXPECT_EQ(render_sweep_csv(app, jobs), serial) << "jobs=" << jobs;
+  }
+}
+
+}  // namespace
+}  // namespace mrts

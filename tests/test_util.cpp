@@ -151,6 +151,14 @@ TEST(Csv, EscapesSpecialCharacters) {
   EXPECT_EQ(CsvWriter::escape("say \"hi\""), "\"say \"\"hi\"\"\"");
 }
 
+TEST(Csv, EscapesCarriageReturns) {
+  // RFC 4180: any cell containing CR (not just LF) must be quoted, or a
+  // bare \r corrupts the row structure for strict readers.
+  EXPECT_EQ(CsvWriter::escape("a\rb"), "\"a\rb\"");
+  EXPECT_EQ(CsvWriter::escape("a\r\nb"), "\"a\r\nb\"");
+  EXPECT_EQ(CsvWriter::escape("\r"), "\"\r\"");
+}
+
 TEST(Csv, InMemoryRows) {
   CsvWriter csv;
   csv.write_header({"a", "b"});
