@@ -9,6 +9,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <memory>
 #include <string>
 
@@ -20,8 +21,10 @@
 #include "sim/app_simulator.h"
 #include "sim/metrics.h"
 #include "sim/sweep_runner.h"
+#include "util/counters.h"
 #include "util/csv.h"
 #include "util/table.h"
+#include "util/trace.h"
 #include "workload/h264_app.h"
 
 namespace mrts::bench {
@@ -51,10 +54,17 @@ struct EvalContext {
     risc_cycles = run_application(risc, app.trace).total_cycles;
   }
 
-  AppRunResult run_mrts(unsigned cg, unsigned prcs,
-                        MRtsConfig config = {}) const {
+  /// \p recorder / \p counters (optional) attach a flight recorder to the
+  /// freshly built MRts. Both must be per sweep point — never pass the same
+  /// instances to concurrently running points.
+  AppRunResult run_mrts(unsigned cg, unsigned prcs, MRtsConfig config = {},
+                        TraceRecorder* recorder = nullptr,
+                        CounterRegistry* counters = nullptr) const {
     MRts rts(app.library, cg, prcs, config);
-    return run_application(rts, app.trace);
+    if (recorder != nullptr || counters != nullptr) {
+      rts.attach_observability(recorder, counters);
+    }
+    return run_application(rts, app.trace, recorder);
   }
 
   AppRunResult run_rispp(unsigned cg, unsigned prcs) const {
@@ -103,6 +113,66 @@ inline unsigned parse_jobs(int* argc, char** argv) {
   *argc = out;
   argv[out] = nullptr;
   return jobs;
+}
+
+/// Parses and strips a `--trace-dir DIR` / `--trace-dir=DIR` flag (must run
+/// before benchmark::Initialize, like parse_jobs). When set, the bench
+/// writes one Chrome trace per mRTS sweep point into DIR. Empty string =
+/// tracing off (the default; traced runs pay the recording overhead, so the
+/// timing figures should normally run untraced). MRTS_BENCH_TRACE_DIR
+/// supplies the default when the flag is absent.
+inline std::string parse_trace_dir(int* argc, char** argv) {
+  std::string dir;
+  if (const char* env = std::getenv("MRTS_BENCH_TRACE_DIR")) dir = env;
+  int out = 1;  // argv[0] always kept
+  for (int i = 1; i < *argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--trace-dir") == 0 && i + 1 < *argc) {
+      dir = argv[++i];
+      continue;
+    }
+    if (std::strncmp(arg, "--trace-dir=", 12) == 0) {
+      dir = arg + 12;
+      continue;
+    }
+    argv[out++] = argv[i];
+  }
+  *argc = out;
+  argv[out] = nullptr;
+  return dir;
+}
+
+/// Writes one sweep point's events as Chrome trace JSON into \p dir
+/// (created on demand). Concurrent sweep points may call this — each point
+/// writes a distinct \p filename, so there is no shared state. Returns the
+/// written path, or an empty string on failure.
+inline std::string write_point_trace(const std::string& dir,
+                                     const std::string& filename,
+                                     const std::vector<TraceEvent>& events,
+                                     const IseLibrary* lib) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  const std::string path = (std::filesystem::path(dir) / filename).string();
+  if (!write_chrome_trace_file(path, events, lib)) {
+    std::fprintf(stderr, "warning: cannot write trace '%s'\n", path.c_str());
+    return {};
+  }
+  return path;
+}
+
+/// Renders a merged counter registry (a compact per-sweep summary).
+inline void print_counter_summary(const char* what,
+                                  const CounterRegistry& counters) {
+  if (counters.empty()) return;
+  TextTable table({"counter", "value"});
+  for (const auto& [name, value] : counters.counters()) {
+    table.add_values(name, value);
+  }
+  for (const auto& [name, h] : counters.histograms()) {
+    table.add_values(name + " (mean)", format_double(h.mean(), 2));
+  }
+  std::printf("\n%s — merged mRTS counters (submission order):\n%s", what,
+              table.render().c_str());
 }
 
 /// Runs \p run_sweep (which is expected to drive a SweepRunner with \p jobs

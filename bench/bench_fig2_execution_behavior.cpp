@@ -6,7 +6,9 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <string>
 
+#include "bench_common.h"
 #include "rts/mrts.h"
 #include "sim/fb_simulator.h"
 #include "util/csv.h"
@@ -17,6 +19,13 @@
 namespace {
 
 using namespace mrts;
+using mrts::bench::parse_trace_dir;
+using mrts::bench::write_point_trace;
+
+std::string& trace_dir() {
+  static std::string dir;
+  return dir;
+}
 
 H264AppParams fig2_params() {
   H264AppParams params;
@@ -41,12 +50,17 @@ void print_figure() {
   // Deblocking Filter kernel of each frame (run block-by-block so the
   // per-trigger selections are visible).
   MRts rts(app.library, 2, 2);
+  TraceRecorder recorder;
+  CounterRegistry counters;
+  const bool traced = !trace_dir().empty();
+  if (traced) rts.attach_observability(&recorder, &counters);
   std::vector<std::string> selected_per_frame;
   {
     Cycles cursor = 0;
     unsigned frame = 0;
     for (const auto& block : app.trace.blocks) {
-      const FbRunResult r = run_block(rts, block, cursor);
+      const FbRunResult r =
+          run_block(rts, block, cursor, traced ? &recorder : nullptr);
       cursor += r.cycles;
       if (block.functional_block == app.fb_lf) {
         std::string name = "(none/covered)";
@@ -92,11 +106,20 @@ void print_figure() {
               "the selection stabilizes on the MG variant: once loaded it is "
               "reused for free, so the profit of switching rarely wins.)\n",
               lo, hi, static_cast<double>(hi) / static_cast<double>(lo));
+  if (traced) {
+    const std::string path = write_point_trace(
+        trace_dir(), "fig2_mrts.json", recorder.events(), &app.library);
+    if (!path.empty()) {
+      std::printf("[trace] wrote %zu events to %s\n", recorder.size(),
+                  path.c_str());
+    }
+  }
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  trace_dir() = parse_trace_dir(&argc, argv);
   ::benchmark::Initialize(&argc, argv);
   ::benchmark::RunSpecifiedBenchmarks();
   print_figure();

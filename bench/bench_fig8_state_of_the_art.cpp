@@ -30,11 +30,26 @@ const EvalContext& context() {
   return ctx;
 }
 
+/// --trace-dir destination; empty = tracing off. Set once in main() before
+/// the sweep fans out, read-only afterwards.
+std::string& trace_dir() {
+  static std::string dir;
+  return dir;
+}
+
 struct Row {
   Cycles rispp = 0;
   Cycles offline = 0;
   Cycles morpheus = 0;
   Cycles mrts = 0;
+};
+
+/// Row plus the point's mRTS counter snapshot (empty when untraced). The
+/// snapshots merge after the sweep in submission order — see counters.h for
+/// why that fixed order keeps the output deterministic at any --jobs.
+struct PointResult {
+  Row row;
+  CounterRegistry counters;
 };
 
 std::map<std::string, Row>& rows() {
@@ -48,24 +63,44 @@ const std::vector<FabricCombination>& sweep_points() {
 }
 
 /// One independent sweep point: four full-application runs, each on its own
-/// freshly constructed RTS + fabric (EvalContext is shared read-only).
-Row run_point(const FabricCombination& combo) {
+/// freshly constructed RTS + fabric (EvalContext is shared read-only). With
+/// --trace-dir, the mRTS run records into a per-point recorder/registry
+/// (never shared across workers) and writes fig8_<label>.json — a distinct
+/// file per point, so concurrent workers never collide.
+PointResult run_point(const FabricCombination& combo) {
   const EvalContext& ctx = context();
-  Row row;
-  row.rispp = ctx.run_rispp(combo.cg, combo.prcs).total_cycles;
-  row.offline = ctx.run_offline_optimal(combo.cg, combo.prcs).total_cycles;
-  row.morpheus = ctx.run_morpheus(combo.cg, combo.prcs).total_cycles;
-  row.mrts = ctx.run_mrts(combo.cg, combo.prcs).total_cycles;
-  return row;
+  PointResult result;
+  result.row.rispp = ctx.run_rispp(combo.cg, combo.prcs).total_cycles;
+  result.row.offline =
+      ctx.run_offline_optimal(combo.cg, combo.prcs).total_cycles;
+  result.row.morpheus = ctx.run_morpheus(combo.cg, combo.prcs).total_cycles;
+  if (trace_dir().empty()) {
+    result.row.mrts = ctx.run_mrts(combo.cg, combo.prcs).total_cycles;
+  } else {
+    TraceRecorder recorder;
+    result.row.mrts = ctx.run_mrts(combo.cg, combo.prcs, {}, &recorder,
+                                   &result.counters)
+                          .total_cycles;
+    write_point_trace(trace_dir(), "fig8_" + combo.label() + ".json",
+                      recorder.events(), &context().app.library);
+  }
+  return result;
 }
 
 void run_sweep(unsigned jobs) {
   (void)context();  // build the shared workload once, before the fan-out
   timed_sweep("Fig. 8", jobs, [](const SweepRunner& runner) {
     const auto& points = sweep_points();
-    const std::vector<Row> results = runner.map(points, run_point);
+    const std::vector<PointResult> results = runner.map(points, run_point);
+    CounterRegistry merged;
     for (std::size_t i = 0; i < points.size(); ++i) {
-      rows()[points[i].label()] = results[i];
+      rows()[points[i].label()] = results[i].row;
+      merged.merge(results[i].counters);  // submission order = deterministic
+    }
+    if (!trace_dir().empty()) {
+      print_counter_summary("Fig. 8", merged);
+      std::printf("[trace] wrote %zu per-point traces to %s\n",
+                  points.size(), trace_dir().c_str());
     }
   });
 }
@@ -142,6 +177,7 @@ void print_figure() {
 
 int main(int argc, char** argv) {
   const unsigned jobs = parse_jobs(&argc, argv);
+  trace_dir() = parse_trace_dir(&argc, argv);
   ::benchmark::Initialize(&argc, argv);
   run_sweep(jobs);
   register_benchmarks();

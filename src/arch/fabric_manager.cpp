@@ -4,7 +4,9 @@
 #include <stdexcept>
 #include <unordered_set>
 
+#include "util/counters.h"
 #include "util/logging.h"
+#include "util/trace.h"
 
 namespace mrts {
 
@@ -25,6 +27,21 @@ FabricManager::FabricManager(unsigned num_cg_fabrics, unsigned num_prcs,
 const CgFabric& FabricManager::cg_fabric(unsigned i) const {
   if (i >= cg_.size()) throw std::out_of_range("FabricManager::cg_fabric");
   return cg_[i];
+}
+
+void FabricManager::trace_load(const ReconfigJob& job, Grain grain) const {
+  if (trace_ == nullptr) return;
+  const std::int32_t track =
+      (grain == Grain::kFine ? kTrackFgBase : kTrackCgBase) +
+      static_cast<std::int32_t>(job.container);
+  const auto grain_arg = static_cast<std::uint32_t>(grain);
+  // Scheduled times at enqueue; a later install() may cancel pending loads
+  // (recorded as kReconfigCancel) before they start.
+  trace_->record({TraceEventKind::kReconfigStart, track, job.starts_at,
+                  job.completes_at - job.starts_at, raw(job.dp), grain_arg,
+                  0.0, 0.0});
+  trace_->record({TraceEventKind::kReconfigComplete, track, job.completes_at,
+                  0, raw(job.dp), grain_arg, 0.0, 0.0});
 }
 
 std::optional<unsigned> FabricManager::claim_existing_fg(
@@ -113,15 +130,25 @@ std::vector<IsePlacement> FabricManager::install(
   // --- 3. Cancel pending loads of data paths the new selection evicts. ----
   // A queued FG job is kept only if its target PRC was claimed (its data path
   // is reused by this selection).
-  reconfig_stats_.cancelled_loads += reconfig_.fg_port().cancel_pending(
+  std::size_t cancelled = reconfig_.fg_port().cancel_pending(
       now, [&prc_claimed](const ReconfigJob& job) {
         return job.container >= prc_claimed.size() ||
                !prc_claimed[job.container];
       });
-  reconfig_stats_.cancelled_loads += reconfig_.cg_port().cancel_pending(
+  cancelled += reconfig_.cg_port().cancel_pending(
       now, [&cg_claimed](const ReconfigJob& job) {
         return job.container >= cg_claimed.size() || !cg_claimed[job.container];
       });
+  reconfig_stats_.cancelled_loads += cancelled;
+  if (cancelled > 0) {
+    if (trace_ != nullptr) {
+      trace_->record({TraceEventKind::kReconfigCancel, kTrackApp, now, 0, 0, 0,
+                      static_cast<double>(cancelled), 0.0});
+    }
+    if (counters_ != nullptr) {
+      counters_->add("fabric.cancelled_loads", cancelled);
+    }
+  }
 
   // --- 4. Schedule loads for the unmatched instances. ----------------------
   for (const auto& load : loads) {
@@ -137,6 +164,8 @@ std::vector<IsePlacement> FabricManager::install(
                                                     desc.reconfig_cycles(), now);
       ++reconfig_stats_.fg_loads;
       reconfig_stats_.fg_bytes += desc.bitstream_bytes * desc.units;
+      trace_load(job, Grain::kFine);
+      if (counters_ != nullptr) counters_->add("fabric.fg_loads");
       fg_.place(*victim, load.dp, job.completes_at);
       placement.instance_ready[load.instance_index] = job.completes_at;
     } else {
@@ -159,6 +188,8 @@ std::vector<IsePlacement> FabricManager::install(
       reconfig_stats_.cg_bytes +=
           static_cast<std::uint64_t>(desc.context_instructions) * 10 *
           desc.units;
+      trace_load(job, Grain::kCoarse);
+      if (counters_ != nullptr) counters_->add("fabric.cg_loads");
       cg_[*victim].load(load.dp, job.completes_at);
       placement.instance_ready[load.instance_index] = job.completes_at;
     }
@@ -191,6 +222,19 @@ std::vector<IsePlacement> FabricManager::install(
   for (const auto& placement : result) {
     reconfig_stats_.reused_instances += placement.reused_instances;
   }
+  if (trace_ != nullptr) {
+    const FabricUsage u = usage();
+    trace_->record({TraceEventKind::kOccupancy, kTrackApp, now, 0,
+                    u.total_prcs, u.total_cg,
+                    static_cast<double>(u.reserved_prcs),
+                    static_cast<double>(u.reserved_cg)});
+  }
+  if (counters_ != nullptr) {
+    counters_->add("fabric.installs");
+    std::uint64_t reused = 0;
+    for (const auto& placement : result) reused += placement.reused_instances;
+    counters_->add("fabric.reused_instances", reused);
+  }
   reconfig_.fg_port().compact(now);
   reconfig_.cg_port().compact(now);
   return result;
@@ -218,6 +262,8 @@ std::size_t FabricManager::prefetch(
             dp, *victim, desc.reconfig_cycles(), now);
         ++reconfig_stats_.fg_loads;
         reconfig_stats_.fg_bytes += desc.bitstream_bytes * desc.units;
+        trace_load(job, Grain::kFine);
+        if (counters_ != nullptr) counters_->add("fabric.prefetch_loads");
         fg_.place(*victim, dp, job.completes_at);
         ++started;
       } else {
@@ -237,6 +283,8 @@ std::size_t FabricManager::prefetch(
         reconfig_stats_.cg_bytes +=
             static_cast<std::uint64_t>(desc.context_instructions) * 10 *
             desc.units;
+        trace_load(job, Grain::kCoarse);
+        if (counters_ != nullptr) counters_->add("fabric.prefetch_loads");
         const DataPathId keep = *target < cg_pinned_.size()
                                     ? cg_pinned_[*target]
                                     : kInvalidDataPath;
@@ -256,10 +304,20 @@ std::optional<Cycles> FabricManager::acquire_mono_cg(DataPathId mono_dp,
         "FabricManager::acquire_mono_cg: monoCG must be a CG data path");
   }
   // Already resident somewhere? Just (re-)activate it (2-cycle switch).
-  for (auto& fabric : cg_) {
+  for (unsigned i = 0; i < cg_.size(); ++i) {
+    CgFabric& fabric = cg_[i];
     if (auto slot = fabric.slot_of(mono_dp)) {
       const Cycles ready = fabric.context(*slot).ready_at;
       const Cycles switch_cost = fabric.activate(*slot);
+      if (switch_cost > 0) {
+        if (trace_ != nullptr) {
+          trace_->record({TraceEventKind::kCgContextSwitch,
+                          kTrackCgBase + static_cast<std::int32_t>(i),
+                          std::max(now, ready), switch_cost, raw(mono_dp), 0,
+                          0.0, 0.0});
+        }
+        if (counters_ != nullptr) counters_->add("fabric.cg_context_switches");
+      }
       return std::max(now, ready) + switch_cost;
     }
   }
@@ -302,16 +360,37 @@ std::optional<Cycles> FabricManager::acquire_mono_cg(DataPathId mono_dp,
   ++reconfig_stats_.cg_loads;
   reconfig_stats_.cg_bytes +=
       static_cast<std::uint64_t>(desc.context_instructions) * 10 * desc.units;
+  trace_load(job, Grain::kCoarse);
+  if (counters_ != nullptr) counters_->add("fabric.mono_cg_loads");
   const unsigned slot = cg_[*target].load(mono_dp, job.completes_at, keep);
   const Cycles switch_cost = cg_[*target].activate(slot);
+  if (switch_cost > 0) {
+    if (trace_ != nullptr) {
+      trace_->record({TraceEventKind::kCgContextSwitch,
+                      kTrackCgBase + static_cast<std::int32_t>(*target),
+                      job.completes_at, switch_cost, raw(mono_dp), 0, 0.0,
+                      0.0});
+    }
+    if (counters_ != nullptr) counters_->add("fabric.cg_context_switches");
+  }
   return job.completes_at + switch_cost;
 }
 
 Cycles FabricManager::activate_cg_context(DataPathId dp, Cycles now) {
-  for (auto& fabric : cg_) {
+  for (unsigned i = 0; i < cg_.size(); ++i) {
+    CgFabric& fabric = cg_[i];
     if (auto slot = fabric.slot_of(dp)) {
       if (fabric.context(*slot).ready_at > now) return 0;
-      return fabric.activate(*slot);
+      const Cycles switch_cost = fabric.activate(*slot);
+      if (switch_cost > 0) {
+        if (trace_ != nullptr) {
+          trace_->record({TraceEventKind::kCgContextSwitch,
+                          kTrackCgBase + static_cast<std::int32_t>(i), now,
+                          switch_cost, raw(dp), 0, 0.0, 0.0});
+        }
+        if (counters_ != nullptr) counters_->add("fabric.cg_context_switches");
+      }
+      return switch_cost;
     }
   }
   return 0;

@@ -18,6 +18,9 @@
 
 namespace mrts {
 
+class TraceRecorder;
+class CounterRegistry;
+
 /// A request to realize one ISE: its data-path instances in reconfiguration
 /// order (repeats allowed — an ISE may use several instances of a data path).
 struct IsePlacementRequest {
@@ -116,7 +119,19 @@ class FabricManager {
   /// Clears all placement state (power-on reset).
   void reset();
 
+  /// Attaches the flight recorder / counter registry (either may be null).
+  /// Records reconfiguration start/completion per data path (one track per
+  /// PRC and per CG fabric), CG context switches, load cancellations and an
+  /// occupancy sample per install. With a shared fabric, one attachment
+  /// observes the installations of every task using it.
+  void attach_observability(TraceRecorder* trace, CounterRegistry* counters) {
+    trace_ = trace;
+    counters_ = counters;
+  }
+
  private:
+  /// Records one scheduled load (start span + completion instant).
+  void trace_load(const ReconfigJob& job, Grain grain) const;
   struct Claim {
     Grain grain;
     unsigned container;  // PRC index or CG fabric index
@@ -139,6 +154,8 @@ class FabricManager {
   /// from monoCG context eviction).
   std::vector<DataPathId> cg_pinned_;
   ReconfigStats reconfig_stats_;
+  TraceRecorder* trace_ = nullptr;
+  CounterRegistry* counters_ = nullptr;
 };
 
 }  // namespace mrts

@@ -57,3 +57,7 @@
 #include "workload/h264_app.h"
 #include "workload/sdr_app.h"
 #include "workload/workload_gen.h"
+
+// Observability (flight recorder + counters)
+#include "util/counters.h"
+#include "util/trace.h"

@@ -2,7 +2,18 @@
 
 #include <algorithm>
 
+#include "util/counters.h"
+#include "util/trace.h"
+
 namespace mrts {
+
+namespace {
+/// Counter names per ImplKind (same order as the enum).
+constexpr std::array<const char*, kNumImplKinds> kExecCounterNames = {
+    "ecu.executions.risc", "ecu.executions.mono_cg",
+    "ecu.executions.intermediate", "ecu.executions.full_ise",
+    "ecu.executions.covered_ise"};
+}  // namespace
 
 const char* to_string(ImplKind kind) {
   switch (kind) {
@@ -151,6 +162,13 @@ ExecOutcome Ecu::execute(KernelId k, Cycles now) {
       st.current_latency = opt.latency;
       st.current_kind = opt.kind;
       st.current_uses_cg = opt.uses_cg;
+      if (trace_ != nullptr) {
+        // Timestamped at the availability point, not the execution that
+        // noticed it — the trace shows when the upgrade became possible.
+        trace_->record({TraceEventKind::kEcuUpgrade, kTrackEcu, opt.at, 0,
+                        raw(k), static_cast<std::uint32_t>(opt.kind),
+                        static_cast<double>(opt.latency), 0.0});
+      }
     }
     ++st.next;
   }
@@ -169,10 +187,17 @@ ExecOutcome Ecu::execute(KernelId k, Cycles now) {
       st.mono_ready = kNeverCycles;  // evicted since we last used it
     }
     if (st.mono_ready > now && !st.mono_attempted) {
-      if (auto ready = fabric_->acquire_mono_cg(mono_dp, now)) {
-        st.mono_ready = *ready;
-      }
+      const auto ready = fabric_->acquire_mono_cg(mono_dp, now);
+      if (ready) st.mono_ready = *ready;
       st.mono_attempted = true;
+      if (trace_ != nullptr) {
+        trace_->record({TraceEventKind::kMonoCgAttempt, kTrackEcu, now, 0,
+                        raw(k), ready.has_value() ? 1u : 0u,
+                        ready ? static_cast<double>(*ready) : 0.0, 0.0});
+      }
+      if (counters_ != nullptr) {
+        counters_->add(ready ? "ecu.mono_cg_acquired" : "ecu.mono_cg_denied");
+      }
     }
     if (st.mono_ready <= now) {
       latency = mono.full_latency();
@@ -194,7 +219,29 @@ ExecOutcome Ecu::execute(KernelId k, Cycles now) {
   stats_.cycles[static_cast<std::size_t>(kind)] += latency;
   stats_.saved_vs_risc +=
       kernel.sw_latency > latency ? kernel.sw_latency - latency : 0;
+
+  if (observing_) {
+    note_execution(st, k, kind, latency, now);
+  }
   return ExecOutcome{latency, kind};
+}
+
+void Ecu::note_execution(KernelState& st, KernelId k, ImplKind kind,
+                         Cycles latency, Cycles now) {
+  if (trace_ != nullptr &&
+      st.traced_impl != static_cast<std::uint8_t>(kind)) {
+    // One decision event per implementation *change*, not per execution —
+    // the trace stays bounded while the counters below keep exact totals.
+    st.traced_impl = static_cast<std::uint8_t>(kind);
+    trace_->record({TraceEventKind::kEcuDecision, kTrackEcu, now, 0, raw(k),
+                    static_cast<std::uint32_t>(kind),
+                    static_cast<double>(latency), 0.0});
+  }
+  if (counters_ != nullptr) {
+    counters_->add(kExecCounterNames[static_cast<std::size_t>(kind)]);
+    counters_->observe("ecu.exec_latency_cycles",
+                       static_cast<double>(latency));
+  }
 }
 
 void Ecu::reset() {

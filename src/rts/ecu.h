@@ -33,6 +33,9 @@
 
 namespace mrts {
 
+class TraceRecorder;
+class CounterRegistry;
+
 /// Per-implementation execution counters.
 struct EcuStats {
   std::array<std::uint64_t, kNumImplKinds> executions{};
@@ -71,6 +74,15 @@ class Ecu {
   const EcuStats& stats() const { return stats_; }
   void reset();
 
+  /// Attaches the flight recorder / counter registry (either may be null).
+  /// Detached (the default) the per-execution instrumentation is a single
+  /// test of the cached observing_ flag.
+  void attach_observability(TraceRecorder* trace, CounterRegistry* counters) {
+    trace_ = trace;
+    counters_ = counters;
+    observing_ = trace != nullptr || counters != nullptr;
+  }
+
  private:
   /// One point where a (possibly better) implementation becomes available.
   struct Option {
@@ -88,6 +100,9 @@ class Ecu {
     bool current_uses_cg = false;
     bool mono_attempted = false;
     Cycles mono_ready = kNeverCycles;
+    /// Last ImplKind reported to the flight recorder (0xff = none yet);
+    /// execute() emits a decision event only when the kind changes.
+    std::uint8_t traced_impl = 0xff;
   };
 
   /// Appends the availability steps of \p ise (levels reachable from the
@@ -99,6 +114,10 @@ class Ecu {
   KernelState& state_for(KernelId k, Cycles now);
   void rebuild_kernel(KernelId k, KernelState& st, const IsePlacement* placed,
                       Cycles now) const;
+  /// Cold tail of execute(): records the decision event / counters. Kept out
+  /// of the hot path so the untraced run pays one branch, not code bloat.
+  void note_execution(KernelState& st, KernelId k, ImplKind kind,
+                      Cycles latency, Cycles now);
 
   const IseLibrary* lib_;
   FabricManager* fabric_;
@@ -106,6 +125,9 @@ class Ecu {
   std::unordered_map<std::uint32_t, KernelState> state_;
   KernelId last_executed_ = kInvalidKernel;
   EcuStats stats_;
+  TraceRecorder* trace_ = nullptr;
+  CounterRegistry* counters_ = nullptr;
+  bool observing_ = false;  ///< trace_ != nullptr || counters_ != nullptr
 };
 
 }  // namespace mrts

@@ -1,6 +1,10 @@
 #include "rts/mpu.h"
 
 #include <algorithm>
+#include <cmath>
+
+#include "util/counters.h"
+#include "util/trace.h"
 
 namespace mrts {
 
@@ -23,11 +27,26 @@ TriggerInstruction Mpu::refine(const TriggerInstruction& programmed) const {
   return refined;
 }
 
-void Mpu::observe(const BlockObservation& observed) {
+void Mpu::observe(const BlockObservation& observed, Cycles now) {
   if (!config_.enabled) return;
   for (const auto& k : observed.kernels) {
     const std::uint64_t id = key(observed.functional_block, k.kernel);
     auto it = forecasts_.find(id);
+    if (it != forecasts_.end()) {
+      // Forecast error of this block instance, measured before the
+      // back-propagation update consumes the observation.
+      const double predicted = it->second.executions.prediction();
+      if (trace_ != nullptr) {
+        trace_->record({TraceEventKind::kMpuError, kTrackMpu, now, 0,
+                        raw(observed.functional_block), raw(k.kernel),
+                        predicted, k.executions});
+      }
+      if (counters_ != nullptr) {
+        counters_->observe("mpu.exec_forecast_abs_error",
+                           std::abs(predicted - k.executions));
+      }
+    }
+    if (counters_ != nullptr) counters_->add("mpu.observations");
     if (it == forecasts_.end()) {
       KernelForecast f{Ewma(config_.alpha, k.executions),
                        Ewma(config_.alpha, static_cast<double>(k.time_to_first)),

@@ -17,6 +17,9 @@
 
 namespace mrts {
 
+class TraceRecorder;
+class CounterRegistry;
+
 class Mpu {
  public:
   struct Config {
@@ -31,8 +34,10 @@ class Mpu {
   /// observations exist.
   TriggerInstruction refine(const TriggerInstruction& programmed) const;
 
-  /// Feeds the observed statistics of a finished block instance.
-  void observe(const BlockObservation& observed);
+  /// Feeds the observed statistics of a finished block instance. \p now is
+  /// the block-end cycle, used only to timestamp forecast-error trace
+  /// events; it does not influence the forecasts.
+  void observe(const BlockObservation& observed, Cycles now = 0);
 
   /// Learned forecast for (block, kernel); nullopt if never observed.
   std::optional<TriggerEntry> forecast(FunctionalBlockId fb, KernelId k) const;
@@ -40,6 +45,12 @@ class Mpu {
   std::uint64_t observations() const { return observations_; }
 
   void reset();
+
+  /// Attaches the flight recorder / counter registry (either may be null).
+  void attach_observability(TraceRecorder* trace, CounterRegistry* counters) {
+    trace_ = trace;
+    counters_ = counters;
+  }
 
  private:
   struct KernelForecast {
@@ -55,6 +66,8 @@ class Mpu {
   Config config_;
   std::unordered_map<std::uint64_t, KernelForecast> forecasts_;
   std::uint64_t observations_ = 0;
+  TraceRecorder* trace_ = nullptr;
+  CounterRegistry* counters_ = nullptr;
 };
 
 }  // namespace mrts

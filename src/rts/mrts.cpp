@@ -30,6 +30,15 @@ std::string MRts::name() const {
   return config_.use_optimal_selector ? "mRTS(optimal)" : "mRTS";
 }
 
+void MRts::attach_observability(TraceRecorder* trace,
+                                CounterRegistry* counters) {
+  mpu_.attach_observability(trace, counters);
+  ecu_.attach_observability(trace, counters);
+  heuristic_.attach_trace(trace);
+  optimal_.attach_trace(trace);
+  fabric_->attach_observability(trace, counters);
+}
+
 SelectionOutcome MRts::on_trigger(const TriggerInstruction& programmed,
                                   Cycles now) {
   // MPU: replace the programmer's offline forecasts with monitored values.
@@ -119,8 +128,7 @@ ExecOutcome MRts::execute_kernel(KernelId k, Cycles now) {
 }
 
 void MRts::on_block_end(const BlockObservation& observed, Cycles now) {
-  (void)now;
-  mpu_.observe(observed);
+  mpu_.observe(observed, now);
 }
 
 void MRts::reset() {

@@ -21,6 +21,9 @@
 
 namespace mrts {
 
+class TraceRecorder;
+class CounterRegistry;
+
 struct MRtsConfig {
   Mpu::Config mpu;
   Ecu::Config ecu;
@@ -76,6 +79,17 @@ class MRts final : public RuntimeSystem {
   ExecOutcome execute_kernel(KernelId k, Cycles now) override;
   void on_block_end(const BlockObservation& observed, Cycles now) override;
   void reset() override;
+
+  /// Attaches a flight recorder and counter registry (util/trace.h,
+  /// util/counters.h) to every unit of this run-time system: MPU forecast
+  /// errors, selector rounds, ECU decisions and the fabric's
+  /// reconfiguration/occupancy timeline all land in one event stream.
+  /// Either pointer may be null; passing both null detaches. The recorder
+  /// must outlive this object (or be detached first) and — like the MRts
+  /// itself — must not be shared across threads. In shared-fabric mode the
+  /// fabric's events include installations of *other* tasks on the same
+  /// fabric; the last attachment wins there.
+  void attach_observability(TraceRecorder* trace, CounterRegistry* counters);
 
   const FabricManager& fabric() const { return *fabric_; }
   bool owns_fabric() const { return owned_fabric_ != nullptr; }

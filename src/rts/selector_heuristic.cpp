@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/trace.h"
+
 namespace mrts {
 
 HeuristicSelector::HeuristicSelector(const IseLibrary& lib,
@@ -109,6 +111,12 @@ SelectionResult HeuristicSelector::select_impl(const TriggerInstruction& ti,
                              planner, profit_model_);
       ++result.profit_evaluations;
       if (first_round) ++result.first_round_evaluations;
+      if (trace_ != nullptr) {
+        trace_->record({TraceEventKind::kSelectorEval, kTrackSelector,
+                        planner.now(), 0, raw(candidates[i].kernel),
+                        raw(candidates[i].ise), pr.profit,
+                        static_cast<double>(round)});
+      }
       const IseVariant& v = lib_->ise(candidates[i].ise);
       const IseVariant& b = lib_->ise(candidates[best].ise);
       double key = pr.profit;
@@ -151,6 +159,11 @@ SelectionResult HeuristicSelector::select_impl(const TriggerInstruction& ti,
     sel.profit = best_profit;
     sel.instance_ready = planner.commit(v.data_paths);
     result.total_profit += best_profit;
+    if (trace_ != nullptr) {
+      trace_->record({TraceEventKind::kSelectorPick, kTrackSelector,
+                      planner.now(), 0, raw(chosen.kernel), raw(chosen.ise),
+                      best_profit, static_cast<double>(round)});
+    }
     log("  -> selected " + lib_->ise(chosen.ise).name + " for kernel " +
         lib_->kernel(chosen.kernel).name);
     result.selected.push_back(std::move(sel));

@@ -29,6 +29,8 @@
 
 namespace mrts {
 
+class TraceRecorder;
+
 /// One selected ISE with its predicted installation schedule.
 struct SelectedIse {
   KernelId kernel = kInvalidKernel;
@@ -112,6 +114,10 @@ class HeuristicSelector {
                                     ReconfigPlanner planner,
                                     std::string& trace) const;
 
+  /// Attaches the flight recorder: every profit evaluation and round winner
+  /// is recorded as a timestamped event (null detaches; default off).
+  void attach_trace(TraceRecorder* trace) { trace_ = trace; }
+
  private:
   SelectionResult select_impl(const TriggerInstruction& ti,
                               ReconfigPlanner planner,
@@ -121,6 +127,7 @@ class HeuristicSelector {
   SelectorCostModel cost_;
   SelectionPolicy policy_;
   ProfitModel profit_model_;
+  TraceRecorder* trace_ = nullptr;
 };
 
 /// Computes the profit of \p ise under trigger entry \p entry with the

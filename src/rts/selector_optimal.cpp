@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/trace.h"
+
 namespace mrts {
 namespace {
 
@@ -122,6 +124,14 @@ SelectionResult OptimalSelector::select(const TriggerInstruction& ti,
   result.profit_evaluations = st.profit_evals + ub_evals;
   result.candidates_scanned = st.nodes;
   result.overhead_cycles = 0;  // not meaningful: this algorithm is offline
+  if (trace_ != nullptr) {
+    for (std::size_t i = 0; i < result.selected.size(); ++i) {
+      const SelectedIse& sel = result.selected[i];
+      trace_->record({TraceEventKind::kSelectorPick, kTrackSelector,
+                      planner.now(), 0, raw(sel.kernel), raw(sel.ise),
+                      sel.profit, static_cast<double>(i + 1)});
+    }
+  }
   return result;
 }
 

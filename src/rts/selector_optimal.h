@@ -34,10 +34,15 @@ class OptimalSelector {
   /// Number of complete combinations evaluated in the last select() call.
   std::uint64_t last_combinations() const { return last_combinations_; }
 
+  /// Attaches the flight recorder (null detaches): the final picks of each
+  /// select() call are recorded (the search itself is too fine-grained).
+  void attach_trace(TraceRecorder* trace) { trace_ = trace; }
+
  private:
   const IseLibrary* lib_;
   std::uint64_t node_budget_;
   mutable std::uint64_t last_combinations_ = 0;
+  TraceRecorder* trace_ = nullptr;
 };
 
 }  // namespace mrts

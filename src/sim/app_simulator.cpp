@@ -4,8 +4,8 @@
 
 namespace mrts {
 
-AppRunResult run_application(RuntimeSystem& rts,
-                             const ApplicationTrace& trace) {
+AppRunResult run_application(RuntimeSystem& rts, const ApplicationTrace& trace,
+                             TraceRecorder* recorder) {
   rts.reset();
   AppRunResult result;
   result.rts_name = rts.name();
@@ -13,7 +13,7 @@ AppRunResult run_application(RuntimeSystem& rts,
 
   Cycles cursor = 0;
   for (const auto& block : trace.blocks) {
-    const FbRunResult fb = run_block(rts, block, cursor);
+    const FbRunResult fb = run_block(rts, block, cursor, recorder);
     cursor += fb.cycles;
     result.block_cycles.push_back(fb.cycles);
     result.blocking_overhead += fb.blocking_overhead;

@@ -35,8 +35,11 @@ struct AppRunResult {
 };
 
 /// Runs the whole trace. The RTS is reset() first so results are
-/// independent of earlier runs.
-AppRunResult run_application(RuntimeSystem& rts, const ApplicationTrace& trace);
+/// independent of earlier runs. \p recorder (optional) receives block
+/// begin/end events; attach the same recorder to the RTS itself (e.g.
+/// MRts::attach_observability) to interleave its internal events.
+AppRunResult run_application(RuntimeSystem& rts, const ApplicationTrace& trace,
+                             TraceRecorder* recorder = nullptr);
 
 /// Deterministic profiling pass (corresponds to the offline profiling the
 /// paper's trigger instructions and static baselines rely on): derives the

@@ -2,11 +2,19 @@
 
 #include <map>
 
+#include "util/trace.h"
+
 namespace mrts {
 
 FbRunResult run_block(RuntimeSystem& rts,
-                      const FunctionalBlockInstance& instance, Cycles start) {
+                      const FunctionalBlockInstance& instance, Cycles start,
+                      TraceRecorder* recorder) {
   FbRunResult result;
+
+  if (recorder != nullptr) {
+    recorder->record({TraceEventKind::kBlockBegin, kTrackApp, start, 0,
+                      raw(instance.functional_block), 0, 0.0, 0.0});
+  }
 
   Cycles cursor = start;
   result.selection = rts.on_trigger(instance.programmed, cursor);
@@ -60,6 +68,12 @@ FbRunResult run_block(RuntimeSystem& rts,
 
   rts.on_block_end(result.observed, cursor);
   result.cycles = cursor - start;
+  if (recorder != nullptr) {
+    // Span event covering the whole block instance.
+    recorder->record({TraceEventKind::kBlockEnd, kTrackApp, start,
+                      result.cycles, raw(instance.functional_block), 0,
+                      static_cast<double>(result.blocking_overhead), 0.0});
+  }
   return result;
 }
 

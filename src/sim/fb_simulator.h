@@ -13,6 +13,8 @@
 
 namespace mrts {
 
+class TraceRecorder;
+
 struct FbRunResult {
   Cycles cycles = 0;               ///< total block duration
   Cycles blocking_overhead = 0;    ///< RTS selection stall at block entry
@@ -24,7 +26,10 @@ struct FbRunResult {
 
 /// Runs \p instance starting at absolute cycle \p start. Calls on_trigger,
 /// then executes every event, then reports the observation via on_block_end.
+/// \p recorder (optional) receives a block-begin instant and a block-end
+/// span event; RTS-internal events are recorded by whatever recorder the
+/// RTS itself has attached (usually the same one).
 FbRunResult run_block(RuntimeSystem& rts, const FunctionalBlockInstance& instance,
-                      Cycles start);
+                      Cycles start, TraceRecorder* recorder = nullptr);
 
 }  // namespace mrts

@@ -34,7 +34,8 @@ TimeSlicedResult run_time_sliced(const std::vector<Task>& tasks,
         any_left = true;
         const FunctionalBlockInstance& block =
             tasks[i].trace->blocks[next_block[i]++];
-        const FbRunResult r = run_block(*tasks[i].rts, block, cursor);
+        const FbRunResult r =
+            run_block(*tasks[i].rts, block, cursor, tasks[i].recorder);
         cursor += r.cycles;
         TaskRunResult& task_result = result.tasks[i];
         task_result.active_cycles += r.cycles;

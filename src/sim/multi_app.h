@@ -20,6 +20,8 @@
 
 namespace mrts {
 
+class TraceRecorder;
+
 /// One task: a run-time system instance plus its application trace.
 struct Task {
   std::string name;
@@ -29,6 +31,9 @@ struct Task {
   /// executes per round-robin turn (>= 1). Higher weight = larger share of
   /// the core and fewer fabric-eviction boundaries.
   unsigned slice_blocks = 1;
+  /// Optional flight recorder for this task's block begin/end events (not
+  /// owned). Typically the same recorder attached to the task's RTS.
+  TraceRecorder* recorder = nullptr;
 };
 
 struct TaskRunResult {

@@ -1,0 +1,87 @@
+#include "util/counters.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mrts {
+
+std::size_t Histogram::bucket_of(double value) {
+  if (!(value >= 1.0)) return 0;  // < 1, non-positive and NaN
+  const int exponent = std::ilogb(value);  // floor(log2(value)) for v >= 1
+  const std::size_t bucket = static_cast<std::size_t>(exponent) + 1;
+  return std::min(bucket, kBuckets - 1);
+}
+
+void Histogram::observe(double value) {
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  sum_ += value;
+  ++buckets_[bucket_of(value)];
+}
+
+void Histogram::merge(const Histogram& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  for (std::size_t i = 0; i < kBuckets; ++i) buckets_[i] += other.buckets_[i];
+}
+
+void CounterRegistry::add(std::string_view name, std::uint64_t delta) {
+  const auto it = counters_.find(name);
+  if (it != counters_.end()) {
+    it->second += delta;
+  } else {
+    counters_.emplace(std::string(name), delta);
+  }
+}
+
+void CounterRegistry::observe(std::string_view name, double value) {
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), Histogram{}).first;
+  }
+  it->second.observe(value);
+}
+
+std::uint64_t CounterRegistry::counter(std::string_view name) const {
+  const auto it = counters_.find(name);
+  return it != counters_.end() ? it->second : 0;
+}
+
+const Histogram* CounterRegistry::histogram(std::string_view name) const {
+  const auto it = histograms_.find(name);
+  return it != histograms_.end() ? &it->second : nullptr;
+}
+
+void CounterRegistry::clear() {
+  counters_.clear();
+  histograms_.clear();
+}
+
+void CounterRegistry::merge(const CounterRegistry& other) {
+  for (const auto& [name, value] : other.counters_) {
+    add(name, value);
+  }
+  for (const auto& [name, histogram] : other.histograms_) {
+    auto it = histograms_.find(name);
+    if (it == histograms_.end()) {
+      histograms_.emplace(name, histogram);
+    } else {
+      it->second.merge(histogram);
+    }
+  }
+}
+
+}  // namespace mrts

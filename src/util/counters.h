@@ -1,0 +1,95 @@
+#pragma once
+/// \file counters.h
+/// Named counter/histogram registry, the metrics half of the flight
+/// recorder (util/trace.h). Components increment counters through an
+/// optional `CounterRegistry*` that defaults to nullptr — the same
+/// zero-overhead-when-off contract as tracing: one branch on a pointer per
+/// site when detached.
+///
+/// Registries are per simulator instance / sweep point (never shared across
+/// threads). Parallel sweeps keep one registry per point and merge the
+/// snapshots afterwards **in submission order**: counter addition is
+/// commutative, but histogram double-sums are not bitwise
+/// order-independent, so the fixed merge order is what keeps sweep output
+/// byte-identical at any worker count.
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+namespace mrts {
+
+/// Fixed-bucket log2 histogram plus exact count/sum/min/max. Buckets cover
+/// value magnitudes [2^(i-1), 2^i); bucket 0 collects everything < 1
+/// (including non-positive values).
+class Histogram {
+ public:
+  static constexpr std::size_t kBuckets = 48;
+
+  void observe(double value);
+
+  std::uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double min() const { return count_ ? min_ : 0.0; }
+  double max() const { return count_ ? max_ : 0.0; }
+  double mean() const {
+    return count_ ? sum_ / static_cast<double>(count_) : 0.0;
+  }
+  const std::array<std::uint64_t, kBuckets>& buckets() const {
+    return buckets_;
+  }
+
+  /// Bucket index a value falls into.
+  static std::size_t bucket_of(double value);
+
+  /// Adds \p other's observations into this histogram.
+  void merge(const Histogram& other);
+
+ private:
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  std::array<std::uint64_t, kBuckets> buckets_{};
+};
+
+/// Registry of named monotonic counters and histograms. Names are created on
+/// first use; snapshots iterate in lexicographic name order (std::map), so
+/// rendering a snapshot is deterministic.
+class CounterRegistry {
+ public:
+  /// Increments counter \p name by \p delta (creating it at 0).
+  void add(std::string_view name, std::uint64_t delta = 1);
+
+  /// Records one observation into histogram \p name (creating it empty).
+  void observe(std::string_view name, double value);
+
+  /// Current value of counter \p name; 0 if it was never incremented.
+  std::uint64_t counter(std::string_view name) const;
+
+  /// Histogram \p name, or nullptr if it was never observed.
+  const Histogram* histogram(std::string_view name) const;
+
+  const std::map<std::string, std::uint64_t, std::less<>>& counters() const {
+    return counters_;
+  }
+  const std::map<std::string, Histogram, std::less<>>& histograms() const {
+    return histograms_;
+  }
+
+  bool empty() const { return counters_.empty() && histograms_.empty(); }
+  void clear();
+
+  /// Adds \p other's counters and histograms into this registry. Calling
+  /// merge over per-point registries in submission order yields a
+  /// deterministic aggregate independent of which worker ran which point.
+  void merge(const CounterRegistry& other);
+
+ private:
+  std::map<std::string, std::uint64_t, std::less<>> counters_;
+  std::map<std::string, Histogram, std::less<>> histograms_;
+};
+
+}  // namespace mrts

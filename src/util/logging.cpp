@@ -1,12 +1,25 @@
 #include "util/logging.h"
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
+#include <ctime>
 
 namespace mrts {
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::kWarn};
+std::atomic<unsigned> g_next_thread_tag{0};
 }  // namespace
+
+const std::string& log_thread_tag() {
+  thread_local const std::string tag = [] {
+    char buf[16];
+    std::snprintf(buf, sizeof buf, "w%02u",
+                  g_next_thread_tag.fetch_add(1, std::memory_order_relaxed));
+    return std::string(buf);
+  }();
+  return tag;
+}
 
 LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
 void set_log_level(LogLevel level) {
@@ -25,10 +38,36 @@ const char* to_string(LogLevel level) {
   return "?";
 }
 
+std::string format_log_line(std::int64_t unix_millis, const std::string& tag,
+                            LogLevel level, const std::string& component,
+                            const std::string& message) {
+  const std::time_t secs = static_cast<std::time_t>(unix_millis / 1000);
+  const int millis = static_cast<int>(unix_millis % 1000);
+  std::tm tm{};
+  gmtime_r(&secs, &tm);  // UTC: log lines compare across machines
+  char stamp[32];
+  std::strftime(stamp, sizeof stamp, "%Y-%m-%d %H:%M:%S", &tm);
+  std::string line;
+  line.reserve(48 + tag.size() + component.size() + message.size());
+  char head[64];
+  std::snprintf(head, sizeof head, "[%s.%03d] [%s] [%s] ", stamp, millis,
+                tag.c_str(), to_string(level));
+  line += head;
+  line += component;
+  line += ": ";
+  line += message;
+  return line;
+}
+
 void log_message(LogLevel level, const std::string& component,
                  const std::string& message) {
-  std::fprintf(stderr, "[%s] %s: %s\n", to_string(level), component.c_str(),
-               message.c_str());
+  const auto now = std::chrono::system_clock::now().time_since_epoch();
+  const auto millis =
+      std::chrono::duration_cast<std::chrono::milliseconds>(now).count();
+  std::fprintf(
+      stderr, "%s\n",
+      format_log_line(millis, log_thread_tag(), level, component, message)
+          .c_str());
 }
 
 }  // namespace mrts

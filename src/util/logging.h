@@ -3,6 +3,7 @@
 /// Minimal leveled logger. Logging defaults to Warn so library users see
 /// problems but simulations stay quiet; benches/examples raise it explicitly.
 
+#include <cstdint>
 #include <sstream>
 #include <string>
 
@@ -15,15 +16,30 @@ enum class LogLevel : int { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
 LogLevel log_level();
 void set_log_level(LogLevel level);
 
-/// Emits one formatted line to stderr. Historical note: this used to be
-/// documented as "not thread-safe — the simulator is single threaded"; that
-/// no longer holds since the bench harness fans sweep points out over a
-/// thread pool (sim/sweep_runner.h). The rule now is: each line is written
-/// with a single fprintf, which POSIX stdio locks per call, so concurrent
-/// lines never interleave *within* a line; their relative order across
-/// threads is unspecified. Simulator objects themselves are still
-/// single-threaded — only the logger and the level may be touched from
-/// multiple sweep workers.
+/// Stable tag of the calling thread, "wNN": assigned from an atomic counter
+/// on the thread's first log line and fixed for the thread's lifetime. With
+/// the parallel sweep harness (sim/sweep_runner.h) this is what lets
+/// interleaved stderr output be attributed to a worker.
+const std::string& log_thread_tag();
+
+/// Renders one log line — "[YYYY-MM-DD HH:MM:SS.mmm] [wNN] [LEVEL]
+/// component: message" — from an explicit UTC wall-clock timestamp
+/// (milliseconds since the Unix epoch) and thread tag. Split out from
+/// log_message so tests can pin the format deterministically.
+std::string format_log_line(std::int64_t unix_millis, const std::string& tag,
+                            LogLevel level, const std::string& component,
+                            const std::string& message);
+
+/// Emits one formatted line to stderr, prefixed with the current UTC
+/// wall-clock time and the calling thread's tag. Historical note: this used
+/// to be documented as "not thread-safe — the simulator is single
+/// threaded"; that no longer holds since the bench harness fans sweep
+/// points out over a thread pool (sim/sweep_runner.h). The rule now is:
+/// each line is written with a single fprintf, which POSIX stdio locks per
+/// call, so concurrent lines never interleave *within* a line; their
+/// relative order across threads is unspecified. Simulator objects
+/// themselves are still single-threaded — only the logger and the level may
+/// be touched from multiple sweep workers.
 void log_message(LogLevel level, const std::string& component,
                  const std::string& message);
 

@@ -1,0 +1,318 @@
+#include "util/trace.h"
+
+#include <array>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <map>
+#include <ostream>
+#include <set>
+#include <sstream>
+
+#include "isa/ise_library.h"
+
+namespace mrts {
+namespace {
+
+constexpr std::array<const char*, kNumTraceEventKinds> kKindNames = {
+    "block_begin",     "block_end",         "ecu_decision",
+    "ecu_upgrade",     "mono_cg_attempt",   "selector_eval",
+    "selector_pick",   "mpu_error",         "reconfig_start",
+    "reconfig_complete", "reconfig_cancel", "cg_context_switch",
+    "occupancy",
+};
+
+/// Must match ImplKind in rts/rts_interface.h (util cannot include rts
+/// headers without inverting the layering); tests/test_trace.cpp pins the
+/// correspondence against to_string(ImplKind).
+constexpr std::array<const char*, 5> kImplKindNames = {
+    "RISC", "monoCG", "intermediate", "full-ISE", "covered-ISE"};
+
+const char* impl_kind_name(std::uint32_t kind) {
+  return kind < kImplKindNames.size() ? kImplKindNames[kind] : "?";
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string format_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.10g", v);
+  // JSON has no inf/nan literals.
+  if (std::strchr(buf, 'n') != nullptr || std::strchr(buf, 'i') != nullptr) {
+    return "0";
+  }
+  return buf;
+}
+
+std::string kernel_name(const IseLibrary* lib, std::uint32_t k) {
+  if (lib != nullptr && k < lib->num_kernels()) {
+    return lib->kernel(KernelId{k}).name;
+  }
+  return "kernel" + std::to_string(k);
+}
+
+std::string ise_name(const IseLibrary* lib, std::uint32_t id) {
+  if (lib != nullptr && id < lib->num_ises()) return lib->ise(IseId{id}).name;
+  return "ise" + std::to_string(id);
+}
+
+std::string dp_name(const IseLibrary* lib, std::uint32_t id) {
+  if (lib != nullptr && id < lib->data_paths().size()) {
+    return lib->data_paths()[DataPathId{id}].name;
+  }
+  return "dp" + std::to_string(id);
+}
+
+/// Human-readable event label for both exporters.
+std::string event_label(const TraceEvent& e, const IseLibrary* lib) {
+  switch (e.kind) {
+    case TraceEventKind::kBlockBegin:
+    case TraceEventKind::kBlockEnd:
+      return "FB" + std::to_string(e.arg0);
+    case TraceEventKind::kEcuDecision:
+    case TraceEventKind::kEcuUpgrade:
+      return kernel_name(lib, e.arg0) + ": " + impl_kind_name(e.arg1);
+    case TraceEventKind::kMonoCgAttempt:
+      return kernel_name(lib, e.arg0) +
+             (e.arg1 != 0 ? ": monoCG acquired" : ": monoCG unavailable");
+    case TraceEventKind::kSelectorEval:
+    case TraceEventKind::kSelectorPick:
+      return kernel_name(lib, e.arg0) + "/" + ise_name(lib, e.arg1);
+    case TraceEventKind::kMpuError:
+      return kernel_name(lib, e.arg1);
+    case TraceEventKind::kReconfigStart:
+    case TraceEventKind::kReconfigComplete:
+    case TraceEventKind::kCgContextSwitch:
+      return dp_name(lib, e.arg0);
+    case TraceEventKind::kReconfigCancel:
+      return "cancelled loads";
+    case TraceEventKind::kOccupancy:
+      return "fabric occupancy";
+  }
+  return "?";
+}
+
+}  // namespace
+
+const char* to_string(TraceEventKind kind) {
+  const auto i = static_cast<std::size_t>(kind);
+  return i < kKindNames.size() ? kKindNames[i] : "?";
+}
+
+std::optional<TraceEventKind> trace_kind_from_string(std::string_view name) {
+  for (std::size_t i = 0; i < kKindNames.size(); ++i) {
+    if (name == kKindNames[i]) return static_cast<TraceEventKind>(i);
+  }
+  return std::nullopt;
+}
+
+std::string track_name(std::int32_t track) {
+  switch (track) {
+    case kTrackApp: return "application";
+    case kTrackEcu: return "ECU decisions";
+    case kTrackSelector: return "ISE selector";
+    case kTrackMpu: return "MPU forecasts";
+    default: break;
+  }
+  if (track >= kTrackCgBase) {
+    return "CG fabric " + std::to_string(track - kTrackCgBase);
+  }
+  if (track >= kTrackFgBase) {
+    return "PRC " + std::to_string(track - kTrackFgBase);
+  }
+  return "track " + std::to_string(track);
+}
+
+void TraceRecorder::record(const TraceEvent& event) {
+  events_.push_back(event);
+}
+
+std::size_t TraceRecorder::count(TraceEventKind kind) const {
+  std::size_t n = 0;
+  for (const auto& e : events_) {
+    if (e.kind == kind) ++n;
+  }
+  return n;
+}
+
+double trace_cycles_to_us(Cycles c) {
+  return static_cast<double>(c) / kCoreClockHz * 1.0e6;
+}
+
+void write_chrome_trace(std::ostream& os, const std::vector<TraceEvent>& events,
+                        const IseLibrary* lib) {
+  os << "{\"traceEvents\":[\n";
+  os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,"
+        "\"args\":{\"name\":\"mRTS simulation\"}}";
+
+  // Name every track that appears; sort index keeps the RTS tracks on top
+  // and the fabric tracks grouped below.
+  std::set<std::int32_t> tracks;
+  for (const auto& e : events) tracks.insert(e.track);
+  for (std::int32_t t : tracks) {
+    os << ",\n{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":" << t
+       << ",\"args\":{\"name\":\"" << json_escape(track_name(t)) << "\"}}";
+    os << ",\n{\"name\":\"thread_sort_index\",\"ph\":\"M\",\"pid\":1,\"tid\":"
+       << t << ",\"args\":{\"sort_index\":" << t << "}}";
+  }
+
+  for (const auto& e : events) {
+    const std::string label = json_escape(event_label(e, lib));
+    const std::string ts = format_double(trace_cycles_to_us(e.at));
+    os << ",\n";
+    if (e.kind == TraceEventKind::kOccupancy) {
+      // Counter track: Perfetto renders it as a stacked area chart.
+      os << "{\"name\":\"" << label << "\",\"cat\":\"" << to_string(e.kind)
+         << "\",\"ph\":\"C\",\"pid\":1,\"ts\":" << ts
+         << ",\"args\":{\"reserved_prcs\":" << format_double(e.v0)
+         << ",\"reserved_cg\":" << format_double(e.v1) << "}}";
+      continue;
+    }
+    os << "{\"name\":\"" << label << "\",\"cat\":\"" << to_string(e.kind)
+       << "\",\"pid\":1,\"tid\":" << e.track << ",\"ts\":" << ts;
+    if (e.duration > 0) {
+      os << ",\"ph\":\"X\",\"dur\":" << format_double(trace_cycles_to_us(e.duration));
+    } else {
+      os << ",\"ph\":\"i\",\"s\":\"t\"";
+    }
+    os << ",\"args\":{\"at_cycles\":" << e.at << ",\"arg0\":" << e.arg0
+       << ",\"arg1\":" << e.arg1 << ",\"v0\":" << format_double(e.v0)
+       << ",\"v1\":" << format_double(e.v1) << "}}";
+  }
+  os << "\n],\"displayTimeUnit\":\"ms\"}\n";
+}
+
+void write_trace_jsonl(std::ostream& os, const std::vector<TraceEvent>& events,
+                       const IseLibrary* lib) {
+  for (const auto& e : events) {
+    os << "{\"kind\":\"" << to_string(e.kind) << "\",\"at\":" << e.at
+       << ",\"dur\":" << e.duration << ",\"track\":" << e.track
+       << ",\"arg0\":" << e.arg0 << ",\"arg1\":" << e.arg1
+       << ",\"v0\":" << format_double(e.v0) << ",\"v1\":" << format_double(e.v1)
+       << ",\"label\":\"" << json_escape(event_label(e, lib)) << "\"}\n";
+  }
+}
+
+bool write_chrome_trace_file(const std::string& path,
+                             const std::vector<TraceEvent>& events,
+                             const IseLibrary* lib) {
+  std::ofstream os(path);
+  if (!os) return false;
+  write_chrome_trace(os, events, lib);
+  return static_cast<bool>(os);
+}
+
+bool write_trace_jsonl_file(const std::string& path,
+                            const std::vector<TraceEvent>& events,
+                            const IseLibrary* lib) {
+  std::ofstream os(path);
+  if (!os) return false;
+  write_trace_jsonl(os, events, lib);
+  return static_cast<bool>(os);
+}
+
+namespace {
+
+/// Extracts the raw token following `"key":` in a flat one-line JSON object;
+/// nullopt when the key is absent.
+std::optional<std::string> json_token(const std::string& line,
+                                      const char* key) {
+  const std::string needle = std::string("\"") + key + "\":";
+  const std::size_t pos = line.find(needle);
+  if (pos == std::string::npos) return std::nullopt;
+  std::size_t begin = pos + needle.size();
+  std::size_t end = begin;
+  if (begin < line.size() && line[begin] == '"') {
+    ++begin;
+    end = begin;
+    while (end < line.size() && line[end] != '"') {
+      if (line[end] == '\\') ++end;  // skip escaped char
+      ++end;
+    }
+    if (end >= line.size()) return std::nullopt;  // unterminated string
+  } else {
+    while (end < line.size() && line[end] != ',' && line[end] != '}') ++end;
+  }
+  return line.substr(begin, end - begin);
+}
+
+}  // namespace
+
+std::optional<TraceEvent> parse_trace_jsonl_line(const std::string& line) {
+  const auto kind_token = json_token(line, "kind");
+  const auto at_token = json_token(line, "at");
+  if (!kind_token || !at_token) return std::nullopt;
+  const auto kind = trace_kind_from_string(*kind_token);
+  if (!kind) return std::nullopt;
+
+  TraceEvent e;
+  e.kind = *kind;
+  char* end = nullptr;
+  e.at = std::strtoull(at_token->c_str(), &end, 10);
+  if (end == at_token->c_str()) return std::nullopt;
+  if (const auto t = json_token(line, "dur")) {
+    e.duration = std::strtoull(t->c_str(), nullptr, 10);
+  }
+  if (const auto t = json_token(line, "track")) {
+    e.track = static_cast<std::int32_t>(std::strtol(t->c_str(), nullptr, 10));
+  }
+  if (const auto t = json_token(line, "arg0")) {
+    e.arg0 = static_cast<std::uint32_t>(std::strtoul(t->c_str(), nullptr, 10));
+  }
+  if (const auto t = json_token(line, "arg1")) {
+    e.arg1 = static_cast<std::uint32_t>(std::strtoul(t->c_str(), nullptr, 10));
+  }
+  if (const auto t = json_token(line, "v0")) {
+    e.v0 = std::strtod(t->c_str(), nullptr);
+  }
+  if (const auto t = json_token(line, "v1")) {
+    e.v1 = std::strtod(t->c_str(), nullptr);
+  }
+  return e;
+}
+
+TraceSummary summarize_trace_jsonl(std::istream& in) {
+  TraceSummary summary;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const auto event = parse_trace_jsonl_line(line);
+    if (!event) {
+      ++summary.parse_errors;
+      continue;
+    }
+    ++summary.total_events;
+    ++summary.per_kind[static_cast<std::size_t>(event->kind)];
+    if (event->at < summary.first_cycle) summary.first_cycle = event->at;
+    if (event->at + event->duration > summary.last_cycle) {
+      summary.last_cycle = event->at + event->duration;
+    }
+  }
+  return summary;
+}
+
+}  // namespace mrts

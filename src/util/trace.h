@@ -1,0 +1,151 @@
+#pragma once
+/// \file trace.h
+/// Flight recorder for the run-time system: typed, sim-cycle-timestamped
+/// events collected per simulator instance and exported after the run
+/// (Chrome trace-event JSON for Perfetto/chrome://tracing, JSONL for
+/// scripts). The paper's evaluation narrative (Figs. 1, 2, 7) is about
+/// *when* things happen — reconfiguration completions, intermediate-ISE
+/// upgrade points, monoCG bridging windows, MPU forecast drift — and this
+/// layer makes those timelines inspectable instead of only end-of-run
+/// aggregates.
+///
+/// Overhead contract: tracing is opt-in per component via a raw
+/// `TraceRecorder*` that defaults to nullptr. Every instrumented site is
+/// guarded by a single `if (trace_ != nullptr)` branch on that pointer, so a
+/// simulation without an attached recorder pays one predicted-not-taken
+/// branch per site and allocates nothing. Recorders are per simulator
+/// instance (one per sweep point), never shared across threads — the same
+/// sharing rule as every other mutable simulation object
+/// (docs/ARCHITECTURE.md, "Parallel sweep engine").
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/types.h"
+
+namespace mrts {
+
+class IseLibrary;
+
+/// What happened. Kinds are stable identifiers: exporters write their
+/// to_string() form, and trace-summary groups by it.
+enum class TraceEventKind : std::uint8_t {
+  kBlockBegin = 0,   ///< functional-block instance entered (arg0 = fb)
+  kBlockEnd,         ///< block finished (arg0 = fb, duration = block cycles)
+  kEcuDecision,      ///< ECU switched implementation for a kernel
+                     ///< (arg0 = kernel, arg1 = ImplKind, v0 = latency)
+  kEcuUpgrade,       ///< a better timeline option became available
+                     ///< (arg0 = kernel, arg1 = ImplKind, v0 = latency)
+  kMonoCgAttempt,    ///< ECU tried to realize a monoCG-Extension
+                     ///< (arg0 = kernel, arg1 = 1 on success, v0 = ready)
+  kSelectorEval,     ///< one profit evaluation (arg0 = kernel, arg1 = ise,
+                     ///< v0 = profit)
+  kSelectorPick,     ///< greedy round winner (arg0 = kernel, arg1 = ise,
+                     ///< v0 = profit, v1 = round)
+  kMpuError,         ///< forecast vs. observed executions per block instance
+                     ///< (arg0 = fb, arg1 = kernel, v0 = predicted,
+                     ///< v1 = observed)
+  kReconfigStart,    ///< load scheduled on a port (arg0 = dp, arg1 = grain,
+                     ///< duration = load cycles, track = container)
+  kReconfigComplete, ///< load completion point (arg0 = dp, arg1 = grain)
+  kReconfigCancel,   ///< pending loads evicted before start (v0 = count)
+  kCgContextSwitch,  ///< CG context switch penalty paid (arg0 = dp,
+                     ///< duration = switch cycles)
+  kOccupancy,        ///< fabric occupancy sample after install
+                     ///< (v0 = reserved PRCs, v1 = reserved CG fabrics)
+};
+inline constexpr std::size_t kNumTraceEventKinds = 13;
+
+const char* to_string(TraceEventKind kind);
+std::optional<TraceEventKind> trace_kind_from_string(std::string_view name);
+
+/// Rendering track of an event (maps to a Chrome trace `tid`). One track per
+/// RTS unit plus one per PRC and per CG fabric.
+inline constexpr std::int32_t kTrackApp = 0;       ///< block begin/end
+inline constexpr std::int32_t kTrackEcu = 1;       ///< ECU decisions
+inline constexpr std::int32_t kTrackSelector = 2;  ///< selector rounds
+inline constexpr std::int32_t kTrackMpu = 3;       ///< forecast errors
+inline constexpr std::int32_t kTrackFgBase = 100;  ///< + PRC index
+inline constexpr std::int32_t kTrackCgBase = 200;  ///< + CG fabric index
+
+std::string track_name(std::int32_t track);
+
+/// One recorded event. Fixed-size POD — recording is a vector push_back,
+/// no strings or allocations per event; ids resolve to names at export time.
+struct TraceEvent {
+  TraceEventKind kind = TraceEventKind::kBlockBegin;
+  std::int32_t track = kTrackApp;
+  Cycles at = 0;        ///< start timestamp in core cycles
+  Cycles duration = 0;  ///< span length in cycles; 0 = instant event
+  std::uint32_t arg0 = 0;
+  std::uint32_t arg1 = 0;
+  double v0 = 0.0;
+  double v1 = 0.0;
+};
+
+/// Per-simulator event sink. Not thread-safe by design: one recorder per
+/// sweep point / simulator instance (see file header).
+class TraceRecorder {
+ public:
+  /// Appends one event. Deliberately out of line: instrumented hot loops
+  /// stay small (a pointer test + call on the traced path, just the test
+  /// when detached) instead of inlining vector growth machinery per site.
+  void record(const TraceEvent& event);
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+  std::size_t size() const { return events_.size(); }
+  bool empty() const { return events_.empty(); }
+  void clear() { events_.clear(); }
+
+  /// Number of events of one kind (convenience for tests/summaries).
+  std::size_t count(TraceEventKind kind) const;
+
+ private:
+  std::vector<TraceEvent> events_;
+};
+
+/// Sim-cycle timestamp -> microseconds for the Chrome `ts`/`dur` fields
+/// (core clock 400 MHz: 1 cycle = 0.0025 us).
+double trace_cycles_to_us(Cycles c);
+
+/// Writes the events as Chrome trace-event JSON (the "JSON Object Format":
+/// {"traceEvents":[...]}). Loads directly in Perfetto and chrome://tracing.
+/// Spans become "X" complete events, instants "i", occupancy samples "C"
+/// counter events; metadata events name the process and every track. \p lib
+/// (optional) resolves kernel/ISE/data-path ids to their library names.
+void write_chrome_trace(std::ostream& os, const std::vector<TraceEvent>& events,
+                        const IseLibrary* lib = nullptr);
+
+/// Writes one flat JSON object per line ("kind", "at", "dur", "track",
+/// "arg0", "arg1", "v0", "v1", optional "label") for scripted analysis.
+void write_trace_jsonl(std::ostream& os, const std::vector<TraceEvent>& events,
+                       const IseLibrary* lib = nullptr);
+
+/// File convenience wrappers; return false when the file cannot be opened.
+bool write_chrome_trace_file(const std::string& path,
+                             const std::vector<TraceEvent>& events,
+                             const IseLibrary* lib = nullptr);
+bool write_trace_jsonl_file(const std::string& path,
+                            const std::vector<TraceEvent>& events,
+                            const IseLibrary* lib = nullptr);
+
+/// Parses one JSONL line produced by write_trace_jsonl (labels are ignored;
+/// they are derived data). nullopt on malformed input.
+std::optional<TraceEvent> parse_trace_jsonl_line(const std::string& line);
+
+/// Aggregate of a JSONL trace stream (the `mrts_cli trace-summary` verb).
+struct TraceSummary {
+  std::size_t total_events = 0;
+  std::size_t parse_errors = 0;  ///< non-empty lines that failed to parse
+  std::size_t per_kind[kNumTraceEventKinds] = {};
+  Cycles first_cycle = kNeverCycles;  ///< kNeverCycles when no events
+  Cycles last_cycle = 0;              ///< end of the latest span
+};
+
+TraceSummary summarize_trace_jsonl(std::istream& in);
+
+}  // namespace mrts

@@ -4,6 +4,8 @@
 #include <gtest/gtest.h>
 
 #include "rts/mpu.h"
+#include "util/counters.h"
+#include "util/trace.h"
 
 namespace mrts {
 namespace {
@@ -66,6 +68,32 @@ TEST(Mpu, DisabledMpuNeverRefines) {
   EXPECT_DOUBLE_EQ(refined.entries[0].expected_executions, 100.0);
   EXPECT_EQ(mpu.observations(), 0u);
   EXPECT_FALSE(mpu.forecast(FunctionalBlockId{1}, KernelId{0}).has_value());
+}
+
+TEST(Mpu, DisabledRefineIsExactPassThroughFieldByField) {
+  // With Config::enabled == false, refine must return the programmed
+  // trigger unchanged even after many observations, and a disabled unit
+  // must stay silent on an attached flight recorder / counter registry.
+  Mpu mpu(Mpu::Config{false, 0.9});
+  TraceRecorder recorder;
+  CounterRegistry counters;
+  mpu.attach_observability(&recorder, &counters);
+  for (int i = 0; i < 4; ++i) mpu.observe(observation(999.0, 9, 9), 1234);
+
+  const TriggerInstruction programmed = programmed_trigger();
+  const TriggerInstruction refined = mpu.refine(programmed);
+  EXPECT_EQ(refined.functional_block, programmed.functional_block);
+  ASSERT_EQ(refined.entries.size(), programmed.entries.size());
+  EXPECT_EQ(refined.entries[0].kernel, programmed.entries[0].kernel);
+  EXPECT_DOUBLE_EQ(refined.entries[0].expected_executions,
+                   programmed.entries[0].expected_executions);
+  EXPECT_EQ(refined.entries[0].time_to_first,
+            programmed.entries[0].time_to_first);
+  EXPECT_EQ(refined.entries[0].time_between,
+            programmed.entries[0].time_between);
+
+  EXPECT_TRUE(recorder.empty());
+  EXPECT_TRUE(counters.empty());
 }
 
 TEST(Mpu, ForecastsAreScopedPerBlockAndKernel) {

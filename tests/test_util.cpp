@@ -3,10 +3,12 @@
 
 #include <gtest/gtest.h>
 
+#include <cctype>
 #include <cmath>
 #include <set>
 
 #include "util/csv.h"
+#include "util/logging.h"
 #include "util/rng.h"
 #include "util/stats.h"
 #include "util/table.h"
@@ -136,6 +138,56 @@ TEST(Ewma, ConvergesToConstantSignal) {
   Ewma e(0.3, 0.0);
   for (int i = 0; i < 100; ++i) e.observe(10.0);
   EXPECT_NEAR(e.prediction(), 10.0, 1e-6);
+}
+
+TEST(Ewma, AlphaZeroClampsToTinyGain) {
+  // alpha <= 0 would freeze the forecast forever; the constructor clamps it
+  // to a tiny positive gain instead, so the first observation still nudges
+  // the prediction (by alpha * error) rather than being discarded.
+  Ewma e(0.0, 100.0);
+  EXPECT_DOUBLE_EQ(e.alpha(), 1e-6);
+  e.observe(200.0);
+  EXPECT_NEAR(e.prediction(), 100.0001, 1e-9);
+  EXPECT_EQ(e.observations(), 1u);
+}
+
+TEST(Ewma, AlphaOneFirstObservationReplacesInitial) {
+  // alpha == 1 is pure tracking: the very first observation overwrites
+  // whatever initial prediction the forecast was seeded with.
+  Ewma e(1.0, 12345.0);
+  EXPECT_DOUBLE_EQ(e.alpha(), 1.0);
+  e.observe(-7.5);
+  EXPECT_DOUBLE_EQ(e.prediction(), -7.5);
+}
+
+TEST(Ewma, AlphaAboveOneClampsToOne) {
+  // Gains above 1 would overshoot (oscillate around the signal); they clamp
+  // to exact tracking.
+  Ewma e(2.5, 10.0);
+  EXPECT_DOUBLE_EQ(e.alpha(), 1.0);
+  e.observe(20.0);
+  EXPECT_DOUBLE_EQ(e.prediction(), 20.0);
+}
+
+TEST(Logging, FormatLogLinePinsLayout) {
+  // 1234567890 s since the epoch = 2009-02-13 23:31:30 UTC. The format is
+  // part of the logger's contract: timestamp (UTC, millisecond), worker
+  // tag, level, component, message.
+  EXPECT_EQ(format_log_line(1234567890123, "w03", LogLevel::kWarn, "ecu",
+                            "impl switched"),
+            "[2009-02-13 23:31:30.123] [w03] [WARN] ecu: impl switched");
+  EXPECT_EQ(format_log_line(45, "w00", LogLevel::kError, "mpu", ""),
+            "[1970-01-01 00:00:00.045] [w00] [ERROR] mpu: ");
+}
+
+TEST(Logging, ThreadTagIsStablePerThread) {
+  const std::string& tag = log_thread_tag();
+  ASSERT_EQ(tag.size(), 3u);
+  EXPECT_EQ(tag[0], 'w');
+  EXPECT_TRUE(std::isdigit(static_cast<unsigned char>(tag[1])));
+  EXPECT_TRUE(std::isdigit(static_cast<unsigned char>(tag[2])));
+  // Same thread -> same tag object, every time.
+  EXPECT_EQ(&tag, &log_thread_tag());
 }
 
 TEST(Means, GeometricAndArithmetic) {

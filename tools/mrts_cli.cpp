@@ -7,16 +7,24 @@
 //       Run one heuristic selection for the given trigger forecast on an
 //       idle machine and print the round-by-round trace.
 //
-//   mrts_cli run <h264|sdr> [prcs] [cg] [frames]
+//   mrts_cli run <h264|sdr> [prcs] [cg] [frames] [--trace <file>]
 //       Run a built-in workload under every run-time system and print the
-//       comparison summary.
+//       comparison summary. With --trace, the mRTS run records a flight
+//       recorder trace: *.jsonl writes JSON Lines, anything else writes
+//       Chrome trace-event JSON (load it in Perfetto / chrome://tracing).
 //
-// Exit code 0 on success, 1 on usage errors, 2 on input errors.
+//   mrts_cli trace-summary <trace.jsonl>
+//       Validate a JSONL trace and print per-kind event counts.
+//
+// Exit code 0 on success, 1 on usage errors (unknown verb, bad or trailing
+// arguments), 2 on input/runtime errors (unreadable files, bad content).
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <string>
+#include <vector>
 
 #include "mrts.h"
 #include "util/table.h"
@@ -31,7 +39,10 @@ int usage() {
                "  mrts_cli info <library.txt>\n"
                "  mrts_cli select <library.txt> <prcs> <cg> "
                "<KERNEL=e[,tf,tb]> ...\n"
-               "  mrts_cli run <h264|sdr> [prcs] [cg] [frames]\n");
+               "  mrts_cli run <h264|sdr> [prcs] [cg] [frames] "
+               "[--trace <file.json|file.jsonl>]\n"
+               "  mrts_cli trace-summary <trace.jsonl>\n"
+               "exit codes: 0 success, 1 usage error, 2 input error\n");
   return 1;
 }
 
@@ -46,9 +57,7 @@ int cmd_info(const std::string& path) {
       const IseVariant& v = lib.ise(id);
       table.add_values(
           kernel.name, kernel.sw_latency, v.name, v.fg_units, v.cg_units,
-          v.full_latency(),
-          static_cast<double>(v.risc_latency()) /
-              static_cast<double>(v.full_latency()),
+          v.full_latency(), speedup(v.risc_latency(), v.full_latency()),
           format_double(
               cycles_to_ms(v.worst_case_reconfig_cycles(lib.data_paths())),
               3));
@@ -108,8 +117,31 @@ int cmd_select(const std::string& path, unsigned prcs, unsigned cg,
   return 0;
 }
 
+bool ends_with(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+void print_counters(const CounterRegistry& counters) {
+  if (counters.counters().empty() && counters.histograms().empty()) return;
+  std::printf("\nmRTS counters:\n");
+  TextTable table({"counter", "value"});
+  for (const auto& [name, value] : counters.counters()) {
+    table.add_values(name, value);
+  }
+  std::printf("%s", table.render().c_str());
+  if (!counters.histograms().empty()) {
+    TextTable hist({"histogram", "count", "mean", "min", "max"});
+    for (const auto& [name, h] : counters.histograms()) {
+      hist.add_values(name, h.count(), format_double(h.mean(), 2),
+                      format_double(h.min(), 2), format_double(h.max(), 2));
+    }
+    std::printf("%s", hist.render().c_str());
+  }
+}
+
 int cmd_run(const std::string& which, unsigned prcs, unsigned cg,
-            unsigned frames) {
+            unsigned frames, const std::string& trace_path) {
   IseLibrary const* lib = nullptr;
   ApplicationTrace const* trace = nullptr;
   H264Application h264;
@@ -134,15 +166,20 @@ int cmd_run(const std::string& which, unsigned prcs, unsigned cg,
   const AppRunResult risc_run = run_application(risc, *trace);
   const auto profile = profile_application(*trace, *lib);
 
+  const bool traced = !trace_path.empty();
+  TraceRecorder recorder;
+  CounterRegistry counters;
+
   TextTable table({"run-time system", "Mcycles", "speedup"});
-  auto report = [&](RuntimeSystem& rts) {
-    const AppRunResult r = run_application(rts, *trace);
+  auto report = [&](RuntimeSystem& rts, TraceRecorder* rec = nullptr) {
+    const AppRunResult r = run_application(rts, *trace, rec);
     table.add_values(r.rts_name, format_mcycles(r.total_cycles),
                      speedup(risc_run.total_cycles, r.total_cycles));
   };
   report(risc);
   MRts mrts_rts(*lib, cg, prcs);
-  report(mrts_rts);
+  if (traced) mrts_rts.attach_observability(&recorder, &counters);
+  report(mrts_rts, traced ? &recorder : nullptr);
   RisppRts rispp(*lib, cg, prcs);
   report(rispp);
   Morpheus4sRts morpheus(*lib, cg, prcs, profile);
@@ -152,6 +189,51 @@ int cmd_run(const std::string& which, unsigned prcs, unsigned cg,
 
   std::printf("%s on %u PRCs + %u CG fabrics, %u frames/bursts:\n%s",
               which.c_str(), prcs, cg, frames, table.render().c_str());
+
+  if (traced) {
+    const bool jsonl = ends_with(trace_path, ".jsonl");
+    const bool ok =
+        jsonl ? write_trace_jsonl_file(trace_path, recorder.events(), lib)
+              : write_chrome_trace_file(trace_path, recorder.events(), lib);
+    if (!ok) {
+      std::fprintf(stderr, "error: cannot write trace file '%s'\n",
+                   trace_path.c_str());
+      return 2;
+    }
+    std::printf("\nwrote %zu trace events to %s (%s)\n", recorder.size(),
+                trace_path.c_str(),
+                jsonl ? "JSON Lines" : "Chrome trace-event JSON");
+    print_counters(counters);
+  }
+  return 0;
+}
+
+int cmd_trace_summary(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "error: cannot open '%s'\n", path.c_str());
+    return 2;
+  }
+  const TraceSummary summary = summarize_trace_jsonl(in);
+  if (summary.parse_errors > 0) {
+    std::fprintf(stderr, "error: %zu malformed line(s) in '%s'\n",
+                 summary.parse_errors, path.c_str());
+    return 2;
+  }
+  std::printf("%zu events", summary.total_events);
+  if (summary.total_events > 0) {
+    std::printf(", cycles %llu..%llu",
+                static_cast<unsigned long long>(summary.first_cycle),
+                static_cast<unsigned long long>(summary.last_cycle));
+  }
+  std::printf("\n");
+  TextTable table({"kind", "events"});
+  for (std::size_t i = 0; i < kNumTraceEventKinds; ++i) {
+    if (summary.per_kind[i] == 0) continue;
+    table.add_values(to_string(static_cast<TraceEventKind>(i)),
+                     summary.per_kind[i]);
+  }
+  std::printf("%s", table.render().c_str());
   return 0;
 }
 
@@ -161,21 +243,49 @@ int main(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string command = argv[1];
   try {
-    if (command == "info" && argc == 3) return cmd_info(argv[2]);
-    if (command == "select" && argc >= 6) {
+    if (command == "info") {
+      if (argc != 3) return usage();
+      return cmd_info(argv[2]);
+    }
+    if (command == "select") {
+      if (argc < 6) return usage();
       return cmd_select(argv[2],
                         static_cast<unsigned>(std::atoi(argv[3])),
                         static_cast<unsigned>(std::atoi(argv[4])), argv + 5,
                         argc - 5);
     }
-    if (command == "run" && argc >= 3) {
+    if (command == "run") {
+      std::string trace_path;
+      std::vector<std::string> positional;
+      for (int i = 2; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--trace") {
+          if (i + 1 >= argc || !trace_path.empty()) return usage();
+          trace_path = argv[++i];
+        } else if (!arg.empty() && arg[0] == '-') {
+          return usage();  // unknown option
+        } else {
+          positional.push_back(arg);
+        }
+      }
+      if (positional.empty() || positional.size() > 4) return usage();
       const unsigned prcs =
-          argc > 3 ? static_cast<unsigned>(std::atoi(argv[3])) : 2;
+          positional.size() > 1
+              ? static_cast<unsigned>(std::atoi(positional[1].c_str()))
+              : 2;
       const unsigned cg =
-          argc > 4 ? static_cast<unsigned>(std::atoi(argv[4])) : 2;
+          positional.size() > 2
+              ? static_cast<unsigned>(std::atoi(positional[2].c_str()))
+              : 2;
       const unsigned frames =
-          argc > 5 ? static_cast<unsigned>(std::atoi(argv[5])) : 8;
-      return cmd_run(argv[2], prcs, cg, frames);
+          positional.size() > 3
+              ? static_cast<unsigned>(std::atoi(positional[3].c_str()))
+              : 8;
+      return cmd_run(positional[0], prcs, cg, frames, trace_path);
+    }
+    if (command == "trace-summary") {
+      if (argc != 3) return usage();
+      return cmd_trace_summary(argv[2]);
     }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
