@@ -5,7 +5,9 @@
 /// the full simulation, prints the figure's rows/series as an ASCII table
 /// and dumps a CSV (<bench>.csv) for external plotting.
 
+#include <cerrno>
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -113,6 +115,129 @@ inline unsigned parse_jobs(int* argc, char** argv) {
   *argc = out;
   argv[out] = nullptr;
   return jobs;
+}
+
+/// Fault-injection knobs shared by the benches (arch/fault_model.h). The
+/// defaults are fault-free so the committed figure CSVs stay byte-identical
+/// unless a fault rate is explicitly requested.
+struct FaultFlags {
+  double rate = 0.0;
+  std::uint64_t seed = 42;
+  unsigned max_retries = 3;
+
+  /// The FaultModelConfig this flag set denotes (all-zero when rate == 0).
+  FaultModelConfig config() const {
+    if (rate <= 0.0) return FaultModelConfig{};
+    return FaultModelConfig::uniform(rate, seed, max_retries);
+  }
+};
+
+namespace detail {
+
+/// Strict full-token parsers, mirroring the mrts_cli contract: malformed
+/// values (negative/NaN rates, signed or overflowing seeds) are input
+/// errors — exit code 2, never silently clamped.
+inline bool parse_probability_token(const char* s, double* out) {
+  char* end = nullptr;
+  const double v = std::strtod(s, &end);
+  if (end == s || *end != '\0') return false;
+  if (!(v >= 0.0 && v <= 1.0)) return false;  // NaN fails every comparison
+  *out = v;
+  return true;
+}
+
+inline bool parse_u64_token(const char* s, std::uint64_t* out) {
+  if (s[0] == '\0' || s[0] == '-' || s[0] == '+') return false;
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s, &end, 10);
+  if (end == s || *end != '\0' || errno == ERANGE) return false;
+  *out = v;
+  return true;
+}
+
+[[noreturn]] inline void fault_flag_error(const char* flag, const char* value,
+                                          const char* expected) {
+  std::fprintf(stderr, "error: invalid %s '%s' (expected %s)\n", flag, value,
+               expected);
+  std::exit(2);
+}
+
+}  // namespace detail
+
+/// Parses and strips `--fault-rate P`, `--fault-seed N` and
+/// `--max-retries N` flags (each also accepts the `--flag=value` form).
+/// Must run before benchmark::Initialize, like parse_jobs. Invalid values
+/// terminate with exit code 2 (documented input-error contract — the sweep
+/// must not run with a silently clamped fault configuration).
+/// MRTS_BENCH_FAULT_RATE / _FAULT_SEED / _MAX_RETRIES env variables supply
+/// defaults when the flags are absent and follow the same strict contract.
+inline FaultFlags parse_fault_flags(int* argc, char** argv) {
+  FaultFlags flags;
+  if (const char* env = std::getenv("MRTS_BENCH_FAULT_RATE")) {
+    if (!detail::parse_probability_token(env, &flags.rate)) {
+      detail::fault_flag_error("MRTS_BENCH_FAULT_RATE", env,
+                               "a probability in [0,1]");
+    }
+  }
+  if (const char* env = std::getenv("MRTS_BENCH_FAULT_SEED")) {
+    if (!detail::parse_u64_token(env, &flags.seed)) {
+      detail::fault_flag_error("MRTS_BENCH_FAULT_SEED", env,
+                               "an unsigned 64-bit integer");
+    }
+  }
+  if (const char* env = std::getenv("MRTS_BENCH_MAX_RETRIES")) {
+    std::uint64_t v = 0;
+    if (!detail::parse_u64_token(env, &v) || v > 1000) {
+      detail::fault_flag_error("MRTS_BENCH_MAX_RETRIES", env,
+                               "an integer in [0,1000]");
+    }
+    flags.max_retries = static_cast<unsigned>(v);
+  }
+  int out = 1;  // argv[0] always kept
+  for (int i = 1; i < *argc; ++i) {
+    const char* arg = argv[i];
+    const char* value = nullptr;
+    auto match = [&](const char* name) {
+      const std::size_t len = std::strlen(name);
+      if (std::strcmp(arg, name) == 0 && i + 1 < *argc) {
+        value = argv[++i];
+        return true;
+      }
+      if (std::strncmp(arg, name, len) == 0 && arg[len] == '=') {
+        value = arg + len + 1;
+        return true;
+      }
+      return false;
+    };
+    if (match("--fault-rate")) {
+      if (!detail::parse_probability_token(value, &flags.rate)) {
+        detail::fault_flag_error("--fault-rate", value,
+                                 "a probability in [0,1]");
+      }
+      continue;
+    }
+    if (match("--fault-seed")) {
+      if (!detail::parse_u64_token(value, &flags.seed)) {
+        detail::fault_flag_error("--fault-seed", value,
+                                 "an unsigned 64-bit integer");
+      }
+      continue;
+    }
+    if (match("--max-retries")) {
+      std::uint64_t v = 0;
+      if (!detail::parse_u64_token(value, &v) || v > 1000) {
+        detail::fault_flag_error("--max-retries", value,
+                                 "an integer in [0,1000]");
+      }
+      flags.max_retries = static_cast<unsigned>(v);
+      continue;
+    }
+    argv[out++] = argv[i];
+  }
+  *argc = out;
+  argv[out] = nullptr;
+  return flags;
 }
 
 /// Parses and strips a `--trace-dir DIR` / `--trace-dir=DIR` flag (must run

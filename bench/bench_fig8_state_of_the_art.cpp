@@ -37,6 +37,16 @@ std::string& trace_dir() {
   return dir;
 }
 
+/// Fault-injection flags (--fault-rate/--fault-seed/--max-retries); the
+/// default is fault-free, which keeps the committed CSV byte-identical.
+/// Faults apply to the mRTS runs only — the baselines stay clean so the
+/// figure isolates how mRTS itself degrades. Set once in main() before the
+/// sweep fans out, read-only afterwards.
+FaultFlags& fault_flags() {
+  static FaultFlags flags;
+  return flags;
+}
+
 struct Row {
   Cycles rispp = 0;
   Cycles offline = 0;
@@ -74,12 +84,15 @@ PointResult run_point(const FabricCombination& combo) {
   result.row.offline =
       ctx.run_offline_optimal(combo.cg, combo.prcs).total_cycles;
   result.row.morpheus = ctx.run_morpheus(combo.cg, combo.prcs).total_cycles;
+  MRtsConfig mrts_config;
+  mrts_config.fault = fault_flags().config();
   if (trace_dir().empty()) {
-    result.row.mrts = ctx.run_mrts(combo.cg, combo.prcs).total_cycles;
+    result.row.mrts =
+        ctx.run_mrts(combo.cg, combo.prcs, mrts_config).total_cycles;
   } else {
     TraceRecorder recorder;
-    result.row.mrts = ctx.run_mrts(combo.cg, combo.prcs, {}, &recorder,
-                                   &result.counters)
+    result.row.mrts = ctx.run_mrts(combo.cg, combo.prcs, mrts_config,
+                                   &recorder, &result.counters)
                           .total_cycles;
     write_point_trace(trace_dir(), "fig8_" + combo.label() + ".json",
                       recorder.events(), &context().app.library);
@@ -178,6 +191,7 @@ void print_figure() {
 int main(int argc, char** argv) {
   const unsigned jobs = parse_jobs(&argc, argv);
   trace_dir() = parse_trace_dir(&argc, argv);
+  fault_flags() = parse_fault_flags(&argc, argv);
   ::benchmark::Initialize(&argc, argv);
   run_sweep(jobs);
   register_benchmarks();

@@ -61,6 +61,12 @@ unsigned CgFabric::load(DataPathId dp, Cycles ready_at, DataPathId keep) {
   return *victim;
 }
 
+void CgFabric::evict(unsigned slot) {
+  if (slot >= contexts_.size()) throw std::out_of_range("CgFabric::evict");
+  contexts_[slot] = CgContext{};
+  if (active_ && *active_ == slot) active_.reset();
+}
+
 void CgFabric::clear() {
   for (auto& c : contexts_) c = CgContext{};
   active_.reset();

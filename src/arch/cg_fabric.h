@@ -60,6 +60,10 @@ class CgFabric {
   unsigned load(DataPathId dp, Cycles ready_at,
                 DataPathId keep = kInvalidDataPath);
 
+  /// Removes the context in \p slot (e.g. a configuration upset whose repair
+  /// load failed). Clears the active marker if that context was active.
+  void evict(unsigned slot);
+
   /// Removes every resident context (fabric reset).
   void clear();
 

@@ -4,6 +4,7 @@
 #include <stdexcept>
 #include <unordered_set>
 
+#include "arch/fault_model.h"
 #include "util/counters.h"
 #include "util/logging.h"
 #include "util/trace.h"
@@ -22,6 +23,59 @@ FabricManager::FabricManager(unsigned num_cg_fabrics, unsigned num_prcs,
   prc_reserved_.assign(num_prcs, false);
   cg_reserved_.assign(num_cg_fabrics, false);
   cg_pinned_.assign(num_cg_fabrics, kInvalidDataPath);
+  prc_quarantined_.assign(num_prcs, false);
+  cg_quarantined_.assign(num_cg_fabrics, false);
+}
+
+unsigned FabricManager::usable_prcs() const {
+  return fg_.num_prcs() -
+         static_cast<unsigned>(std::count(prc_quarantined_.begin(),
+                                          prc_quarantined_.end(), true));
+}
+
+unsigned FabricManager::usable_cg_fabrics() const {
+  return static_cast<unsigned>(cg_.size()) -
+         static_cast<unsigned>(std::count(cg_quarantined_.begin(),
+                                          cg_quarantined_.end(), true));
+}
+
+bool FabricManager::prc_quarantined(unsigned index) const {
+  return index < prc_quarantined_.size() && prc_quarantined_[index];
+}
+
+bool FabricManager::cg_quarantined(unsigned index) const {
+  return index < cg_quarantined_.size() && cg_quarantined_[index];
+}
+
+void FabricManager::quarantine_prc(unsigned index, Cycles at) {
+  if (index >= prc_quarantined_.size() || prc_quarantined_[index]) return;
+  prc_quarantined_[index] = true;
+  fg_.evict(index);
+  prc_reserved_[index] = false;
+  if (fault_ != nullptr) ++fault_->stats().quarantined_prcs;
+  if (trace_ != nullptr) {
+    trace_->record({TraceEventKind::kQuarantine,
+                    kTrackFgBase + static_cast<std::int32_t>(index), at, 0,
+                    index, static_cast<std::uint32_t>(Grain::kFine), 0.0,
+                    0.0});
+  }
+  if (counters_ != nullptr) counters_->add("prc.quarantined");
+}
+
+void FabricManager::quarantine_cg(unsigned index, Cycles at) {
+  if (index >= cg_quarantined_.size() || cg_quarantined_[index]) return;
+  cg_quarantined_[index] = true;
+  cg_[index].clear();
+  cg_reserved_[index] = false;
+  cg_pinned_[index] = kInvalidDataPath;
+  if (fault_ != nullptr) ++fault_->stats().quarantined_cg;
+  if (trace_ != nullptr) {
+    trace_->record({TraceEventKind::kQuarantine,
+                    kTrackCgBase + static_cast<std::int32_t>(index), at, 0,
+                    index, static_cast<std::uint32_t>(Grain::kCoarse), 0.0,
+                    0.0});
+  }
+  if (counters_ != nullptr) counters_->add("cg.quarantined");
 }
 
 const CgFabric& FabricManager::cg_fabric(unsigned i) const {
@@ -42,6 +96,152 @@ void FabricManager::trace_load(const ReconfigJob& job, Grain grain) const {
                   0.0, 0.0});
   trace_->record({TraceEventKind::kReconfigComplete, track, job.completes_at,
                   0, raw(job.dp), grain_arg, 0.0, 0.0});
+}
+
+FabricManager::StreamedLoad FabricManager::stream_load(
+    DataPathId dp, unsigned container, Grain grain, Cycles now,
+    const char* load_counter) {
+  const auto& desc = (*table_)[dp];
+  const Cycles duration = desc.reconfig_cycles();
+  LoadFaultOutcome outcome;
+  outcome.port_cycles = duration;
+  if (fault_ != nullptr) outcome = fault_->plan_load(grain, duration);
+
+  ReconfigPort& port =
+      grain == Grain::kFine ? reconfig_.fg_port() : reconfig_.cg_port();
+  const ReconfigJob job =
+      port.enqueue(dp, container, outcome.port_cycles, now);
+  // Every attempt streams the full image, so retries move real bytes.
+  const std::uint64_t attempts = outcome.retries + 1;
+  if (grain == Grain::kFine) {
+    ++reconfig_stats_.fg_loads;
+    reconfig_stats_.fg_bytes += desc.bitstream_bytes * desc.units * attempts;
+  } else {
+    ++reconfig_stats_.cg_loads;
+    reconfig_stats_.cg_bytes +=
+        static_cast<std::uint64_t>(desc.context_instructions) * 10 *
+        desc.units * attempts;
+  }
+  trace_load(job, grain);
+  if (counters_ != nullptr) counters_->add(load_counter);
+
+  const unsigned failed_attempts =
+      outcome.retries + (outcome.success ? 0u : 1u);
+  if (failed_attempts > 0) {
+    const std::int32_t track =
+        (grain == Grain::kFine ? kTrackFgBase : kTrackCgBase) +
+        static_cast<std::int32_t>(container);
+    const auto grain_arg = static_cast<std::uint32_t>(grain);
+    // Reconstruct the attempt timeline inside the enqueued job: attempt k
+    // streams for `duration` cycles and fails its CRC check at the end;
+    // retry k then waits out the exponential backoff before re-streaming.
+    Cycles attempt_start = job.starts_at;
+    for (unsigned k = 0; k < failed_attempts; ++k) {
+      const Cycles detect = attempt_start + duration;
+      if (trace_ != nullptr) {
+        trace_->record({TraceEventKind::kFaultInject, track, detect, 0,
+                        raw(dp), grain_arg, static_cast<double>(k), 0.0});
+      }
+      if (counters_ != nullptr) counters_->add("fault.inject");
+      if (k < outcome.retries) {
+        const Cycles retry_start = detect + fault_->backoff(k);
+        if (trace_ != nullptr) {
+          trace_->record({TraceEventKind::kReconfigRetry, track, retry_start,
+                          duration, raw(dp), k + 1, 0.0, 0.0});
+        }
+        if (counters_ != nullptr) counters_->add("reconfig.retry");
+        attempt_start = retry_start;
+      }
+    }
+  }
+
+  StreamedLoad result;
+  result.success = outcome.success;
+  if (outcome.success) {
+    result.ready = job.completes_at;
+  } else if (outcome.quarantine) {
+    // Retry exhaustion diagnosed a permanent container fault at the final
+    // CRC check.
+    if (grain == Grain::kFine) {
+      quarantine_prc(container, job.completes_at);
+    } else {
+      quarantine_cg(container, job.completes_at);
+    }
+  }
+  return result;
+}
+
+void FabricManager::scrub(Cycles now) {
+  if (fault_ == nullptr) return;
+  const Cycles interval = fault_->config().scrub_interval_cycles;
+  if (interval == 0) return;
+  if (next_scrub_ == 0) next_scrub_ = interval;  // arm on first use
+  while (next_scrub_ <= now) {
+    const Cycles at = next_scrub_;
+    next_scrub_ += interval;
+    if (fault_->config().transient_upset_prob > 0.0) scrub_epoch(at);
+  }
+}
+
+void FabricManager::scrub_epoch(Cycles at) {
+  for (unsigned i = 0; i < fg_.num_prcs(); ++i) {
+    if (prc_quarantined_[i]) continue;
+    const Prc prc = fg_.prc(i);  // copy: repair/quarantine mutates the slot
+    if (prc.empty() || prc.ready_at > at) continue;
+    if (!fault_->upset()) continue;
+    if (fault_->permanent()) {
+      quarantine_prc(i, at);
+      continue;
+    }
+    // Transient upset: scrubbing found corrupted configuration bits and
+    // re-streams the bitstream. Until the repair completes the data path is
+    // not usable, so affected ISEs degrade to their best intermediate.
+    const StreamedLoad repair =
+        stream_load(prc.occupant, i, Grain::kFine, at, "fabric.fg_loads");
+    ++fault_->stats().scrub_repairs;
+    if (trace_ != nullptr) {
+      trace_->record({TraceEventKind::kScrubRepair,
+                      kTrackFgBase + static_cast<std::int32_t>(i), at, 0,
+                      raw(prc.occupant),
+                      static_cast<std::uint32_t>(Grain::kFine),
+                      repair.success ? static_cast<double>(repair.ready) : 0.0,
+                      0.0});
+    }
+    if (counters_ != nullptr) counters_->add("scrub.repair");
+    if (repair.success) {
+      fg_.place(i, prc.occupant, repair.ready);
+    } else if (!prc_quarantined_[i]) {
+      fg_.evict(i);  // repair failed: the PRC stays empty for this round
+    }
+  }
+  for (unsigned f = 0; f < static_cast<unsigned>(cg_.size()); ++f) {
+    for (unsigned slot = 0; slot < cg_[f].capacity(); ++slot) {
+      if (cg_quarantined_[f]) break;
+      const CgContext ctx = cg_[f].context(slot);
+      if (ctx.empty() || ctx.ready_at > at) continue;
+      if (!fault_->upset()) continue;
+      if (fault_->permanent()) {
+        quarantine_cg(f, at);
+        break;
+      }
+      const StreamedLoad repair =
+          stream_load(ctx.occupant, f, Grain::kCoarse, at, "fabric.cg_loads");
+      ++fault_->stats().scrub_repairs;
+      if (trace_ != nullptr) {
+        trace_->record({TraceEventKind::kScrubRepair,
+                        kTrackCgBase + static_cast<std::int32_t>(f), at, 0,
+                        raw(ctx.occupant),
+                        static_cast<std::uint32_t>(Grain::kCoarse),
+                        repair.success ? static_cast<double>(repair.ready)
+                                       : 0.0,
+                        0.0});
+      }
+      if (counters_ != nullptr) counters_->add("scrub.repair");
+      if (cg_quarantined_[f]) break;  // the repair load itself went permanent
+      cg_[f].evict(slot);
+      if (repair.success) cg_[f].load(ctx.occupant, repair.ready);
+    }
+  }
 }
 
 std::optional<unsigned> FabricManager::claim_existing_fg(
@@ -70,27 +270,56 @@ std::optional<unsigned> FabricManager::claim_existing_cg(
 
 std::vector<IsePlacement> FabricManager::install(
     const std::vector<IsePlacementRequest>& selection, Cycles now) {
+  // Consume any scrub epochs the run-time system has not drained yet, so
+  // upsets/quarantines are applied before placement decisions.
+  scrub(now);
+
   // --- 1. Check capacity. -------------------------------------------------
+  // Quarantined containers are not capacity. If a quarantine shrank the
+  // fabric after the selector planned, degrade gracefully instead of
+  // crashing: trailing ISEs of the selection are dropped (their kernels fall
+  // down the ECU ladder to monoCG/RISC). Without a fault model the strict
+  // contract stays: an oversized selection is a caller bug.
+  std::vector<unsigned> req_prcs(selection.size(), 0);
+  std::vector<unsigned> req_cg(selection.size(), 0);
   unsigned need_prcs = 0;
   unsigned need_cg = 0;
-  for (const auto& req : selection) {
-    for (DataPathId dp : req.data_paths) {
+  for (std::size_t s = 0; s < selection.size(); ++s) {
+    for (DataPathId dp : selection[s].data_paths) {
       const auto& desc = (*table_)[dp];
       if (desc.grain == Grain::kFine) {
-        need_prcs += desc.units;
+        req_prcs[s] += desc.units;
       } else {
-        need_cg += desc.units;
+        req_cg[s] += desc.units;
       }
     }
+    need_prcs += req_prcs[s];
+    need_cg += req_cg[s];
   }
-  if (need_prcs > fg_.num_prcs() || need_cg > cg_.size()) {
-    throw std::invalid_argument(
-        "FabricManager::install: selection exceeds fabric capacity");
+  std::size_t accepted = selection.size();
+  while (accepted > 0 &&
+         (need_prcs > usable_prcs() || need_cg > usable_cg_fabrics())) {
+    --accepted;
+    need_prcs -= req_prcs[accepted];
+    need_cg -= req_cg[accepted];
+  }
+  if (accepted != selection.size()) {
+    if (fault_ == nullptr) {
+      throw std::invalid_argument(
+          "FabricManager::install: selection exceeds fabric capacity");
+    }
+    if (counters_ != nullptr) {
+      counters_->add("fabric.dropped_selections", selection.size() - accepted);
+    }
   }
 
   // --- 2. Match needed instances against what is already placed. ----------
-  std::vector<bool> prc_claimed(fg_.num_prcs(), false);
-  std::vector<bool> cg_claimed(cg_.size(), false);
+  // Quarantined containers start out claimed: they are never reused (their
+  // contents were evicted at quarantine time) and never picked as victims.
+  std::vector<bool> prc_claimed(prc_quarantined_.begin(),
+                                prc_quarantined_.end());
+  std::vector<bool> cg_claimed(cg_quarantined_.begin(),
+                               cg_quarantined_.end());
 
   struct PendingLoad {
     std::size_t ise_index;
@@ -106,6 +335,7 @@ std::vector<IsePlacement> FabricManager::install(
     placement.ise = req.ise;
     placement.kernel = req.kernel;
     placement.instance_ready.assign(req.data_paths.size(), kNeverCycles);
+    if (s >= accepted) continue;  // dropped: every instance stays kNever
     for (std::size_t k = 0; k < req.data_paths.size(); ++k) {
       const DataPathId dp = req.data_paths[k];
       const auto& desc = (*table_)[dp];
@@ -151,6 +381,9 @@ std::vector<IsePlacement> FabricManager::install(
   }
 
   // --- 4. Schedule loads for the unmatched instances. ----------------------
+  // A load whose CRC retries are exhausted leaves the instance at
+  // kNeverCycles: the data path is unloadable for this selection round and
+  // the ECU executes the best prefix/intermediate instead.
   for (const auto& load : loads) {
     const auto& desc = (*table_)[load.dp];
     auto& placement = result[load.ise_index];
@@ -160,14 +393,14 @@ std::vector<IsePlacement> FabricManager::install(
         throw std::logic_error("FabricManager::install: no PRC victim");
       }
       prc_claimed[*victim] = true;
-      const auto& job = reconfig_.fg_port().enqueue(load.dp, *victim,
-                                                    desc.reconfig_cycles(), now);
-      ++reconfig_stats_.fg_loads;
-      reconfig_stats_.fg_bytes += desc.bitstream_bytes * desc.units;
-      trace_load(job, Grain::kFine);
-      if (counters_ != nullptr) counters_->add("fabric.fg_loads");
-      fg_.place(*victim, load.dp, job.completes_at);
-      placement.instance_ready[load.instance_index] = job.completes_at;
+      const StreamedLoad res =
+          stream_load(load.dp, *victim, Grain::kFine, now, "fabric.fg_loads");
+      if (res.success) {
+        fg_.place(*victim, load.dp, res.ready);
+        placement.instance_ready[load.instance_index] = res.ready;
+      } else if (!prc_quarantined_[*victim]) {
+        fg_.evict(*victim);
+      }
     } else {
       // Pick the first unclaimed CG fabric (its stale contexts are evicted
       // lazily by CgFabric::load when the context memory fills up).
@@ -182,22 +415,26 @@ std::vector<IsePlacement> FabricManager::install(
         throw std::logic_error("FabricManager::install: no CG victim");
       }
       cg_claimed[*victim] = true;
-      const auto& job = reconfig_.cg_port().enqueue(load.dp, *victim,
-                                                    desc.reconfig_cycles(), now);
-      ++reconfig_stats_.cg_loads;
-      reconfig_stats_.cg_bytes +=
-          static_cast<std::uint64_t>(desc.context_instructions) * 10 *
-          desc.units;
-      trace_load(job, Grain::kCoarse);
-      if (counters_ != nullptr) counters_->add("fabric.cg_loads");
-      cg_[*victim].load(load.dp, job.completes_at);
-      placement.instance_ready[load.instance_index] = job.completes_at;
+      const StreamedLoad res = stream_load(load.dp, *victim, Grain::kCoarse,
+                                           now, "fabric.cg_loads");
+      if (res.success) {
+        cg_[*victim].load(load.dp, res.ready);
+        placement.instance_ready[load.instance_index] = res.ready;
+      }
     }
   }
 
   // --- 5. Reservations + prefix ready times. -------------------------------
+  // Containers quarantined while scheduling this round's loads must not end
+  // up reserved.
   prc_reserved_ = prc_claimed;
   cg_reserved_ = cg_claimed;
+  for (unsigned i = 0; i < fg_.num_prcs(); ++i) {
+    if (prc_quarantined_[i]) prc_reserved_[i] = false;
+  }
+  for (unsigned i = 0; i < cg_.size(); ++i) {
+    if (cg_quarantined_[i]) cg_reserved_[i] = false;
+  }
   cg_pinned_.assign(cg_.size(), kInvalidDataPath);
   for (unsigned i = 0; i < cg_.size(); ++i) {
     if (!cg_reserved_[i]) continue;
@@ -243,9 +480,16 @@ std::vector<IsePlacement> FabricManager::install(
 std::size_t FabricManager::prefetch(
     const std::vector<IsePlacementRequest>& future, Cycles now) {
   std::size_t started = 0;
-  // Containers already claimed during this prefetch round.
+  // Containers already claimed during this prefetch round (quarantined ones
+  // count as claimed: speculation never targets broken silicon).
   std::vector<bool> prc_claimed = prc_reserved_;
   std::vector<bool> cg_claimed = cg_reserved_;
+  for (unsigned i = 0; i < fg_.num_prcs(); ++i) {
+    if (prc_quarantined_[i]) prc_claimed[i] = true;
+  }
+  for (unsigned i = 0; i < cg_.size(); ++i) {
+    if (cg_quarantined_[i]) cg_claimed[i] = true;
+  }
 
   for (const auto& req : future) {
     for (DataPathId dp : req.data_paths) {
@@ -258,37 +502,30 @@ std::size_t FabricManager::prefetch(
         const auto victim = fg_.find_victim(prc_claimed);
         if (!victim) continue;  // no unreserved PRC left
         prc_claimed[*victim] = true;
-        const auto& job = reconfig_.fg_port().enqueue(
-            dp, *victim, desc.reconfig_cycles(), now);
-        ++reconfig_stats_.fg_loads;
-        reconfig_stats_.fg_bytes += desc.bitstream_bytes * desc.units;
-        trace_load(job, Grain::kFine);
-        if (counters_ != nullptr) counters_->add("fabric.prefetch_loads");
-        fg_.place(*victim, dp, job.completes_at);
+        const StreamedLoad res = stream_load(dp, *victim, Grain::kFine, now,
+                                             "fabric.prefetch_loads");
+        if (res.success) fg_.place(*victim, dp, res.ready);
         ++started;
       } else {
         // Use a free context slot of any fabric (the speculative context
         // must not evict live contexts).
         std::optional<unsigned> target;
         for (unsigned i = 0; i < cg_.size(); ++i) {
+          if (cg_quarantined_[i]) continue;
           if (!cg_claimed[i] || cg_[i].resident_count() < cg_[i].capacity()) {
             target = i;
             break;
           }
         }
         if (!target) continue;
-        const auto& job = reconfig_.cg_port().enqueue(
-            dp, *target, desc.reconfig_cycles(), now);
-        ++reconfig_stats_.cg_loads;
-        reconfig_stats_.cg_bytes +=
-            static_cast<std::uint64_t>(desc.context_instructions) * 10 *
-            desc.units;
-        trace_load(job, Grain::kCoarse);
-        if (counters_ != nullptr) counters_->add("fabric.prefetch_loads");
-        const DataPathId keep = *target < cg_pinned_.size()
-                                    ? cg_pinned_[*target]
-                                    : kInvalidDataPath;
-        cg_[*target].load(dp, job.completes_at, keep);
+        const StreamedLoad res = stream_load(dp, *target, Grain::kCoarse, now,
+                                             "fabric.prefetch_loads");
+        if (res.success) {
+          const DataPathId keep = *target < cg_pinned_.size()
+                                      ? cg_pinned_[*target]
+                                      : kInvalidDataPath;
+          cg_[*target].load(dp, res.ready, keep);
+        }
         ++started;
       }
     }
@@ -329,7 +566,7 @@ std::optional<Cycles> FabricManager::acquire_mono_cg(DataPathId mono_dp,
   // switch is paid.
   std::optional<unsigned> target;
   for (unsigned i = 0; i < cg_.size(); ++i) {
-    if (cg_reserved_[i]) continue;
+    if (cg_reserved_[i] || cg_quarantined_[i]) continue;
     if (!target) target = i;
     if (cg_[i].resident_count() < cg_[i].capacity()) {
       target = i;
@@ -342,38 +579,40 @@ std::optional<Cycles> FabricManager::acquire_mono_cg(DataPathId mono_dp,
     // fabric with a free slot, else evict the oldest stale/mono context
     // (capacity permitting).
     for (unsigned i = 0; i < cg_.size(); ++i) {
+      if (cg_quarantined_[i]) continue;
       if (cg_[i].resident_count() < cg_[i].capacity()) {
         target = i;
         break;
       }
     }
-    if (!target && !cg_.empty() && cg_[0].capacity() > 1) {
-      target = 0;
+    if (!target) {
+      for (unsigned i = 0; i < cg_.size(); ++i) {
+        if (!cg_quarantined_[i] && cg_[i].capacity() > 1) {
+          target = i;
+          break;
+        }
+      }
     }
   }
-  if (!target) return std::nullopt;
+  if (!target) return std::nullopt;  // incl. the all-CG-quarantined machine
+  const StreamedLoad res =
+      stream_load(mono_dp, *target, Grain::kCoarse, now,
+                  "fabric.mono_cg_loads");
+  if (!res.success) return std::nullopt;  // CRC retries exhausted
   const DataPathId keep = *target < cg_pinned_.size()
                               ? cg_pinned_[*target]
                               : kInvalidDataPath;
-  const auto& job =
-      reconfig_.cg_port().enqueue(mono_dp, *target, desc.reconfig_cycles(), now);
-  ++reconfig_stats_.cg_loads;
-  reconfig_stats_.cg_bytes +=
-      static_cast<std::uint64_t>(desc.context_instructions) * 10 * desc.units;
-  trace_load(job, Grain::kCoarse);
-  if (counters_ != nullptr) counters_->add("fabric.mono_cg_loads");
-  const unsigned slot = cg_[*target].load(mono_dp, job.completes_at, keep);
+  const unsigned slot = cg_[*target].load(mono_dp, res.ready, keep);
   const Cycles switch_cost = cg_[*target].activate(slot);
   if (switch_cost > 0) {
     if (trace_ != nullptr) {
       trace_->record({TraceEventKind::kCgContextSwitch,
                       kTrackCgBase + static_cast<std::int32_t>(*target),
-                      job.completes_at, switch_cost, raw(mono_dp), 0, 0.0,
-                      0.0});
+                      res.ready, switch_cost, raw(mono_dp), 0, 0.0, 0.0});
     }
     if (counters_ != nullptr) counters_->add("fabric.cg_context_switches");
   }
-  return job.completes_at + switch_cost;
+  return res.ready + switch_cost;
 }
 
 Cycles FabricManager::activate_cg_context(DataPathId dp, Cycles now) {
@@ -419,8 +658,8 @@ std::vector<Cycles> FabricManager::instance_ready_times(DataPathId dp) const {
 
 unsigned FabricManager::free_cg_fabrics() const {
   unsigned n = 0;
-  for (bool reserved : cg_reserved_) {
-    if (!reserved) ++n;
+  for (unsigned i = 0; i < cg_reserved_.size(); ++i) {
+    if (!cg_reserved_[i] && !cg_quarantined_[i]) ++n;
   }
   return n;
 }
@@ -433,6 +672,8 @@ FabricUsage FabricManager::usage() const {
       std::count(prc_reserved_.begin(), prc_reserved_.end(), true));
   u.reserved_cg = static_cast<unsigned>(
       std::count(cg_reserved_.begin(), cg_reserved_.end(), true));
+  u.quarantined_prcs = fg_.num_prcs() - usable_prcs();
+  u.quarantined_cg = static_cast<unsigned>(cg_.size()) - usable_cg_fabrics();
   return u;
 }
 
@@ -448,6 +689,10 @@ void FabricManager::reset() {
   cg_pinned_.assign(cg_.size(), kInvalidDataPath);
   reconfig_ = ReconfigController{};
   reconfig_stats_ = ReconfigStats{};
+  // Quarantine bitmaps and the fault model's RNG deliberately survive:
+  // permanent faults are physical damage, and the injector's stream is one
+  // deterministic timeline per simulator instance.
+  next_scrub_ = 0;
 }
 
 }  // namespace mrts

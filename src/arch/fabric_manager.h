@@ -5,6 +5,13 @@
 /// reconfiguration controller. It installs functional-block selections
 /// (evicting/reusing data paths), realizes monoCG-Extensions at run time and
 /// answers availability queries for the Execution Control Unit.
+///
+/// With an attached FaultModel (arch/fault_model.h) the manager also applies
+/// the machine's fault semantics: load streams may fail their CRC check and
+/// are retried with backoff on the port, periodic scrubbing repairs
+/// transient configuration upsets, and permanent faults quarantine a
+/// container — it is removed from the usable capacity and never hosts a data
+/// path again (quarantine survives reset(), like real broken silicon).
 
 #include <cstdint>
 #include <optional>
@@ -20,6 +27,7 @@ namespace mrts {
 
 class TraceRecorder;
 class CounterRegistry;
+class FaultModel;
 
 /// A request to realize one ISE: its data-path instances in reconfiguration
 /// order (repeats allowed — an ISE may use several instances of a data path).
@@ -42,12 +50,18 @@ struct IsePlacement {
   unsigned reused_instances = 0;
 };
 
-/// Aggregate capacity/occupancy snapshot.
+/// Aggregate capacity/occupancy snapshot. Reserved counts never include
+/// quarantined containers, so usable - reserved is the free budget.
 struct FabricUsage {
   unsigned total_prcs = 0;
   unsigned total_cg = 0;
   unsigned reserved_prcs = 0;  ///< claimed by the current selection
   unsigned reserved_cg = 0;
+  unsigned quarantined_prcs = 0;  ///< permanently faulted containers
+  unsigned quarantined_cg = 0;
+
+  unsigned usable_prcs() const { return total_prcs - quarantined_prcs; }
+  unsigned usable_cg() const { return total_cg - quarantined_cg; }
 };
 
 /// Cumulative reconfiguration-traffic counters since construction/reset.
@@ -68,6 +82,21 @@ class FabricManager {
 
   unsigned num_prcs() const { return fg_.num_prcs(); }
   unsigned num_cg_fabrics() const { return static_cast<unsigned>(cg_.size()); }
+
+  /// Physical capacity minus quarantined containers — the budget the ISE
+  /// selector may plan with.
+  unsigned usable_prcs() const;
+  unsigned usable_cg_fabrics() const;
+
+  bool prc_quarantined(unsigned index) const;
+  bool cg_quarantined(unsigned index) const;
+
+  /// Permanently removes a container from service at cycle \p at: its
+  /// contents are evicted, its reservation is released and no data path is
+  /// ever placed there again. Idempotent. Exposed for tests / scripted
+  /// fault scenarios; the fault model calls it on permanent faults.
+  void quarantine_prc(unsigned index, Cycles at);
+  void quarantine_cg(unsigned index, Cycles at);
 
   const FgFabric& fg_fabric() const { return fg_; }
   const CgFabric& cg_fabric(unsigned i) const;
@@ -116,7 +145,26 @@ class FabricManager {
   /// Earliest cycle >= now at which the FG reconfiguration port is idle.
   Cycles fg_port_free_at(Cycles now) const;
 
-  /// Clears all placement state (power-on reset).
+  /// Runs all configuration-scrubbing epochs due by \p now: every loaded
+  /// container draws a transient-upset trial per epoch; upsets are either
+  /// repaired (a re-load on the reconfiguration port, during which the ISE
+  /// degrades to its best intermediate implementation) or — when diagnosed
+  /// permanent — quarantine the container. The run-time system calls this at
+  /// every trigger *before* planning, so the selector always sees the
+  /// post-fault capacity. No-op without an attached fault model.
+  void scrub(Cycles now);
+
+  /// Attaches the deterministic fault injector (nullptr = fault-free
+  /// machine, the default). The model must outlive this object and — like
+  /// the fabric itself — must not be shared across threads.
+  void attach_fault_model(FaultModel* model) {
+    fault_ = model;
+    next_scrub_ = 0;  // re-arm lazily from the model's scrub interval
+  }
+  const FaultModel* fault_model() const { return fault_; }
+
+  /// Clears all placement state (power-on reset). Quarantined containers
+  /// stay quarantined — permanent faults are broken silicon, not state.
   void reset();
 
   /// Attaches the flight recorder / counter registry (either may be null).
@@ -132,6 +180,23 @@ class FabricManager {
  private:
   /// Records one scheduled load (start span + completion instant).
   void trace_load(const ReconfigJob& job, Grain grain) const;
+
+  /// Result of one (possibly retried) load stream on a port.
+  struct StreamedLoad {
+    Cycles ready = kNeverCycles;  ///< completion of the successful stream
+    bool success = false;
+  };
+
+  /// Enqueues one load of \p dp into \p container, consulting the fault
+  /// model for CRC failures/retries, and emits the load + fault
+  /// observability events. On retry exhaustion the load fails; a permanent
+  /// diagnosis additionally quarantines the container.
+  StreamedLoad stream_load(DataPathId dp, unsigned container, Grain grain,
+                           Cycles now, const char* load_counter);
+
+  /// One scrubbing pass over every loaded container at epoch time \p at.
+  void scrub_epoch(Cycles at);
+
   struct Claim {
     Grain grain;
     unsigned container;  // PRC index or CG fabric index
@@ -156,6 +221,12 @@ class FabricManager {
   ReconfigStats reconfig_stats_;
   TraceRecorder* trace_ = nullptr;
   CounterRegistry* counters_ = nullptr;
+
+  /// Fault state (all inert while fault_ == nullptr).
+  FaultModel* fault_ = nullptr;
+  std::vector<bool> prc_quarantined_;
+  std::vector<bool> cg_quarantined_;
+  Cycles next_scrub_ = 0;  ///< next scrub epoch; 0 = not armed yet
 };
 
 }  // namespace mrts

@@ -23,7 +23,7 @@ std::size_t ReconfigPort::cancel_pending(
     Cycles now, const std::function<bool(const ReconfigJob&)>& predicate) {
   std::size_t cancelled = 0;
   for (auto it = jobs_.begin(); it != jobs_.end();) {
-    if (it->starts_at >= now && predicate(*it)) {
+    if (!it->started_before(now) && predicate(*it)) {
       total_busy_ -= it->duration;
       it = jobs_.erase(it);
       ++cancelled;
@@ -38,7 +38,7 @@ std::size_t ReconfigPort::cancel_pending(
 void ReconfigPort::retime(Cycles now) {
   Cycles cursor = now;
   for (auto& job : jobs_) {
-    if (job.starts_at < now) {
+    if (job.started_before(now)) {
       // Already started (or finished): keep its timing, it blocks the port
       // until it completes.
       cursor = std::max(cursor, job.completes_at);

@@ -33,6 +33,14 @@ struct ReconfigJob {
   Cycles duration = 0;
   Cycles starts_at = 0;
   Cycles completes_at = 0;
+
+  /// True when the job has begun streaming strictly before \p now. A started
+  /// job cannot be cancelled and keeps blocking the port until it completes;
+  /// a job with starts_at == now has *not* started by now (it would begin on
+  /// this very cycle) and is still cancellable. This single predicate is the
+  /// authoritative started/not-started boundary for both cancel_pending()
+  /// and the queue re-timing.
+  bool started_before(Cycles now) const { return starts_at < now; }
 };
 
 /// FIFO port that processes reconfiguration jobs back to back.
@@ -43,8 +51,10 @@ class ReconfigPort {
                              Cycles duration, Cycles now);
 
   /// Cancels all jobs that have not started by \p now and match \p predicate,
-  /// then re-times the remaining not-yet-started jobs. Returns the number of
-  /// cancelled jobs.
+  /// then re-times the remaining not-yet-started jobs. "Not started by now"
+  /// includes the boundary case starts_at == now — the immediate successor of
+  /// a job completing exactly at \p now is still cancellable (see
+  /// ReconfigJob::started_before). Returns the number of cancelled jobs.
   std::size_t cancel_pending(Cycles now,
                              const std::function<bool(const ReconfigJob&)>&
                                  predicate);

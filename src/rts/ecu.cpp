@@ -178,8 +178,11 @@ ExecOutcome Ecu::execute(KernelId k, Cycles now) {
   bool uses_cg = st.current_uses_cg;
 
   // (c): monoCG-Extension only when nothing of the selected/covered ISEs is
-  // available yet (Fig. 7 priority).
-  if (kind == ImplKind::kRisc && config_.use_mono_cg && kernel.has_mono_cg()) {
+  // available yet (Fig. 7 priority). With every CG fabric quarantined the
+  // ladder bottoms out at (d): plain RISC execution on the core — the
+  // all-fabrics-dead machine still completes every kernel.
+  if (kind == ImplKind::kRisc && config_.use_mono_cg && kernel.has_mono_cg() &&
+      fabric_->usable_cg_fabrics() > 0) {
     const IseVariant& mono = lib_->ise(kernel.mono_cg);
     const DataPathId mono_dp = mono.data_paths.front();
     if (st.mono_ready <= now &&

@@ -12,6 +12,12 @@
 ///      delay until the first FG data path arrives;
 ///   d) plain RISC-mode execution on the core processor.
 ///
+/// The same ladder is the machine's graceful-degradation path under faults
+/// (arch/fault_model.h): an unloadable data path (CRC retries exhausted) or
+/// a container under scrub repair simply never reaches its timeline step, so
+/// execution falls to the best intermediate / monoCG / RISC — and with every
+/// container quarantined, everything runs in RISC mode.
+///
 /// Implementation note: within one functional block the set of configured
 /// data paths only grows (installs happen at block boundaries), so each
 /// kernel's decision is a monotone timeline of (time, latency) improvements.

@@ -13,7 +13,12 @@ MRts::MRts(const IseLibrary& lib, unsigned num_cg_fabrics, unsigned num_prcs,
       heuristic_(lib, config.selector_cost, config.selector_policy,
                  config.profit_model),
       optimal_(lib),
-      ecu_(lib, *fabric_, config.ecu) {}
+      ecu_(lib, *fabric_, config.ecu) {
+  if (config_.fault.any_faults()) {
+    fault_model_ = std::make_unique<FaultModel>(config_.fault);
+    fabric_->attach_fault_model(fault_model_.get());
+  }
+}
 
 MRts::MRts(const IseLibrary& lib, FabricManager& shared_fabric,
            MRtsConfig config)
@@ -24,7 +29,12 @@ MRts::MRts(const IseLibrary& lib, FabricManager& shared_fabric,
       heuristic_(lib, config.selector_cost, config.selector_policy,
                  config.profit_model),
       optimal_(lib),
-      ecu_(lib, *fabric_, config.ecu) {}
+      ecu_(lib, *fabric_, config.ecu) {
+  if (config_.fault.any_faults()) {
+    fault_model_ = std::make_unique<FaultModel>(config_.fault);
+    fabric_->attach_fault_model(fault_model_.get());
+  }
+}
 
 std::string MRts::name() const {
   return config_.use_optimal_selector ? "mRTS(optimal)" : "mRTS";
@@ -41,6 +51,11 @@ void MRts::attach_observability(TraceRecorder* trace,
 
 SelectionOutcome MRts::on_trigger(const TriggerInstruction& programmed,
                                   Cycles now) {
+  // Drain due scrub epochs first: upsets and quarantines must land before
+  // the selector snapshots capacity, so it re-plans with the post-fault
+  // fabric instead of tripping install()'s capacity check.
+  fabric_->scrub(now);
+
   // MPU: replace the programmer's offline forecasts with monitored values.
   const TriggerInstruction refined = mpu_.refine(programmed);
 
@@ -95,8 +110,8 @@ SelectionOutcome MRts::on_trigger(const TriggerInstruction& programmed,
         const TriggerInstruction next_refined = mpu_.refine(cached->second);
         const FabricUsage usage = fabric_->usage();
         ReconfigPlanner leftover(lib_->data_paths(),
-                                 usage.total_prcs - usage.reserved_prcs,
-                                 usage.total_cg - usage.reserved_cg, now);
+                                 usage.usable_prcs() - usage.reserved_prcs,
+                                 usage.usable_cg() - usage.reserved_cg, now);
         const SelectionResult speculative =
             heuristic_.select(next_refined, leftover);
         std::vector<IsePlacementRequest> future;

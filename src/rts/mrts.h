@@ -11,6 +11,7 @@
 #include <string>
 
 #include "arch/fabric_manager.h"
+#include "arch/fault_model.h"
 #include "isa/ise_library.h"
 #include "rts/ecu.h"
 #include "rts/mpu.h"
@@ -43,6 +44,12 @@ struct MRtsConfig {
   /// the leftover fabric and start loading its data paths early. Wrong
   /// predictions only waste fabric that was idle anyway.
   bool enable_lookahead = false;
+  /// Deterministic fault injection (arch/fault_model.h). The default injects
+  /// nothing; with any_faults() the MRts seeds a FaultModel and attaches it
+  /// to its fabric — load CRC failures with retry/backoff, scrubbed
+  /// transient upsets and permanent container quarantines then exercise the
+  /// ECU degradation ladder.
+  FaultModelConfig fault;
 };
 
 /// Aggregated run statistics of one mRTS instance.
@@ -93,6 +100,9 @@ class MRts final : public RuntimeSystem {
 
   const FabricManager& fabric() const { return *fabric_; }
   bool owns_fabric() const { return owned_fabric_ != nullptr; }
+  /// The fault injector driving this instance's fabric (nullptr when the
+  /// fault config is all-zero, i.e. the fault-free machine).
+  const FaultModel* fault_model() const { return fault_model_.get(); }
   const Ecu& ecu() const { return ecu_; }
   const Mpu& mpu() const { return mpu_; }
   const MRtsRunStats& run_stats() const { return stats_; }
@@ -103,6 +113,10 @@ class MRts final : public RuntimeSystem {
   MRtsConfig config_;
   std::unique_ptr<FabricManager> owned_fabric_;  ///< null in shared mode
   FabricManager* fabric_;
+  /// Owned injector, attached to fabric_ when config_.fault.any_faults().
+  /// In shared-fabric mode the attachment follows the same rule as
+  /// attach_observability: the last attachment wins.
+  std::unique_ptr<FaultModel> fault_model_;
   Mpu mpu_;
   HeuristicSelector heuristic_;
   OptimalSelector optimal_;

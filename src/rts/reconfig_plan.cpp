@@ -10,11 +10,13 @@ ReconfigPlanner::ReconfigPlanner(const DataPathTable& table,
       now_(now),
       fg_cursor_(fabric.fg_port_free_at(now)),
       cg_cursor_(fabric.reconfig().cg_port().busy_until(now)),
-      free_prcs_(fabric.num_prcs()),
-      free_cg_(fabric.num_cg_fabrics()) {
+      free_prcs_(fabric.usable_prcs()),
+      free_cg_(fabric.usable_cg_fabrics()) {
   // Snapshot all placed instances (including ones still loading). Note: the
-  // whole fabric counts as free budget because old contents may be evicted;
-  // reuse only affects the predicted ready times.
+  // whole *usable* fabric counts as free budget because old contents may be
+  // evicted — quarantined containers are gone for good, so the selector
+  // re-plans with the reduced capacity; reuse only affects the predicted
+  // ready times.
   for (std::size_t i = 0; i < table.size(); ++i) {
     const DataPathId dp{static_cast<std::uint32_t>(i)};
     auto ready = fabric.instance_ready_times(dp);

@@ -23,6 +23,10 @@ constexpr std::array<const char*, kNumTraceEventKinds> kKindNames = {
     "selector_pick",   "mpu_error",         "reconfig_start",
     "reconfig_complete", "reconfig_cancel", "cg_context_switch",
     "occupancy",
+    // Fault-injection kinds use the dotted counter-style names so the
+    // trace-summary table matches the counter names one-to-one.
+    "fault.inject",    "reconfig.retry",    "prc.quarantined",
+    "scrub.repair",
 };
 
 /// Must match ImplKind in rts/rts_interface.h (util cannot include rts
@@ -112,6 +116,17 @@ std::string event_label(const TraceEvent& e, const IseLibrary* lib) {
       return "cancelled loads";
     case TraceEventKind::kOccupancy:
       return "fabric occupancy";
+    case TraceEventKind::kFaultInject:
+      return dp_name(lib, e.arg0) + ": fault injected";
+    case TraceEventKind::kReconfigRetry:
+      return dp_name(lib, e.arg0) + ": retry " + std::to_string(e.arg1);
+    case TraceEventKind::kQuarantine:
+      return (e.arg1 == static_cast<std::uint32_t>(Grain::kFine)
+                  ? "PRC "
+                  : "CG fabric ") +
+             std::to_string(e.arg0) + " quarantined";
+    case TraceEventKind::kScrubRepair:
+      return dp_name(lib, e.arg0) + ": scrub repair";
   }
   return "?";
 }

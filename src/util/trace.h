@@ -57,8 +57,16 @@ enum class TraceEventKind : std::uint8_t {
                      ///< duration = switch cycles)
   kOccupancy,        ///< fabric occupancy sample after install
                      ///< (v0 = reserved PRCs, v1 = reserved CG fabrics)
+  kFaultInject,      ///< injected fault detected (arg0 = dp, arg1 = grain,
+                     ///< v0 = retry attempt for load faults, track = container)
+  kReconfigRetry,    ///< failed load re-streamed after backoff (arg0 = dp,
+                     ///< arg1 = retry number, duration = stream cycles)
+  kQuarantine,       ///< container permanently disabled (arg0 = container
+                     ///< index, arg1 = grain, track = container)
+  kScrubRepair,      ///< scrubbing re-enqueued a repair load (arg0 = dp,
+                     ///< arg1 = grain, v0 = repaired ready cycle)
 };
-inline constexpr std::size_t kNumTraceEventKinds = 13;
+inline constexpr std::size_t kNumTraceEventKinds = 17;
 
 const char* to_string(TraceEventKind kind);
 std::optional<TraceEventKind> trace_kind_from_string(std::string_view name);

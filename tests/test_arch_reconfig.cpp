@@ -58,6 +58,31 @@ TEST(ReconfigPort, CannotCancelStartedJob) {
   EXPECT_EQ(port.busy_until(50), 100u);
 }
 
+// Pins the header's boundary contract: a job whose starts_at equals `now`
+// has NOT begun streaming yet and must be cancellable. (A strict `<=`
+// comparison in cancel_pending would silently keep such jobs alive.)
+TEST(ReconfigPort, CancelAtExactStartBoundary) {
+  ReconfigPort port;
+  port.enqueue(DataPathId{1}, 0, 100, 0);  // occupies [0, 100)
+  port.enqueue(DataPathId{2}, 1, 50, 0);   // queued: starts exactly at 100
+  const std::size_t cancelled = port.cancel_pending(
+      100, [](const ReconfigJob& j) { return j.dp == DataPathId{2}; });
+  EXPECT_EQ(cancelled, 1u);
+  EXPECT_TRUE(port.pending(100).empty());
+  // And one cycle later the same job would have started: not cancellable.
+  port.enqueue(DataPathId{3}, 2, 50, 100);  // occupies [100, 150)
+  EXPECT_EQ(port.cancel_pending(
+                101, [](const ReconfigJob& j) { return j.dp == DataPathId{3}; }),
+            0u);
+}
+
+TEST(ReconfigJob, StartedBeforeBoundary) {
+  ReconfigPort port;
+  const ReconfigJob& job = port.enqueue(DataPathId{1}, 0, 100, 10);
+  EXPECT_FALSE(job.started_before(10));  // starts_at == now: not yet started
+  EXPECT_TRUE(job.started_before(11));
+}
+
 TEST(ReconfigPort, CompletionLookup) {
   ReconfigPort port;
   const auto id = port.enqueue(DataPathId{1}, 0, 10, 0).id;

@@ -8,10 +8,17 @@
 //       idle machine and print the round-by-round trace.
 //
 //   mrts_cli run <h264|sdr> [prcs] [cg] [frames] [--trace <file>]
+//            [--fault-rate <p>] [--fault-seed <n>] [--max-retries <n>]
 //       Run a built-in workload under every run-time system and print the
 //       comparison summary. With --trace, the mRTS run records a flight
 //       recorder trace: *.jsonl writes JSON Lines, anything else writes
 //       Chrome trace-event JSON (load it in Perfetto / chrome://tracing).
+//       --fault-rate enables the deterministic fault injector on the mRTS
+//       run (arch/fault_model.h): p in [0,1] drives load CRC failures,
+//       transient upsets and permanent quarantines; --fault-seed seeds the
+//       injector and --max-retries bounds the per-load retry budget.
+//       Malformed values (negative/NaN rates, out-of-range seeds) are
+//       input errors: exit code 2, never silently clamped.
 //
 //   mrts_cli trace-summary <trace.jsonl>
 //       Validate a JSONL trace and print per-kind event counts.
@@ -19,6 +26,8 @@
 // Exit code 0 on success, 1 on usage errors (unknown verb, bad or trailing
 // arguments), 2 on input/runtime errors (unreadable files, bad content).
 
+#include <cerrno>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -41,6 +50,8 @@ int usage() {
                "<KERNEL=e[,tf,tb]> ...\n"
                "  mrts_cli run <h264|sdr> [prcs] [cg] [frames] "
                "[--trace <file.json|file.jsonl>]\n"
+               "           [--fault-rate <p>] [--fault-seed <n>] "
+               "[--max-retries <n>]\n"
                "  mrts_cli trace-summary <trace.jsonl>\n"
                "exit codes: 0 success, 1 usage error, 2 input error\n");
   return 1;
@@ -117,6 +128,38 @@ int cmd_select(const std::string& path, unsigned prcs, unsigned cg,
   return 0;
 }
 
+/// Strict probability parser: the full token must be a finite double in
+/// [0, 1]. Rejects NaN/inf, negatives, > 1 and trailing garbage — bad values
+/// are input errors (exit 2), never silently clamped.
+bool parse_probability(const char* s, double* out) {
+  char* end = nullptr;
+  const double v = std::strtod(s, &end);
+  if (end == s || *end != '\0') return false;
+  if (!(v >= 0.0 && v <= 1.0)) return false;  // NaN fails every comparison
+  *out = v;
+  return true;
+}
+
+/// Strict uint64 parser: digits only (no sign), no trailing garbage, no
+/// overflow past 2^64-1.
+bool parse_seed(const char* s, std::uint64_t* out) {
+  if (s[0] == '\0' || s[0] == '-' || s[0] == '+') return false;
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s, &end, 10);
+  if (end == s || *end != '\0' || errno == ERANGE) return false;
+  *out = v;
+  return true;
+}
+
+/// Strict bounded-unsigned parser for the retry budget.
+bool parse_retries(const char* s, unsigned* out) {
+  std::uint64_t v = 0;
+  if (!parse_seed(s, &v) || v > 1000) return false;  // sane retry ceiling
+  *out = static_cast<unsigned>(v);
+  return true;
+}
+
 bool ends_with(const std::string& s, const std::string& suffix) {
   return s.size() >= suffix.size() &&
          s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
@@ -141,7 +184,8 @@ void print_counters(const CounterRegistry& counters) {
 }
 
 int cmd_run(const std::string& which, unsigned prcs, unsigned cg,
-            unsigned frames, const std::string& trace_path) {
+            unsigned frames, const std::string& trace_path,
+            const FaultModelConfig& fault) {
   IseLibrary const* lib = nullptr;
   ApplicationTrace const* trace = nullptr;
   H264Application h264;
@@ -177,7 +221,9 @@ int cmd_run(const std::string& which, unsigned prcs, unsigned cg,
                      speedup(risc_run.total_cycles, r.total_cycles));
   };
   report(risc);
-  MRts mrts_rts(*lib, cg, prcs);
+  MRtsConfig mrts_config;
+  mrts_config.fault = fault;  // baselines stay fault-free for comparison
+  MRts mrts_rts(*lib, cg, prcs, mrts_config);
   if (traced) mrts_rts.attach_observability(&recorder, &counters);
   report(mrts_rts, traced ? &recorder : nullptr);
   RisppRts rispp(*lib, cg, prcs);
@@ -189,6 +235,25 @@ int cmd_run(const std::string& which, unsigned prcs, unsigned cg,
 
   std::printf("%s on %u PRCs + %u CG fabrics, %u frames/bursts:\n%s",
               which.c_str(), prcs, cg, frames, table.render().c_str());
+
+  if (mrts_rts.fault_model() != nullptr) {
+    const FaultStats& fs = mrts_rts.fault_model()->stats();
+    std::printf(
+        "\nfault injection (mRTS run only): seed %llu, %llu fault(s) "
+        "injected\n"
+        "  load CRC failures %llu, retries %llu, abandoned loads %llu\n"
+        "  transient upsets %llu, scrub repairs %llu, quarantined PRCs %llu, "
+        "quarantined CG %llu\n",
+        static_cast<unsigned long long>(fault.seed),
+        static_cast<unsigned long long>(fs.injected),
+        static_cast<unsigned long long>(fs.load_failures),
+        static_cast<unsigned long long>(fs.retries),
+        static_cast<unsigned long long>(fs.failed_loads),
+        static_cast<unsigned long long>(fs.transient_upsets),
+        static_cast<unsigned long long>(fs.scrub_repairs),
+        static_cast<unsigned long long>(fs.quarantined_prcs),
+        static_cast<unsigned long long>(fs.quarantined_cg));
+  }
 
   if (traced) {
     const bool jsonl = ends_with(trace_path, ".jsonl");
@@ -256,12 +321,42 @@ int main(int argc, char** argv) {
     }
     if (command == "run") {
       std::string trace_path;
+      double fault_rate = 0.0;
+      std::uint64_t fault_seed = 42;
+      unsigned max_retries = 3;
       std::vector<std::string> positional;
       for (int i = 2; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--trace") {
           if (i + 1 >= argc || !trace_path.empty()) return usage();
           trace_path = argv[++i];
+        } else if (arg == "--fault-rate") {
+          if (i + 1 >= argc) return usage();
+          if (!parse_probability(argv[++i], &fault_rate)) {
+            std::fprintf(stderr,
+                         "error: invalid --fault-rate '%s' (expected a "
+                         "probability in [0,1])\n",
+                         argv[i]);
+            return 2;
+          }
+        } else if (arg == "--fault-seed") {
+          if (i + 1 >= argc) return usage();
+          if (!parse_seed(argv[++i], &fault_seed)) {
+            std::fprintf(stderr,
+                         "error: invalid --fault-seed '%s' (expected an "
+                         "unsigned 64-bit integer)\n",
+                         argv[i]);
+            return 2;
+          }
+        } else if (arg == "--max-retries") {
+          if (i + 1 >= argc) return usage();
+          if (!parse_retries(argv[++i], &max_retries)) {
+            std::fprintf(stderr,
+                         "error: invalid --max-retries '%s' (expected an "
+                         "integer in [0,1000])\n",
+                         argv[i]);
+            return 2;
+          }
         } else if (!arg.empty() && arg[0] == '-') {
           return usage();  // unknown option
         } else {
@@ -281,7 +376,11 @@ int main(int argc, char** argv) {
           positional.size() > 3
               ? static_cast<unsigned>(std::atoi(positional[3].c_str()))
               : 8;
-      return cmd_run(positional[0], prcs, cg, frames, trace_path);
+      FaultModelConfig fault;  // default: fault-free
+      if (fault_rate > 0.0) {
+        fault = FaultModelConfig::uniform(fault_rate, fault_seed, max_retries);
+      }
+      return cmd_run(positional[0], prcs, cg, frames, trace_path, fault);
     }
     if (command == "trace-summary") {
       if (argc != 3) return usage();
