@@ -49,6 +49,7 @@ bool FabricManager::cg_quarantined(unsigned index) const {
 
 void FabricManager::quarantine_prc(unsigned index, Cycles at) {
   if (index >= prc_quarantined_.size() || prc_quarantined_[index]) return;
+  ++state_epoch_;
   prc_quarantined_[index] = true;
   fg_.evict(index);
   prc_reserved_[index] = false;
@@ -64,6 +65,7 @@ void FabricManager::quarantine_prc(unsigned index, Cycles at) {
 
 void FabricManager::quarantine_cg(unsigned index, Cycles at) {
   if (index >= cg_quarantined_.size() || cg_quarantined_[index]) return;
+  ++state_epoch_;
   cg_quarantined_[index] = true;
   cg_[index].clear();
   cg_reserved_[index] = false;
@@ -179,7 +181,13 @@ void FabricManager::scrub(Cycles now) {
   while (next_scrub_ <= now) {
     const Cycles at = next_scrub_;
     next_scrub_ += interval;
-    if (fault_->config().transient_upset_prob > 0.0) scrub_epoch(at);
+    if (fault_->config().transient_upset_prob > 0.0) {
+      // A scrub epoch consumes fault-RNG draws and may re-enqueue repair
+      // loads, so the fabric state observably changed even when every trial
+      // came back clean.
+      ++state_epoch_;
+      scrub_epoch(at);
+    }
   }
 }
 
@@ -270,6 +278,7 @@ std::optional<unsigned> FabricManager::claim_existing_cg(
 
 std::vector<IsePlacement> FabricManager::install(
     const std::vector<IsePlacementRequest>& selection, Cycles now) {
+  ++state_epoch_;
   // Consume any scrub epochs the run-time system has not drained yet, so
   // upsets/quarantines are applied before placement decisions.
   scrub(now);
@@ -479,6 +488,7 @@ std::vector<IsePlacement> FabricManager::install(
 
 std::size_t FabricManager::prefetch(
     const std::vector<IsePlacementRequest>& future, Cycles now) {
+  ++state_epoch_;
   std::size_t started = 0;
   // Containers already claimed during this prefetch round (quarantined ones
   // count as claimed: speculation never targets broken silicon).
@@ -535,6 +545,7 @@ std::size_t FabricManager::prefetch(
 
 std::optional<Cycles> FabricManager::acquire_mono_cg(DataPathId mono_dp,
                                                      Cycles now) {
+  ++state_epoch_;
   const auto& desc = (*table_)[mono_dp];
   if (desc.grain != Grain::kCoarse) {
     throw std::invalid_argument(
@@ -620,6 +631,7 @@ Cycles FabricManager::activate_cg_context(DataPathId dp, Cycles now) {
     CgFabric& fabric = cg_[i];
     if (auto slot = fabric.slot_of(dp)) {
       if (fabric.context(*slot).ready_at > now) return 0;
+      ++state_epoch_;
       const Cycles switch_cost = fabric.activate(*slot);
       if (switch_cost > 0) {
         if (trace_ != nullptr) {
@@ -682,6 +694,7 @@ Cycles FabricManager::fg_port_free_at(Cycles now) const {
 }
 
 void FabricManager::reset() {
+  ++state_epoch_;
   for (unsigned i = 0; i < fg_.num_prcs(); ++i) fg_.evict(i);
   for (auto& fabric : cg_) fabric.clear();
   prc_reserved_.assign(fg_.num_prcs(), false);

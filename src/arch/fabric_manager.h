@@ -142,6 +142,17 @@ class FabricManager {
   FabricUsage usage() const;
   const ReconfigStats& reconfig_stats() const { return reconfig_stats_; }
 
+  /// Monotonic fabric-state epoch: incremented by every operation that can
+  /// change placement state, port backlogs or usable capacity (install,
+  /// prefetch, monoCG acquisition, context switches, scrubbing that did
+  /// work, quarantines, reset, fault-model attachment). Two planner
+  /// snapshots taken at the same epoch *and* the same cycle observe an
+  /// identical fabric, which is what makes the selector's profit
+  /// memoization (rts/profit_cache.h) exact. Over-counting is harmless
+  /// (only costs cache hits); under-counting would be a correctness bug, so
+  /// every mutator bumps unconditionally.
+  std::uint64_t state_epoch() const { return state_epoch_; }
+
   /// Earliest cycle >= now at which the FG reconfiguration port is idle.
   Cycles fg_port_free_at(Cycles now) const;
 
@@ -160,6 +171,7 @@ class FabricManager {
   void attach_fault_model(FaultModel* model) {
     fault_ = model;
     next_scrub_ = 0;  // re-arm lazily from the model's scrub interval
+    ++state_epoch_;   // fault semantics change future load outcomes
   }
   const FaultModel* fault_model() const { return fault_; }
 
@@ -227,6 +239,9 @@ class FabricManager {
   std::vector<bool> prc_quarantined_;
   std::vector<bool> cg_quarantined_;
   Cycles next_scrub_ = 0;  ///< next scrub epoch; 0 = not armed yet
+
+  /// See state_epoch().
+  std::uint64_t state_epoch_ = 0;
 };
 
 }  // namespace mrts

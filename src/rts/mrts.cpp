@@ -14,6 +14,10 @@ MRts::MRts(const IseLibrary& lib, unsigned num_cg_fabrics, unsigned num_prcs,
                  config.profit_model),
       optimal_(lib),
       ecu_(lib, *fabric_, config.ecu) {
+  heuristic_.set_tuning(config_.selector_tuning);
+  optimal_.set_tuning(config_.selector_tuning);
+  heuristic_.attach_profit_cache(&profit_cache_);
+  optimal_.attach_profit_cache(&profit_cache_);
   if (config_.fault.any_faults()) {
     fault_model_ = std::make_unique<FaultModel>(config_.fault);
     fabric_->attach_fault_model(fault_model_.get());
@@ -30,6 +34,10 @@ MRts::MRts(const IseLibrary& lib, FabricManager& shared_fabric,
                  config.profit_model),
       optimal_(lib),
       ecu_(lib, *fabric_, config.ecu) {
+  heuristic_.set_tuning(config_.selector_tuning);
+  optimal_.set_tuning(config_.selector_tuning);
+  heuristic_.attach_profit_cache(&profit_cache_);
+  optimal_.attach_profit_cache(&profit_cache_);
   if (config_.fault.any_faults()) {
     fault_model_ = std::make_unique<FaultModel>(config_.fault);
     fabric_->attach_fault_model(fault_model_.get());
@@ -44,8 +52,8 @@ void MRts::attach_observability(TraceRecorder* trace,
                                 CounterRegistry* counters) {
   mpu_.attach_observability(trace, counters);
   ecu_.attach_observability(trace, counters);
-  heuristic_.attach_trace(trace);
-  optimal_.attach_trace(trace);
+  heuristic_.attach_observability(trace, counters);
+  optimal_.attach_observability(trace, counters);
   fabric_->attach_observability(trace, counters);
 }
 

@@ -15,6 +15,7 @@
 #include "isa/ise_library.h"
 #include "rts/ecu.h"
 #include "rts/mpu.h"
+#include "rts/profit_cache.h"
 #include "rts/rts_interface.h"
 #include "rts/selector_heuristic.h"
 #include "rts/selector_optimal.h"
@@ -50,6 +51,11 @@ struct MRtsConfig {
   /// transient upsets and permanent container quarantines then exercise the
   /// ECU degradation ladder.
   FaultModelConfig fault;
+  /// Selector hot-path switches (rts/profit_cache.h): profit memoization and
+  /// the incremental (commit/rollback) planner. Pure optimizations — every
+  /// selection and output byte is identical at any setting; baseline()
+  /// reproduces the pre-optimization implementation for A/B timing.
+  SelectorTuning selector_tuning;
 };
 
 /// Aggregated run statistics of one mRTS instance.
@@ -120,6 +126,9 @@ class MRts final : public RuntimeSystem {
   Mpu mpu_;
   HeuristicSelector heuristic_;
   OptimalSelector optimal_;
+  /// Profit memo shared by both selectors (each select() clears it; see
+  /// rts/profit_cache.h for the exactness argument).
+  ProfitCache profit_cache_;
   Ecu ecu_;
   MRtsRunStats stats_;
 

@@ -5,12 +5,12 @@
 
 namespace mrts {
 
-ProfitResult compute_profit(const ProfitInputs& in) {
+namespace {
+
+void check_inputs(const ProfitInputs& in, std::size_t n) {
   if (in.ise == nullptr) {
     throw std::invalid_argument("compute_profit: null ISE");
   }
-  const IseVariant& ise = *in.ise;
-  const std::size_t n = ise.num_data_paths();
   if (n == 0) {
     throw std::invalid_argument("compute_profit: ISE without data paths");
   }
@@ -18,16 +18,17 @@ ProfitResult compute_profit(const ProfitInputs& in) {
     throw std::invalid_argument(
         "compute_profit: ready_rel size must equal #data paths");
   }
+}
 
-  // recT(i) for i = 1..n: completion of the i-th intermediate ISE = prefix
-  // maximum of the instance ready times (an intermediate ISE needs all of
-  // its leading data paths).
-  std::vector<Cycles> rec(n);
-  Cycles prefix = 0;
-  for (std::size_t i = 0; i < n; ++i) {
-    prefix = std::max(prefix, in.ready_rel[i]);
-    rec[i] = prefix;
-  }
+/// Shared Eqs. 2-4 evaluation. recT(i) (completion of the i-th intermediate
+/// ISE) is the prefix maximum of the instance ready times, computed as a
+/// running value — the selector hot loop calls this thousands of times per
+/// trigger, so it must not allocate. \p out may be null (profit-value-only
+/// fast path); the arithmetic and its order are identical either way, which
+/// keeps the returned double bit-identical between the two entry points.
+double profit_impl(const ProfitInputs& in, ProfitResult* out) {
+  const IseVariant& ise = *in.ise;
+  const std::size_t n = ise.num_data_paths();
 
   const double e = std::max(0.0, in.expected_executions);
   const double latency_rm = static_cast<double>(ise.risc_latency());
@@ -35,28 +36,28 @@ ProfitResult compute_profit(const ProfitInputs& in) {
   const double tb =
       in.model.include_tb ? static_cast<double>(in.time_between) : 0.0;
 
-  ProfitResult out;
-  out.noe.reserve(n > 0 ? n - 1 : 0);
-
+  double profit = 0.0;
   double remaining = e;
+  Cycles rec_prev = in.ready_rel[0];  // recT(1) so far
 
   // NoE_RM (Fig. 5): executions in RISC mode before the first data path is
   // ready. Eq. 4 as printed omits this term, but without it a slow-loading
   // ISE would be credited for executions that in fact happen unaccelerated;
   // the authors' own Fig. 1 amortization clearly accounts for it.
   if (in.model.account_risc_window) {
-    const double rec_1 = static_cast<double>(rec[0]);
+    const double rec_1 = static_cast<double>(rec_prev);
     double noe_rm = 0.0;
     if (rec_1 > tf) noe_rm = (rec_1 - tf) / (latency_rm + tb);
     noe_rm = std::clamp(noe_rm, 0.0, remaining);
     remaining -= noe_rm;
-    out.risc_executions = noe_rm;
+    if (out != nullptr) out->risc_executions = noe_rm;
   }
 
   // Intermediate ISEs i = 1..n-1 live in the window [recT(i), recT(i+1)).
   for (std::size_t i = 1; i < n; ++i) {
-    const double rec_i = static_cast<double>(rec[i - 1]);
-    const double rec_next = static_cast<double>(rec[i]);
+    const Cycles rec_cur = std::max(rec_prev, in.ready_rel[i]);
+    const double rec_i = static_cast<double>(rec_prev);
+    const double rec_next = static_cast<double>(rec_cur);
     const double latency_i = static_cast<double>(ise.latency_after[i]);
     double noe = 0.0;
     if (rec_next <= tf) {
@@ -68,16 +69,34 @@ ProfitResult compute_profit(const ProfitInputs& in) {
     }
     noe = std::clamp(noe, 0.0, remaining);
     remaining -= noe;
-    out.noe.push_back(noe);
-    out.noe_sum += noe;
-    out.profit += noe * (latency_rm - latency_i);
+    if (out != nullptr) {
+      out->noe.push_back(noe);
+      out->noe_sum += noe;
+    }
+    profit += noe * (latency_rm - latency_i);
+    rec_prev = rec_cur;
   }
 
   // The complete ISE serves whatever executions are left (Eq. 4).
   const double latency_full = static_cast<double>(ise.full_latency());
-  out.full_executions = remaining;
-  out.profit += remaining * (latency_rm - latency_full);
+  if (out != nullptr) out->full_executions = remaining;
+  profit += remaining * (latency_rm - latency_full);
+  return profit;
+}
+
+}  // namespace
+
+ProfitResult compute_profit(const ProfitInputs& in) {
+  check_inputs(in, in.ise != nullptr ? in.ise->num_data_paths() : 0);
+  ProfitResult out;
+  out.noe.reserve(in.ise->num_data_paths() - 1);
+  out.profit = profit_impl(in, &out);
   return out;
+}
+
+double compute_profit_value(const ProfitInputs& in) {
+  check_inputs(in, in.ise != nullptr ? in.ise->num_data_paths() : 0);
+  return profit_impl(in, nullptr);
 }
 
 double performance_improvement_factor(Cycles sw_time, Cycles hw_time,

@@ -69,6 +69,11 @@ struct ProfitResult {
 /// Evaluates Eqs. 2-4 for one candidate ISE.
 ProfitResult compute_profit(const ProfitInputs& in);
 
+/// Profit-only fast path for the selector inner loop: same arithmetic in the
+/// same order as compute_profit (bit-identical result), but skips the NoE
+/// breakdown so nothing is allocated.
+double compute_profit_value(const ProfitInputs& in);
+
 /// Eq. 1: performance improvement factor.
 double performance_improvement_factor(Cycles sw_time, Cycles hw_time,
                                       Cycles reconfig_latency,

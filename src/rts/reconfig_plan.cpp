@@ -3,6 +3,21 @@
 #include <algorithm>
 
 namespace mrts {
+namespace {
+
+/// Occurrences of dps[i] in dps[0..i). The data-path lists of an ISE are a
+/// handful of entries, so the quadratic scan beats any hash map — and it
+/// keeps plan() allocation-free.
+unsigned earlier_occurrences(const std::vector<DataPathId>& dps,
+                             std::size_t i) {
+  unsigned count = 0;
+  for (std::size_t j = 0; j < i; ++j) {
+    if (dps[j] == dps[i]) ++count;
+  }
+  return count;
+}
+
+}  // namespace
 
 ReconfigPlanner::ReconfigPlanner(const DataPathTable& table,
                                  const FabricManager& fabric, Cycles now)
@@ -11,7 +26,8 @@ ReconfigPlanner::ReconfigPlanner(const DataPathTable& table,
       fg_cursor_(fabric.fg_port_free_at(now)),
       cg_cursor_(fabric.reconfig().cg_port().busy_until(now)),
       free_prcs_(fabric.usable_prcs()),
-      free_cg_(fabric.usable_cg_fabrics()) {
+      free_cg_(fabric.usable_cg_fabrics()),
+      fabric_epoch_(fabric.state_epoch()) {
   // Snapshot all placed instances (including ones still loading). Note: the
   // whole *usable* fabric counts as free budget because old contents may be
   // evicted — quarantined containers are gone for good, so the selector
@@ -34,66 +50,122 @@ ReconfigPlanner::ReconfigPlanner(const DataPathTable& table,
       free_prcs_(total_prcs),
       free_cg_(total_cg) {}
 
-std::vector<Cycles> ReconfigPlanner::plan_impl(
-    const std::vector<DataPathId>& dps, PlanState& state) const {
-  std::vector<Cycles> ready;
+void ReconfigPlanner::plan_into(const std::vector<DataPathId>& dps,
+                                std::vector<Cycles>& ready) const {
+  ready.clear();
   ready.reserve(dps.size());
-  for (DataPathId dp : dps) {
+  Cycles fg = fg_cursor_;
+  Cycles cg = cg_cursor_;
+  for (std::size_t i = 0; i < dps.size(); ++i) {
+    const DataPathId dp = dps[i];
     const auto& desc = (*table_)[dp];
-    // Try to reuse an existing, unclaimed instance.
+    // Try to reuse an existing, unclaimed instance. Reuses form a prefix of
+    // a data path's occurrences (once the existing instances run out no
+    // later occurrence can reuse), so "claims so far" within this
+    // hypothetical plan equals the number of earlier occurrences in dps.
     const auto it = existing_.find(raw(dp));
-    unsigned& used = state.claimed[raw(dp)];
-    if (it != existing_.end() && used < it->second.size()) {
-      ready.push_back(it->second[used]);
-      ++used;
-      continue;
+    if (it != existing_.end()) {
+      const unsigned used = claimed_count(dp) + earlier_occurrences(dps, i);
+      if (used < it->second.size()) {
+        ready.push_back(it->second[used]);
+        continue;
+      }
     }
     // Schedule a fresh load.
     Cycles duration = desc.reconfig_cycles();
     if (uniform_reconfig_ != 0) duration = uniform_reconfig_ * desc.units;
     if (desc.grain == Grain::kFine) {
-      state.fg_cursor = std::max(state.fg_cursor, now_) + duration;
-      ready.push_back(state.fg_cursor);
+      fg = std::max(fg, now_) + duration;
+      ready.push_back(fg);
     } else {
-      state.cg_cursor = std::max(state.cg_cursor, now_) + duration;
-      ready.push_back(state.cg_cursor);
+      cg = std::max(cg, now_) + duration;
+      ready.push_back(cg);
     }
   }
-  return ready;
 }
 
 std::vector<Cycles> ReconfigPlanner::plan(
     const std::vector<DataPathId>& dps) const {
-  PlanState state{claimed_, fg_cursor_, cg_cursor_};
-  return plan_impl(dps, state);
+  std::vector<Cycles> ready;
+  plan_into(dps, ready);
+  return ready;
 }
 
-std::vector<Cycles> ReconfigPlanner::commit(
-    const std::vector<DataPathId>& dps) {
-  PlanState state{claimed_, fg_cursor_, cg_cursor_};
-  auto ready = plan_impl(dps, state);
-  claimed_ = std::move(state.claimed);
-  fg_cursor_ = state.fg_cursor;
-  cg_cursor_ = state.cg_cursor;
+void ReconfigPlanner::commit_into(const std::vector<DataPathId>& dps,
+                                  std::vector<Cycles>& ready) {
+  ready.clear();
+  ready.reserve(dps.size());
+  undo_log_.reserve(undo_log_.size() + dps.size());
   for (DataPathId dp : dps) {
     const auto& desc = (*table_)[dp];
+    const auto it = existing_.find(raw(dp));
+    bool reused = false;
+    if (it != existing_.end()) {
+      unsigned& used = claimed_[raw(dp)];
+      if (used < it->second.size()) {
+        ready.push_back(it->second[used]);
+        ++used;
+        reused = true;
+      }
+    }
+    if (!reused) {
+      Cycles duration = desc.reconfig_cycles();
+      if (uniform_reconfig_ != 0) duration = uniform_reconfig_ * desc.units;
+      if (desc.grain == Grain::kFine) {
+        fg_cursor_ = std::max(fg_cursor_, now_) + duration;
+        ready.push_back(fg_cursor_);
+      } else {
+        cg_cursor_ = std::max(cg_cursor_, now_) + duration;
+        ready.push_back(cg_cursor_);
+      }
+    }
     ++committed_[raw(dp)];
+    undo_log_.push_back({raw(dp), reused});
     if (desc.grain == Grain::kFine) {
       free_prcs_ = free_prcs_ >= desc.units ? free_prcs_ - desc.units : 0;
     } else {
       free_cg_ = free_cg_ >= desc.units ? free_cg_ - desc.units : 0;
     }
   }
+}
+
+std::vector<Cycles> ReconfigPlanner::commit(
+    const std::vector<DataPathId>& dps) {
+  std::vector<Cycles> ready;
+  commit_into(dps, ready);
   return ready;
+}
+
+void ReconfigPlanner::rollback(const Checkpoint& cp) {
+  // The cursors/budgets are restored from the snapshot (budget deduction
+  // saturates at 0, so it is not invertible from the log alone); the claim
+  // and committed multisets are replayed backwards from the undo log.
+  while (undo_log_.size() > cp.undo_mark) {
+    const UndoEntry entry = undo_log_.back();
+    undo_log_.pop_back();
+    const auto cit = committed_.find(entry.dp);
+    if (cit != committed_.end() && --cit->second == 0) committed_.erase(cit);
+    if (entry.reused) {
+      const auto uit = claimed_.find(entry.dp);
+      if (uit != claimed_.end() && --uit->second == 0) claimed_.erase(uit);
+    }
+  }
+  fg_cursor_ = cp.fg_cursor;
+  cg_cursor_ = cp.cg_cursor;
+  free_prcs_ = cp.free_prcs;
+  free_cg_ = cp.free_cg;
 }
 
 bool ReconfigPlanner::covered_by_committed(
     const std::vector<DataPathId>& dps) const {
-  std::unordered_map<std::uint32_t, unsigned> need;
-  for (DataPathId dp : dps) ++need[raw(dp)];
-  for (const auto& [dp, count] : need) {
-    const auto it = committed_.find(dp);
-    if (it == committed_.end() || it->second < count) return false;
+  for (std::size_t i = 0; i < dps.size(); ++i) {
+    if (earlier_occurrences(dps, i) != 0) continue;  // counted at first one
+    unsigned need = 1;
+    for (std::size_t j = i + 1; j < dps.size(); ++j) {
+      if (dps[j] == dps[i]) ++need;
+    }
+    const auto it = committed_.find(raw(dps[i]));
+    if (it == committed_.end() || it->second < need) return false;
   }
   return true;
 }

@@ -12,9 +12,12 @@
 ///  * instances claimed by previously committed ISEs of the same selection
 ///    round cannot be reused again.
 ///
-/// The planner is a value type: the optimal selector copies it while
-/// enumerating combinations.
+/// The planner is a value type (copyable), but the branch-and-bound selector
+/// no longer copies it per search node: commit() records an undo log, and
+/// mark()/rollback() restore any earlier state in O(#commits undone) without
+/// touching the (potentially large) existing-instance snapshot.
 
+#include <cstdint>
 #include <unordered_map>
 #include <vector>
 
@@ -39,9 +42,38 @@ class ReconfigPlanner {
   /// the ISE were committed now, without changing the planner state.
   std::vector<Cycles> plan(const std::vector<DataPathId>& dps) const;
 
+  /// Allocation-free plan(): fills \p ready (cleared first) so the selector
+  /// inner loop can reuse one scratch buffer across candidates.
+  void plan_into(const std::vector<DataPathId>& dps,
+                 std::vector<Cycles>& ready) const;
+
   /// Like plan() but consumes reused instances, advances the port cursors
   /// and deducts the fabric budget.
   std::vector<Cycles> commit(const std::vector<DataPathId>& dps);
+
+  /// Allocation-free commit() (same scratch-buffer contract as plan_into).
+  void commit_into(const std::vector<DataPathId>& dps,
+                   std::vector<Cycles>& ready);
+
+  /// Snapshot of the mutable planner state, O(1) to take. Checkpoints nest:
+  /// roll back in LIFO order (rolling back an outer checkpoint discards any
+  /// inner ones taken after it).
+  struct Checkpoint {
+    Cycles fg_cursor = 0;
+    Cycles cg_cursor = 0;
+    unsigned free_prcs = 0;
+    unsigned free_cg = 0;
+    std::size_t undo_mark = 0;  ///< undo-log length at mark() time
+  };
+
+  Checkpoint mark() const {
+    return {fg_cursor_, cg_cursor_, free_prcs_, free_cg_, undo_log_.size()};
+  }
+
+  /// Undoes every commit() made since \p cp was taken. The branch-and-bound
+  /// selector uses mark()/commit_into()/rollback() instead of copying the
+  /// whole planner per search node.
+  void rollback(const Checkpoint& cp);
 
   /// Remaining fabric budget (total minus units of committed ISEs).
   unsigned free_prcs() const { return free_prcs_; }
@@ -63,6 +95,23 @@ class ReconfigPlanner {
 
   Cycles now() const { return now_; }
 
+  /// Plan-relevant state exposed for the profit cache key (rts/profit_cache.h):
+  /// plan()'s output for a data-path list is a pure function of (the fabric
+  /// snapshot = fabric_epoch+now, the port cursors, the per-dp claim counts,
+  /// the uniform-reconfig override and the immutable table).
+  Cycles fg_cursor() const { return fg_cursor_; }
+  Cycles cg_cursor() const { return cg_cursor_; }
+  Cycles uniform_reconfig_cycles() const { return uniform_reconfig_; }
+  unsigned claimed_count(DataPathId dp) const {
+    const auto it = claimed_.find(raw(dp));
+    return it == claimed_.end() ? 0 : it->second;
+  }
+  /// FabricManager::state_epoch() at snapshot time; kIdleEpoch for the
+  /// empty-fabric constructor (whose existing-instance set is always empty,
+  /// so the sentinel is exact, not approximate).
+  static constexpr std::uint64_t kIdleEpoch = ~std::uint64_t{0};
+  std::uint64_t fabric_epoch() const { return fabric_epoch_; }
+
   /// Override the per-FG-data-path reconfiguration time used for *new* loads
   /// (0 = use the real per-data-path value). The RISPP-like baseline uses
   /// this to model a cost function tuned for ms-scale reconfiguration: it
@@ -70,15 +119,6 @@ class ReconfigPlanner {
   void set_uniform_reconfig_cycles(Cycles cycles) { uniform_reconfig_ = cycles; }
 
  private:
-  struct PlanState {
-    std::unordered_map<std::uint32_t, unsigned> claimed;  // dp -> #instances
-    Cycles fg_cursor;
-    Cycles cg_cursor;
-  };
-
-  std::vector<Cycles> plan_impl(const std::vector<DataPathId>& dps,
-                                PlanState& state) const;
-
   const DataPathTable* table_;
   Cycles now_;
   Cycles fg_cursor_;  ///< FG port free-at cycle (absolute)
@@ -86,13 +126,24 @@ class ReconfigPlanner {
   unsigned free_prcs_;
   unsigned free_cg_;
   Cycles uniform_reconfig_ = 0;
+  std::uint64_t fabric_epoch_ = kIdleEpoch;
 
   /// Ready times of instances currently on the fabric, per data path.
+  /// Immutable after construction — mark()/rollback() never touch it, which
+  /// is what makes checkpoints O(1).
   std::unordered_map<std::uint32_t, std::vector<Cycles>> existing_;
   /// Instances of existing_ already consumed by committed ISEs.
   std::unordered_map<std::uint32_t, unsigned> claimed_;
   /// Multiset of committed data paths.
   std::unordered_map<std::uint32_t, unsigned> committed_;
+
+  /// One entry per data-path instance committed since construction, in
+  /// commit order: rollback() replays it backwards.
+  struct UndoEntry {
+    std::uint32_t dp = 0;
+    bool reused = false;  ///< claimed_ was incremented (not a fresh load)
+  };
+  std::vector<UndoEntry> undo_log_;
 };
 
 }  // namespace mrts

@@ -31,6 +31,39 @@ ProfitResult evaluate_candidate(const IseLibrary& lib, IseId ise_id,
   return compute_profit(in);
 }
 
+double evaluate_candidate_profit(const IseLibrary& lib, IseId ise_id,
+                                 const TriggerEntry& entry,
+                                 const ReconfigPlanner& planner,
+                                 const ProfitModel& model, ProfitCache* cache,
+                                 EvalScratch& scratch) {
+  const IseVariant& ise = lib.ise(ise_id);
+  ProfitCache::Key key;
+  const bool cacheable =
+      cache != nullptr &&
+      ProfitCache::make_key(key, ise_id, ise, entry, planner, model);
+  if (cacheable) {
+    if (const double* hit = cache->lookup(key)) return *hit;
+  } else if (cache != nullptr) {
+    cache->note_uncacheable();
+  }
+
+  planner.plan_into(ise.data_paths, scratch.ready_abs);
+  ProfitInputs& in = scratch.inputs;
+  in.ise = &ise;
+  in.model = model;
+  in.expected_executions = entry.expected_executions;
+  in.time_to_first = entry.time_to_first;
+  in.time_between = entry.time_between;
+  in.ready_rel.clear();
+  in.ready_rel.reserve(scratch.ready_abs.size());
+  for (Cycles t : scratch.ready_abs) {
+    in.ready_rel.push_back(t > planner.now() ? t - planner.now() : 0);
+  }
+  const double profit = compute_profit_value(in);
+  if (cacheable) cache->insert(key, profit);
+  return profit;
+}
+
 SelectionResult HeuristicSelector::select(const TriggerInstruction& ti,
                                           ReconfigPlanner planner) const {
   return select_impl(ti, std::move(planner), nullptr);
@@ -47,6 +80,14 @@ SelectionResult HeuristicSelector::select_impl(const TriggerInstruction& ti,
                                                std::string* trace) const {
   SelectionResult result;
   unsigned round = 0;
+  ProfitCache* cache = tuning_.memoize_profits ? cache_ : nullptr;
+  if (cache != nullptr) cache->begin_select();
+  // Baseline tuning (the bench's A/B reference) keeps the historical
+  // allocate-per-candidate evaluation; any enabled optimization switches to
+  // the scratch-buffer fast path. The profits are bit-identical either way.
+  const bool fast_eval =
+      cache != nullptr || tuning_.incremental_planner;
+  EvalScratch scratch;
   auto log = [trace](const std::string& line) {
     if (trace != nullptr) {
       trace->append(line);
@@ -75,9 +116,10 @@ SelectionResult HeuristicSelector::select_impl(const TriggerInstruction& ti,
   while (!candidates.empty()) {
     ++round;
     log("round " + std::to_string(round) + ":");
-    // Step-2: prune non-fitting and covered candidates.
-    std::vector<Candidate> pruned;
-    pruned.reserve(candidates.size());
+    // Step-2: prune non-fitting and covered candidates (in place — the
+    // survivors keep their relative order and no per-round vector is
+    // allocated).
+    std::size_t keep = 0;
     for (const auto& c : candidates) {
       ++result.candidates_scanned;
       if (first_round) ++result.first_round_scans;
@@ -93,9 +135,9 @@ SelectionResult HeuristicSelector::select_impl(const TriggerInstruction& ti,
         log("  " + v.name + ": does not fit remaining fabric");
         continue;
       }
-      pruned.push_back(c);
+      candidates[keep++] = c;
     }
-    candidates = std::move(pruned);
+    candidates.resize(keep);
     if (candidates.empty()) break;
 
     // Step-3: profit of each candidate; pick the maximum of the policy's
@@ -106,22 +148,28 @@ SelectionResult HeuristicSelector::select_impl(const TriggerInstruction& ti,
     double best_profit = -1.0;
     double best_key = -1.0;
     for (std::size_t i = 0; i < candidates.size(); ++i) {
-      const ProfitResult pr =
-          evaluate_candidate(*lib_, candidates[i].ise, *candidates[i].entry,
-                             planner, profit_model_);
+      const double profit =
+          fast_eval
+              ? evaluate_candidate_profit(*lib_, candidates[i].ise,
+                                          *candidates[i].entry, planner,
+                                          profit_model_, cache, scratch)
+              : evaluate_candidate(*lib_, candidates[i].ise,
+                                   *candidates[i].entry, planner,
+                                   profit_model_)
+                    .profit;
       ++result.profit_evaluations;
       if (first_round) ++result.first_round_evaluations;
       if (trace_ != nullptr) {
         trace_->record({TraceEventKind::kSelectorEval, kTrackSelector,
                         planner.now(), 0, raw(candidates[i].kernel),
-                        raw(candidates[i].ise), pr.profit,
+                        raw(candidates[i].ise), profit,
                         static_cast<double>(round)});
       }
       const IseVariant& v = lib_->ise(candidates[i].ise);
       const IseVariant& b = lib_->ise(candidates[best].ise);
-      double key = pr.profit;
+      double key = profit;
       if (policy_ == SelectionPolicy::kMaxProfitDensity) {
-        key = pr.profit / static_cast<double>(v.fg_units + v.cg_units);
+        key = profit / static_cast<double>(v.fg_units + v.cg_units);
       }
       const bool better =
           key > best_key ||
@@ -132,10 +180,10 @@ SelectionResult HeuristicSelector::select_impl(const TriggerInstruction& ti,
       if (better) {
         best = i;
         best_key = key;
-        best_profit = pr.profit;
+        best_profit = profit;
       }
       log("  " + v.name + ": profit " +
-          std::to_string(static_cast<long long>(pr.profit)) + " (" +
+          std::to_string(static_cast<long long>(profit)) + " (" +
           std::to_string(v.fg_units) + " PRC + " + std::to_string(v.cg_units) +
           " CG)");
     }
@@ -177,6 +225,7 @@ SelectionResult HeuristicSelector::select_impl(const TriggerInstruction& ti,
     first_round = false;
   }
 
+  if (cache != nullptr) cache->flush(counters_, trace_, planner.now());
   result.overhead_cycles =
       cost_.cost(result.profit_evaluations, result.candidates_scanned);
   return result;

@@ -29,9 +29,20 @@ struct SearchState {
 
   std::vector<SelectedIse> current;
   double current_profit = 0.0;
+
+  /// Hot-path tuning (see rts/profit_cache.h). The search order, the bound
+  /// tests and every committed schedule are identical in both modes; only
+  /// the work per node differs.
+  bool incremental = false;
+  ProfitCache* cache = nullptr;
+  EvalScratch* scratch = nullptr;
+  /// Retired instance_ready vectors, reused (capacity intact) by the next
+  /// push — the incremental path's only per-node heap traffic would
+  /// otherwise be this vector.
+  std::vector<std::vector<Cycles>> spare;
 };
 
-void dfs(SearchState& st, std::size_t depth, const ReconfigPlanner& planner) {
+void dfs(SearchState& st, std::size_t depth, ReconfigPlanner& planner) {
   if (st.nodes++ > st.node_budget) return;
   if (depth == st.kernels->size()) {
     ++st.combinations;
@@ -53,20 +64,41 @@ void dfs(SearchState& st, std::size_t depth, const ReconfigPlanner& planner) {
   for (IseId ise_id : opt.ises) {
     const IseVariant& v = st.lib->ise(ise_id);
     if (!planner.fits(v.fg_units, v.cg_units)) continue;
-    const ProfitResult pr =
-        evaluate_candidate(*st.lib, ise_id, *opt.entry, planner);
+    const double profit =
+        st.incremental || st.cache != nullptr
+            ? evaluate_candidate_profit(*st.lib, ise_id, *opt.entry, planner,
+                                        ProfitModel{}, st.cache, *st.scratch)
+            : evaluate_candidate(*st.lib, ise_id, *opt.entry, planner).profit;
     ++st.profit_evals;
-    ReconfigPlanner child = planner;
     SelectedIse sel;
     sel.kernel = opt.entry->kernel;
     sel.ise = ise_id;
-    sel.profit = pr.profit;
-    sel.instance_ready = child.commit(v.data_paths);
-    st.current.push_back(std::move(sel));
-    st.current_profit += pr.profit;
-    dfs(st, depth + 1, child);
-    st.current_profit -= pr.profit;
-    st.current.pop_back();
+    sel.profit = profit;
+    if (st.incremental) {
+      // Extend the shared planner in place and undo on the way out instead
+      // of copying its whole state (three hash maps) per node.
+      const ReconfigPlanner::Checkpoint cp = planner.mark();
+      if (!st.spare.empty()) {
+        sel.instance_ready = std::move(st.spare.back());
+        st.spare.pop_back();
+      }
+      planner.commit_into(v.data_paths, sel.instance_ready);
+      st.current.push_back(std::move(sel));
+      st.current_profit += profit;
+      dfs(st, depth + 1, planner);
+      st.current_profit -= profit;
+      st.spare.push_back(std::move(st.current.back().instance_ready));
+      st.current.pop_back();
+      planner.rollback(cp);
+    } else {
+      ReconfigPlanner child = planner;
+      sel.instance_ready = child.commit(v.data_paths);
+      st.current.push_back(std::move(sel));
+      st.current_profit += profit;
+      dfs(st, depth + 1, child);
+      st.current_profit -= profit;
+      st.current.pop_back();
+    }
   }
 }
 
@@ -78,6 +110,11 @@ OptimalSelector::OptimalSelector(const IseLibrary& lib,
 
 SelectionResult OptimalSelector::select(const TriggerInstruction& ti,
                                         ReconfigPlanner planner) const {
+  ProfitCache* cache = tuning_.memoize_profits ? cache_ : nullptr;
+  if (cache != nullptr) cache->begin_select();
+  const bool fast_eval = cache != nullptr || tuning_.incremental_planner;
+  EvalScratch scratch;
+
   std::vector<KernelOptions> kernels;
   kernels.reserve(ti.entries.size());
   std::uint64_t ub_evals = 0;
@@ -91,10 +128,15 @@ SelectionResult OptimalSelector::select(const TriggerInstruction& ti,
       opt.ises.push_back(ise);
       // Optimistic bound: the root planner has the shortest port backlog and
       // the fullest set of reusable instances any node will ever see, so no
-      // deeper evaluation of this ISE can exceed this profit.
-      const ProfitResult pr = evaluate_candidate(*lib_, ise, entry, planner);
+      // deeper evaluation of this ISE can exceed this profit. With the memo
+      // attached these evaluations seed it: the search re-meets the root
+      // planner state along the all-"no ISE" DFS prefix of every kernel.
+      const double profit =
+          fast_eval ? evaluate_candidate_profit(*lib_, ise, entry, planner,
+                                                ProfitModel{}, cache, scratch)
+                    : evaluate_candidate(*lib_, ise, entry, planner).profit;
       ++ub_evals;
-      opt.upper_bound = std::max(opt.upper_bound, pr.profit);
+      opt.upper_bound = std::max(opt.upper_bound, profit);
     }
     kernels.push_back(std::move(opt));
   }
@@ -114,6 +156,9 @@ SelectionResult OptimalSelector::select(const TriggerInstruction& ti,
   for (std::size_t i = kernels.size(); i > 0; --i) {
     st.ub_suffix[i - 1] = st.ub_suffix[i] + kernels[i - 1].upper_bound;
   }
+  st.incremental = tuning_.incremental_planner;
+  st.cache = cache;
+  st.scratch = &scratch;
 
   dfs(st, 0, planner);
   last_combinations_ = st.combinations;
@@ -124,6 +169,7 @@ SelectionResult OptimalSelector::select(const TriggerInstruction& ti,
   result.profit_evaluations = st.profit_evals + ub_evals;
   result.candidates_scanned = st.nodes;
   result.overhead_cycles = 0;  // not meaningful: this algorithm is offline
+  if (cache != nullptr) cache->flush(counters_, trace_, planner.now());
   if (trace_ != nullptr) {
     for (std::size_t i = 0; i < result.selected.size(); ++i) {
       const SelectedIse& sel = result.selected[i];

@@ -38,11 +38,27 @@ class OptimalSelector {
   /// select() call are recorded (the search itself is too fine-grained).
   void attach_trace(TraceRecorder* trace) { trace_ = trace; }
 
+  /// Recorder + counter registry in one call (selector.cache.{hit,miss}
+  /// deltas land in the registry once per select()).
+  void attach_observability(TraceRecorder* trace, CounterRegistry* counters) {
+    trace_ = trace;
+    counters_ = counters;
+  }
+
+  /// Attaches the profit memo shared with the heuristic (null detaches).
+  void attach_profit_cache(ProfitCache* cache) { cache_ = cache; }
+
+  void set_tuning(SelectorTuning tuning) { tuning_ = tuning; }
+  SelectorTuning tuning() const { return tuning_; }
+
  private:
   const IseLibrary* lib_;
   std::uint64_t node_budget_;
+  SelectorTuning tuning_;
   mutable std::uint64_t last_combinations_ = 0;
   TraceRecorder* trace_ = nullptr;
+  CounterRegistry* counters_ = nullptr;
+  ProfitCache* cache_ = nullptr;
 };
 
 }  // namespace mrts

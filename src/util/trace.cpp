@@ -26,7 +26,7 @@ constexpr std::array<const char*, kNumTraceEventKinds> kKindNames = {
     // Fault-injection kinds use the dotted counter-style names so the
     // trace-summary table matches the counter names one-to-one.
     "fault.inject",    "reconfig.retry",    "prc.quarantined",
-    "scrub.repair",
+    "scrub.repair",    "selector.cache",
 };
 
 /// Must match ImplKind in rts/rts_interface.h (util cannot include rts
@@ -127,6 +127,8 @@ std::string event_label(const TraceEvent& e, const IseLibrary* lib) {
              std::to_string(e.arg0) + " quarantined";
     case TraceEventKind::kScrubRepair:
       return dp_name(lib, e.arg0) + ": scrub repair";
+    case TraceEventKind::kSelectorCacheStats:
+      return "profit cache hits/misses";
   }
   return "?";
 }

@@ -65,8 +65,10 @@ enum class TraceEventKind : std::uint8_t {
                      ///< index, arg1 = grain, track = container)
   kScrubRepair,      ///< scrubbing re-enqueued a repair load (arg0 = dp,
                      ///< arg1 = grain, v0 = repaired ready cycle)
+  kSelectorCacheStats, ///< profit-cache tally of one select() call
+                       ///< (v0 = hits, v1 = misses)
 };
-inline constexpr std::size_t kNumTraceEventKinds = 17;
+inline constexpr std::size_t kNumTraceEventKinds = 18;
 
 const char* to_string(TraceEventKind kind);
 std::optional<TraceEventKind> trace_kind_from_string(std::string_view name);

@@ -1,0 +1,134 @@
+#!/usr/bin/env python3
+"""Link-and-anchor checker for the repo's markdown documentation.
+
+Walks README.md and docs/**/*.md and validates every markdown link:
+
+  * relative file links must point at a file that exists in the repo;
+  * fragment links (``file.md#section`` or in-page ``#section``) must match
+    a heading in the target file, using GitHub's anchor-slug rules;
+  * absolute URLs (http/https/mailto) are accepted without network access —
+    CI must stay hermetic.
+
+Exit code 0 = all links resolve, 1 = at least one broken link (each printed
+as ``file:line: message``). Stdlib only; run from anywhere:
+
+    python3 tools/check_markdown_links.py
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+# [text](target) — excludes images by allowing the leading '!' to fail the
+# match only for the link part we validate anyway (image paths are checked
+# the same way, which is what we want).
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+HEADING_RE = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$")
+CODE_FENCE_RE = re.compile(r"^(```|~~~)")
+EXTERNAL_SCHEMES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's heading-to-anchor transformation."""
+    # Drop inline markdown: code spans, emphasis markers and link syntax.
+    text = re.sub(r"`([^`]*)`", r"\1", heading)
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)
+    text = text.strip().lower()
+    # Keep word characters, spaces and hyphens; everything else vanishes.
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def collect_anchors(path: Path) -> set[str]:
+    """All valid fragment targets of one markdown file."""
+    anchors: set[str] = set()
+    seen: dict[str, int] = {}
+    in_fence = False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if CODE_FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        m = HEADING_RE.match(line)
+        if not m:
+            continue
+        slug = github_slug(m.group(2))
+        n = seen.get(slug, 0)
+        seen[slug] = n + 1
+        anchors.add(slug if n == 0 else f"{slug}-{n}")
+    # Explicit <a name="..."> / id="..." anchors also count.
+    text = path.read_text(encoding="utf-8")
+    for m in re.finditer(r"<a\s+(?:name|id)=\"([^\"]+)\"", text):
+        anchors.add(m.group(1))
+    return anchors
+
+
+def markdown_files() -> list[Path]:
+    files = [REPO_ROOT / "README.md"]
+    docs = REPO_ROOT / "docs"
+    if docs.is_dir():
+        files.extend(sorted(docs.rglob("*.md")))
+    return [f for f in files if f.is_file()]
+
+
+def check_file(path: Path, anchor_cache: dict[Path, set[str]]) -> list[str]:
+    errors: list[str] = []
+    in_fence = False
+    for lineno, line in enumerate(
+        path.read_text(encoding="utf-8").splitlines(), start=1
+    ):
+        if CODE_FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for m in LINK_RE.finditer(line):
+            target = m.group(1)
+            if target.startswith(EXTERNAL_SCHEMES):
+                continue
+            file_part, _, fragment = target.partition("#")
+            if file_part:
+                dest = (path.parent / file_part).resolve()
+                if not dest.exists():
+                    errors.append(
+                        f"{path.relative_to(REPO_ROOT)}:{lineno}: "
+                        f"broken link: {target} (no such file)"
+                    )
+                    continue
+            else:
+                dest = path
+            if fragment and dest.suffix == ".md":
+                if dest not in anchor_cache:
+                    anchor_cache[dest] = collect_anchors(dest)
+                if fragment.lower() not in anchor_cache[dest]:
+                    errors.append(
+                        f"{path.relative_to(REPO_ROOT)}:{lineno}: "
+                        f"broken anchor: {target} "
+                        f"(no heading '#{fragment}' in "
+                        f"{dest.relative_to(REPO_ROOT)})"
+                    )
+    return errors
+
+
+def main() -> int:
+    anchor_cache: dict[Path, set[str]] = {}
+    errors: list[str] = []
+    files = markdown_files()
+    for path in files:
+        errors.extend(check_file(path, anchor_cache))
+    for e in errors:
+        print(e, file=sys.stderr)
+    print(
+        f"checked {len(files)} markdown files: "
+        f"{'OK' if not errors else f'{len(errors)} broken link(s)'}"
+    )
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

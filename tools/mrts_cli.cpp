@@ -32,6 +32,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -292,12 +293,17 @@ int cmd_trace_summary(const std::string& path) {
                 static_cast<unsigned long long>(summary.last_cycle));
   }
   std::printf("\n");
-  TextTable table({"kind", "events"});
+  // Rows sort by kind *name*, not enum order: the table then matches the
+  // (alphabetical) counter table — e.g. the selector.cache row lands next to
+  // the selector.cache.{hit,miss} counters — and stays stable when new enum
+  // values are appended. Pinned by tests/test_profit_cache.cpp.
+  std::map<std::string, std::size_t> rows;
   for (std::size_t i = 0; i < kNumTraceEventKinds; ++i) {
     if (summary.per_kind[i] == 0) continue;
-    table.add_values(to_string(static_cast<TraceEventKind>(i)),
-                     summary.per_kind[i]);
+    rows[to_string(static_cast<TraceEventKind>(i))] = summary.per_kind[i];
   }
+  TextTable table({"kind", "events"});
+  for (const auto& [kind, events] : rows) table.add_values(kind, events);
   std::printf("%s", table.render().c_str());
   return 0;
 }
