@@ -63,10 +63,13 @@ struct EvalContext {
                         TraceRecorder* recorder = nullptr,
                         CounterRegistry* counters = nullptr) const {
     MRts rts(app.library, cg, prcs, config);
+    // Attach through the RuntimeSystem base lifecycle API (a no-op on
+    // systems without observability), same as the CLI driver.
+    RuntimeSystem& base = rts;
     if (recorder != nullptr || counters != nullptr) {
-      rts.attach_observability(recorder, counters);
+      base.attach_observability(recorder, counters);
     }
-    return run_application(rts, app.trace, recorder);
+    return run_application(base, app.trace, recorder);
   }
 
   AppRunResult run_rispp(unsigned cg, unsigned prcs) const {

@@ -74,7 +74,8 @@ PointResult run_point(double rate) {
                                              fault_flags().max_retries);
   }
   MRts rts(ctx.app.library, kCgFabrics, kPrcs, config);
-  rts.attach_observability(nullptr, &result.counters);
+  static_cast<RuntimeSystem&>(rts).attach_observability(nullptr,
+                                                        &result.counters);
   result.mrts_cycles = run_application(rts, ctx.app.trace).total_cycles;
   if (rts.fault_model() != nullptr) result.faults = rts.fault_model()->stats();
   return result;

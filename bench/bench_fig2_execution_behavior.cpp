@@ -53,7 +53,8 @@ void print_figure() {
   TraceRecorder recorder;
   CounterRegistry counters;
   const bool traced = !trace_dir().empty();
-  if (traced) rts.attach_observability(&recorder, &counters);
+  RuntimeSystem& base = rts;  // observability attaches via the base API
+  if (traced) base.attach_observability(&recorder, &counters);
   std::vector<std::string> selected_per_frame;
   {
     Cycles cursor = 0;

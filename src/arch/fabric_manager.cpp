@@ -25,6 +25,215 @@ FabricManager::FabricManager(unsigned num_cg_fabrics, unsigned num_prcs,
   cg_pinned_.assign(num_cg_fabrics, kInvalidDataPath);
   prc_quarantined_.assign(num_prcs, false);
   cg_quarantined_.assign(num_cg_fabrics, false);
+  prc_owner_.assign(num_prcs, kUnownedTenant);
+  cg_owner_.assign(num_cg_fabrics, kUnownedTenant);
+}
+
+void FabricManager::attach_fault_model(FaultModel* model) {
+  if (model != nullptr && fault_ != nullptr && model != fault_) {
+    throw std::logic_error(
+        "FabricManager::attach_fault_model: a different fault model is "
+        "already attached to this fabric (detach it first)");
+  }
+  if (model == fault_) return;
+  fault_ = model;
+  next_scrub_ = 0;  // re-arm lazily from the model's scrub interval
+  ++state_epoch_;   // fault semantics change future load outcomes
+}
+
+void FabricManager::attach_arbitration(FabricArbitration* arbitration) {
+  if (arbitration != nullptr && arbitration_ != nullptr &&
+      arbitration != arbitration_) {
+    throw std::logic_error(
+        "FabricManager::attach_arbitration: a different arbitration hook is "
+        "already attached to this fabric (detach it first)");
+  }
+  if (arbitration == arbitration_) return;
+  arbitration_ = arbitration;
+  ++state_epoch_;  // accessibility masks change future placements
+}
+
+void FabricManager::attach_observability(TraceRecorder* trace,
+                                         CounterRegistry* counters) {
+  if (trace != nullptr && trace_ != nullptr && trace != trace_) {
+    throw std::logic_error(
+        "FabricManager::attach_observability: a different trace recorder is "
+        "already attached to this fabric (detach it first)");
+  }
+  if (counters != nullptr && counters_ != nullptr && counters != counters_) {
+    throw std::logic_error(
+        "FabricManager::attach_observability: a different counter registry "
+        "is already attached to this fabric (detach it first)");
+  }
+  trace_ = trace;
+  counters_ = counters;
+}
+
+void FabricManager::set_active_tenant(TenantId tenant) {
+  if (tenant == active_tenant_) return;
+  active_tenant_ = tenant;
+  // Placement policy (accessibility/quota masks) observably changed; without
+  // arbitration the tenant id only labels owners and planning is unaffected.
+  if (arbitration_ != nullptr) ++state_epoch_;
+}
+
+TenantId FabricManager::prc_owner(unsigned index) const {
+  return index < prc_owner_.size() ? prc_owner_[index] : kUnownedTenant;
+}
+
+TenantId FabricManager::cg_owner(unsigned index) const {
+  return index < cg_owner_.size() ? cg_owner_[index] : kUnownedTenant;
+}
+
+unsigned FabricManager::owned_prcs(TenantId tenant) const {
+  unsigned n = 0;
+  for (unsigned i = 0; i < fg_.num_prcs(); ++i) {
+    if (prc_owner_[i] == tenant && !fg_.prc(i).empty()) ++n;
+  }
+  return n;
+}
+
+unsigned FabricManager::owned_cg(TenantId tenant) const {
+  unsigned n = 0;
+  for (unsigned i = 0; i < cg_.size(); ++i) {
+    if (cg_owner_[i] == tenant && cg_[i].resident_count() > 0) ++n;
+  }
+  return n;
+}
+
+bool FabricManager::placeable_prc(unsigned index) const {
+  return arbitration_ == nullptr ||
+         arbitration_->may_place(active_tenant_, Grain::kFine, index);
+}
+
+bool FabricManager::placeable_cg(unsigned index) const {
+  return arbitration_ == nullptr ||
+         arbitration_->may_place(active_tenant_, Grain::kCoarse, index);
+}
+
+unsigned FabricManager::accessible_prcs() const {
+  unsigned n = 0;
+  for (unsigned i = 0; i < fg_.num_prcs(); ++i) {
+    if (!prc_quarantined_[i] && placeable_prc(i)) ++n;
+  }
+  return n;
+}
+
+unsigned FabricManager::accessible_cg_fabrics() const {
+  unsigned n = 0;
+  for (unsigned i = 0; i < cg_.size(); ++i) {
+    if (!cg_quarantined_[i] && placeable_cg(i)) ++n;
+  }
+  return n;
+}
+
+void FabricManager::note_tenant_eviction(Grain grain, unsigned container,
+                                         Cycles now) {
+  const bool fine = grain == Grain::kFine;
+  const TenantId owner =
+      fine ? prc_owner_[container] : cg_owner_[container];
+  // An FG placement always destroys the occupant; a CG load only evicts a
+  // context when the fabric's context memory is full.
+  const bool destroys =
+      fine ? !fg_.prc(container).empty()
+           : cg_[container].resident_count() >= cg_[container].capacity();
+  if (!destroys || owner == kUnownedTenant || owner == active_tenant_) return;
+  if (trace_ != nullptr) {
+    trace_->record({TraceEventKind::kTenantEviction,
+                    (fine ? kTrackFgBase : kTrackCgBase) +
+                        static_cast<std::int32_t>(container),
+                    now, 0, owner, static_cast<std::uint32_t>(grain),
+                    static_cast<double>(active_tenant_), 0.0});
+  }
+  if (counters_ != nullptr) counters_->add("tenant.eviction");
+  if (arbitration_ != nullptr) {
+    arbitration_->note_eviction(active_tenant_, owner, grain, now);
+  }
+}
+
+std::optional<unsigned> FabricManager::pick_fg_victim(
+    std::vector<bool>& claimed, Cycles now) {
+  const auto native = fg_.find_victim(claimed);
+  if (arbitration_ == nullptr || !native) return native;
+  const TenantId owner = prc_owner_[*native];
+  if (fg_.prc(*native).empty() || owner == kUnownedTenant ||
+      owner == active_tenant_ ||
+      arbitration_->prefer_evict(active_tenant_, owner, Grain::kFine)) {
+    return native;
+  }
+  // The native victim is a within-entitlement foreign tenant's live data
+  // path; redirect onto the coldest preferred (over-quota / best-effort)
+  // victim when one exists, else keep the native choice.
+  std::vector<bool> restricted = claimed;
+  bool any_preferred = false;
+  for (unsigned i = 0; i < fg_.num_prcs(); ++i) {
+    if (restricted[i]) continue;
+    const TenantId candidate = prc_owner_[i];
+    const bool preferred =
+        !fg_.prc(i).empty() && candidate != kUnownedTenant &&
+        candidate != active_tenant_ &&
+        arbitration_->prefer_evict(active_tenant_, candidate, Grain::kFine);
+    if (preferred) {
+      any_preferred = true;
+    } else {
+      restricted[i] = true;
+    }
+  }
+  if (!any_preferred) return native;
+  const auto redirect = fg_.find_victim(restricted);
+  if (!redirect) return native;
+  const TenantId victim_owner = prc_owner_[*redirect];
+  if (trace_ != nullptr) {
+    trace_->record({TraceEventKind::kTenantQuotaHit,
+                    kTrackFgBase + static_cast<std::int32_t>(*redirect), now,
+                    0, victim_owner,
+                    static_cast<std::uint32_t>(Grain::kFine),
+                    static_cast<double>(active_tenant_), 0.0});
+  }
+  if (counters_ != nullptr) counters_->add("tenant.quota_hit");
+  arbitration_->note_quota_redirect(active_tenant_, victim_owner, Grain::kFine,
+                                    now);
+  return redirect;
+}
+
+std::optional<unsigned> FabricManager::pick_cg_victim(
+    std::vector<bool>& claimed, Cycles now) {
+  // Native CG choice: the first unclaimed fabric (stale contexts there are
+  // evicted lazily by CgFabric::load when the context memory fills up).
+  std::optional<unsigned> native;
+  for (unsigned i = 0; i < cg_.size(); ++i) {
+    if (!claimed[i]) {
+      native = i;
+      break;
+    }
+  }
+  if (arbitration_ == nullptr || !native) return native;
+  const TenantId owner = cg_owner_[*native];
+  if (cg_[*native].resident_count() == 0 || owner == kUnownedTenant ||
+      owner == active_tenant_ ||
+      arbitration_->prefer_evict(active_tenant_, owner, Grain::kCoarse)) {
+    return native;
+  }
+  for (unsigned i = 0; i < cg_.size(); ++i) {
+    if (claimed[i] || cg_[i].resident_count() == 0) continue;
+    const TenantId candidate = cg_owner_[i];
+    if (candidate == kUnownedTenant || candidate == active_tenant_) continue;
+    if (!arbitration_->prefer_evict(active_tenant_, candidate,
+                                    Grain::kCoarse)) {
+      continue;
+    }
+    if (trace_ != nullptr) {
+      trace_->record({TraceEventKind::kTenantQuotaHit,
+                      kTrackCgBase + static_cast<std::int32_t>(i), now, 0,
+                      candidate, static_cast<std::uint32_t>(Grain::kCoarse),
+                      static_cast<double>(active_tenant_), 0.0});
+    }
+    if (counters_ != nullptr) counters_->add("tenant.quota_hit");
+    arbitration_->note_quota_redirect(active_tenant_, candidate,
+                                      Grain::kCoarse, now);
+    return i;
+  }
+  return native;
 }
 
 unsigned FabricManager::usable_prcs() const {
@@ -50,34 +259,45 @@ bool FabricManager::cg_quarantined(unsigned index) const {
 void FabricManager::quarantine_prc(unsigned index, Cycles at) {
   if (index >= prc_quarantined_.size() || prc_quarantined_[index]) return;
   ++state_epoch_;
+  const TenantId owner = prc_owner_[index];
   prc_quarantined_[index] = true;
   fg_.evict(index);
   prc_reserved_[index] = false;
+  prc_owner_[index] = kUnownedTenant;
   if (fault_ != nullptr) ++fault_->stats().quarantined_prcs;
   if (trace_ != nullptr) {
+    // v0 = the tenant that lost the container (0 = unowned/single-app).
     trace_->record({TraceEventKind::kQuarantine,
                     kTrackFgBase + static_cast<std::int32_t>(index), at, 0,
-                    index, static_cast<std::uint32_t>(Grain::kFine), 0.0,
-                    0.0});
+                    index, static_cast<std::uint32_t>(Grain::kFine),
+                    static_cast<double>(owner), 0.0});
   }
   if (counters_ != nullptr) counters_->add("prc.quarantined");
+  if (arbitration_ != nullptr) {
+    arbitration_->note_quarantine(owner, Grain::kFine, at);
+  }
 }
 
 void FabricManager::quarantine_cg(unsigned index, Cycles at) {
   if (index >= cg_quarantined_.size() || cg_quarantined_[index]) return;
   ++state_epoch_;
+  const TenantId owner = cg_owner_[index];
   cg_quarantined_[index] = true;
   cg_[index].clear();
   cg_reserved_[index] = false;
   cg_pinned_[index] = kInvalidDataPath;
+  cg_owner_[index] = kUnownedTenant;
   if (fault_ != nullptr) ++fault_->stats().quarantined_cg;
   if (trace_ != nullptr) {
     trace_->record({TraceEventKind::kQuarantine,
                     kTrackCgBase + static_cast<std::int32_t>(index), at, 0,
-                    index, static_cast<std::uint32_t>(Grain::kCoarse), 0.0,
-                    0.0});
+                    index, static_cast<std::uint32_t>(Grain::kCoarse),
+                    static_cast<double>(owner), 0.0});
   }
   if (counters_ != nullptr) counters_->add("cg.quarantined");
+  if (arbitration_ != nullptr) {
+    arbitration_->note_quarantine(owner, Grain::kCoarse, at);
+  }
 }
 
 const CgFabric& FabricManager::cg_fabric(unsigned i) const {
@@ -220,6 +440,7 @@ void FabricManager::scrub_epoch(Cycles at) {
       fg_.place(i, prc.occupant, repair.ready);
     } else if (!prc_quarantined_[i]) {
       fg_.evict(i);  // repair failed: the PRC stays empty for this round
+      prc_owner_[i] = kUnownedTenant;
     }
   }
   for (unsigned f = 0; f < static_cast<unsigned>(cg_.size()); ++f) {
@@ -305,15 +526,23 @@ std::vector<IsePlacement> FabricManager::install(
     need_prcs += req_prcs[s];
     need_cg += req_cg[s];
   }
+  // With arbitration attached the active tenant plans against the capacity
+  // it may actually place into (pool + own partition), not the whole
+  // machine; an arbitrated overflow degrades like a post-quarantine one
+  // (the tenant-bound selector plans with visible capacity, so drops only
+  // happen on races it could not see).
+  const unsigned cap_prcs =
+      arbitration_ != nullptr ? accessible_prcs() : usable_prcs();
+  const unsigned cap_cg =
+      arbitration_ != nullptr ? accessible_cg_fabrics() : usable_cg_fabrics();
   std::size_t accepted = selection.size();
-  while (accepted > 0 &&
-         (need_prcs > usable_prcs() || need_cg > usable_cg_fabrics())) {
+  while (accepted > 0 && (need_prcs > cap_prcs || need_cg > cap_cg)) {
     --accepted;
     need_prcs -= req_prcs[accepted];
     need_cg -= req_cg[accepted];
   }
   if (accepted != selection.size()) {
-    if (fault_ == nullptr) {
+    if (fault_ == nullptr && arbitration_ == nullptr) {
       throw std::invalid_argument(
           "FabricManager::install: selection exceeds fabric capacity");
     }
@@ -325,10 +554,23 @@ std::vector<IsePlacement> FabricManager::install(
   // --- 2. Match needed instances against what is already placed. ----------
   // Quarantined containers start out claimed: they are never reused (their
   // contents were evicted at quarantine time) and never picked as victims.
+  // With arbitration, containers the active tenant may not place into
+  // (other tenants' partitions) are pre-claimed the same way.
   std::vector<bool> prc_claimed(prc_quarantined_.begin(),
                                 prc_quarantined_.end());
   std::vector<bool> cg_claimed(cg_quarantined_.begin(),
                                cg_quarantined_.end());
+  if (arbitration_ != nullptr) {
+    for (unsigned i = 0; i < fg_.num_prcs(); ++i) {
+      if (!placeable_prc(i)) prc_claimed[i] = true;
+    }
+    for (unsigned i = 0; i < cg_.size(); ++i) {
+      if (!placeable_cg(i)) cg_claimed[i] = true;
+    }
+  }
+  // Pre-claimed containers must not end up reserved by this selection.
+  const std::vector<bool> prc_blocked = prc_claimed;
+  const std::vector<bool> cg_blocked = cg_claimed;
 
   struct PendingLoad {
     std::size_t ise_index;
@@ -352,6 +594,8 @@ std::vector<IsePlacement> FabricManager::install(
         if (auto prc = claim_existing_fg(dp, prc_claimed)) {
           placement.instance_ready[k] = fg_.prc(*prc).ready_at;
           ++placement.reused_instances;
+          // The claimer's live selection now depends on this container.
+          prc_owner_[*prc] = active_tenant_;
           continue;
         }
       } else {
@@ -359,6 +603,7 @@ std::vector<IsePlacement> FabricManager::install(
           placement.instance_ready[k] =
               cg_[*fab].context(*cg_[*fab].slot_of(dp)).ready_at;
           ++placement.reused_instances;
+          cg_owner_[*fab] = active_tenant_;
           continue;
         }
       }
@@ -397,37 +642,34 @@ std::vector<IsePlacement> FabricManager::install(
     const auto& desc = (*table_)[load.dp];
     auto& placement = result[load.ise_index];
     if (desc.grain == Grain::kFine) {
-      auto victim = fg_.find_victim(prc_claimed);
+      auto victim = pick_fg_victim(prc_claimed, now);
       if (!victim) {
         throw std::logic_error("FabricManager::install: no PRC victim");
       }
       prc_claimed[*victim] = true;
+      note_tenant_eviction(Grain::kFine, *victim, now);
       const StreamedLoad res =
           stream_load(load.dp, *victim, Grain::kFine, now, "fabric.fg_loads");
       if (res.success) {
         fg_.place(*victim, load.dp, res.ready);
+        prc_owner_[*victim] = active_tenant_;
         placement.instance_ready[load.instance_index] = res.ready;
       } else if (!prc_quarantined_[*victim]) {
         fg_.evict(*victim);
+        prc_owner_[*victim] = kUnownedTenant;
       }
     } else {
-      // Pick the first unclaimed CG fabric (its stale contexts are evicted
-      // lazily by CgFabric::load when the context memory fills up).
-      std::optional<unsigned> victim;
-      for (unsigned i = 0; i < cg_.size(); ++i) {
-        if (!cg_claimed[i]) {
-          victim = i;
-          break;
-        }
-      }
+      auto victim = pick_cg_victim(cg_claimed, now);
       if (!victim) {
         throw std::logic_error("FabricManager::install: no CG victim");
       }
       cg_claimed[*victim] = true;
+      note_tenant_eviction(Grain::kCoarse, *victim, now);
       const StreamedLoad res = stream_load(load.dp, *victim, Grain::kCoarse,
                                            now, "fabric.cg_loads");
       if (res.success) {
         cg_[*victim].load(load.dp, res.ready);
+        cg_owner_[*victim] = active_tenant_;
         placement.instance_ready[load.instance_index] = res.ready;
       }
     }
@@ -439,10 +681,12 @@ std::vector<IsePlacement> FabricManager::install(
   prc_reserved_ = prc_claimed;
   cg_reserved_ = cg_claimed;
   for (unsigned i = 0; i < fg_.num_prcs(); ++i) {
-    if (prc_quarantined_[i]) prc_reserved_[i] = false;
+    // Containers that started out blocked (quarantined or another tenant's
+    // partition) were only pre-claimed, never used by this selection.
+    if (prc_quarantined_[i] || prc_blocked[i]) prc_reserved_[i] = false;
   }
   for (unsigned i = 0; i < cg_.size(); ++i) {
-    if (cg_quarantined_[i]) cg_reserved_[i] = false;
+    if (cg_quarantined_[i] || cg_blocked[i]) cg_reserved_[i] = false;
   }
   cg_pinned_.assign(cg_.size(), kInvalidDataPath);
   for (unsigned i = 0; i < cg_.size(); ++i) {
@@ -495,10 +739,10 @@ std::size_t FabricManager::prefetch(
   std::vector<bool> prc_claimed = prc_reserved_;
   std::vector<bool> cg_claimed = cg_reserved_;
   for (unsigned i = 0; i < fg_.num_prcs(); ++i) {
-    if (prc_quarantined_[i]) prc_claimed[i] = true;
+    if (prc_quarantined_[i] || !placeable_prc(i)) prc_claimed[i] = true;
   }
   for (unsigned i = 0; i < cg_.size(); ++i) {
-    if (cg_quarantined_[i]) cg_claimed[i] = true;
+    if (cg_quarantined_[i] || !placeable_cg(i)) cg_claimed[i] = true;
   }
 
   for (const auto& req : future) {
@@ -509,19 +753,23 @@ std::size_t FabricManager::prefetch(
       // warming the fabric, not exactness.
       if (!instance_ready_times(dp).empty()) continue;
       if (desc.grain == Grain::kFine) {
-        const auto victim = fg_.find_victim(prc_claimed);
+        const auto victim = pick_fg_victim(prc_claimed, now);
         if (!victim) continue;  // no unreserved PRC left
         prc_claimed[*victim] = true;
+        note_tenant_eviction(Grain::kFine, *victim, now);
         const StreamedLoad res = stream_load(dp, *victim, Grain::kFine, now,
                                              "fabric.prefetch_loads");
-        if (res.success) fg_.place(*victim, dp, res.ready);
+        if (res.success) {
+          fg_.place(*victim, dp, res.ready);
+          prc_owner_[*victim] = active_tenant_;
+        }
         ++started;
       } else {
         // Use a free context slot of any fabric (the speculative context
         // must not evict live contexts).
         std::optional<unsigned> target;
         for (unsigned i = 0; i < cg_.size(); ++i) {
-          if (cg_quarantined_[i]) continue;
+          if (cg_quarantined_[i] || !placeable_cg(i)) continue;
           if (!cg_claimed[i] || cg_[i].resident_count() < cg_[i].capacity()) {
             target = i;
             break;
@@ -535,6 +783,7 @@ std::size_t FabricManager::prefetch(
                                       ? cg_pinned_[*target]
                                       : kInvalidDataPath;
           cg_[*target].load(dp, res.ready, keep);
+          cg_owner_[*target] = active_tenant_;
         }
         ++started;
       }
@@ -577,7 +826,7 @@ std::optional<Cycles> FabricManager::acquire_mono_cg(DataPathId mono_dp,
   // switch is paid.
   std::optional<unsigned> target;
   for (unsigned i = 0; i < cg_.size(); ++i) {
-    if (cg_reserved_[i] || cg_quarantined_[i]) continue;
+    if (cg_reserved_[i] || cg_quarantined_[i] || !placeable_cg(i)) continue;
     if (!target) target = i;
     if (cg_[i].resident_count() < cg_[i].capacity()) {
       target = i;
@@ -590,7 +839,7 @@ std::optional<Cycles> FabricManager::acquire_mono_cg(DataPathId mono_dp,
     // fabric with a free slot, else evict the oldest stale/mono context
     // (capacity permitting).
     for (unsigned i = 0; i < cg_.size(); ++i) {
-      if (cg_quarantined_[i]) continue;
+      if (cg_quarantined_[i] || !placeable_cg(i)) continue;
       if (cg_[i].resident_count() < cg_[i].capacity()) {
         target = i;
         break;
@@ -598,7 +847,7 @@ std::optional<Cycles> FabricManager::acquire_mono_cg(DataPathId mono_dp,
     }
     if (!target) {
       for (unsigned i = 0; i < cg_.size(); ++i) {
-        if (!cg_quarantined_[i] && cg_[i].capacity() > 1) {
+        if (!cg_quarantined_[i] && placeable_cg(i) && cg_[i].capacity() > 1) {
           target = i;
           break;
         }
@@ -606,6 +855,7 @@ std::optional<Cycles> FabricManager::acquire_mono_cg(DataPathId mono_dp,
     }
   }
   if (!target) return std::nullopt;  // incl. the all-CG-quarantined machine
+  note_tenant_eviction(Grain::kCoarse, *target, now);
   const StreamedLoad res =
       stream_load(mono_dp, *target, Grain::kCoarse, now,
                   "fabric.mono_cg_loads");
@@ -614,6 +864,7 @@ std::optional<Cycles> FabricManager::acquire_mono_cg(DataPathId mono_dp,
                               ? cg_pinned_[*target]
                               : kInvalidDataPath;
   const unsigned slot = cg_[*target].load(mono_dp, res.ready, keep);
+  cg_owner_[*target] = active_tenant_;
   const Cycles switch_cost = cg_[*target].activate(slot);
   if (switch_cost > 0) {
     if (trace_ != nullptr) {
@@ -700,6 +951,8 @@ void FabricManager::reset() {
   prc_reserved_.assign(fg_.num_prcs(), false);
   cg_reserved_.assign(cg_.size(), false);
   cg_pinned_.assign(cg_.size(), kInvalidDataPath);
+  prc_owner_.assign(fg_.num_prcs(), kUnownedTenant);
+  cg_owner_.assign(cg_.size(), kUnownedTenant);
   reconfig_ = ReconfigController{};
   reconfig_stats_ = ReconfigStats{};
   // Quarantine bitmaps and the fault model's RNG deliberately survive:

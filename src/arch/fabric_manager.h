@@ -21,6 +21,7 @@
 #include "arch/data_path.h"
 #include "arch/fg_fabric.h"
 #include "arch/reconfig_controller.h"
+#include "arch/tenant.h"
 #include "util/types.h"
 
 namespace mrts {
@@ -168,12 +169,45 @@ class FabricManager {
   /// Attaches the deterministic fault injector (nullptr = fault-free
   /// machine, the default). The model must outlive this object and — like
   /// the fabric itself — must not be shared across threads.
-  void attach_fault_model(FaultModel* model) {
-    fault_ = model;
-    next_scrub_ = 0;  // re-arm lazily from the model's scrub interval
-    ++state_epoch_;   // fault semantics change future load outcomes
-  }
+  ///
+  /// Attachment contract (explicit, replacing the old "last attachment
+  /// wins"): a fabric has at most one fault model. Attaching a *different*
+  /// non-null model while one is attached throws std::logic_error — on a
+  /// shared fabric two tasks silently fighting over the injector would make
+  /// the fault timeline depend on construction order. Re-attaching the same
+  /// model is a no-op; nullptr detaches.
+  void attach_fault_model(FaultModel* model);
   const FaultModel* fault_model() const { return fault_; }
+
+  /// Attaches the arbitration policy hook (sim/arbiter.h implements it) and
+  /// enables tenant-aware placement: accessibility masks, quota-preferred
+  /// eviction, and the tenant.eviction / tenant.quota_hit observability.
+  /// Same single-owner contract as attach_fault_model: attaching a
+  /// different non-null hook over an existing one throws std::logic_error;
+  /// nullptr detaches. With no hook attached (the default) every tenant
+  /// query short-circuits and behavior is bit-identical to the
+  /// pre-arbitration fabric.
+  void attach_arbitration(FabricArbitration* arbitration);
+  const FabricArbitration* arbitration() const { return arbitration_; }
+
+  /// Sets the tenant on whose behalf subsequent install/prefetch/monoCG
+  /// calls act. Tenant-bound run-time systems call this on entry to every
+  /// fabric-touching operation; kUnownedTenant (the default) is the
+  /// single-app / unmanaged mode. Bumps the state epoch only when the
+  /// active tenant actually changes while arbitration is attached (the
+  /// placement policy observably changed).
+  void set_active_tenant(TenantId tenant);
+  TenantId active_tenant() const { return active_tenant_; }
+
+  /// Owner of a container: the tenant whose placement last targeted it
+  /// (kUnownedTenant for empty containers or unmanaged placements).
+  TenantId prc_owner(unsigned index) const;
+  TenantId cg_owner(unsigned index) const;
+
+  /// Containers currently owned by \p tenant (used by the arbiter's
+  /// soft-quota accounting).
+  unsigned owned_prcs(TenantId tenant) const;
+  unsigned owned_cg(TenantId tenant) const;
 
   /// Clears all placement state (power-on reset). Quarantined containers
   /// stay quarantined — permanent faults are broken silicon, not state.
@@ -184,9 +218,16 @@ class FabricManager {
   /// PRC and per CG fabric), CG context switches, load cancellations and an
   /// occupancy sample per install. With a shared fabric, one attachment
   /// observes the installations of every task using it.
-  void attach_observability(TraceRecorder* trace, CounterRegistry* counters) {
-    trace_ = trace;
-    counters_ = counters;
+  ///
+  /// Attachment contract: one observer per fabric. Replacing an attached
+  /// non-null recorder/registry with a *different* non-null one throws
+  /// std::logic_error (on a shared fabric that would silently drop another
+  /// task's events); re-attaching the same pointers is a no-op and nullptr
+  /// detaches that stream. MRts arbitrates this per tenant: the first
+  /// tenant to attach claims the shared fabric's stream.
+  void attach_observability(TraceRecorder* trace, CounterRegistry* counters);
+  bool observability_attached() const {
+    return trace_ != nullptr || counters_ != nullptr;
   }
 
  private:
@@ -219,6 +260,30 @@ class FabricManager {
   std::optional<unsigned> claim_existing_cg(DataPathId dp,
                                             std::vector<bool>& claimed) const;
 
+  /// Victim selection with arbitration. Both start from the fabric's native
+  /// choice (FG: empty-first then oldest ready_at; CG: first unclaimed) and
+  /// redirect only when that choice would evict a live foreign data path
+  /// whose owner is *not* a preferred victim while a preferred victim (an
+  /// over-quota or best-effort tenant's coldest container) exists. With no
+  /// arbitration attached — or when the policy reports no preference, e.g.
+  /// all-equal weights — the native choice is returned untouched, which is
+  /// what keeps the legacy scheduler bit-exact as the degenerate case.
+  std::optional<unsigned> pick_fg_victim(std::vector<bool>& claimed,
+                                         Cycles now);
+  std::optional<unsigned> pick_cg_victim(std::vector<bool>& claimed,
+                                         Cycles now);
+
+  /// True when \p tenant may place into the container (no hook = may).
+  bool placeable_prc(unsigned index) const;
+  bool placeable_cg(unsigned index) const;
+  /// Usable capacity restricted to containers the active tenant may use.
+  unsigned accessible_prcs() const;
+  unsigned accessible_cg_fabrics() const;
+
+  /// Records a cross-tenant eviction about to happen in \p container (trace
+  /// event + counter + arbiter stats). No-op for empty/own/unowned victims.
+  void note_tenant_eviction(Grain grain, unsigned container, Cycles now);
+
   const DataPathTable* table_;
   FgFabric fg_;
   std::vector<CgFabric> cg_;
@@ -233,6 +298,13 @@ class FabricManager {
   ReconfigStats reconfig_stats_;
   TraceRecorder* trace_ = nullptr;
   CounterRegistry* counters_ = nullptr;
+
+  /// Multi-tenant state (all inert while arbitration_ == nullptr; owners
+  /// are still tracked so tests can inspect unmanaged sharing).
+  FabricArbitration* arbitration_ = nullptr;
+  TenantId active_tenant_ = kUnownedTenant;
+  std::vector<TenantId> prc_owner_;
+  std::vector<TenantId> cg_owner_;
 
   /// Fault state (all inert while fault_ == nullptr).
   FaultModel* fault_ = nullptr;

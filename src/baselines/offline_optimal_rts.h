@@ -39,6 +39,17 @@ class OfflineOptimalRts final : public RuntimeSystem {
   const std::vector<IsePlacementRequest>& selection_for(
       FunctionalBlockId fb) const;
 
+  /// Unified lifecycle API: fans out to the ECU and fabric.
+  void attach_observability(TraceRecorder* trace,
+                            CounterRegistry* counters) override {
+    ecu_.attach_observability(trace, counters);
+    fabric_.attach_observability(trace, counters);
+  }
+  bool attach_fault_model(FaultModel* model) override {
+    fabric_.attach_fault_model(model);
+    return true;
+  }
+
   const FabricManager& fabric() const { return fabric_; }
 
  private:

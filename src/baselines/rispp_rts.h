@@ -43,6 +43,19 @@ class RisppRts final : public RuntimeSystem {
   void on_block_end(const BlockObservation& observed, Cycles now) override;
   void reset() override;
 
+  /// Unified lifecycle API: fans out to the MPU, selector, ECU and fabric.
+  void attach_observability(TraceRecorder* trace,
+                            CounterRegistry* counters) override {
+    mpu_.attach_observability(trace, counters);
+    selector_.attach_observability(trace, counters);
+    ecu_.attach_observability(trace, counters);
+    fabric_.attach_observability(trace, counters);
+  }
+  bool attach_fault_model(FaultModel* model) override {
+    fabric_.attach_fault_model(model);
+    return true;
+  }
+
   const FabricManager& fabric() const { return fabric_; }
   const Ecu& ecu() const { return ecu_; }
 

@@ -12,6 +12,7 @@
 #include "arch/interconnect.h"
 #include "arch/reconfig_controller.h"
 #include "arch/scratchpad.h"
+#include "arch/tenant.h"
 
 // Instruction-set simulators
 #include "cgsim/cg_assembler.h"
@@ -46,6 +47,7 @@
 
 // Simulation & workloads
 #include "sim/app_simulator.h"
+#include "sim/arbiter.h"
 #include "sim/energy.h"
 #include "sim/fb_simulator.h"
 #include "sim/metrics.h"

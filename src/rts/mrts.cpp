@@ -1,6 +1,19 @@
 #include "rts/mrts.h"
 
+#include <stdexcept>
+
 namespace mrts {
+namespace {
+
+FabricManager& checked_binding_fabric(const TenantBinding& binding) {
+  if (binding.fabric == nullptr) {
+    throw std::invalid_argument(
+        "MRts: tenant binding has no fabric (tenant not admitted?)");
+  }
+  return *binding.fabric;
+}
+
+}  // namespace
 
 MRts::MRts(const IseLibrary& lib, unsigned num_cg_fabrics, unsigned num_prcs,
            MRtsConfig config)
@@ -44,6 +57,12 @@ MRts::MRts(const IseLibrary& lib, FabricManager& shared_fabric,
   }
 }
 
+MRts::MRts(const IseLibrary& lib, const TenantBinding& binding,
+           MRtsConfig config)
+    : MRts(lib, checked_binding_fabric(binding), config) {
+  tenant_ = binding.tenant;
+}
+
 std::string MRts::name() const {
   return config_.use_optimal_selector ? "mRTS(optimal)" : "mRTS";
 }
@@ -54,11 +73,30 @@ void MRts::attach_observability(TraceRecorder* trace,
   ecu_.attach_observability(trace, counters);
   heuristic_.attach_observability(trace, counters);
   optimal_.attach_observability(trace, counters);
-  fabric_->attach_observability(trace, counters);
+  const bool attaching = trace != nullptr || counters != nullptr;
+  if (owned_fabric_ != nullptr || fabric_observer_) {
+    // Own fabric, or this instance already holds the shared stream: forward
+    // (detaching with nulls releases the claim).
+    fabric_->attach_observability(trace, counters);
+    fabric_observer_ = owned_fabric_ == nullptr && attaching;
+  } else if (attaching && !fabric_->observability_attached()) {
+    // First tenant to attach claims the shared fabric's event stream; later
+    // tenants observe only their own units.
+    fabric_->attach_observability(trace, counters);
+    fabric_observer_ = true;
+  }
+}
+
+bool MRts::attach_fault_model(FaultModel* model) {
+  fabric_->attach_fault_model(model);
+  return true;
 }
 
 SelectionOutcome MRts::on_trigger(const TriggerInstruction& programmed,
                                   Cycles now) {
+  // From here on the fabric acts on behalf of this instance's tenant.
+  fabric_->set_active_tenant(tenant_);
+
   // Drain due scrub epochs first: upsets and quarantines must land before
   // the selector snapshots capacity, so it re-plans with the post-fault
   // fabric instead of tripping install()'s capacity check.
@@ -67,8 +105,14 @@ SelectionOutcome MRts::on_trigger(const TriggerInstruction& programmed,
   // MPU: replace the programmer's offline forecasts with monitored values.
   const TriggerInstruction refined = mpu_.refine(programmed);
 
-  // ISE selector, on a snapshot of the current fabric state.
+  // ISE selector, on a snapshot of the current fabric state. On an
+  // arbitrated fabric the budget is the tenant-visible capacity (own
+  // partition + pool share), so the selection never exceeds what install()
+  // would accept.
   ReconfigPlanner planner(lib_->data_paths(), *fabric_, now);
+  if (const FabricArbitration* arb = fabric_->arbitration()) {
+    planner.clamp_budget(arb->visible_prcs(tenant_), arb->visible_cg(tenant_));
+  }
   SelectionResult selection = config_.use_optimal_selector
                                   ? optimal_.select(refined, planner)
                                   : heuristic_.select(refined, planner);
@@ -120,6 +164,14 @@ SelectionOutcome MRts::on_trigger(const TriggerInstruction& programmed,
         ReconfigPlanner leftover(lib_->data_paths(),
                                  usage.usable_prcs() - usage.reserved_prcs,
                                  usage.usable_cg() - usage.reserved_cg, now);
+        if (const FabricArbitration* arb = fabric_->arbitration()) {
+          const unsigned vis_prcs = arb->visible_prcs(tenant_);
+          const unsigned vis_cg = arb->visible_cg(tenant_);
+          leftover.clamp_budget(
+              vis_prcs > usage.reserved_prcs ? vis_prcs - usage.reserved_prcs
+                                             : 0,
+              vis_cg > usage.reserved_cg ? vis_cg - usage.reserved_cg : 0);
+        }
         const SelectionResult speculative =
             heuristic_.select(next_refined, leftover);
         std::vector<IsePlacementRequest> future;
@@ -147,6 +199,8 @@ SelectionOutcome MRts::on_trigger(const TriggerInstruction& programmed,
 }
 
 ExecOutcome MRts::execute_kernel(KernelId k, Cycles now) {
+  // The ECU may touch the fabric (monoCG realization, context switches).
+  fabric_->set_active_tenant(tenant_);
   return ecu_.execute(k, now);
 }
 

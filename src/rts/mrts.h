@@ -82,8 +82,21 @@ class MRts final : public RuntimeSystem {
   /// reconfigurable processor: their installations evict each other's data
   /// paths exactly like the "fabric shared among various tasks" scenario of
   /// Section 1. \p shared_fabric must outlive this object; reset() leaves
-  /// it untouched (other tasks may still use it).
+  /// it untouched (other tasks may still use it). This is the *unmanaged*
+  /// sharing mode (tenant id kUnownedTenant, no arbitration); production
+  /// multi-tenant setups use the TenantBinding constructor below.
   MRts(const IseLibrary& lib, FabricManager& shared_fabric,
+       MRtsConfig config = {});
+
+  /// Tenant-bound shared-fabric construction (arch/tenant.h): binds this
+  /// instance to a tenant slot of an arbitrated fabric, as handed out by
+  /// FabricArbiter::binding() after registering the tenant. Every fabric
+  /// operation of this instance then runs as that tenant: placements are
+  /// confined to accessible containers, the selector plans with the
+  /// tenant-visible capacity, and evictions it causes are attributed to it.
+  /// Throws std::invalid_argument when the binding has no fabric (e.g. the
+  /// tenant was not admitted).
+  MRts(const IseLibrary& lib, const TenantBinding& binding,
        MRtsConfig config = {});
 
   std::string name() const override;
@@ -99,10 +112,27 @@ class MRts final : public RuntimeSystem {
   /// reconfiguration/occupancy timeline all land in one event stream.
   /// Either pointer may be null; passing both null detaches. The recorder
   /// must outlive this object (or be detached first) and — like the MRts
-  /// itself — must not be shared across threads. In shared-fabric mode the
-  /// fabric's events include installations of *other* tasks on the same
-  /// fabric; the last attachment wins there.
-  void attach_observability(TraceRecorder* trace, CounterRegistry* counters);
+  /// itself — must not be shared across threads.
+  ///
+  /// Shared-fabric contract (explicit, replacing the old "last attachment
+  /// wins"): the fabric's event stream has exactly one observer. The first
+  /// instance to attach claims it (its recorder then sees the fabric-side
+  /// events of *every* task on that fabric); later instances observe only
+  /// their own units. Attaching a different recorder directly over the
+  /// fabric's existing one throws std::logic_error
+  /// (FabricManager::attach_observability).
+  void attach_observability(TraceRecorder* trace,
+                            CounterRegistry* counters) override;
+
+  /// Unified lifecycle API: attaches \p model to this instance's fabric.
+  /// Throws std::logic_error when a different model is already attached
+  /// (e.g. by another task sharing the fabric, or by a fault-enabled
+  /// MRtsConfig) — the fault timeline of one fabric has one owner.
+  bool attach_fault_model(FaultModel* model) override;
+
+  /// Tenant this instance acts as on its fabric (kUnownedTenant unless
+  /// constructed from a TenantBinding).
+  TenantId tenant() const { return tenant_; }
 
   const FabricManager& fabric() const { return *fabric_; }
   bool owns_fabric() const { return owned_fabric_ != nullptr; }
@@ -119,9 +149,14 @@ class MRts final : public RuntimeSystem {
   MRtsConfig config_;
   std::unique_ptr<FabricManager> owned_fabric_;  ///< null in shared mode
   FabricManager* fabric_;
+  /// Tenant identity on fabric_ (kUnownedTenant = single-app/unmanaged).
+  TenantId tenant_ = kUnownedTenant;
+  /// True when this instance claimed the shared fabric's observability
+  /// stream (first attachment wins; see attach_observability).
+  bool fabric_observer_ = false;
   /// Owned injector, attached to fabric_ when config_.fault.any_faults().
-  /// In shared-fabric mode the attachment follows the same rule as
-  /// attach_observability: the last attachment wins.
+  /// Construction throws if the (shared) fabric already has a different
+  /// model attached — see attach_fault_model.
   std::unique_ptr<FaultModel> fault_model_;
   Mpu mpu_;
   HeuristicSelector heuristic_;

@@ -17,6 +17,7 @@
 /// mark()/rollback() restore any earlier state in O(#commits undone) without
 /// touching the (potentially large) existing-instance snapshot.
 
+#include <algorithm>
 #include <cstdint>
 #include <unordered_map>
 #include <vector>
@@ -78,6 +79,17 @@ class ReconfigPlanner {
   /// Remaining fabric budget (total minus units of committed ISEs).
   unsigned free_prcs() const { return free_prcs_; }
   unsigned free_cg() const { return free_cg_; }
+
+  /// Restricts the budget to what a fabric tenant may actually place into
+  /// (FabricArbitration::visible_prcs/visible_cg). Call right after
+  /// construction, before any commit(): the tenant-bound selector then
+  /// never plans a selection its arbiter would make install() degrade.
+  /// plan()'s *output* does not depend on the budget, so the profit-cache
+  /// key (which omits it) stays exact.
+  void clamp_budget(unsigned max_prcs, unsigned max_cg) {
+    free_prcs_ = std::min(free_prcs_, max_prcs);
+    free_cg_ = std::min(free_cg_, max_cg);
+  }
 
   /// Does an ISE with the given demand still fit?
   bool fits(unsigned fg_units, unsigned cg_units) const {

@@ -15,6 +15,10 @@
 
 namespace mrts {
 
+class TraceRecorder;
+class CounterRegistry;
+class FaultModel;
+
 /// Which implementation the Execution Control Unit used for one execution.
 enum class ImplKind : std::uint8_t {
   kRisc = 0,         ///< core instruction set only
@@ -86,6 +90,31 @@ class RuntimeSystem {
 
   /// Power-on reset (clears fabric contents and learned state).
   virtual void reset() = 0;
+
+  // --- Unified lifecycle API -----------------------------------------------
+  // Every run-time system is driven through the same attach points, so the
+  // CLI, the benches and the multi-task simulator never need the concrete
+  // type: construct -> attach_observability -> attach_fault_model -> run.
+
+  /// Attaches a flight recorder / counter registry (util/trace.h,
+  /// util/counters.h) to every unit of this run-time system; either pointer
+  /// may be null, both null detaches. Default: the RTS records nothing
+  /// (e.g. the RISC-only baseline has no units to instrument).
+  virtual void attach_observability(TraceRecorder* trace,
+                                    CounterRegistry* counters) {
+    (void)trace;
+    (void)counters;
+  }
+
+  /// Attaches a deterministic fault injector to the RTS's reconfigurable
+  /// fabric (nullptr detaches). Returns false when the RTS has no fabric to
+  /// fault (the default — e.g. RISC-only). Throws std::logic_error if a
+  /// different model is already attached to the fabric (see
+  /// FabricManager::attach_fault_model).
+  virtual bool attach_fault_model(FaultModel* model) {
+    (void)model;
+    return false;
+  }
 };
 
 }  // namespace mrts

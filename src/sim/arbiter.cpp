@@ -1,0 +1,286 @@
+#include "sim/arbiter.h"
+
+#include <stdexcept>
+
+namespace mrts {
+
+FabricArbiter::FabricArbiter(FabricManager& fabric) : fabric_(&fabric) {
+  prc_partition_.assign(fabric.num_prcs(), kUnownedTenant);
+  cg_partition_.assign(fabric.num_cg_fabrics(), kUnownedTenant);
+  fabric_->attach_arbitration(this);
+}
+
+FabricArbiter::~FabricArbiter() { fabric_->attach_arbitration(nullptr); }
+
+FabricArbiter::Registration FabricArbiter::register_tenant(
+    std::string name, TenantPolicy policy) {
+  if (policy.share == TenantShare::kWeighted && policy.weight == 0) {
+    throw std::invalid_argument(
+        "FabricArbiter::register_tenant: weighted tenant needs weight >= 1");
+  }
+  tenants_.push_back(Tenant{std::move(name), policy, true, "", {}});
+  const TenantId id = static_cast<TenantId>(tenants_.size());
+  Tenant& tenant = tenants_.back();
+
+  if (policy.share == TenantShare::kReserved) {
+    // Assign the partition from the lowest-index unpartitioned usable
+    // containers; on failure roll the partial assignment back and register
+    // the tenant as not admitted.
+    std::vector<unsigned> taken_prcs;
+    std::vector<unsigned> taken_cg;
+    for (unsigned i = 0;
+         i < prc_partition_.size() && taken_prcs.size() < policy.reserved_prcs;
+         ++i) {
+      if (prc_partition_[i] == kUnownedTenant &&
+          !fabric_->prc_quarantined(i)) {
+        prc_partition_[i] = id;
+        taken_prcs.push_back(i);
+      }
+    }
+    for (unsigned i = 0;
+         i < cg_partition_.size() && taken_cg.size() < policy.reserved_cg;
+         ++i) {
+      if (cg_partition_[i] == kUnownedTenant && !fabric_->cg_quarantined(i)) {
+        cg_partition_[i] = id;
+        taken_cg.push_back(i);
+      }
+    }
+    if (taken_prcs.size() < policy.reserved_prcs ||
+        taken_cg.size() < policy.reserved_cg) {
+      for (unsigned i : taken_prcs) prc_partition_[i] = kUnownedTenant;
+      for (unsigned i : taken_cg) cg_partition_[i] = kUnownedTenant;
+      tenant.registered_ok = false;
+      tenant.reject_reason =
+          "reservation exceeds usable capacity (" +
+          std::to_string(policy.reserved_prcs) + " PRCs, " +
+          std::to_string(policy.reserved_cg) + " CG fabrics requested)";
+    }
+  }
+
+  // Recompute the equal-weights degenerate-case flag over weighted tenants.
+  equal_weights_ = true;
+  unsigned first_weight = 0;
+  for (const Tenant& t : tenants_) {
+    if (t.policy.share != TenantShare::kWeighted) continue;
+    if (first_weight == 0) {
+      first_weight = t.policy.weight;
+    } else if (t.policy.weight != first_weight) {
+      equal_weights_ = false;
+      break;
+    }
+  }
+
+  Registration reg;
+  reg.id = id;
+  reg.admitted = tenant.registered_ok;
+  reg.reason = tenant.reject_reason;
+  return reg;
+}
+
+TenantBinding FabricArbiter::binding(TenantId id) const {
+  if (!admitted(id)) return TenantBinding{};
+  return TenantBinding{fabric_, id};
+}
+
+bool FabricArbiter::admitted(TenantId id) const {
+  const Tenant* t = find(id);
+  if (t == nullptr || !t->registered_ok) return false;
+  if (t->policy.share != TenantShare::kReserved) return true;
+  // Quarantines after registration shrink the partition; the reservation
+  // must still fit the usable capacity.
+  unsigned usable_prcs = 0;
+  for (unsigned i = 0; i < prc_partition_.size(); ++i) {
+    if (prc_partition_[i] == id && !fabric_->prc_quarantined(i)) ++usable_prcs;
+  }
+  unsigned usable_cg = 0;
+  for (unsigned i = 0; i < cg_partition_.size(); ++i) {
+    if (cg_partition_[i] == id && !fabric_->cg_quarantined(i)) ++usable_cg;
+  }
+  return usable_prcs >= t->policy.reserved_prcs &&
+         usable_cg >= t->policy.reserved_cg;
+}
+
+std::string FabricArbiter::admission_reason(TenantId id) const {
+  const Tenant* t = find(id);
+  if (t == nullptr) return "unknown tenant";
+  if (!t->registered_ok) return t->reject_reason;
+  if (!admitted(id)) {
+    return "quarantined capacity no longer fits the reservation";
+  }
+  return "";
+}
+
+const std::string& FabricArbiter::tenant_name(TenantId id) const {
+  const Tenant* t = find(id);
+  if (t == nullptr) {
+    throw std::out_of_range("FabricArbiter::tenant_name: unknown tenant");
+  }
+  return t->name;
+}
+
+const TenantPolicy& FabricArbiter::policy(TenantId id) const {
+  const Tenant* t = find(id);
+  if (t == nullptr) {
+    throw std::out_of_range("FabricArbiter::policy: unknown tenant");
+  }
+  return t->policy;
+}
+
+const TenantStats& FabricArbiter::stats(TenantId id) const {
+  const Tenant* t = find(id);
+  if (t == nullptr) {
+    throw std::out_of_range("FabricArbiter::stats: unknown tenant");
+  }
+  return t->stats;
+}
+
+std::vector<unsigned> FabricArbiter::partition_prcs(TenantId id) const {
+  std::vector<unsigned> out;
+  for (unsigned i = 0; i < prc_partition_.size(); ++i) {
+    if (prc_partition_[i] == id) out.push_back(i);
+  }
+  return out;
+}
+
+std::vector<unsigned> FabricArbiter::partition_cg(TenantId id) const {
+  std::vector<unsigned> out;
+  for (unsigned i = 0; i < cg_partition_.size(); ++i) {
+    if (cg_partition_[i] == id) out.push_back(i);
+  }
+  return out;
+}
+
+bool FabricArbiter::may_place(TenantId tenant, Grain grain,
+                              unsigned index) const {
+  const auto& partition =
+      grain == Grain::kFine ? prc_partition_ : cg_partition_;
+  if (index >= partition.size()) return false;
+  const Tenant* t = find(tenant);
+  if (t != nullptr && t->policy.share == TenantShare::kReserved) {
+    return partition[index] == tenant;
+  }
+  // Pool tenants (weighted/best-effort) and unmanaged users share the
+  // unpartitioned containers.
+  return partition[index] == kUnownedTenant;
+}
+
+bool FabricArbiter::prefer_evict(TenantId tenant, TenantId owner,
+                                 Grain grain) const {
+  const Tenant* o = find(owner);
+  if (o == nullptr) return false;  // unmanaged owner: native order
+  const Tenant* t = find(tenant);
+  const TenantShare requester_share =
+      t != nullptr ? t->policy.share : TenantShare::kBestEffort;
+  switch (o->policy.share) {
+    case TenantShare::kBestEffort:
+      // Entitled tenants reclaim from best-effort ones first; between
+      // best-effort peers there is no hierarchy.
+      return requester_share != TenantShare::kBestEffort;
+    case TenantShare::kWeighted:
+      // Quota preference only exists when weights actually differ: with
+      // all-equal weights every tenant has the same entitlement and the
+      // fabric's native victim order applies (the legacy degenerate case).
+      return !equal_weights_ && over_quota(*o, owner, grain);
+    case TenantShare::kReserved:
+      // Unreachable via placement (partitions are inaccessible to others),
+      // and never preferred.
+      return false;
+  }
+  return false;
+}
+
+unsigned FabricArbiter::pool_capacity(Grain grain) const {
+  const auto& partition =
+      grain == Grain::kFine ? prc_partition_ : cg_partition_;
+  unsigned n = 0;
+  for (unsigned i = 0; i < partition.size(); ++i) {
+    if (partition[i] != kUnownedTenant) continue;
+    const bool quarantined = grain == Grain::kFine
+                                 ? fabric_->prc_quarantined(i)
+                                 : fabric_->cg_quarantined(i);
+    if (!quarantined) ++n;
+  }
+  return n;
+}
+
+std::uint64_t FabricArbiter::total_weight() const {
+  std::uint64_t sum = 0;
+  for (const Tenant& t : tenants_) {
+    if (t.policy.share == TenantShare::kWeighted) sum += t.policy.weight;
+  }
+  return sum;
+}
+
+bool FabricArbiter::over_quota(const Tenant& owner, TenantId owner_id,
+                               Grain grain) const {
+  const std::uint64_t sum = total_weight();
+  if (sum == 0) return false;
+  const unsigned owned = grain == Grain::kFine ? fabric_->owned_prcs(owner_id)
+                                               : fabric_->owned_cg(owner_id);
+  // owned / pool > weight / sum, in integers.
+  return static_cast<std::uint64_t>(owned) * sum >
+         static_cast<std::uint64_t>(pool_capacity(grain)) *
+             owner.policy.weight;
+}
+
+unsigned FabricArbiter::visible_prcs(TenantId tenant) const {
+  const Tenant* t = find(tenant);
+  if (t != nullptr && t->policy.share == TenantShare::kReserved) {
+    unsigned n = 0;
+    for (unsigned i = 0; i < prc_partition_.size(); ++i) {
+      if (prc_partition_[i] == tenant && !fabric_->prc_quarantined(i)) ++n;
+    }
+    return n;
+  }
+  // Soft quotas bias eviction, not planning: pool tenants may plan with the
+  // whole pool.
+  return pool_capacity(Grain::kFine);
+}
+
+unsigned FabricArbiter::visible_cg(TenantId tenant) const {
+  const Tenant* t = find(tenant);
+  if (t != nullptr && t->policy.share == TenantShare::kReserved) {
+    unsigned n = 0;
+    for (unsigned i = 0; i < cg_partition_.size(); ++i) {
+      if (cg_partition_[i] == tenant && !fabric_->cg_quarantined(i)) ++n;
+    }
+    return n;
+  }
+  return pool_capacity(Grain::kCoarse);
+}
+
+void FabricArbiter::note_eviction(TenantId tenant, TenantId owner, Grain grain,
+                                  Cycles at) {
+  (void)grain;
+  (void)at;
+  if (Tenant* t = find(tenant)) ++t->stats.evictions_caused;
+  if (Tenant* o = find(owner)) ++o->stats.evictions_suffered;
+}
+
+void FabricArbiter::note_quota_redirect(TenantId tenant, TenantId owner,
+                                        Grain grain, Cycles at) {
+  (void)tenant;
+  (void)grain;
+  (void)at;
+  if (Tenant* o = find(owner)) ++o->stats.quota_redirects;
+}
+
+void FabricArbiter::note_quarantine(TenantId owner, Grain grain, Cycles at) {
+  (void)grain;
+  (void)at;
+  if (Tenant* o = find(owner)) ++o->stats.quarantines_suffered;
+}
+
+double jain_fairness_index(const std::vector<double>& xs) {
+  if (xs.empty()) return 1.0;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (double x : xs) {
+    sum += x;
+    sum_sq += x * x;
+  }
+  if (sum_sq == 0.0) return 1.0;
+  return (sum * sum) / (static_cast<double>(xs.size()) * sum_sq);
+}
+
+}  // namespace mrts

@@ -1,10 +1,120 @@
 #include "sim/multi_app.h"
 
+#include <limits>
 #include <stdexcept>
 
+#include "sim/arbiter.h"
 #include "sim/fb_simulator.h"
 
 namespace mrts {
+namespace {
+
+constexpr Cycles kNoDeadline = std::numeric_limits<Cycles>::max();
+
+/// Scheduling key: higher priority first, then earlier deadline (none =
+/// latest). The cyclic-order tiebreak lives in the scan order of the caller.
+bool strictly_better(const Task& a, const Task& b) {
+  if (a.priority != b.priority) return a.priority > b.priority;
+  const Cycles da = a.deadline == 0 ? kNoDeadline : a.deadline;
+  const Cycles db = b.deadline == 0 ? kNoDeadline : b.deadline;
+  return da < db;
+}
+
+}  // namespace
+
+MultiTenantResult run_multi_tenant(const std::vector<Task>& tasks,
+                                   FabricArbiter* arbiter, Cycles start) {
+  for (const Task& t : tasks) {
+    if (t.rts == nullptr || t.trace == nullptr) {
+      throw std::invalid_argument("run_multi_tenant: null task member");
+    }
+    if (t.slice_blocks == 0) {
+      throw std::invalid_argument("run_multi_tenant: zero slice weight");
+    }
+    if (t.tenant != kUnownedTenant) {
+      if (arbiter == nullptr) {
+        throw std::invalid_argument(
+            "run_multi_tenant: task '" + t.name +
+            "' names a tenant but no arbiter was given");
+      }
+      if (!arbiter->known(t.tenant)) {
+        throw std::invalid_argument("run_multi_tenant: task '" + t.name +
+                                    "' names an unknown tenant id");
+      }
+    }
+  }
+
+  MultiTenantResult result;
+  result.tasks.resize(tasks.size());
+  std::vector<std::size_t> next_block(tasks.size(), 0);
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    MultiTenantTaskResult& tr = result.tasks[i];
+    tr.run.name = tasks[i].name;
+    tr.tenant = tasks[i].tenant;
+    // Admission control: a tenant whose reservation no longer fits the
+    // usable (post-quarantine) capacity is bounced before running anything.
+    if (tasks[i].tenant != kUnownedTenant &&
+        !arbiter->admitted(tasks[i].tenant)) {
+      tr.admitted = false;
+      tr.admission_reason = arbiter->admission_reason(tasks[i].tenant);
+      next_block[i] = tasks[i].trace->blocks.size();  // nothing to run
+    }
+  }
+
+  Cycles cursor = start;
+  // Cyclic tiebreak state: the scan for the next task starts right after the
+  // previously scheduled one, so equal-priority tasks take turns exactly
+  // like the legacy round-robin.
+  std::size_t last = tasks.size() - 1;
+  for (;;) {
+    // Earliest release among unfinished-but-unreleased tasks, in case the
+    // core has to idle.
+    Cycles next_release = kNoDeadline;
+    std::size_t pick = tasks.size();
+    for (std::size_t step = 1; step <= tasks.size(); ++step) {
+      const std::size_t i = (last + step) % tasks.size();
+      if (next_block[i] >= tasks[i].trace->blocks.size()) continue;
+      if (tasks[i].release > cursor) {
+        if (tasks[i].release < next_release) next_release = tasks[i].release;
+        continue;
+      }
+      if (pick == tasks.size() || strictly_better(tasks[i], tasks[pick])) {
+        pick = i;
+      }
+    }
+    if (pick == tasks.size()) {
+      if (next_release == kNoDeadline) break;  // all tasks finished
+      cursor = next_release;  // idle until the next task is released
+      continue;
+    }
+
+    for (unsigned slice = 0; slice < tasks[pick].slice_blocks; ++slice) {
+      if (next_block[pick] >= tasks[pick].trace->blocks.size()) break;
+      const FunctionalBlockInstance& block =
+          tasks[pick].trace->blocks[next_block[pick]++];
+      const FbRunResult r =
+          run_block(*tasks[pick].rts, block, cursor, tasks[pick].recorder);
+      cursor += r.cycles;
+      TaskRunResult& task_result = result.tasks[pick].run;
+      task_result.active_cycles += r.cycles;
+      task_result.finished_at = cursor;
+      task_result.block_cycles.push_back(r.cycles);
+      for (std::size_t k = 0; k < kNumImplKinds; ++k) {
+        task_result.impl_executions[k] += r.impl_executions[k];
+      }
+    }
+    last = pick;
+  }
+
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    MultiTenantTaskResult& tr = result.tasks[i];
+    if (tr.admitted && tasks[i].deadline != 0) {
+      tr.deadline_met = tr.run.finished_at <= tasks[i].deadline;
+    }
+  }
+  result.total_cycles = cursor - start;
+  return result;
+}
 
 TimeSlicedResult run_time_sliced(const std::vector<Task>& tasks,
                                  Cycles start) {
@@ -16,38 +126,13 @@ TimeSlicedResult run_time_sliced(const std::vector<Task>& tasks,
       throw std::invalid_argument("run_time_sliced: zero slice weight");
     }
   }
-
+  MultiTenantResult mt = run_multi_tenant(tasks, nullptr, start);
   TimeSlicedResult result;
-  result.tasks.resize(tasks.size());
-  std::vector<std::size_t> next_block(tasks.size(), 0);
-  for (std::size_t i = 0; i < tasks.size(); ++i) {
-    result.tasks[i].name = tasks[i].name;
+  result.total_cycles = mt.total_cycles;
+  result.tasks.reserve(mt.tasks.size());
+  for (MultiTenantTaskResult& tr : mt.tasks) {
+    result.tasks.push_back(std::move(tr.run));
   }
-
-  Cycles cursor = start;
-  bool any_left = true;
-  while (any_left) {
-    any_left = false;
-    for (std::size_t i = 0; i < tasks.size(); ++i) {
-      for (unsigned slice = 0; slice < tasks[i].slice_blocks; ++slice) {
-        if (next_block[i] >= tasks[i].trace->blocks.size()) break;
-        any_left = true;
-        const FunctionalBlockInstance& block =
-            tasks[i].trace->blocks[next_block[i]++];
-        const FbRunResult r =
-            run_block(*tasks[i].rts, block, cursor, tasks[i].recorder);
-        cursor += r.cycles;
-        TaskRunResult& task_result = result.tasks[i];
-        task_result.active_cycles += r.cycles;
-        task_result.finished_at = cursor;
-        task_result.block_cycles.push_back(r.cycles);
-        for (std::size_t k = 0; k < kNumImplKinds; ++k) {
-          task_result.impl_executions[k] += r.impl_executions[k];
-        }
-      }
-    }
-  }
-  result.total_cycles = cursor - start;
   return result;
 }
 

@@ -1,19 +1,25 @@
 #pragma once
 /// \file multi_app.h
 /// Multi-task simulation: several applications time-share the core processor
-/// (round-robin at functional-block granularity) while their run-time
-/// systems share one reconfigurable fabric. This is the "available fabric
-/// shared among various tasks" scenario of Section 1: one task's
-/// installation may evict another task's data paths, and each task's RTS
-/// must re-select under whatever it finds when its turn comes.
+/// while their run-time systems share one reconfigurable fabric. This is the
+/// "available fabric shared among various tasks" scenario of Section 1: one
+/// task's installation may evict another task's data paths, and each task's
+/// RTS must re-select under whatever it finds when its turn comes.
 ///
-/// Use MRts's shared-fabric constructor to bind every task's RTS to the
-/// same FabricManager.
+/// Two entry points:
+///  * run_time_sliced — the legacy weighted round-robin free-for-all
+///    (unmanaged sharing via MRts's shared-fabric constructor);
+///  * run_multi_tenant — the event-driven generalization: priorities,
+///    releases, per-task deadlines and (optionally) a FabricArbiter doing
+///    admission control and tenant-aware placement. With default task fields
+///    and no arbiter it reproduces run_time_sliced exactly — run_time_sliced
+///    is in fact a wrapper over it.
 
 #include <array>
 #include <string>
 #include <vector>
 
+#include "arch/tenant.h"
 #include "rts/rts_interface.h"
 #include "sim/schedule.h"
 #include "util/types.h"
@@ -21,6 +27,7 @@
 namespace mrts {
 
 class TraceRecorder;
+class FabricArbiter;
 
 /// One task: a run-time system instance plus its application trace.
 struct Task {
@@ -28,12 +35,24 @@ struct Task {
   RuntimeSystem* rts = nullptr;           ///< not owned
   const ApplicationTrace* trace = nullptr;  ///< not owned
   /// Scheduling weight: number of consecutive functional blocks the task
-  /// executes per round-robin turn (>= 1). Higher weight = larger share of
-  /// the core and fewer fabric-eviction boundaries.
+  /// executes per turn (>= 1). Higher weight = larger share of the core and
+  /// fewer fabric-eviction boundaries.
   unsigned slice_blocks = 1;
   /// Optional flight recorder for this task's block begin/end events (not
   /// owned). Typically the same recorder attached to the task's RTS.
   TraceRecorder* recorder = nullptr;
+  /// Scheduling priority (run_multi_tenant only): higher runs first among
+  /// released tasks. 0 (the default) keeps plain round-robin order.
+  unsigned priority = 0;
+  /// Absolute cycle before which the task may not run (0 = released at
+  /// start). run_multi_tenant only.
+  Cycles release = 0;
+  /// Absolute completion deadline, reported (not enforced) in the result;
+  /// 0 = none. Among equal priorities the earliest deadline runs first.
+  Cycles deadline = 0;
+  /// Tenant this task's RTS acts as on the shared fabric. Non-default values
+  /// require an arbiter that knows the id (run_multi_tenant validates).
+  TenantId tenant = kUnownedTenant;
 };
 
 struct TaskRunResult {
@@ -52,12 +71,48 @@ struct TimeSlicedResult {
   std::vector<TaskRunResult> tasks;
 };
 
+/// Per-task outcome of run_multi_tenant.
+struct MultiTenantTaskResult {
+  TaskRunResult run;
+  TenantId tenant = kUnownedTenant;
+  /// False when the arbiter bounced the task's tenant (reservation no longer
+  /// fits the usable post-quarantine capacity): the task ran zero blocks.
+  bool admitted = true;
+  std::string admission_reason;  ///< why admission failed ("" when admitted)
+  /// finished_at <= deadline; vacuously true without a deadline or when the
+  /// task was bounced before running.
+  bool deadline_met = true;
+};
+
+struct MultiTenantResult {
+  Cycles total_cycles = 0;  ///< end of the last block of any admitted task
+  std::vector<MultiTenantTaskResult> tasks;
+};
+
 /// Runs all tasks to completion, weighted round-robin (slice_blocks
 /// functional blocks per turn) on the single core. Tasks are NOT reset
 /// (callers decide whether learned state carries over); the shared fabric
 /// keeps whatever the interleaved installations left behind. Throws
 /// std::invalid_argument on null task members or zero slice weights.
+/// Equivalent to run_multi_tenant with default priority/release/deadline/
+/// tenant fields and no arbiter (it is implemented as exactly that).
 TimeSlicedResult run_time_sliced(const std::vector<Task>& tasks,
                                  Cycles start = 0);
+
+/// Event-driven multi-tenant scheduler. Each turn, among the unfinished
+/// tasks whose release has passed, it picks the highest priority, breaking
+/// ties by earliest deadline (none = latest) and then by cyclic order after
+/// the previously scheduled task — which, with all-default fields, is the
+/// legacy round-robin. When no unfinished task is released the clock jumps
+/// to the earliest release. With an \p arbiter, tasks whose tenant is not
+/// (or no longer) admitted are bounced up front: they run zero blocks and
+/// carry the arbiter's admission_reason.
+///
+/// Throws std::invalid_argument on null task members, zero slice weights, a
+/// non-default tenant id without an arbiter, or a tenant id the arbiter does
+/// not know.
+MultiTenantResult run_multi_tenant(const std::vector<Task>& tasks,
+                                   FabricArbiter* arbiter = nullptr,
+                                   Cycles start = 0);
 
 }  // namespace mrts

@@ -27,6 +27,8 @@ constexpr std::array<const char*, kNumTraceEventKinds> kKindNames = {
     // trace-summary table matches the counter names one-to-one.
     "fault.inject",    "reconfig.retry",    "prc.quarantined",
     "scrub.repair",    "selector.cache",
+    // Multi-tenant arbitration kinds (dotted, matching their counters).
+    "tenant.eviction", "tenant.quota_hit",
 };
 
 /// Must match ImplKind in rts/rts_interface.h (util cannot include rts
@@ -129,6 +131,12 @@ std::string event_label(const TraceEvent& e, const IseLibrary* lib) {
       return dp_name(lib, e.arg0) + ": scrub repair";
     case TraceEventKind::kSelectorCacheStats:
       return "profit cache hits/misses";
+    case TraceEventKind::kTenantEviction:
+      return "tenant " + std::to_string(static_cast<std::uint64_t>(e.v0)) +
+             " evicted tenant " + std::to_string(e.arg0);
+    case TraceEventKind::kTenantQuotaHit:
+      return "eviction redirected onto over-quota tenant " +
+             std::to_string(e.arg0);
   }
   return "?";
 }

@@ -67,8 +67,14 @@ enum class TraceEventKind : std::uint8_t {
                      ///< arg1 = grain, v0 = repaired ready cycle)
   kSelectorCacheStats, ///< profit-cache tally of one select() call
                        ///< (v0 = hits, v1 = misses)
+  kTenantEviction,     ///< a placement destroyed another tenant's data path
+                       ///< (arg0 = victim owner, arg1 = grain, v0 = evicting
+                       ///< tenant, track = container)
+  kTenantQuotaHit,     ///< eviction redirected onto an over-quota /
+                       ///< best-effort tenant's coldest container (arg0 =
+                       ///< redirected-to owner, arg1 = grain, v0 = requester)
 };
-inline constexpr std::size_t kNumTraceEventKinds = 18;
+inline constexpr std::size_t kNumTraceEventKinds = 20;
 
 const char* to_string(TraceEventKind kind);
 std::optional<TraceEventKind> trace_kind_from_string(std::string_view name);

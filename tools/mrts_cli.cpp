@@ -20,6 +20,14 @@
 //       Malformed values (negative/NaN rates, out-of-range seeds) are
 //       input errors: exit code 2, never silently clamped.
 //
+//   mrts_cli run-multi <prcs> <cg> <blocks> <NAME=POLICY[:ARG][@PRIO]> ...
+//       Multi-tenant simulation: one synthetic task per spec, every task's
+//       MRts bound to one shared fabric behind a FabricArbiter. POLICY is
+//       `weighted` (ARG = weight >= 1, default 1), `reserved`
+//       (ARG = <prcs>+<cg>, e.g. 2+1) or `best-effort` (no ARG); @PRIO sets
+//       the scheduling priority (default 0). Tenants whose reservation does
+//       not fit are bounced by admission control and reported as such.
+//
 //   mrts_cli trace-summary <trace.jsonl>
 //       Validate a JSONL trace and print per-kind event counts.
 //
@@ -53,6 +61,10 @@ int usage() {
                "[--trace <file.json|file.jsonl>]\n"
                "           [--fault-rate <p>] [--fault-seed <n>] "
                "[--max-retries <n>]\n"
+               "  mrts_cli run-multi <prcs> <cg> <blocks> "
+               "<NAME=POLICY[:ARG][@PRIO]> ...\n"
+               "           POLICY: weighted[:W] | reserved:<P>+<C> | "
+               "best-effort\n"
                "  mrts_cli trace-summary <trace.jsonl>\n"
                "exit codes: 0 success, 1 usage error, 2 input error\n");
   return 1;
@@ -216,8 +228,13 @@ int cmd_run(const std::string& which, unsigned prcs, unsigned cg,
   CounterRegistry counters;
 
   TextTable table({"run-time system", "Mcycles", "speedup"});
-  auto report = [&](RuntimeSystem& rts, TraceRecorder* rec = nullptr) {
-    const AppRunResult r = run_application(rts, *trace, rec);
+  // Every system runs through the uniform RuntimeSystem lifecycle API:
+  // attach_observability is a base-interface call (default no-op for systems
+  // without instrumentation), so no concrete-type special casing is needed.
+  auto report = [&](RuntimeSystem& rts, bool instrument = false) {
+    if (instrument) rts.attach_observability(&recorder, &counters);
+    const AppRunResult r =
+        run_application(rts, *trace, instrument ? &recorder : nullptr);
     table.add_values(r.rts_name, format_mcycles(r.total_cycles),
                      speedup(risc_run.total_cycles, r.total_cycles));
   };
@@ -225,8 +242,7 @@ int cmd_run(const std::string& which, unsigned prcs, unsigned cg,
   MRtsConfig mrts_config;
   mrts_config.fault = fault;  // baselines stay fault-free for comparison
   MRts mrts_rts(*lib, cg, prcs, mrts_config);
-  if (traced) mrts_rts.attach_observability(&recorder, &counters);
-  report(mrts_rts, traced ? &recorder : nullptr);
+  report(mrts_rts, traced);
   RisppRts rispp(*lib, cg, prcs);
   report(rispp);
   Morpheus4sRts morpheus(*lib, cg, prcs, profile);
@@ -270,6 +286,199 @@ int cmd_run(const std::string& which, unsigned prcs, unsigned cg,
                 trace_path.c_str(),
                 jsonl ? "JSON Lines" : "Chrome trace-event JSON");
     print_counters(counters);
+  }
+  return 0;
+}
+
+/// One `NAME=POLICY[:ARG][@PRIO]` task spec of the run-multi verb.
+struct TaskSpec {
+  std::string name;
+  TenantPolicy policy;
+};
+
+/// Strict bounded-unsigned parser (full token, digits only).
+bool parse_bounded(const std::string& s, std::uint64_t max, unsigned* out) {
+  std::uint64_t v = 0;
+  if (!parse_seed(s.c_str(), &v) || v > max) return false;
+  *out = static_cast<unsigned>(v);
+  return true;
+}
+
+/// Parses a run-multi task spec. Malformed specs are input errors (exit 2):
+/// the caller prints \p err and bails, nothing is silently defaulted.
+bool parse_task_spec(const std::string& spec, TaskSpec* out,
+                     std::string* err) {
+  const std::size_t eq = spec.find('=');
+  if (eq == std::string::npos || eq == 0) {
+    *err = "expected NAME=POLICY[:ARG][@PRIO]";
+    return false;
+  }
+  out->name = spec.substr(0, eq);
+  std::string rest = spec.substr(eq + 1);
+
+  const std::size_t at = rest.find('@');
+  if (at != std::string::npos) {
+    if (!parse_bounded(rest.substr(at + 1), 1000000, &out->policy.priority)) {
+      *err = "bad priority '" + rest.substr(at + 1) +
+             "' (expected an integer in [0,1000000])";
+      return false;
+    }
+    rest = rest.substr(0, at);
+  }
+
+  const std::size_t colon = rest.find(':');
+  const std::string policy = rest.substr(0, colon);
+  const std::string arg =
+      colon == std::string::npos ? "" : rest.substr(colon + 1);
+  if (policy == "weighted") {
+    out->policy.share = TenantShare::kWeighted;
+    out->policy.weight = 1;
+    if (!arg.empty() && !parse_bounded(arg, 1000, &out->policy.weight)) {
+      *err = "bad weight '" + arg + "' (expected an integer in [0,1000])";
+      return false;
+    }
+    if (out->policy.weight == 0) {
+      *err = "weighted tenants need a weight >= 1";
+      return false;
+    }
+  } else if (policy == "reserved") {
+    out->policy.share = TenantShare::kReserved;
+    const std::size_t plus = arg.find('+');
+    if (plus == std::string::npos ||
+        !parse_bounded(arg.substr(0, plus), 1000, &out->policy.reserved_prcs) ||
+        !parse_bounded(arg.substr(plus + 1), 1000, &out->policy.reserved_cg)) {
+      *err = "bad reservation '" + arg + "' (expected <prcs>+<cg>, e.g. 2+1)";
+      return false;
+    }
+    if (out->policy.reserved_prcs + out->policy.reserved_cg == 0) {
+      *err = "reserved tenants need a non-empty reservation";
+      return false;
+    }
+  } else if (policy == "best-effort") {
+    out->policy.share = TenantShare::kBestEffort;
+    if (!arg.empty()) {
+      *err = "best-effort takes no ':" + arg + "' argument";
+      return false;
+    }
+  } else {
+    *err = "unknown policy '" + policy +
+           "' (expected weighted, reserved or best-effort)";
+    return false;
+  }
+  return true;
+}
+
+int cmd_run_multi(unsigned prcs, unsigned cg, unsigned blocks,
+                  const std::vector<std::string>& spec_args) {
+  std::vector<TaskSpec> specs;
+  for (const std::string& raw_spec : spec_args) {
+    TaskSpec spec;
+    std::string err;
+    if (!parse_task_spec(raw_spec, &spec, &err)) {
+      std::fprintf(stderr, "error: bad task spec '%s': %s\n",
+                   raw_spec.c_str(), err.c_str());
+      return 2;
+    }
+    for (const TaskSpec& prev : specs) {
+      if (prev.name == spec.name) {
+        std::fprintf(stderr, "error: duplicate task name '%s'\n",
+                     spec.name.c_str());
+        return 2;
+      }
+    }
+    specs.push_back(std::move(spec));
+  }
+
+  // One synthetic kernel + application per task, all built into one combined
+  // library so every MRts shares the fabric's data-path table.
+  IseLibrary combined;
+  std::vector<KernelId> kernels;
+  for (const TaskSpec& spec : specs) {
+    IseBuildSpec build;
+    build.kernel_name = spec.name;
+    build.sw_latency = 700;
+    build.control_fraction = 0.4;
+    build.fg_data_path_names = {spec.name + "_ctrl_fg", spec.name + "_dp_fg"};
+    build.cg_data_path_names = {spec.name + "_mac_cg"};
+    build.fg_control_dps = 1;
+    build.cg_data_dps = 1;
+    kernels.push_back(build_kernel_ises(combined, build));
+  }
+  std::vector<ApplicationTrace> traces(specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    Rng rng(1000 + i);
+    for (unsigned b = 0; b < blocks; ++b) {
+      FunctionalBlockInstance inst = make_block_instance(
+          FunctionalBlockId{0}, /*macroblocks=*/400, {{kernels[i], 8.0, 25, 0.1}},
+          /*entry_gap=*/200, /*tail_gap=*/200, rng);
+      stamp_programmed_trigger(inst, combined);
+      traces[i].blocks.push_back(std::move(inst));
+    }
+  }
+
+  FabricManager shared(cg, prcs, &combined.data_paths());
+  FabricArbiter arbiter(shared);
+  std::vector<FabricArbiter::Registration> regs;
+  std::vector<std::unique_ptr<MRts>> systems(specs.size());
+  std::vector<Task> tasks;
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    regs.push_back(arbiter.register_tenant(specs[i].name, specs[i].policy));
+    if (!regs.back().admitted) continue;  // bounced: reported below
+    systems[i] = std::make_unique<MRts>(combined, arbiter.binding(regs[i].id));
+    Task task;
+    task.name = specs[i].name;
+    task.rts = systems[i].get();
+    task.trace = &traces[i];
+    task.priority = specs[i].policy.priority;
+    task.tenant = regs[i].id;
+    tasks.push_back(std::move(task));
+  }
+  const MultiTenantResult result = run_multi_tenant(tasks, &arbiter);
+
+  TextTable table({"task", "policy", "prio", "status", "blocks", "Mcycles",
+                   "blocks/Mcyc", "evicted others", "evicted by others",
+                   "quota redirects"});
+  std::vector<double> throughputs;
+  std::uint64_t total_blocks = 0;
+  for (std::size_t i = 0, next_result = 0; i < specs.size(); ++i) {
+    const TenantPolicy& p = specs[i].policy;
+    std::string policy = std::string(to_string(p.share));
+    if (p.share == TenantShare::kWeighted) {
+      policy += ":" + std::to_string(p.weight);
+    } else if (p.share == TenantShare::kReserved) {
+      policy += ":" + std::to_string(p.reserved_prcs) + "+" +
+                std::to_string(p.reserved_cg);
+    }
+    if (!regs[i].admitted) {
+      table.add_values(specs[i].name, policy, p.priority,
+                       "bounced: " + regs[i].reason, 0, "-", "-", "-", "-",
+                       "-");
+      continue;
+    }
+    const MultiTenantTaskResult& tr = result.tasks[next_result++];
+    const TenantStats& stats = arbiter.stats(regs[i].id);
+    const double throughput =
+        tr.run.active_cycles == 0
+            ? 0.0
+            : static_cast<double>(tr.run.block_cycles.size()) * 1e6 /
+                  static_cast<double>(tr.run.active_cycles);
+    throughputs.push_back(throughput);
+    total_blocks += tr.run.block_cycles.size();
+    table.add_values(specs[i].name, policy, p.priority, "ok",
+                     tr.run.block_cycles.size(),
+                     format_mcycles(tr.run.active_cycles),
+                     format_double(throughput, 2), stats.evictions_caused,
+                     stats.evictions_suffered, stats.quota_redirects);
+  }
+  std::printf("%u PRCs + %u CG fabrics, %u blocks/task, %zu task(s):\n%s",
+              prcs, cg, blocks, specs.size(), table.render().c_str());
+  if (result.total_cycles > 0) {
+    std::printf("\ntotal %s Mcycles, aggregate throughput %.2f blocks/Mcyc, "
+                "Jain fairness index %.4f\n",
+                format_mcycles(result.total_cycles).c_str(),
+                static_cast<double>(total_blocks) * 1e6 /
+                    static_cast<double>(result.total_cycles),
+                jain_fairness_index(throughputs));
   }
   return 0;
 }
@@ -387,6 +596,27 @@ int main(int argc, char** argv) {
         fault = FaultModelConfig::uniform(fault_rate, fault_seed, max_retries);
       }
       return cmd_run(positional[0], prcs, cg, frames, trace_path, fault);
+    }
+    if (command == "run-multi") {
+      if (argc < 6) return usage();
+      unsigned prcs = 0;
+      unsigned cg = 0;
+      unsigned blocks = 0;
+      if (!parse_bounded(argv[2], 1024, &prcs) || prcs == 0 ||
+          !parse_bounded(argv[3], 1024, &cg) || cg == 0 ||
+          !parse_bounded(argv[4], 100000, &blocks) || blocks == 0) {
+        std::fprintf(stderr,
+                     "error: invalid fabric/block counts '%s %s %s' "
+                     "(expected positive integers)\n",
+                     argv[2], argv[3], argv[4]);
+        return 2;
+      }
+      std::vector<std::string> specs;
+      for (int i = 5; i < argc; ++i) {
+        if (argv[i][0] == '-') return usage();  // no options defined
+        specs.emplace_back(argv[i]);
+      }
+      return cmd_run_multi(prcs, cg, blocks, specs);
     }
     if (command == "trace-summary") {
       if (argc != 3) return usage();
