@@ -25,6 +25,7 @@
 #include "sim/sweep_runner.h"
 #include "util/counters.h"
 #include "util/csv.h"
+#include "util/fastpath.h"
 #include "util/table.h"
 #include "util/trace.h"
 #include "workload/h264_app.h"
@@ -111,6 +112,13 @@ inline unsigned parse_jobs(int* argc, char** argv) {
     if (std::strncmp(arg, "--jobs=", 7) == 0) {
       const int v = std::atoi(arg + 7);
       if (v > 0) jobs = static_cast<unsigned>(v);
+      continue;
+    }
+    if (std::strcmp(arg, "--no-bb-cache") == 0) {
+      // A/B switch for the simulator fast paths (decoded basic-block
+      // caches + batched frame execution): force the plain interpreter /
+      // per-event oracle. Output bytes must be identical either way.
+      set_fastpath_enabled(false);
       continue;
     }
     argv[out++] = argv[i];

@@ -109,6 +109,7 @@ void print_table() {
 }  // namespace
 
 int main(int argc, char** argv) {
+  (void)mrts::bench::parse_jobs(&argc, argv);  // strips --no-bb-cache too
   ::benchmark::Initialize(&argc, argv);
   ::benchmark::RunSpecifiedBenchmarks();
   print_table();

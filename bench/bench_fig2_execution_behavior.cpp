@@ -120,6 +120,7 @@ void print_figure() {
 }  // namespace
 
 int main(int argc, char** argv) {
+  (void)mrts::bench::parse_jobs(&argc, argv);  // strips --no-bb-cache too
   trace_dir() = parse_trace_dir(&argc, argv);
   ::benchmark::Initialize(&argc, argv);
   ::benchmark::RunSpecifiedBenchmarks();

@@ -98,10 +98,15 @@ Cycles CgFabric::activate(unsigned slot) {
 
 std::vector<Cycles> CgFabric::instance_ready_times(DataPathId dp) const {
   std::vector<Cycles> out;
+  append_instance_ready_times(dp, out);
+  return out;
+}
+
+void CgFabric::append_instance_ready_times(DataPathId dp,
+                                           std::vector<Cycles>& out) const {
   for (const auto& c : contexts_) {
     if (c.occupant == dp) out.push_back(c.ready_at);
   }
-  return out;
 }
 
 }  // namespace mrts

@@ -83,6 +83,10 @@ class CgFabric {
   /// data path is never loaded into two slots of one fabric).
   std::vector<Cycles> instance_ready_times(DataPathId dp) const;
 
+  /// Allocation-free variant: appends the same ready times to \p out.
+  void append_instance_ready_times(DataPathId dp,
+                                   std::vector<Cycles>& out) const;
+
  private:
   CgFabricParams params_;
   std::vector<CgContext> contexts_;

@@ -25,6 +25,8 @@ FabricManager::FabricManager(unsigned num_cg_fabrics, unsigned num_prcs,
   cg_pinned_.assign(num_cg_fabrics, kInvalidDataPath);
   prc_quarantined_.assign(num_prcs, false);
   cg_quarantined_.assign(num_cg_fabrics, false);
+  usable_prcs_ = num_prcs;
+  usable_cg_ = num_cg_fabrics;
   prc_owner_.assign(num_prcs, kUnownedTenant);
   cg_owner_.assign(num_cg_fabrics, kUnownedTenant);
 }
@@ -237,16 +239,13 @@ std::optional<unsigned> FabricManager::pick_cg_victim(
 }
 
 unsigned FabricManager::usable_prcs() const {
-  return fg_.num_prcs() -
-         static_cast<unsigned>(std::count(prc_quarantined_.begin(),
-                                          prc_quarantined_.end(), true));
+  // O(1): quarantine is the only way a container leaves service and it is
+  // permanent, so the counts are maintained incrementally (hot path — the
+  // ECU consults the CG count on every RISC-mode execution decision).
+  return usable_prcs_;
 }
 
-unsigned FabricManager::usable_cg_fabrics() const {
-  return static_cast<unsigned>(cg_.size()) -
-         static_cast<unsigned>(std::count(cg_quarantined_.begin(),
-                                          cg_quarantined_.end(), true));
-}
+unsigned FabricManager::usable_cg_fabrics() const { return usable_cg_; }
 
 bool FabricManager::prc_quarantined(unsigned index) const {
   return index < prc_quarantined_.size() && prc_quarantined_[index];
@@ -261,6 +260,7 @@ void FabricManager::quarantine_prc(unsigned index, Cycles at) {
   ++state_epoch_;
   const TenantId owner = prc_owner_[index];
   prc_quarantined_[index] = true;
+  --usable_prcs_;
   fg_.evict(index);
   prc_reserved_[index] = false;
   prc_owner_[index] = kUnownedTenant;
@@ -283,6 +283,7 @@ void FabricManager::quarantine_cg(unsigned index, Cycles at) {
   ++state_epoch_;
   const TenantId owner = cg_owner_[index];
   cg_quarantined_[index] = true;
+  --usable_cg_;
   cg_[index].clear();
   cg_reserved_[index] = false;
   cg_pinned_[index] = kInvalidDataPath;
@@ -556,10 +557,10 @@ std::vector<IsePlacement> FabricManager::install(
   // contents were evicted at quarantine time) and never picked as victims.
   // With arbitration, containers the active tenant may not place into
   // (other tenants' partitions) are pre-claimed the same way.
-  std::vector<bool> prc_claimed(prc_quarantined_.begin(),
-                                prc_quarantined_.end());
-  std::vector<bool> cg_claimed(cg_quarantined_.begin(),
-                               cg_quarantined_.end());
+  std::vector<bool>& prc_claimed = scratch_prc_claimed_;
+  std::vector<bool>& cg_claimed = scratch_cg_claimed_;
+  prc_claimed.assign(prc_quarantined_.begin(), prc_quarantined_.end());
+  cg_claimed.assign(cg_quarantined_.begin(), cg_quarantined_.end());
   if (arbitration_ != nullptr) {
     for (unsigned i = 0; i < fg_.num_prcs(); ++i) {
       if (!placeable_prc(i)) prc_claimed[i] = true;
@@ -569,8 +570,9 @@ std::vector<IsePlacement> FabricManager::install(
     }
   }
   // Pre-claimed containers must not end up reserved by this selection.
-  const std::vector<bool> prc_blocked = prc_claimed;
-  const std::vector<bool> cg_blocked = cg_claimed;
+  const std::vector<bool>& prc_blocked =
+      (scratch_prc_blocked_ = prc_claimed);
+  const std::vector<bool>& cg_blocked = (scratch_cg_blocked_ = cg_claimed);
 
   struct PendingLoad {
     std::size_t ise_index;
@@ -736,8 +738,8 @@ std::size_t FabricManager::prefetch(
   std::size_t started = 0;
   // Containers already claimed during this prefetch round (quarantined ones
   // count as claimed: speculation never targets broken silicon).
-  std::vector<bool> prc_claimed = prc_reserved_;
-  std::vector<bool> cg_claimed = cg_reserved_;
+  std::vector<bool>& prc_claimed = (scratch_prc_claimed_ = prc_reserved_);
+  std::vector<bool>& cg_claimed = (scratch_cg_claimed_ = cg_reserved_);
   for (unsigned i = 0; i < fg_.num_prcs(); ++i) {
     if (prc_quarantined_[i] || !placeable_prc(i)) prc_claimed[i] = true;
   }
@@ -911,12 +913,42 @@ unsigned FabricManager::available_instances(DataPathId dp, Cycles t) const {
 }
 
 std::vector<Cycles> FabricManager::instance_ready_times(DataPathId dp) const {
-  std::vector<Cycles> out = fg_.instance_ready_times(dp);
-  for (const auto& fabric : cg_) {
-    for (Cycles t : fabric.instance_ready_times(dp)) out.push_back(t);
-  }
-  std::sort(out.begin(), out.end());
+  std::vector<Cycles> out;
+  append_instance_ready_times(dp, out);
   return out;
+}
+
+void FabricManager::append_instance_ready_times(DataPathId dp,
+                                                std::vector<Cycles>& out) const {
+  out.clear();
+  for (unsigned i = 0; i < fg_.num_prcs(); ++i) {
+    const auto& prc = fg_.prc(i);
+    if (prc.occupant == dp) out.push_back(prc.ready_at);
+  }
+  for (const auto& fabric : cg_) fabric.append_instance_ready_times(dp, out);
+  std::sort(out.begin(), out.end());
+}
+
+void FabricManager::snapshot_instance_ready_times(
+    std::vector<std::vector<Cycles>>& out) const {
+  for (auto& bucket : out) bucket.clear();
+  for (unsigned i = 0; i < fg_.num_prcs(); ++i) {
+    const auto& prc = fg_.prc(i);
+    if (!prc.empty() && raw(prc.occupant) < out.size()) {
+      out[raw(prc.occupant)].push_back(prc.ready_at);
+    }
+  }
+  for (const auto& fabric : cg_) {
+    for (unsigned s = 0; s < fabric.capacity(); ++s) {
+      const CgContext& ctx = fabric.context(s);
+      if (!ctx.empty() && raw(ctx.occupant) < out.size()) {
+        out[raw(ctx.occupant)].push_back(ctx.ready_at);
+      }
+    }
+  }
+  for (auto& bucket : out) {
+    if (bucket.size() > 1) std::sort(bucket.begin(), bucket.end());
+  }
 }
 
 unsigned FabricManager::free_cg_fabrics() const {

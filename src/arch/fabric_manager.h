@@ -137,6 +137,22 @@ class FabricManager {
   /// instances still being loaded.
   std::vector<Cycles> instance_ready_times(DataPathId dp) const;
 
+  /// Allocation-free variant of instance_ready_times: clears \p out and
+  /// fills it with the same ascending ready times, reusing its capacity.
+  /// The result is a pure function of the fabric state — callers may cache
+  /// it keyed on state_epoch().
+  void append_instance_ready_times(DataPathId dp,
+                                   std::vector<Cycles>& out) const;
+
+  /// Whole-fabric variant: one pass over every PRC and CG context slot,
+  /// bucketing ready times into \p out[raw(dp)] (each bucket sorted
+  /// ascending). Equivalent to calling append_instance_ready_times for
+  /// every table entry, but O(fabric) instead of O(table x fabric) — the
+  /// planner snapshots the full table on every selector trigger.
+  /// \p out must be pre-sized to the data-path table size.
+  void snapshot_instance_ready_times(
+      std::vector<std::vector<Cycles>>& out) const;
+
   /// CG fabrics not reserved by the current selection (hosts for monoCG).
   unsigned free_cg_fabrics() const;
 
@@ -292,6 +308,13 @@ class FabricManager {
   /// Fabrics/PRCs reserved by the currently installed selection.
   std::vector<bool> prc_reserved_;
   std::vector<bool> cg_reserved_;
+  /// Claim/blocked scratch reused across install()/prefetch() calls (one
+  /// install per trigger makes the four per-call allocations measurable).
+  /// Only valid within a single call; install and prefetch never nest.
+  std::vector<bool> scratch_prc_claimed_;
+  std::vector<bool> scratch_cg_claimed_;
+  std::vector<bool> scratch_prc_blocked_;
+  std::vector<bool> scratch_cg_blocked_;
   /// Data path the selection pinned on each reserved CG fabric (protected
   /// from monoCG context eviction).
   std::vector<DataPathId> cg_pinned_;
@@ -310,6 +333,10 @@ class FabricManager {
   FaultModel* fault_ = nullptr;
   std::vector<bool> prc_quarantined_;
   std::vector<bool> cg_quarantined_;
+  /// Incrementally maintained counts (containers minus quarantined) so the
+  /// usable_* queries are O(1) on the ECU's per-execution hot path.
+  unsigned usable_prcs_ = 0;
+  unsigned usable_cg_ = 0;
   Cycles next_scrub_ = 0;  ///< next scrub epoch; 0 = not armed yet
 
   /// See state_epoch().

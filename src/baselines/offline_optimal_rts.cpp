@@ -57,6 +57,23 @@ ExecOutcome OfflineOptimalRts::execute_kernel(KernelId k, Cycles now) {
   return ecu_.execute(k, now);
 }
 
+Cycles OfflineOptimalRts::execute_run(KernelId k, Cycles cursor, const ExecEvent* events,
+                                      std::size_t n, Cycles gap_total,
+                                      std::uint64_t* impl_executions,
+                                      Cycles* impl_cycles,
+                                      Cycles* first_exec_start) {
+  return ecu_.execute_run(k, cursor, events, n, gap_total, impl_executions,
+                          impl_cycles, first_exec_start);
+}
+
+Cycles OfflineOptimalRts::execute_events(const ExecEvent* events, const ExecRun* runs,
+                                       std::size_t num_runs, Cycles cursor,
+                                       std::uint64_t* impl_executions,
+                                       Cycles* impl_cycles, ObservationSink& obs) {
+  return ecu_.execute_events(events, runs, num_runs, cursor, impl_executions,
+                             impl_cycles, obs);
+}
+
 void OfflineOptimalRts::on_block_end(const BlockObservation& observed,
                                      Cycles now) {
   (void)observed;

@@ -1,5 +1,21 @@
 #include "baselines/risc_only_rts.h"
 
-// RiscOnlyRts is fully inline; this translation unit anchors the vtable.
+#include "sim/schedule.h"
 
-namespace mrts {}  // namespace mrts
+namespace mrts {
+
+Cycles RiscOnlyRts::execute_run(KernelId k, Cycles cursor,
+                                const ExecEvent* events, std::size_t n,
+                                Cycles gap_total,
+                                std::uint64_t* impl_executions,
+                                Cycles* impl_cycles,
+                                Cycles* first_exec_start) {
+  const Cycles latency = lib_->kernel(k).sw_latency;
+  const auto risc = static_cast<std::size_t>(ImplKind::kRisc);
+  *first_exec_start = cursor + events[0].gap_before;
+  impl_executions[risc] += n;
+  impl_cycles[risc] += static_cast<Cycles>(n) * latency;
+  return cursor + gap_total + static_cast<Cycles>(n) * latency;
+}
+
+}  // namespace mrts

@@ -31,6 +31,12 @@ class RiscOnlyRts final : public RuntimeSystem {
     return ExecOutcome{lib_->kernel(k).sw_latency, ImplKind::kRisc};
   }
 
+  /// RISC latency is a per-kernel constant, so a whole run commits in O(1).
+  Cycles execute_run(KernelId k, Cycles cursor, const ExecEvent* events,
+                     std::size_t n, Cycles gap_total,
+                     std::uint64_t* impl_executions, Cycles* impl_cycles,
+                     Cycles* first_exec_start) override;
+
   void on_block_end(const BlockObservation& observed, Cycles now) override {
     (void)observed;
     (void)now;

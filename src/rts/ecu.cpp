@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "sim/obs_accum.h"
+#include "sim/schedule.h"
 #include "util/counters.h"
 #include "util/trace.h"
 
@@ -36,21 +38,35 @@ void Ecu::append_ise_options(const IseVariant& ise, bool is_selected,
 
   // Availability of each prefix level from the live fabric state: the r-th
   // occurrence of a data path in the prefix maps to the r-th placed instance
-  // (sorted by ready time).
-  std::unordered_map<std::uint32_t, std::vector<Cycles>> ready_cache;
-  std::unordered_map<std::uint32_t, unsigned> occurrence;
+  // (sorted by ready time). Ready times are cached per data path keyed on
+  // the fabric's state epoch — they are a pure function of fabric state, so
+  // the cache stays valid across kernels and even blocks until the next
+  // mutation; occurrence counters are stamped per call instead of cleared.
+  const std::uint64_t ready_stamp = fabric_->state_epoch() + 1;
+  const std::uint64_t occ_stamp = ++occurrence_call_;
   Cycles prefix = 0;
   bool uses_cg = false;
   for (std::size_t i = 0; i < n; ++i) {
     const DataPathId dp = ise.data_paths[i];
-    auto it = ready_cache.find(raw(dp));
-    if (it == ready_cache.end()) {
-      it = ready_cache.emplace(raw(dp), fabric_->instance_ready_times(dp))
-               .first;
+    const std::size_t di = raw(dp);
+    if (di >= ready_cache_.size()) {
+      ready_cache_.resize(di + 1);
+      ready_stamp_.resize(di + 1, 0);
+      occurrence_.resize(di + 1, 0);
+      occurrence_stamp_.resize(di + 1, 0);
     }
-    const unsigned r = occurrence[raw(dp)]++;
+    if (ready_stamp_[di] != ready_stamp) {
+      fabric_->append_instance_ready_times(dp, ready_cache_[di]);
+      ready_stamp_[di] = ready_stamp;
+    }
+    if (occurrence_stamp_[di] != occ_stamp) {
+      occurrence_[di] = 0;
+      occurrence_stamp_[di] = occ_stamp;
+    }
+    const std::vector<Cycles>& times = ready_cache_[di];
+    const unsigned r = occurrence_[di]++;
     Cycles ready_live = kNeverCycles;
-    if (r < it->second.size()) ready_live = it->second[r];
+    if (r < times.size()) ready_live = times[r];
 
     Cycles ready = ready_live;
     if (installed_prefix != nullptr) {
@@ -88,6 +104,9 @@ void Ecu::rebuild_kernel(KernelId k, KernelState& st, const IsePlacement* placed
   st.current_kind = ImplKind::kRisc;
   st.current_uses_cg = false;
   st.mono_attempted = false;
+  st.built = true;
+  st.sw_latency = kernel.sw_latency;
+  st.steady_valid = false;
 
   if (placed != nullptr && placed->ise != kInvalidIse) {
     append_ise_options(lib_->ise(placed->ise), /*is_selected=*/true,
@@ -117,36 +136,28 @@ void Ecu::rebuild_kernel(KernelId k, KernelState& st, const IsePlacement* placed
 
 void Ecu::begin_block(const std::vector<IsePlacement>& placements,
                       Cycles now) {
-  std::unordered_map<std::uint32_t, KernelState> next;
-  for (const auto& p : placements) {
-    KernelState st;
-    if (auto it = state_.find(raw(p.kernel)); it != state_.end()) {
-      st.mono_ready = it->second.mono_ready;  // context may still be resident
-    }
-    rebuild_kernel(p.kernel, st, &p, now);
-    next.emplace(raw(p.kernel), std::move(st));
-  }
-  // Kernels that were not (re-)assigned keep only their monoCG knowledge;
-  // their timeline is rebuilt lazily on first execution.
-  for (auto& [kid, old] : state_) {
-    if (next.count(kid)) continue;
-    KernelState st;
-    st.mono_ready = old.mono_ready;
-    st.timeline.clear();
+  if (state_.size() < lib_->num_kernels()) state_.resize(lib_->num_kernels());
+  // Every kernel keeps only its monoCG knowledge (a loaded context may still
+  // be resident); the timeline is rebuilt lazily on first execution. Steady
+  // memos die with the block: a new installation changes the fabric without
+  // necessarily passing through a mutation the epoch would catch for a
+  // runtime that reuses a prior selection.
+  for (KernelState& st : state_) {
     st.next = kNeverCycles;  // marker: needs rebuild
-    next.emplace(kid, std::move(st));
+    st.steady_valid = false;
   }
-  state_ = std::move(next);
+  for (const auto& p : placements) {
+    if (raw(p.kernel) >= state_.size()) state_.resize(raw(p.kernel) + 1);
+    rebuild_kernel(p.kernel, state_[raw(p.kernel)], &p, now);
+  }
   last_executed_ = kInvalidKernel;
 }
 
 Ecu::KernelState& Ecu::state_for(KernelId k, Cycles now) {
-  auto [it, inserted] = state_.try_emplace(raw(k));
-  KernelState& st = it->second;
-  if (inserted || st.next == kNeverCycles) {
-    const Cycles mono_ready = st.mono_ready;
-    rebuild_kernel(k, st, nullptr, now);
-    st.mono_ready = mono_ready;
+  if (raw(k) >= state_.size()) state_.resize(raw(k) + 1);
+  KernelState& st = state_[raw(k)];
+  if (!st.built || st.next == kNeverCycles) {
+    rebuild_kernel(k, st, nullptr, now);  // preserves st.mono_ready
   }
   return st;
 }
@@ -229,6 +240,156 @@ ExecOutcome Ecu::execute(KernelId k, Cycles now) {
   return ExecOutcome{latency, kind};
 }
 
+Cycles Ecu::execute_run(KernelId k, Cycles cursor, const ExecEvent* events,
+                        std::size_t n, Cycles gap_total,
+                        std::uint64_t* impl_executions, Cycles* impl_cycles,
+                        Cycles* first_exec_start) {
+  const Kernel& kernel = lib_->kernel(k);
+  Cycles gap_consumed = 0;
+  std::size_t i = 0;
+  while (i < n) {
+    cursor += events[i].gap_before;
+    gap_consumed += events[i].gap_before;
+    if (i == 0) *first_exec_start = cursor;
+    const ExecOutcome out = execute(k, cursor);
+    impl_executions[static_cast<std::size_t>(out.impl)]++;
+    impl_cycles[static_cast<std::size_t>(out.impl)] += out.latency;
+    cursor += out.latency;
+    ++i;
+    if (i >= n) break;
+    // With a flight recorder / counters attached every execution must flow
+    // through the full path — the per-execution instrumentation stream is
+    // part of the contract.
+    if (observing_) continue;
+
+    // Steady-state probe. last_executed_ == k now, so subsequent executions
+    // in this run never pay the context-switch penalty.
+    KernelState& st = state_[raw(k)];
+    if (!derive_steady(kernel, st, cursor - out.latency)) continue;
+
+    // No better implementation (nor a pending monoCG flip) may arrive
+    // before the run's last execution starts.
+    const std::size_t m = n - i;
+    const Cycles latency = st.steady_latency;
+    const Cycles remaining_gap = gap_total - gap_consumed;
+    const Cycles last_exec_start =
+        cursor + remaining_gap + (static_cast<Cycles>(m) - 1) * latency;
+    if (last_exec_start > st.steady_until) {
+      continue;  // the decision changes mid-run — stay on the exact path
+    }
+
+    // Bulk commit: identical state and totals as m more execute() calls.
+    const auto ki = static_cast<std::size_t>(st.steady_kind);
+    stats_.executions[ki] += m;
+    stats_.cycles[ki] += static_cast<Cycles>(m) * latency;
+    if (st.sw_latency > latency) {
+      stats_.saved_vs_risc +=
+          static_cast<Cycles>(m) * (st.sw_latency - latency);
+    }
+    impl_executions[ki] += m;
+    impl_cycles[ki] += static_cast<Cycles>(m) * latency;
+    return cursor + remaining_gap + static_cast<Cycles>(m) * latency;
+  }
+  return cursor;
+}
+
+bool Ecu::derive_steady(const Kernel& kernel, KernelState& st, Cycles now) {
+  // Horizon from the timeline: the memo holds strictly before the next
+  // (unconsumed) availability point.
+  Cycles until = kNeverCycles;
+  if (st.next < st.timeline.size()) until = st.timeline[st.next].at - 1;
+
+  ImplKind kind = st.current_kind;
+  Cycles latency = st.current_latency;
+  bool uses_cg = st.current_uses_cg;
+  if (kind == ImplKind::kRisc && config_.use_mono_cg && kernel.has_mono_cg() &&
+      fabric_->usable_cg_fabrics() > 0) {
+    if (st.mono_ready <= now) {
+      // monoCG decided the execution at `now`. At a fixed fabric state
+      // availability is monotone in time, so the context stays usable for
+      // the whole horizon (any fabric mutation bumps the state epoch and
+      // kills the memo).
+      const IseVariant& mono = lib_->ise(kernel.mono_cg);
+      latency = mono.full_latency();
+      kind = ImplKind::kMonoCg;
+      uses_cg = true;
+    } else if (st.mono_ready != kNeverCycles) {
+      // A monoCG context arrives mid-block: the decision flips exactly at
+      // mono_ready, so the RISC memo only holds strictly before it.
+      until = std::min(until, st.mono_ready - 1);
+    } else if (!st.mono_attempted) {
+      return false;  // an acquisition attempt is still due
+    }
+    // else: acquisition failed for this block — the decision stays RISC.
+  }
+
+  st.steady_kind = kind;
+  st.steady_latency = latency;
+  st.steady_uses_cg = uses_cg;
+  st.steady_until = until;
+  st.steady_epoch = fabric_->state_epoch();
+  st.steady_valid = true;
+  return true;
+}
+
+Cycles Ecu::execute_events(const ExecEvent* events, const ExecRun* runs,
+                           std::size_t num_runs, Cycles cursor,
+                           std::uint64_t* impl_executions, Cycles* impl_cycles,
+                           ObservationSink& obs) {
+  const Cycles switch_cost = CgFabricParams{}.context_switch_cycles;
+  for (std::size_t r = 0; r < num_runs; ++r) {
+    const ExecRun& run = runs[r];
+    const std::size_t kid = raw(run.kernel);
+    const Cycles first_gap = run.first_gap;
+    // Memo fast path: with an unchanged fabric epoch and the whole run
+    // inside the memo's horizon, the per-event path provably makes the same
+    // (kind, latency) decision for every execution — commit it in O(1).
+    // The epoch is re-read per run: a slow-path run below may acquire a
+    // monoCG context and thereby invalidate every older memo.
+    if (!observing_ && kid < state_.size()) {
+      KernelState& st = state_[kid];
+      if (st.steady_valid && st.steady_epoch == fabric_->state_epoch()) {
+        const auto m = static_cast<Cycles>(run.count);
+        const Cycles latency = st.steady_latency;
+        const Cycles sw_pen =
+            st.steady_uses_cg && last_executed_ != run.kernel ? switch_cost : 0;
+        const Cycles first_exec_start = cursor + first_gap;
+        const Cycles last_exec_start =
+            cursor + run.gap_total + sw_pen + (m - 1) * latency;
+        if (last_exec_start <= st.steady_until) {
+          const auto ki = static_cast<std::size_t>(st.steady_kind);
+          const Cycles total = m * latency + sw_pen;
+          stats_.executions[ki] += run.count;
+          stats_.cycles[ki] += total;
+          stats_.context_switch_cycles += sw_pen;
+          // The run's first execution pays latency + sw_pen, the rest pay
+          // latency — saved_vs_risc accounts them separately.
+          const Cycles first_latency = latency + sw_pen;
+          Cycles saved = 0;
+          if (st.sw_latency > first_latency) saved += st.sw_latency - first_latency;
+          if (m > 1 && st.sw_latency > latency) {
+            saved += (m - 1) * (st.sw_latency - latency);
+          }
+          stats_.saved_vs_risc += saved;
+          impl_executions[ki] += run.count;
+          impl_cycles[ki] += total;
+          last_executed_ = run.kernel;
+          cursor += run.gap_total + total;
+          obs.note_run(run, first_gap, first_exec_start, cursor);
+          continue;
+        }
+      }
+    }
+    // Exact path; derives/refreshes the kernel's memo once steady.
+    Cycles first_exec_start = 0;
+    cursor = execute_run(run.kernel, cursor, events + run.first_event,
+                         run.count, run.gap_total, impl_executions,
+                         impl_cycles, &first_exec_start);
+    obs.note_run(run, first_gap, first_exec_start, cursor);
+  }
+  return cursor;
+}
+
 void Ecu::note_execution(KernelState& st, KernelId k, ImplKind kind,
                          Cycles latency, Cycles now) {
   if (trace_ != nullptr &&
@@ -248,7 +409,12 @@ void Ecu::note_execution(KernelState& st, KernelId k, ImplKind kind,
 }
 
 void Ecu::reset() {
-  state_.clear();
+  for (KernelState& st : state_) {
+    st.timeline.clear();  // keeps capacity for the next block's rebuild
+    KernelState fresh;
+    fresh.timeline = std::move(st.timeline);
+    st = std::move(fresh);
+  }
   stats_ = EcuStats{};
   last_executed_ = kInvalidKernel;
 }

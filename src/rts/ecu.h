@@ -29,7 +29,6 @@
 /// almost never be their best option anyway).
 
 #include <array>
-#include <unordered_map>
 #include <vector>
 
 #include "arch/fabric_manager.h"
@@ -41,6 +40,8 @@ namespace mrts {
 
 class TraceRecorder;
 class CounterRegistry;
+struct ExecEvent;       // sim/schedule.h
+class ObservationSink;  // sim/obs_accum.h
 
 /// Per-implementation execution counters.
 struct EcuStats {
@@ -77,6 +78,36 @@ class Ecu {
   /// \p now must be non-decreasing across calls within one block.
   ExecOutcome execute(KernelId k, Cycles now);
 
+  /// Batched execution of a run of \p n back-to-back executions of \p k
+  /// (contract of RuntimeSystem::execute_run). Executes events through the
+  /// full execute() path until the kernel's decision is *steady* — its
+  /// timeline holds no option arriving before the run's last execution and
+  /// no monoCG transition is pending — then commits the remaining events in
+  /// O(1): within one run no fabric mutation can occur (block execution is
+  /// single threaded) and instance availability is monotone in time at a
+  /// fixed fabric state, so the decided (kind, latency) provably repeats.
+  /// Stats, ECU state and the returned cursor are bit-identical to n
+  /// execute() calls; with observability attached it *is* n execute() calls
+  /// (the trace/counter stream stays exact).
+  Cycles execute_run(KernelId k, Cycles cursor, const ExecEvent* events,
+                     std::size_t n, Cycles gap_total,
+                     std::uint64_t* impl_executions, Cycles* impl_cycles,
+                     Cycles* first_exec_start);
+
+  /// Whole-block batched execution (contract of
+  /// RuntimeSystem::execute_events): one non-virtual loop over the block's
+  /// runs. Each kernel's first run derives a *steady-decision memo*
+  /// ((kind, latency, uses_cg) plus the cycle horizon it provably holds to
+  /// and the fabric state epoch it was taken at); later runs that fit the
+  /// horizon at an unchanged epoch commit in O(1) — including the
+  /// context-switch penalty of their first execution — without touching
+  /// the timeline or the fabric. Any epoch bump, horizon crossing or
+  /// attached observability falls back to the exact per-event path.
+  Cycles execute_events(const ExecEvent* events, const ExecRun* runs,
+                        std::size_t num_runs, Cycles cursor,
+                        std::uint64_t* impl_executions, Cycles* impl_cycles,
+                        ObservationSink& obs);
+
   const EcuStats& stats() const { return stats_; }
   void reset();
 
@@ -105,10 +136,24 @@ class Ecu {
     ImplKind current_kind = ImplKind::kRisc;
     bool current_uses_cg = false;
     bool mono_attempted = false;
+    /// A full rebuild has run at least once (states live in a dense vector,
+    /// so a default-constructed entry is not yet meaningful).
+    bool built = false;
     Cycles mono_ready = kNeverCycles;
     /// Last ImplKind reported to the flight recorder (0xff = none yet);
     /// execute() emits a decision event only when the kind changes.
     std::uint8_t traced_impl = 0xff;
+    Cycles sw_latency = 0;  ///< cached kernel sw_latency (set by rebuild)
+
+    // Steady-decision memo (see execute_events). Valid only while
+    // steady_epoch matches the fabric's state epoch; covers executions whose
+    // start cycle is <= steady_until.
+    bool steady_valid = false;
+    bool steady_uses_cg = false;
+    ImplKind steady_kind = ImplKind::kRisc;
+    Cycles steady_latency = 0;
+    Cycles steady_until = 0;
+    std::uint64_t steady_epoch = 0;
   };
 
   /// Appends the availability steps of \p ise (levels reachable from the
@@ -120,6 +165,11 @@ class Ecu {
   KernelState& state_for(KernelId k, Cycles now);
   void rebuild_kernel(KernelId k, KernelState& st, const IsePlacement* placed,
                       Cycles now) const;
+  /// Tries to derive the steady-decision memo for \p st right after a full
+  /// execution at cycle \p now. Returns false while the decision is still in
+  /// flux (a monoCG acquisition attempt is due or a reservation is pending
+  /// beyond \p now with no usable horizon).
+  bool derive_steady(const Kernel& kernel, KernelState& st, Cycles now);
   /// Cold tail of execute(): records the decision event / counters. Kept out
   /// of the hot path so the untraced run pays one branch, not code bloat.
   void note_execution(KernelState& st, KernelId k, ImplKind kind,
@@ -128,7 +178,23 @@ class Ecu {
   const IseLibrary* lib_;
   FabricManager* fabric_;
   Config config_;
-  std::unordered_map<std::uint32_t, KernelState> state_;
+  /// Per-data-path ready-time cache for timeline rebuilds, keyed on the
+  /// fabric's state epoch (stamp stores epoch + 1; 0 = never filled). The
+  /// epoch is monotone for the fabric's lifetime and an Ecu is bound to one
+  /// fabric, so a stamp hit proves the cached times are current. Mutable:
+  /// filled lazily from the const rebuild path.
+  mutable std::vector<std::vector<Cycles>> ready_cache_;
+  mutable std::vector<std::uint64_t> ready_stamp_;
+  /// Per-call occurrence counters of append_ise_options (how many times a
+  /// data path repeats within one ISE prefix), stamped per invocation so
+  /// they never need clearing.
+  mutable std::vector<unsigned> occurrence_;
+  mutable std::vector<std::uint64_t> occurrence_stamp_;
+  mutable std::uint64_t occurrence_call_ = 0;
+  /// Dense per-kernel state, indexed by raw KernelId (kernel ids are dense
+  /// 0..num_kernels-1 by construction of the ISE library). A vector keeps
+  /// the per-execution lookup a single indexed load instead of a hash probe.
+  std::vector<KernelState> state_;
   KernelId last_executed_ = kInvalidKernel;
   EcuStats stats_;
   TraceRecorder* trace_ = nullptr;

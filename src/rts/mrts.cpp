@@ -204,6 +204,27 @@ ExecOutcome MRts::execute_kernel(KernelId k, Cycles now) {
   return ecu_.execute(k, now);
 }
 
+Cycles MRts::execute_run(KernelId k, Cycles cursor, const ExecEvent* events,
+                         std::size_t n, Cycles gap_total,
+                         std::uint64_t* impl_executions, Cycles* impl_cycles,
+                         Cycles* first_exec_start) {
+  // One tenant activation covers the whole run — the block is executed by
+  // this task alone, so the tenant cannot change between its events.
+  fabric_->set_active_tenant(tenant_);
+  return ecu_.execute_run(k, cursor, events, n, gap_total, impl_executions,
+                          impl_cycles, first_exec_start);
+}
+
+Cycles MRts::execute_events(const ExecEvent* events, const ExecRun* runs,
+                          std::size_t num_runs, Cycles cursor,
+                          std::uint64_t* impl_executions,
+                          Cycles* impl_cycles, ObservationSink& obs) {
+  // One tenant activation covers the whole block (see execute_run).
+  fabric_->set_active_tenant(tenant_);
+  return ecu_.execute_events(events, runs, num_runs, cursor, impl_executions,
+                             impl_cycles, obs);
+}
+
 void MRts::on_block_end(const BlockObservation& observed, Cycles now) {
   mpu_.observe(observed, now);
 }

@@ -103,6 +103,14 @@ class MRts final : public RuntimeSystem {
   SelectionOutcome on_trigger(const TriggerInstruction& programmed,
                               Cycles now) override;
   ExecOutcome execute_kernel(KernelId k, Cycles now) override;
+  Cycles execute_run(KernelId k, Cycles cursor, const ExecEvent* events,
+                     std::size_t n, Cycles gap_total,
+                     std::uint64_t* impl_executions, Cycles* impl_cycles,
+                     Cycles* first_exec_start) override;
+  Cycles execute_events(const ExecEvent* events, const ExecRun* runs,
+                        std::size_t num_runs, Cycles cursor,
+                        std::uint64_t* impl_executions, Cycles* impl_cycles,
+                        ObservationSink& obs) override;
   void on_block_end(const BlockObservation& observed, Cycles now) override;
   void reset() override;
 

@@ -27,17 +27,16 @@ ReconfigPlanner::ReconfigPlanner(const DataPathTable& table,
       cg_cursor_(fabric.reconfig().cg_port().busy_until(now)),
       free_prcs_(fabric.usable_prcs()),
       free_cg_(fabric.usable_cg_fabrics()),
-      fabric_epoch_(fabric.state_epoch()) {
+      fabric_epoch_(fabric.state_epoch()),
+      existing_(table.size()),
+      claimed_(table.size(), 0),
+      committed_(table.size(), 0) {
   // Snapshot all placed instances (including ones still loading). Note: the
   // whole *usable* fabric counts as free budget because old contents may be
   // evicted — quarantined containers are gone for good, so the selector
   // re-plans with the reduced capacity; reuse only affects the predicted
   // ready times.
-  for (std::size_t i = 0; i < table.size(); ++i) {
-    const DataPathId dp{static_cast<std::uint32_t>(i)};
-    auto ready = fabric.instance_ready_times(dp);
-    if (!ready.empty()) existing_[raw(dp)] = std::move(ready);
-  }
+  fabric.snapshot_instance_ready_times(existing_);
 }
 
 ReconfigPlanner::ReconfigPlanner(const DataPathTable& table,
@@ -48,7 +47,10 @@ ReconfigPlanner::ReconfigPlanner(const DataPathTable& table,
       fg_cursor_(now),
       cg_cursor_(now),
       free_prcs_(total_prcs),
-      free_cg_(total_cg) {}
+      free_cg_(total_cg),
+      existing_(table.size()),
+      claimed_(table.size(), 0),
+      committed_(table.size(), 0) {}
 
 void ReconfigPlanner::plan_into(const std::vector<DataPathId>& dps,
                                 std::vector<Cycles>& ready) const {
@@ -63,11 +65,11 @@ void ReconfigPlanner::plan_into(const std::vector<DataPathId>& dps,
     // a data path's occurrences (once the existing instances run out no
     // later occurrence can reuse), so "claims so far" within this
     // hypothetical plan equals the number of earlier occurrences in dps.
-    const auto it = existing_.find(raw(dp));
-    if (it != existing_.end()) {
+    const std::vector<Cycles>& ex = existing_[raw(dp)];
+    if (!ex.empty()) {
       const unsigned used = claimed_count(dp) + earlier_occurrences(dps, i);
-      if (used < it->second.size()) {
-        ready.push_back(it->second[used]);
+      if (used < ex.size()) {
+        ready.push_back(ex[used]);
         continue;
       }
     }
@@ -98,12 +100,12 @@ void ReconfigPlanner::commit_into(const std::vector<DataPathId>& dps,
   undo_log_.reserve(undo_log_.size() + dps.size());
   for (DataPathId dp : dps) {
     const auto& desc = (*table_)[dp];
-    const auto it = existing_.find(raw(dp));
+    const std::vector<Cycles>& ex = existing_[raw(dp)];
     bool reused = false;
-    if (it != existing_.end()) {
+    if (!ex.empty()) {
       unsigned& used = claimed_[raw(dp)];
-      if (used < it->second.size()) {
-        ready.push_back(it->second[used]);
+      if (used < ex.size()) {
+        ready.push_back(ex[used]);
         ++used;
         reused = true;
       }
@@ -143,12 +145,8 @@ void ReconfigPlanner::rollback(const Checkpoint& cp) {
   while (undo_log_.size() > cp.undo_mark) {
     const UndoEntry entry = undo_log_.back();
     undo_log_.pop_back();
-    const auto cit = committed_.find(entry.dp);
-    if (cit != committed_.end() && --cit->second == 0) committed_.erase(cit);
-    if (entry.reused) {
-      const auto uit = claimed_.find(entry.dp);
-      if (uit != claimed_.end() && --uit->second == 0) claimed_.erase(uit);
-    }
+    --committed_[entry.dp];
+    if (entry.reused) --claimed_[entry.dp];
   }
   fg_cursor_ = cp.fg_cursor;
   cg_cursor_ = cp.cg_cursor;
@@ -164,8 +162,7 @@ bool ReconfigPlanner::covered_by_committed(
     for (std::size_t j = i + 1; j < dps.size(); ++j) {
       if (dps[j] == dps[i]) ++need;
     }
-    const auto it = committed_.find(raw(dps[i]));
-    if (it == committed_.end() || it->second < need) return false;
+    if (committed_[raw(dps[i])] < need) return false;
   }
   return true;
 }

@@ -97,10 +97,8 @@ class ReconfigPlanner {
   }
 
   /// Multiset of data paths committed so far (for the selector's step-2b
-  /// coverage pruning).
-  const std::unordered_map<std::uint32_t, unsigned>& committed_paths() const {
-    return committed_;
-  }
+  /// coverage pruning), as dense per-data-path counts indexed by raw id.
+  const std::vector<unsigned>& committed_paths() const { return committed_; }
 
   /// True if every instance of \p dps is covered by the committed multiset.
   bool covered_by_committed(const std::vector<DataPathId>& dps) const;
@@ -114,10 +112,7 @@ class ReconfigPlanner {
   Cycles fg_cursor() const { return fg_cursor_; }
   Cycles cg_cursor() const { return cg_cursor_; }
   Cycles uniform_reconfig_cycles() const { return uniform_reconfig_; }
-  unsigned claimed_count(DataPathId dp) const {
-    const auto it = claimed_.find(raw(dp));
-    return it == claimed_.end() ? 0 : it->second;
-  }
+  unsigned claimed_count(DataPathId dp) const { return claimed_[raw(dp)]; }
   /// FabricManager::state_epoch() at snapshot time; kIdleEpoch for the
   /// empty-fabric constructor (whose existing-instance set is always empty,
   /// so the sentinel is exact, not approximate).
@@ -140,14 +135,17 @@ class ReconfigPlanner {
   Cycles uniform_reconfig_ = 0;
   std::uint64_t fabric_epoch_ = kIdleEpoch;
 
-  /// Ready times of instances currently on the fabric, per data path.
-  /// Immutable after construction — mark()/rollback() never touch it, which
+  /// Ready times of instances currently on the fabric, per data path —
+  /// dense vectors indexed by raw DataPathId (ids are 0..table.size()-1 by
+  /// construction of the table), so the per-node lookups in the selector's
+  /// search are indexed loads instead of hash probes. existing_ is
+  /// immutable after construction — mark()/rollback() never touch it, which
   /// is what makes checkpoints O(1).
-  std::unordered_map<std::uint32_t, std::vector<Cycles>> existing_;
+  std::vector<std::vector<Cycles>> existing_;
   /// Instances of existing_ already consumed by committed ISEs.
-  std::unordered_map<std::uint32_t, unsigned> claimed_;
+  std::vector<unsigned> claimed_;
   /// Multiset of committed data paths.
-  std::unordered_map<std::uint32_t, unsigned> committed_;
+  std::vector<unsigned> committed_;
 
   /// One entry per data-path instance committed since construction, in
   /// commit order: rollback() replays it backwards.

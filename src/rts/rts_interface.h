@@ -18,6 +18,9 @@ namespace mrts {
 class TraceRecorder;
 class CounterRegistry;
 class FaultModel;
+struct ExecEvent;        // sim/schedule.h
+struct ExecRun;          // sim/schedule.h
+class ObservationSink;   // sim/obs_accum.h
 
 /// Which implementation the Execution Control Unit used for one execution.
 enum class ImplKind : std::uint8_t {
@@ -83,6 +86,41 @@ class RuntimeSystem {
   /// The core is about to execute kernel \p k at cycle \p now; the RTS
   /// (its ECU) decides which implementation runs and returns its latency.
   virtual ExecOutcome execute_kernel(KernelId k, Cycles now) = 0;
+
+  /// Batched form of execute_kernel for a run of \p n back-to-back
+  /// executions of the same kernel \p k (the fast path of sim/fb_simulator).
+  /// \p events points at the run's n events; event i spends its gap_before
+  /// software cycles, then executes \p k. \p gap_total is the precomputed
+  /// sum of the run's gap_before values. The per-implementation tallies of
+  /// the run are added to \p impl_executions / \p impl_cycles (arrays of
+  /// kNumImplKinds), \p first_exec_start receives the absolute start cycle
+  /// of the run's first execution, and the cursor after the last execution
+  /// is returned.
+  ///
+  /// The default implementation loops over execute_kernel, so any
+  /// RuntimeSystem is exactly equivalent to the per-event path; the built-in
+  /// systems override it with an O(1)-per-run bulk commit where provably
+  /// identical (see Ecu::execute_run).
+  virtual Cycles execute_run(KernelId k, Cycles cursor, const ExecEvent* events,
+                             std::size_t n, Cycles gap_total,
+                             std::uint64_t* impl_executions,
+                             Cycles* impl_cycles, Cycles* first_exec_start);
+
+  /// Whole-block batched execution: runs every event of a block (given as
+  /// its run-compressed form, \p runs over \p events) starting at \p cursor
+  /// and returns the cursor after the last execution. Every run is reported
+  /// to \p obs (the caller's observation accumulator — an inline call, so
+  /// the accumulation fuses into the execution loop); per-implementation
+  /// tallies accumulate into \p impl_executions / \p impl_cycles as in
+  /// execute_run. The default loops over execute_run (itself defaulting to
+  /// execute_kernel), so every RuntimeSystem stays exactly equivalent to
+  /// the per-event path; the built-in ECU-based systems override this with
+  /// one non-virtual loop that memoizes steady per-kernel decisions (see
+  /// Ecu::execute_events).
+  virtual Cycles execute_events(const ExecEvent* events, const ExecRun* runs,
+                                std::size_t num_runs, Cycles cursor,
+                                std::uint64_t* impl_executions,
+                                Cycles* impl_cycles, ObservationSink& obs);
 
   /// The functional block finished; \p observed carries the measured
   /// execution statistics for forecast refinement.

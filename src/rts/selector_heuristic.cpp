@@ -88,11 +88,12 @@ SelectionResult HeuristicSelector::select_impl(const TriggerInstruction& ti,
   const bool fast_eval =
       cache != nullptr || tuning_.incremental_planner;
   EvalScratch scratch;
+  // The log lambda is only ever invoked behind `if (trace != nullptr)` —
+  // the guard must sit at the call site so the argument's string
+  // concatenation is never evaluated on the (hot) untraced path.
   auto log = [trace](const std::string& line) {
-    if (trace != nullptr) {
-      trace->append(line);
-      trace->push_back('\n');
-    }
+    trace->append(line);
+    trace->push_back('\n');
   };
 
   // Step-1: candidate list.
@@ -107,7 +108,8 @@ SelectionResult HeuristicSelector::select_impl(const TriggerInstruction& ti,
     for (IseId ise : k.ises) candidates.push_back({k.id, ise, &entry});
   }
 
-  log("candidate list: " + std::to_string(candidates.size()) + " ISEs of " +
+  if (trace != nullptr)
+    log("candidate list: " + std::to_string(candidates.size()) + " ISEs of " +
       std::to_string(ti.entries.size()) + " kernels, budget " +
       std::to_string(planner.free_prcs()) + " PRC + " +
       std::to_string(planner.free_cg()) + " CG");
@@ -115,7 +117,7 @@ SelectionResult HeuristicSelector::select_impl(const TriggerInstruction& ti,
   bool first_round = true;
   while (!candidates.empty()) {
     ++round;
-    log("round " + std::to_string(round) + ":");
+    if (trace != nullptr) log("round " + std::to_string(round) + ":");
     // Step-2: prune non-fitting and covered candidates (in place — the
     // survivors keep their relative order and no per-round vector is
     // allocated).
@@ -128,11 +130,13 @@ SelectionResult HeuristicSelector::select_impl(const TriggerInstruction& ti,
       // needs no fabric of its own, so it is free regardless of the budget.
       if (planner.covered_by_committed(v.data_paths)) {
         result.covered.emplace_back(c.kernel, c.ise);
-        log("  " + v.name + ": covered by selected data paths (free)");
+        if (trace != nullptr)
+          log("  " + v.name + ": covered by selected data paths (free)");
         continue;
       }
       if (!planner.fits(v.fg_units, v.cg_units)) {
-        log("  " + v.name + ": does not fit remaining fabric");
+        if (trace != nullptr)
+          log("  " + v.name + ": does not fit remaining fabric");
         continue;
       }
       candidates[keep++] = c;
@@ -182,7 +186,8 @@ SelectionResult HeuristicSelector::select_impl(const TriggerInstruction& ti,
         best_key = key;
         best_profit = profit;
       }
-      log("  " + v.name + ": profit " +
+      if (trace != nullptr)
+        log("  " + v.name + ": profit " +
           std::to_string(static_cast<long long>(profit)) + " (" +
           std::to_string(v.fg_units) + " PRC + " + std::to_string(v.cg_units) +
           " CG)");
@@ -194,7 +199,8 @@ SelectionResult HeuristicSelector::select_impl(const TriggerInstruction& ti,
     // the following functional blocks. Since the maximum is non-positive,
     // every remaining candidate is equally hopeless: stop.
     if (best_profit <= 0.0) {
-      log("  all remaining candidates have non-positive profit: stop");
+      if (trace != nullptr)
+        log("  all remaining candidates have non-positive profit: stop");
       break;
     }
 
@@ -212,7 +218,8 @@ SelectionResult HeuristicSelector::select_impl(const TriggerInstruction& ti,
                       planner.now(), 0, raw(chosen.kernel), raw(chosen.ise),
                       best_profit, static_cast<double>(round)});
     }
-    log("  -> selected " + lib_->ise(chosen.ise).name + " for kernel " +
+    if (trace != nullptr)
+      log("  -> selected " + lib_->ise(chosen.ise).name + " for kernel " +
         lib_->kernel(chosen.kernel).name);
     result.selected.push_back(std::move(sel));
 

@@ -1,35 +1,31 @@
 #include "sim/fb_simulator.h"
 
+#include <algorithm>
 #include <map>
 
+#include "sim/obs_accum.h"
+#include "util/fastpath.h"
 #include "util/trace.h"
 
 namespace mrts {
+namespace {
 
-FbRunResult run_block(RuntimeSystem& rts,
-                      const FunctionalBlockInstance& instance, Cycles start,
-                      TraceRecorder* recorder) {
-  FbRunResult result;
+/// Per-kernel observation accumulator (shared by both loop flavors).
+struct Acc {
+  double executions = 0.0;
+  Cycles first_start = 0;
+  Cycles last_end = 0;
+  Cycles gap_sum = 0;
+  bool seen = false;
+};
 
-  if (recorder != nullptr) {
-    recorder->record({TraceEventKind::kBlockBegin, kTrackApp, start, 0,
-                      raw(instance.functional_block), 0, 0.0, 0.0});
-  }
-
-  Cycles cursor = start;
-  result.selection = rts.on_trigger(instance.programmed, cursor);
-  result.blocking_overhead = result.selection.blocking_overhead;
-  cursor += result.blocking_overhead;
-
-  struct Acc {
-    double executions = 0.0;
-    Cycles first_start = 0;
-    Cycles last_end = 0;
-    Cycles gap_sum = 0;
-    bool seen = false;
-  };
+/// Legacy per-event loop: one virtual execute_kernel call per event, map
+/// accumulator. Kept verbatim as the oracle for the batched fast path
+/// (util/fastpath.h toggles between them; outputs are bit-identical).
+Cycles run_events_legacy(RuntimeSystem& rts,
+                         const FunctionalBlockInstance& instance, Cycles start,
+                         Cycles cursor, FbRunResult& result) {
   std::map<std::uint32_t, Acc> acc;
-
   for (const auto& ev : instance.events) {
     cursor += ev.gap_before;
     const Cycles exec_start = cursor;
@@ -50,9 +46,6 @@ FbRunResult run_block(RuntimeSystem& rts,
     a.executions += 1.0;
     a.last_end = cursor - start;
   }
-  cursor += instance.tail_gap;
-
-  result.observed.functional_block = instance.functional_block;
   for (const auto& [kid, a] : acc) {
     ObservedKernelStats stats;
     stats.kernel = KernelId{kid};
@@ -65,6 +58,85 @@ FbRunResult run_block(RuntimeSystem& rts,
             : Cycles{0};
     result.observed.kernels.push_back(stats);
   }
+  return cursor;
+}
+
+/// Batched fast path: dispatches pre-decoded same-kernel runs through
+/// RuntimeSystem::execute_run and accumulates observations in flat
+/// (structure-of-arrays) scratch indexed by raw kernel id — no per-kernel
+/// map nodes, no per-event virtual dispatch. The scratch is thread_local so
+/// concurrent sweep points (--jobs > 1) never share it.
+Cycles run_events_batched(RuntimeSystem& rts,
+                          const FunctionalBlockInstance& instance, Cycles start,
+                          Cycles cursor, FbRunResult& result) {
+  const std::vector<ExecRun>* runs = &instance.runs;
+  thread_local std::vector<ExecRun> scratch_runs;
+  const bool runs_valid =
+      !instance.runs.empty() &&
+      static_cast<std::size_t>(instance.runs.back().first_event) +
+              instance.runs.back().count ==
+          instance.events.size();
+  if (!runs_valid) {
+    // Hand-built instance that was never finalized: decode into scratch.
+    decode_runs(instance.events, scratch_runs);
+    runs = &scratch_runs;
+  }
+
+  thread_local std::vector<ObservationSink::Acc> acc;  // by raw kernel id
+  thread_local std::vector<std::uint32_t> touched;
+  touched.clear();
+
+  // One virtual call executes the whole block (see Ecu::execute_events);
+  // the sink's inline note_run fuses the per-kernel accumulation into the
+  // execution loop itself.
+  ObservationSink sink(start, acc, touched);
+  cursor = rts.execute_events(instance.events.data(), runs->data(),
+                              runs->size(), cursor,
+                              result.impl_executions.data(),
+                              result.impl_cycles.data(), sink);
+
+  // Ascending kernel id, matching the std::map emission order of the legacy
+  // loop — the MPU feedback (and thus every downstream byte) is identical.
+  std::sort(touched.begin(), touched.end());
+  for (const std::uint32_t kid : touched) {
+    ObservationSink::Acc& a = acc[kid];
+    ObservedKernelStats stats;
+    stats.kernel = KernelId{kid};
+    stats.executions = a.executions;
+    stats.time_to_first = a.first_start;
+    stats.time_between =
+        a.executions > 1.0
+            ? static_cast<Cycles>(static_cast<double>(a.gap_sum) /
+                                  (a.executions - 1.0))
+            : Cycles{0};
+    result.observed.kernels.push_back(stats);
+    a = ObservationSink::Acc{};  // reset for the next block on this thread
+  }
+  return cursor;
+}
+
+}  // namespace
+
+FbRunResult run_block(RuntimeSystem& rts,
+                      const FunctionalBlockInstance& instance, Cycles start,
+                      TraceRecorder* recorder) {
+  FbRunResult result;
+
+  if (recorder != nullptr) {
+    recorder->record({TraceEventKind::kBlockBegin, kTrackApp, start, 0,
+                      raw(instance.functional_block), 0, 0.0, 0.0});
+  }
+
+  Cycles cursor = start;
+  result.selection = rts.on_trigger(instance.programmed, cursor);
+  result.blocking_overhead = result.selection.blocking_overhead;
+  cursor += result.blocking_overhead;
+
+  result.observed.functional_block = instance.functional_block;
+  cursor = fastpath_enabled()
+               ? run_events_batched(rts, instance, start, cursor, result)
+               : run_events_legacy(rts, instance, start, cursor, result);
+  cursor += instance.tail_gap;
 
   rts.on_block_end(result.observed, cursor);
   result.cycles = cursor - start;

@@ -1,0 +1,71 @@
+#pragma once
+/// \file obs_accum.h
+/// Per-kernel observation accumulator for the batched block-execution fast
+/// path. RuntimeSystem::execute_events reports every run's cursors through
+/// ObservationSink::note_run — a concrete inline call, so the ECU's memo
+/// loop folds the accumulation into its single pass over the runs instead
+/// of materializing a per-run side table for a second pass.
+///
+/// The accumulation reproduces the legacy per-event loop bit for bit: gaps
+/// are summed in unsigned 64-bit (associative, any grouping gives the same
+/// total) and executions are integer counts in a double (exact far beyond
+/// any block size).
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/schedule.h"
+#include "util/types.h"
+
+namespace mrts {
+
+class ObservationSink {
+ public:
+  /// Per-kernel accumulator state, indexed by raw kernel id in a flat
+  /// thread_local scratch vector (no per-kernel map nodes).
+  struct Acc {
+    double executions = 0.0;
+    Cycles first_start = 0;
+    Cycles last_end = 0;
+    Cycles gap_sum = 0;
+    bool seen = false;
+  };
+
+  /// \p acc / \p touched are caller-owned scratch (touched must be empty;
+  /// acc entries must be in their reset state). \p start is the block's
+  /// start cycle — observations are block-relative.
+  ObservationSink(Cycles start, std::vector<Acc>& acc,
+                  std::vector<std::uint32_t>& touched)
+      : start_(start), acc_(&acc), touched_(&touched) {}
+
+  /// Accounts one executed run. \p first_gap is the run's first event's
+  /// gap_before, \p first_exec_start the absolute start of the run's first
+  /// execution and \p end_cursor the cursor after its last execution.
+  void note_run(const ExecRun& run, Cycles first_gap, Cycles first_exec_start,
+                Cycles end_cursor) {
+    const std::uint32_t kid = raw(run.kernel);
+    if (kid >= acc_->size()) acc_->resize(kid + 1);
+    Acc& a = (*acc_)[kid];
+    if (!a.seen) {
+      a.first_start = first_exec_start - start_;
+      a.seen = true;
+      touched_->push_back(kid);
+    } else {
+      a.gap_sum += first_exec_start - start_ - a.last_end;
+    }
+    // Gaps *within* a run separate consecutive executions of the same
+    // kernel, so they enter gap_sum directly.
+    a.gap_sum += run.gap_total - first_gap;
+    a.executions += static_cast<double>(run.count);
+    a.last_end = end_cursor - start_;
+  }
+
+  Cycles start() const { return start_; }
+
+ private:
+  Cycles start_;
+  std::vector<Acc>* acc_;
+  std::vector<std::uint32_t>* touched_;
+};
+
+}  // namespace mrts

@@ -5,6 +5,27 @@
 
 namespace mrts {
 
+void decode_runs(const std::vector<ExecEvent>& events,
+                 std::vector<ExecRun>& runs) {
+  runs.clear();
+  for (std::size_t i = 0; i < events.size();) {
+    ExecRun run;
+    run.kernel = events[i].kernel;
+    run.first_event = static_cast<std::uint32_t>(i);
+    run.first_gap = events[i].gap_before;
+    do {
+      run.gap_total += events[i].gap_before;
+      ++i;
+    } while (i < events.size() && events[i].kernel == run.kernel);
+    run.count = static_cast<std::uint32_t>(i) - run.first_event;
+    runs.push_back(run);
+  }
+}
+
+void finalize_instance_runs(FunctionalBlockInstance& instance) {
+  decode_runs(instance.events, instance.runs);
+}
+
 TriggerInstruction derive_trigger(
     const FunctionalBlockInstance& instance,
     const std::vector<Cycles>& risc_latency_by_kernel) {

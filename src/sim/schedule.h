@@ -21,6 +21,20 @@ struct ExecEvent {
   Cycles gap_before = 0;
 };
 
+/// A maximal run of consecutive executions of the same kernel, decoded once
+/// from an instance's event list (finalize_instance_runs). The batched
+/// frame-execution fast path dispatches whole runs through
+/// RuntimeSystem::execute_run instead of one virtual call per event.
+struct ExecRun {
+  KernelId kernel = kInvalidKernel;
+  std::uint32_t first_event = 0;  ///< index of the run's first event
+  std::uint32_t count = 0;        ///< number of consecutive events
+  Cycles gap_total = 0;           ///< sum of gap_before over the run's events
+  /// gap_before of the first event, copied here so the steady-state fast
+  /// path never has to touch the (much larger) event array.
+  Cycles first_gap = 0;
+};
+
 /// One dynamic instance of a functional block.
 struct FunctionalBlockInstance {
   FunctionalBlockId functional_block = kInvalidFunctionalBlock;
@@ -29,6 +43,11 @@ struct FunctionalBlockInstance {
   TriggerInstruction programmed;
   /// Actual execution schedule of this instance.
   std::vector<ExecEvent> events;
+  /// Run-compressed view of \p events (derived; see finalize_instance_runs).
+  /// Empty = not decoded yet; run_block then derives it on the fly. Mutating
+  /// \p events invalidates this — call finalize_instance_runs again (or
+  /// clear it) afterwards.
+  std::vector<ExecRun> runs;
   /// Non-kernel cycles after the last kernel execution.
   Cycles tail_gap = 0;
 
@@ -51,6 +70,17 @@ struct ApplicationTrace {
     return n;
   }
 };
+
+/// Decodes \p events into maximal same-kernel runs, appending to \p runs
+/// (cleared first). Exposed so run_block can derive runs into a scratch
+/// buffer for hand-built instances that were never finalized.
+void decode_runs(const std::vector<ExecEvent>& events,
+                 std::vector<ExecRun>& runs);
+
+/// Decodes the instance's event list into its run-compressed form (stored in
+/// instance.runs). Workload builders call this once per instance so the
+/// shared, read-only trace carries the decoded runs into every sweep point.
+void finalize_instance_runs(FunctionalBlockInstance& instance);
 
 /// Derives the programmed trigger instruction of a block instance from its
 /// schedule, assuming RISC-mode execution latencies (this is exactly what an

@@ -1,0 +1,29 @@
+#include "util/fastpath.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+namespace mrts {
+namespace {
+
+bool initial_state() {
+  const char* env = std::getenv("MRTS_NO_BB_CACHE");
+  if (env == nullptr) return true;
+  return std::strcmp(env, "0") == 0;  // MRTS_NO_BB_CACHE=0 keeps it on
+}
+
+std::atomic<bool>& flag() {
+  static std::atomic<bool> enabled{initial_state()};
+  return enabled;
+}
+
+}  // namespace
+
+bool fastpath_enabled() { return flag().load(std::memory_order_relaxed); }
+
+void set_fastpath_enabled(bool enabled) {
+  flag().store(enabled, std::memory_order_relaxed);
+}
+
+}  // namespace mrts

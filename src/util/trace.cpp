@@ -2,6 +2,7 @@
 
 #include <array>
 #include <cinttypes>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -65,11 +66,15 @@ std::string json_escape(const std::string& s) {
 }
 
 std::string format_double(double v) {
+  if (!std::isfinite(v)) return "0";  // JSON has no inf/nan literals
   char buf[64];
-  std::snprintf(buf, sizeof buf, "%.10g", v);
-  // JSON has no inf/nan literals.
-  if (std::strchr(buf, 'n') != nullptr || std::strchr(buf, 'i') != nullptr) {
-    return "0";
+  // Same contract as CsvWriter::to_cell: integral doubles (exact up to
+  // 2^53) emit every digit so large cycle counts survive a JSON round
+  // trip; the rest keeps %.10g.
+  if (v == std::floor(v) && std::fabs(v) < 9007199254740992.0 /* 2^53 */) {
+    std::snprintf(buf, sizeof buf, "%.0f", v);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.10g", v);
   }
   return buf;
 }

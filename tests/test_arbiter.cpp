@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <memory>
 #include <string>
 #include <vector>
@@ -454,6 +455,15 @@ TEST(MultiTenantScheduler, JainFairnessIndex) {
   EXPECT_DOUBLE_EQ(jain_fairness_index({3.0, 3.0, 3.0}), 1.0);
   EXPECT_DOUBLE_EQ(jain_fairness_index({1.0, 0.0}), 0.5);
   EXPECT_NEAR(jain_fairness_index({4.0, 1.0, 1.0}), 0.667, 1e-3);
+  // Edge cases pinned by definition, not accident: a single tenant is
+  // perfectly fair whatever its throughput (x^2 / (1 * x^2) = 1), including
+  // a completely starved one, and the all-zero guard means the index is
+  // never NaN — bench_multi_tenant / `run-multi` print it straight into
+  // CSV/stdout.
+  EXPECT_DOUBLE_EQ(jain_fairness_index({42.0}), 1.0);
+  EXPECT_DOUBLE_EQ(jain_fairness_index({0.0}), 1.0);
+  EXPECT_FALSE(std::isnan(jain_fairness_index({0.0, 0.0, 0.0})));
+  EXPECT_FALSE(std::isnan(jain_fairness_index({})));
 }
 
 /// One full multi-tenant scenario as a sweep point, with a flight recorder

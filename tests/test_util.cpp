@@ -218,6 +218,20 @@ TEST(Csv, InMemoryRows) {
   EXPECT_EQ(csv.str(), "a,b\n1,2.5\n");
 }
 
+TEST(Csv, IntegralDoublesKeepEveryDigit) {
+  // Bare %.10g silently rounded integral cycle counts above ~2^33 to ten
+  // significant digits. Integral doubles are exact up to 2^53 and must
+  // round-trip byte-for-byte through the CSV layer.
+  EXPECT_EQ(CsvWriter::to_cell(1099511627777.0), "1099511627777");  // 2^40+1
+  EXPECT_EQ(CsvWriter::to_cell(9007199254740991.0), "9007199254740991");
+  EXPECT_EQ(CsvWriter::to_cell(0.0), "0");
+  EXPECT_EQ(CsvWriter::to_cell(-42.0), "-42");
+  // Non-integral values keep the historical %.10g form — the committed
+  // figure CSVs depend on its rounding (e.g. fig11's fairness column).
+  EXPECT_EQ(CsvWriter::to_cell(2.5), "2.5");
+  EXPECT_EQ(CsvWriter::to_cell(3.0596940034), "3.059694003");
+}
+
 TEST(TextTable, RendersAlignedColumns) {
   TextTable t({"name", "value"});
   t.add_values("x", 1);

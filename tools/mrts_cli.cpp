@@ -35,6 +35,7 @@
 // arguments), 2 on input/runtime errors (unreadable files, bad content).
 
 #include <cerrno>
+#include <cmath>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -93,6 +94,47 @@ int cmd_info(const std::string& path) {
   return 0;
 }
 
+/// Strict uint64 token parser: digits only, the whole token, no overflow.
+bool parse_u64_token(const std::string& s, std::uint64_t* out) {
+  if (s.empty() || s[0] == '-' || s[0] == '+') return false;
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s.c_str(), &end, 10);
+  if (end != s.c_str() + s.size() || errno == ERANGE) return false;
+  *out = v;
+  return true;
+}
+
+/// Strict parser for the value part of a `KERNEL=e[,tf,tb]` trigger spec.
+/// Every token must parse in full: `1.5x`, `inf`, `nan`, empty tokens and
+/// negative counts are input errors (exit 2), never silently truncated the
+/// way a bare strtod would.
+bool parse_trigger_values(const std::string& text, TriggerEntry* entry) {
+  std::vector<std::string> tokens;
+  std::size_t begin = 0;
+  while (true) {
+    const std::size_t comma = text.find(',', begin);
+    tokens.push_back(text.substr(begin, comma - begin));
+    if (comma == std::string::npos) break;
+    begin = comma + 1;
+  }
+  if (tokens.empty() || tokens.size() > 3) return false;
+  char* end = nullptr;
+  const double e = std::strtod(tokens[0].c_str(), &end);
+  if (tokens[0].empty() || end != tokens[0].c_str() + tokens[0].size() ||
+      !std::isfinite(e) || e < 0.0) {
+    return false;
+  }
+  entry->expected_executions = e;
+  if (tokens.size() >= 2 && !parse_u64_token(tokens[1], &entry->time_to_first)) {
+    return false;
+  }
+  if (tokens.size() == 3 && !parse_u64_token(tokens[2], &entry->time_between)) {
+    return false;
+  }
+  return true;
+}
+
 int cmd_select(const std::string& path, unsigned prcs, unsigned cg,
                char** specs, int count) {
   const IseLibrary lib = load_library(path);
@@ -116,13 +158,12 @@ int cmd_select(const std::string& path, unsigned prcs, unsigned cg,
     entry.kernel = k;
     entry.time_to_first = 500;
     entry.time_between = 100;
-    char* cursor = nullptr;
-    entry.expected_executions = std::strtod(spec.c_str() + eq + 1, &cursor);
-    if (cursor != nullptr && *cursor == ',') {
-      entry.time_to_first = std::strtoull(cursor + 1, &cursor, 10);
-      if (*cursor == ',') {
-        entry.time_between = std::strtoull(cursor + 1, nullptr, 10);
-      }
+    if (!parse_trigger_values(spec.substr(eq + 1), &entry)) {
+      std::fprintf(stderr,
+                   "bad trigger entry '%s' (expected KERNEL=e[,tf,tb] with "
+                   "finite non-negative numbers)\n",
+                   spec.c_str());
+      return 2;
     }
     ti.entries.push_back(entry);
   }
