@@ -71,6 +71,12 @@ void FabricManager::attach_observability(TraceRecorder* trace,
   counters_ = counters;
 }
 
+void FabricManager::trace_record(TraceEvent event) const {
+  if (trace_ == nullptr) return;
+  if (event.tenant == 0) event.tenant = active_tenant_;
+  trace_->record(event);
+}
+
 void FabricManager::set_active_tenant(TenantId tenant) {
   if (tenant == active_tenant_) return;
   active_tenant_ = tenant;
@@ -140,13 +146,11 @@ void FabricManager::note_tenant_eviction(Grain grain, unsigned container,
       fine ? !fg_.prc(container).empty()
            : cg_[container].resident_count() >= cg_[container].capacity();
   if (!destroys || owner == kUnownedTenant || owner == active_tenant_) return;
-  if (trace_ != nullptr) {
-    trace_->record({TraceEventKind::kTenantEviction,
-                    (fine ? kTrackFgBase : kTrackCgBase) +
-                        static_cast<std::int32_t>(container),
-                    now, 0, owner, static_cast<std::uint32_t>(grain),
-                    static_cast<double>(active_tenant_), 0.0});
-  }
+  trace_record({TraceEventKind::kTenantEviction,
+                (fine ? kTrackFgBase : kTrackCgBase) +
+                    static_cast<std::int32_t>(container),
+                now, 0, owner, static_cast<std::uint32_t>(grain),
+                static_cast<double>(active_tenant_), 0.0});
   if (counters_ != nullptr) counters_->add("tenant.eviction");
   if (arbitration_ != nullptr) {
     arbitration_->note_eviction(active_tenant_, owner, grain, now);
@@ -185,13 +189,11 @@ std::optional<unsigned> FabricManager::pick_fg_victim(
   const auto redirect = fg_.find_victim(restricted);
   if (!redirect) return native;
   const TenantId victim_owner = prc_owner_[*redirect];
-  if (trace_ != nullptr) {
-    trace_->record({TraceEventKind::kTenantQuotaHit,
-                    kTrackFgBase + static_cast<std::int32_t>(*redirect), now,
-                    0, victim_owner,
-                    static_cast<std::uint32_t>(Grain::kFine),
-                    static_cast<double>(active_tenant_), 0.0});
-  }
+  trace_record({TraceEventKind::kTenantQuotaHit,
+                kTrackFgBase + static_cast<std::int32_t>(*redirect), now,
+                0, victim_owner,
+                static_cast<std::uint32_t>(Grain::kFine),
+                static_cast<double>(active_tenant_), 0.0});
   if (counters_ != nullptr) counters_->add("tenant.quota_hit");
   arbitration_->note_quota_redirect(active_tenant_, victim_owner, Grain::kFine,
                                     now);
@@ -224,12 +226,10 @@ std::optional<unsigned> FabricManager::pick_cg_victim(
                                     Grain::kCoarse)) {
       continue;
     }
-    if (trace_ != nullptr) {
-      trace_->record({TraceEventKind::kTenantQuotaHit,
-                      kTrackCgBase + static_cast<std::int32_t>(i), now, 0,
-                      candidate, static_cast<std::uint32_t>(Grain::kCoarse),
-                      static_cast<double>(active_tenant_), 0.0});
-    }
+    trace_record({TraceEventKind::kTenantQuotaHit,
+                  kTrackCgBase + static_cast<std::int32_t>(i), now, 0,
+                  candidate, static_cast<std::uint32_t>(Grain::kCoarse),
+                  static_cast<double>(active_tenant_), 0.0});
     if (counters_ != nullptr) counters_->add("tenant.quota_hit");
     arbitration_->note_quota_redirect(active_tenant_, candidate,
                                       Grain::kCoarse, now);
@@ -265,13 +265,11 @@ void FabricManager::quarantine_prc(unsigned index, Cycles at) {
   prc_reserved_[index] = false;
   prc_owner_[index] = kUnownedTenant;
   if (fault_ != nullptr) ++fault_->stats().quarantined_prcs;
-  if (trace_ != nullptr) {
-    // v0 = the tenant that lost the container (0 = unowned/single-app).
-    trace_->record({TraceEventKind::kQuarantine,
-                    kTrackFgBase + static_cast<std::int32_t>(index), at, 0,
-                    index, static_cast<std::uint32_t>(Grain::kFine),
-                    static_cast<double>(owner), 0.0});
-  }
+  // v0 = the tenant that lost the container (0 = unowned/single-app).
+  trace_record({TraceEventKind::kQuarantine,
+                kTrackFgBase + static_cast<std::int32_t>(index), at, 0,
+                index, static_cast<std::uint32_t>(Grain::kFine),
+                static_cast<double>(owner), 0.0});
   if (counters_ != nullptr) counters_->add("prc.quarantined");
   if (arbitration_ != nullptr) {
     arbitration_->note_quarantine(owner, Grain::kFine, at);
@@ -289,12 +287,10 @@ void FabricManager::quarantine_cg(unsigned index, Cycles at) {
   cg_pinned_[index] = kInvalidDataPath;
   cg_owner_[index] = kUnownedTenant;
   if (fault_ != nullptr) ++fault_->stats().quarantined_cg;
-  if (trace_ != nullptr) {
-    trace_->record({TraceEventKind::kQuarantine,
-                    kTrackCgBase + static_cast<std::int32_t>(index), at, 0,
-                    index, static_cast<std::uint32_t>(Grain::kCoarse),
-                    static_cast<double>(owner), 0.0});
-  }
+  trace_record({TraceEventKind::kQuarantine,
+                kTrackCgBase + static_cast<std::int32_t>(index), at, 0,
+                index, static_cast<std::uint32_t>(Grain::kCoarse),
+                static_cast<double>(owner), 0.0});
   if (counters_ != nullptr) counters_->add("cg.quarantined");
   if (arbitration_ != nullptr) {
     arbitration_->note_quarantine(owner, Grain::kCoarse, at);
@@ -314,11 +310,11 @@ void FabricManager::trace_load(const ReconfigJob& job, Grain grain) const {
   const auto grain_arg = static_cast<std::uint32_t>(grain);
   // Scheduled times at enqueue; a later install() may cancel pending loads
   // (recorded as kReconfigCancel) before they start.
-  trace_->record({TraceEventKind::kReconfigStart, track, job.starts_at,
-                  job.completes_at - job.starts_at, raw(job.dp), grain_arg,
-                  0.0, 0.0});
-  trace_->record({TraceEventKind::kReconfigComplete, track, job.completes_at,
-                  0, raw(job.dp), grain_arg, 0.0, 0.0});
+  trace_record({TraceEventKind::kReconfigStart, track, job.starts_at,
+                job.completes_at - job.starts_at, raw(job.dp), grain_arg,
+                0.0, 0.0});
+  trace_record({TraceEventKind::kReconfigComplete, track, job.completes_at,
+                0, raw(job.dp), grain_arg, 0.0, 0.0});
 }
 
 FabricManager::StreamedLoad FabricManager::stream_load(
@@ -361,17 +357,13 @@ FabricManager::StreamedLoad FabricManager::stream_load(
     Cycles attempt_start = job.starts_at;
     for (unsigned k = 0; k < failed_attempts; ++k) {
       const Cycles detect = attempt_start + duration;
-      if (trace_ != nullptr) {
-        trace_->record({TraceEventKind::kFaultInject, track, detect, 0,
-                        raw(dp), grain_arg, static_cast<double>(k), 0.0});
-      }
+      trace_record({TraceEventKind::kFaultInject, track, detect, 0,
+                    raw(dp), grain_arg, static_cast<double>(k), 0.0});
       if (counters_ != nullptr) counters_->add("fault.inject");
       if (k < outcome.retries) {
         const Cycles retry_start = detect + fault_->backoff(k);
-        if (trace_ != nullptr) {
-          trace_->record({TraceEventKind::kReconfigRetry, track, retry_start,
-                          duration, raw(dp), k + 1, 0.0, 0.0});
-        }
+        trace_record({TraceEventKind::kReconfigRetry, track, retry_start,
+                      duration, raw(dp), k + 1, 0.0, 0.0});
         if (counters_ != nullptr) counters_->add("reconfig.retry");
         attempt_start = retry_start;
       }
@@ -428,14 +420,12 @@ void FabricManager::scrub_epoch(Cycles at) {
     const StreamedLoad repair =
         stream_load(prc.occupant, i, Grain::kFine, at, "fabric.fg_loads");
     ++fault_->stats().scrub_repairs;
-    if (trace_ != nullptr) {
-      trace_->record({TraceEventKind::kScrubRepair,
-                      kTrackFgBase + static_cast<std::int32_t>(i), at, 0,
-                      raw(prc.occupant),
-                      static_cast<std::uint32_t>(Grain::kFine),
-                      repair.success ? static_cast<double>(repair.ready) : 0.0,
-                      0.0});
-    }
+    trace_record({TraceEventKind::kScrubRepair,
+                  kTrackFgBase + static_cast<std::int32_t>(i), at, 0,
+                  raw(prc.occupant),
+                  static_cast<std::uint32_t>(Grain::kFine),
+                  repair.success ? static_cast<double>(repair.ready) : 0.0,
+                  0.0});
     if (counters_ != nullptr) counters_->add("scrub.repair");
     if (repair.success) {
       fg_.place(i, prc.occupant, repair.ready);
@@ -457,15 +447,13 @@ void FabricManager::scrub_epoch(Cycles at) {
       const StreamedLoad repair =
           stream_load(ctx.occupant, f, Grain::kCoarse, at, "fabric.cg_loads");
       ++fault_->stats().scrub_repairs;
-      if (trace_ != nullptr) {
-        trace_->record({TraceEventKind::kScrubRepair,
-                        kTrackCgBase + static_cast<std::int32_t>(f), at, 0,
-                        raw(ctx.occupant),
-                        static_cast<std::uint32_t>(Grain::kCoarse),
-                        repair.success ? static_cast<double>(repair.ready)
-                                       : 0.0,
-                        0.0});
-      }
+      trace_record({TraceEventKind::kScrubRepair,
+                    kTrackCgBase + static_cast<std::int32_t>(f), at, 0,
+                    raw(ctx.occupant),
+                    static_cast<std::uint32_t>(Grain::kCoarse),
+                    repair.success ? static_cast<double>(repair.ready)
+                                   : 0.0,
+                    0.0});
       if (counters_ != nullptr) counters_->add("scrub.repair");
       if (cg_quarantined_[f]) break;  // the repair load itself went permanent
       cg_[f].evict(slot);
@@ -616,24 +604,31 @@ std::vector<IsePlacement> FabricManager::install(
   // --- 3. Cancel pending loads of data paths the new selection evicts. ----
   // A queued FG job is kept only if its target PRC was claimed (its data path
   // is reused by this selection).
-  std::size_t cancelled = reconfig_.fg_port().cancel_pending(
+  const std::size_t fg_cancelled = reconfig_.fg_port().cancel_pending(
       now, [&prc_claimed](const ReconfigJob& job) {
         return job.container >= prc_claimed.size() ||
                !prc_claimed[job.container];
       });
-  cancelled += reconfig_.cg_port().cancel_pending(
+  const std::size_t cg_cancelled = reconfig_.cg_port().cancel_pending(
       now, [&cg_claimed](const ReconfigJob& job) {
         return job.container >= cg_claimed.size() || !cg_claimed[job.container];
       });
+  const std::size_t cancelled = fg_cancelled + cg_cancelled;
   reconfig_stats_.cancelled_loads += cancelled;
-  if (cancelled > 0) {
-    if (trace_ != nullptr) {
-      trace_->record({TraceEventKind::kReconfigCancel, kTrackApp, now, 0, 0, 0,
-                      static_cast<double>(cancelled), 0.0});
-    }
-    if (counters_ != nullptr) {
-      counters_->add("fabric.cancelled_loads", cancelled);
-    }
+  // One cancel event per port so analysis can attribute evicted loads to a
+  // reconfiguration unit (arg1 = grain) instead of one blended count.
+  if (fg_cancelled > 0) {
+    trace_record({TraceEventKind::kReconfigCancel, kTrackApp, now, 0, 0,
+                  static_cast<std::uint32_t>(Grain::kFine),
+                  static_cast<double>(fg_cancelled), 0.0});
+  }
+  if (cg_cancelled > 0) {
+    trace_record({TraceEventKind::kReconfigCancel, kTrackApp, now, 0, 0,
+                  static_cast<std::uint32_t>(Grain::kCoarse),
+                  static_cast<double>(cg_cancelled), 0.0});
+  }
+  if (cancelled > 0 && counters_ != nullptr) {
+    counters_->add("fabric.cancelled_loads", cancelled);
   }
 
   // --- 4. Schedule loads for the unmatched instances. ----------------------
@@ -716,10 +711,10 @@ std::vector<IsePlacement> FabricManager::install(
   }
   if (trace_ != nullptr) {
     const FabricUsage u = usage();
-    trace_->record({TraceEventKind::kOccupancy, kTrackApp, now, 0,
-                    u.total_prcs, u.total_cg,
-                    static_cast<double>(u.reserved_prcs),
-                    static_cast<double>(u.reserved_cg)});
+    trace_record({TraceEventKind::kOccupancy, kTrackApp, now, 0,
+                  u.total_prcs, u.total_cg,
+                  static_cast<double>(u.reserved_prcs),
+                  static_cast<double>(u.reserved_cg)});
   }
   if (counters_ != nullptr) {
     counters_->add("fabric.installs");
@@ -809,12 +804,10 @@ std::optional<Cycles> FabricManager::acquire_mono_cg(DataPathId mono_dp,
       const Cycles ready = fabric.context(*slot).ready_at;
       const Cycles switch_cost = fabric.activate(*slot);
       if (switch_cost > 0) {
-        if (trace_ != nullptr) {
-          trace_->record({TraceEventKind::kCgContextSwitch,
-                          kTrackCgBase + static_cast<std::int32_t>(i),
-                          std::max(now, ready), switch_cost, raw(mono_dp), 0,
-                          0.0, 0.0});
-        }
+        trace_record({TraceEventKind::kCgContextSwitch,
+                      kTrackCgBase + static_cast<std::int32_t>(i),
+                      std::max(now, ready), switch_cost, raw(mono_dp), 0,
+                      0.0, 0.0});
         if (counters_ != nullptr) counters_->add("fabric.cg_context_switches");
       }
       return std::max(now, ready) + switch_cost;
@@ -869,11 +862,9 @@ std::optional<Cycles> FabricManager::acquire_mono_cg(DataPathId mono_dp,
   cg_owner_[*target] = active_tenant_;
   const Cycles switch_cost = cg_[*target].activate(slot);
   if (switch_cost > 0) {
-    if (trace_ != nullptr) {
-      trace_->record({TraceEventKind::kCgContextSwitch,
-                      kTrackCgBase + static_cast<std::int32_t>(*target),
-                      res.ready, switch_cost, raw(mono_dp), 0, 0.0, 0.0});
-    }
+    trace_record({TraceEventKind::kCgContextSwitch,
+                  kTrackCgBase + static_cast<std::int32_t>(*target),
+                  res.ready, switch_cost, raw(mono_dp), 0, 0.0, 0.0});
     if (counters_ != nullptr) counters_->add("fabric.cg_context_switches");
   }
   return res.ready + switch_cost;
@@ -887,11 +878,9 @@ Cycles FabricManager::activate_cg_context(DataPathId dp, Cycles now) {
       ++state_epoch_;
       const Cycles switch_cost = fabric.activate(*slot);
       if (switch_cost > 0) {
-        if (trace_ != nullptr) {
-          trace_->record({TraceEventKind::kCgContextSwitch,
-                          kTrackCgBase + static_cast<std::int32_t>(i), now,
-                          switch_cost, raw(dp), 0, 0.0, 0.0});
-        }
+        trace_record({TraceEventKind::kCgContextSwitch,
+                      kTrackCgBase + static_cast<std::int32_t>(i), now,
+                      switch_cost, raw(dp), 0, 0.0, 0.0});
         if (counters_ != nullptr) counters_->add("fabric.cg_context_switches");
       }
       return switch_cost;

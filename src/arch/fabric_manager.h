@@ -27,6 +27,7 @@
 namespace mrts {
 
 class TraceRecorder;
+struct TraceEvent;
 class CounterRegistry;
 class FaultModel;
 
@@ -247,6 +248,12 @@ class FabricManager {
   }
 
  private:
+  /// Forwards one event to the attached recorder, stamping the currently
+  /// active tenant onto it (unless the site already stamped one). Keeps
+  /// shared-fabric traces per-tenant attributable without threading a
+  /// TenantId through every instrumented call site.
+  void trace_record(TraceEvent event) const;
+
   /// Records one scheduled load (start span + completion instant).
   void trace_load(const ReconfigJob& job, Grain grain) const;
 

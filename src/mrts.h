@@ -60,6 +60,12 @@
 #include "workload/sdr_app.h"
 #include "workload/workload_gen.h"
 
-// Observability (flight recorder + counters)
+// Observability (flight recorder + counters + trace analysis)
+#include "obs/analysis.h"
+#include "obs/critical_path.h"
+#include "obs/cycle_accounting.h"
+#include "obs/occupancy.h"
+#include "obs/report_io.h"
+#include "obs/run_report.h"
 #include "util/counters.h"
 #include "util/trace.h"

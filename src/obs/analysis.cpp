@@ -1,0 +1,127 @@
+#include "obs/analysis.h"
+
+#include <algorithm>
+
+namespace mrts::obs {
+namespace {
+
+bool is_fg_track(std::int32_t track) {
+  return track >= kTrackFgBase && track < kTrackCgBase;
+}
+
+bool is_cg_track(std::int32_t track) { return track >= kTrackCgBase; }
+
+}  // namespace
+
+TraceShape infer_shape(const std::vector<TraceEvent>& events,
+                       const AnalysisConfig& config) {
+  TraceShape shape;
+  shape.num_prcs = config.num_prcs;
+  shape.num_cg = config.num_cg;
+  bool any = false;
+  unsigned sampled_prcs = 0;
+  unsigned sampled_cg = 0;
+  unsigned track_prcs = 0;
+  unsigned track_cg = 0;
+  for (const TraceEvent& e : events) {
+    const Cycles end = e.at + e.duration;
+    if (!any) {
+      shape.span_begin = e.at;
+      shape.span_end = end;
+      any = true;
+    } else {
+      shape.span_begin = std::min(shape.span_begin, e.at);
+      shape.span_end = std::max(shape.span_end, end);
+    }
+    if (e.kind == TraceEventKind::kOccupancy) {
+      sampled_prcs = std::max(sampled_prcs, e.arg0);
+      sampled_cg = std::max(sampled_cg, e.arg1);
+    }
+    if (is_fg_track(e.track)) {
+      track_prcs = std::max(
+          track_prcs, static_cast<unsigned>(e.track - kTrackFgBase) + 1);
+    } else if (is_cg_track(e.track)) {
+      track_cg =
+          std::max(track_cg, static_cast<unsigned>(e.track - kTrackCgBase) + 1);
+    }
+  }
+  if (shape.num_prcs == 0) {
+    shape.num_prcs = sampled_prcs > 0 ? sampled_prcs : track_prcs;
+  }
+  if (shape.num_cg == 0) shape.num_cg = sampled_cg > 0 ? sampled_cg : track_cg;
+  return shape;
+}
+
+std::vector<UnitEvents> slice_unit_events(const std::vector<TraceEvent>& events,
+                                          const TraceShape& shape) {
+  std::vector<UnitEvents> units(shape.num_prcs + shape.num_cg);
+  for (std::size_t i = 0; i < units.size(); ++i) {
+    const bool fg = i < shape.num_prcs;
+    units[i].track =
+        fg ? kTrackFgBase + static_cast<std::int32_t>(i)
+           : kTrackCgBase + static_cast<std::int32_t>(i - shape.num_prcs);
+  }
+  // Scrub marks per unit, matched to load starts below.
+  std::vector<std::vector<Cycles>> scrub_marks(units.size());
+  auto unit_of = [&](std::int32_t track) -> std::size_t {
+    if (is_fg_track(track)) {
+      const auto i = static_cast<std::size_t>(track - kTrackFgBase);
+      return i < shape.num_prcs ? i : units.size();
+    }
+    if (is_cg_track(track)) {
+      const auto i = static_cast<std::size_t>(track - kTrackCgBase);
+      return i < shape.num_cg ? shape.num_prcs + i : units.size();
+    }
+    return units.size();
+  };
+  for (const TraceEvent& e : events) {
+    const std::size_t u = unit_of(e.track);
+    if (u >= units.size()) continue;
+    const Grain grain = u < shape.num_prcs ? Grain::kFine : Grain::kCoarse;
+    switch (e.kind) {
+      case TraceEventKind::kReconfigStart:
+      case TraceEventKind::kReconfigRetry:
+        units[u].loads.push_back({e.at, e.at + e.duration, grain, false});
+        break;
+      case TraceEventKind::kReconfigComplete:
+        units[u].completes.push_back(e.at);
+        break;
+      case TraceEventKind::kQuarantine:
+        units[u].quarantined_at = std::min(units[u].quarantined_at, e.at);
+        break;
+      case TraceEventKind::kScrubRepair:
+        scrub_marks[u].push_back(e.at);
+        break;
+      default:
+        break;
+    }
+  }
+  for (std::size_t u = 0; u < units.size(); ++u) {
+    auto& loads = units[u].loads;
+    std::sort(loads.begin(), loads.end(),
+              [](const LoadSpan& a, const LoadSpan& b) {
+                return a.begin != b.begin ? a.begin < b.begin : a.end < b.end;
+              });
+    std::sort(units[u].completes.begin(), units[u].completes.end());
+    // A scrub mark tags the first not-yet-tagged load starting at or after
+    // it: the repair load is enqueued at scrub time but may start later if
+    // the reconfiguration port is busy.
+    std::sort(scrub_marks[u].begin(), scrub_marks[u].end());
+    std::size_t next = 0;
+    for (const Cycles mark : scrub_marks[u]) {
+      while (next < loads.size() &&
+             (loads[next].begin < mark || loads[next].repair)) {
+        ++next;
+      }
+      if (next < loads.size()) loads[next].repair = true;
+    }
+  }
+  return units;
+}
+
+std::string unit_name(const TraceShape& shape, std::size_t index) {
+  if (index < shape.num_prcs) return "fg" + std::to_string(index);
+  return "cg" + std::to_string(index - shape.num_prcs);
+}
+
+}  // namespace mrts::obs

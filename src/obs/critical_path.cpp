@@ -1,0 +1,75 @@
+#include "obs/critical_path.h"
+
+#include <algorithm>
+
+namespace mrts::obs {
+
+CriticalPathAnalysis analyze_critical_path(
+    const std::vector<TraceEvent>& events, const TraceShape& shape) {
+  CriticalPathAnalysis cp;
+
+  // Load spans grouped by port (grain), across all units of that grain.
+  const std::vector<UnitEvents> units = slice_unit_events(events, shape);
+  std::vector<LoadSpan> port[2];  // [0] = FG, [1] = CG
+  for (const UnitEvents& unit : units) {
+    for (const LoadSpan& load : unit.loads) {
+      port[load.grain == Grain::kFine ? 0 : 1].push_back(load);
+    }
+  }
+  for (auto& loads : port) {
+    std::sort(loads.begin(), loads.end(),
+              [](const LoadSpan& a, const LoadSpan& b) {
+                return a.begin != b.begin ? a.begin < b.begin : a.end < b.end;
+              });
+    for (const LoadSpan& load : loads) {
+      const Cycles dur = load.end - load.begin;
+      cp.reconfig_busy += dur;
+      cp.hop_latency.observe(static_cast<double>(dur));
+    }
+  }
+
+  for (int p = 0; p < 2; ++p) {
+    const Grain grain = p == 0 ? Grain::kFine : Grain::kCoarse;
+    for (std::size_t i = 0; i < port[p].size();) {
+      ReconfigChain chain;
+      chain.grain = grain;
+      chain.begin = port[p][i].begin;
+      chain.end = port[p][i].end;
+      chain.hops = 1;
+      ++i;
+      while (i < port[p].size() && port[p][i].begin == chain.end) {
+        chain.end = port[p][i].end;
+        ++chain.hops;
+        ++i;
+      }
+      cp.chains.push_back(chain);
+    }
+  }
+  std::sort(cp.chains.begin(), cp.chains.end(),
+            [](const ReconfigChain& a, const ReconfigChain& b) {
+              if (a.begin != b.begin) return a.begin < b.begin;
+              return a.grain == Grain::kFine && b.grain == Grain::kCoarse;
+            });
+  for (const ReconfigChain& chain : cp.chains) {
+    if (chain.cycles() > cp.longest_chain_cycles ||
+        (chain.cycles() == cp.longest_chain_cycles &&
+         chain.hops > cp.longest_chain_hops)) {
+      cp.longest_chain_cycles = chain.cycles();
+      cp.longest_chain_hops = chain.hops;
+      cp.longest_chain_grain = chain.grain;
+    }
+  }
+
+  for (const TraceEvent& e : events) {
+    if (e.kind != TraceEventKind::kBlockEnd) continue;
+    cp.core_stall += std::min(e.duration, static_cast<Cycles>(e.v0));
+  }
+  if (cp.reconfig_busy > 0) {
+    cp.hidden_fraction =
+        1.0 - static_cast<double>(std::min(cp.core_stall, cp.reconfig_busy)) /
+                  static_cast<double>(cp.reconfig_busy);
+  }
+  return cp;
+}
+
+}  // namespace mrts::obs

@@ -1,0 +1,47 @@
+#pragma once
+/// \file critical_path.h
+/// Reconfiguration critical paths: the chains of back-to-back loads each
+/// reconfiguration port streamed, the per-hop latency distribution, and the
+/// headline "is reconfiguration hidden?" number. A chain is a maximal run
+/// of load spans on one port where each next load starts exactly when the
+/// previous one finishes — i.e. the port never drained, so every hop's
+/// latency was on the dependency path of the last load's availability.
+///
+/// hidden_fraction compares the fabric-side reconfiguration busy time R
+/// (all load-span cycles) against the core-side stall S actually paid for
+/// it (sum of kBlockEnd blocking overheads): 1 - min(S, R) / R. 1.0 means
+/// every streamed cycle overlapped useful execution (fully hidden, also the
+/// degenerate R = 0 case); 0.0 means the application waited out every load.
+
+#include <vector>
+
+#include "obs/analysis.h"
+#include "util/counters.h"
+#include "util/types.h"
+
+namespace mrts::obs {
+
+/// One maximal back-to-back load chain on a reconfiguration port.
+struct ReconfigChain {
+  Grain grain = Grain::kFine;  ///< which port streamed the chain
+  Cycles begin = 0;
+  Cycles end = 0;
+  unsigned hops = 0;  ///< number of loads in the chain
+  Cycles cycles() const { return end - begin; }
+};
+
+struct CriticalPathAnalysis {
+  std::vector<ReconfigChain> chains;  ///< sorted by begin, then grain
+  unsigned longest_chain_hops = 0;    ///< hops of the longest-cycles chain
+  Cycles longest_chain_cycles = 0;
+  Grain longest_chain_grain = Grain::kFine;
+  Histogram hop_latency;     ///< duration of every load span
+  Cycles reconfig_busy = 0;  ///< total load-span cycles across both ports
+  Cycles core_stall = 0;     ///< total blocking overhead paid by the core
+  double hidden_fraction = 1.0;
+};
+
+CriticalPathAnalysis analyze_critical_path(
+    const std::vector<TraceEvent>& events, const TraceShape& shape);
+
+}  // namespace mrts::obs

@@ -1,0 +1,108 @@
+#include "obs/cycle_accounting.h"
+
+#include <algorithm>
+#include <map>
+
+namespace mrts::obs {
+
+const char* to_string(CycleBucket bucket) {
+  switch (bucket) {
+    case CycleBucket::kExecute: return "execute";
+    case CycleBucket::kReconfigStall: return "reconfig_stall";
+    case CycleBucket::kScrubRepair: return "scrub_repair";
+    case CycleBucket::kArbiterIdle: return "arbiter_idle";
+    case CycleBucket::kPureIdle: return "pure_idle";
+  }
+  return "?";
+}
+
+namespace {
+
+struct BlockSpan {
+  Cycles at = 0;
+  Cycles end = 0;
+  Cycles stall = 0;  ///< blocking overhead inside the block (kBlockEnd.v0)
+  std::uint32_t tenant = 0;
+};
+
+void set(AccountingRow& row, CycleBucket bucket, Cycles value) {
+  row.cycles[static_cast<std::size_t>(bucket)] = value;
+}
+
+/// Fills one core/tenant-shaped row from a sorted, non-overlapping block
+/// list: execute + reconfig-stall inside the blocks, arbiter-idle between
+/// them, pure-idle outside the [first, last] window. Sums to the span by
+/// construction (blocks time-share one core, so they never overlap).
+void account_blocks(AccountingRow& row, const std::vector<BlockSpan>& blocks,
+                    Cycles span_begin, Cycles span_end) {
+  const Cycles span = span_end - span_begin;
+  if (blocks.empty()) {
+    set(row, CycleBucket::kPureIdle, span);
+    return;
+  }
+  Cycles busy = 0;
+  Cycles stall = 0;
+  for (const BlockSpan& b : blocks) {
+    busy += b.end - b.at;
+    stall += b.stall;
+  }
+  const Cycles window = blocks.back().end - blocks.front().at;
+  set(row, CycleBucket::kExecute, busy - stall);
+  set(row, CycleBucket::kReconfigStall, stall);
+  set(row, CycleBucket::kArbiterIdle, window - busy);
+  set(row, CycleBucket::kPureIdle, span - window);
+}
+
+}  // namespace
+
+CycleAccounting account_cycles(const std::vector<TraceEvent>& events,
+                               const TraceShape& shape,
+                               const OccupancyAnalysis& occupancy) {
+  CycleAccounting acc;
+  acc.span_begin = shape.span_begin;
+  acc.span_end = shape.span_end;
+
+  std::vector<BlockSpan> blocks;
+  for (const TraceEvent& e : events) {
+    if (e.kind != TraceEventKind::kBlockEnd) continue;
+    BlockSpan b;
+    b.at = e.at;
+    b.end = e.at + e.duration;
+    b.stall = std::min(e.duration, static_cast<Cycles>(e.v0));
+    b.tenant = e.tenant;
+    blocks.push_back(b);
+  }
+  std::sort(blocks.begin(), blocks.end(),
+            [](const BlockSpan& a, const BlockSpan& b) { return a.at < b.at; });
+
+  acc.core.key = "core";
+  account_blocks(acc.core, blocks, acc.span_begin, acc.span_end);
+
+  std::map<std::uint32_t, std::vector<BlockSpan>> by_tenant;
+  for (const BlockSpan& b : blocks) by_tenant[b.tenant].push_back(b);
+  for (const auto& [tenant, own] : by_tenant) {
+    AccountingRow row;
+    row.key = "tenant." + std::to_string(tenant);
+    account_blocks(row, own, acc.span_begin, acc.span_end);
+    acc.tenants.push_back(std::move(row));
+  }
+
+  for (const UnitTimeline& tl : occupancy.units) {
+    AccountingRow row;
+    row.key = tl.name;
+    set(row, CycleBucket::kExecute,
+        tl.state_cycles[static_cast<std::size_t>(UnitState::kReady)]);
+    set(row, CycleBucket::kReconfigStall,
+        tl.state_cycles[static_cast<std::size_t>(UnitState::kLoading)]);
+    set(row, CycleBucket::kScrubRepair,
+        tl.state_cycles[static_cast<std::size_t>(UnitState::kRepairing)]);
+    set(row, CycleBucket::kPureIdle,
+        tl.state_cycles[static_cast<std::size_t>(UnitState::kEmpty)] +
+            tl.state_cycles[static_cast<std::size_t>(
+                UnitState::kQuarantined)]);
+    acc.units.push_back(std::move(row));
+  }
+  return acc;
+}
+
+}  // namespace mrts::obs

@@ -1,0 +1,79 @@
+#pragma once
+/// \file cycle_accounting.h
+/// Where did the cycles go? Every row (the core, each tenant, each fabric
+/// unit) splits the run's cycle span into five buckets that sum *exactly* to
+/// the span — no unattributed cycles, pinned by test. This is the paper's
+/// evaluation question made queryable: speedup comes from moving executions
+/// onto the fabric while hiding reconfiguration, so the interesting numbers
+/// are precisely "execute vs reconfig-stall vs idle".
+///
+/// Bucket semantics per row kind:
+///  * core — execute is block time net of blocking overhead (kBlockEnd.v0,
+///    the cycles the ECU stalled the application waiting on a load),
+///    reconfig-stall is that overhead, gaps between blocks are arbiter-idle
+///    (the scheduler had nothing admitted+released to run) and the lead-in/
+///    tail of the span is pure-idle.
+///  * tenant — same split restricted to the tenant's own blocks;
+///    arbiter-idle is the time inside the tenant's active window spent not
+///    running (other tenants holding the core), pure-idle the span outside
+///    its window. Scrub-repair is a unit-side cost and stays 0 here.
+///  * unit (fg*/cg*) — mapped from its occupancy timeline: ready ->
+///    execute, loading -> reconfig-stall, repairing -> scrub-repair,
+///    empty/quarantined -> pure-idle (arbiter-idle stays 0).
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/analysis.h"
+#include "obs/occupancy.h"
+#include "util/types.h"
+
+namespace mrts::obs {
+
+enum class CycleBucket : std::uint8_t {
+  kExecute = 0,
+  kReconfigStall,
+  kScrubRepair,
+  kArbiterIdle,
+  kPureIdle,
+};
+inline constexpr std::size_t kNumCycleBuckets = 5;
+
+const char* to_string(CycleBucket bucket);
+
+/// One accounted row; buckets sum exactly to the accounting span.
+struct AccountingRow {
+  std::string key;  ///< "core", "tenant.<id>", "fg<i>", "cg<j>"
+  std::array<Cycles, kNumCycleBuckets> cycles{};
+
+  Cycles total() const {
+    Cycles t = 0;
+    for (const Cycles c : cycles) t += c;
+    return t;
+  }
+  Cycles operator[](CycleBucket b) const {
+    return cycles[static_cast<std::size_t>(b)];
+  }
+};
+
+struct CycleAccounting {
+  Cycles span_begin = 0;
+  Cycles span_end = 0;
+  Cycles span() const { return span_end - span_begin; }
+  AccountingRow core;
+  /// One row per distinct tenant id observed on block events, ascending.
+  /// Single-app traces produce one row for tenant 0.
+  std::vector<AccountingRow> tenants;
+  /// One row per fabric unit, FG first ("fg0".."cgN"), from \p occupancy.
+  std::vector<AccountingRow> units;
+};
+
+/// Accounts \p events against the occupancy timelines (computed by the
+/// caller so the pass over the trace is shared with analyze_occupancy).
+CycleAccounting account_cycles(const std::vector<TraceEvent>& events,
+                               const TraceShape& shape,
+                               const OccupancyAnalysis& occupancy);
+
+}  // namespace mrts::obs

@@ -1,0 +1,155 @@
+#include "obs/occupancy.h"
+
+#include <algorithm>
+
+namespace mrts::obs {
+
+const char* to_string(UnitState state) {
+  switch (state) {
+    case UnitState::kEmpty: return "empty";
+    case UnitState::kLoading: return "loading";
+    case UnitState::kRepairing: return "repairing";
+    case UnitState::kReady: return "ready";
+    case UnitState::kQuarantined: return "quarantined";
+  }
+  return "?";
+}
+
+namespace {
+
+/// State of one unit at cycle \p t (start of an elementary segment).
+UnitState state_at(const UnitEvents& unit, Cycles t) {
+  if (t >= unit.quarantined_at) return UnitState::kQuarantined;
+  for (const LoadSpan& load : unit.loads) {
+    if (load.begin > t) break;  // sorted by begin
+    if (t < load.end) return load.repair ? UnitState::kRepairing
+                                         : UnitState::kLoading;
+  }
+  const auto it =
+      std::upper_bound(unit.completes.begin(), unit.completes.end(), t);
+  return it != unit.completes.begin() ? UnitState::kReady : UnitState::kEmpty;
+}
+
+UnitTimeline build_timeline(const UnitEvents& unit, const TraceShape& shape,
+                            std::size_t index) {
+  UnitTimeline tl;
+  tl.name = unit_name(shape, index);
+  tl.grain = index < shape.num_prcs ? Grain::kFine : Grain::kCoarse;
+  if (shape.span() == 0) return tl;
+
+  std::vector<Cycles> points;
+  points.push_back(shape.span_begin);
+  points.push_back(shape.span_end);
+  for (const LoadSpan& load : unit.loads) {
+    points.push_back(load.begin);
+    points.push_back(load.end);
+  }
+  for (const Cycles c : unit.completes) points.push_back(c);
+  if (unit.quarantined_at != kNeverCycles) {
+    points.push_back(unit.quarantined_at);
+  }
+  std::sort(points.begin(), points.end());
+  points.erase(std::unique(points.begin(), points.end()), points.end());
+
+  for (std::size_t i = 0; i + 1 < points.size(); ++i) {
+    const Cycles begin = std::max(points[i], shape.span_begin);
+    const Cycles end = std::min(points[i + 1], shape.span_end);
+    if (begin >= end) continue;  // outside the span (e.g. a late load end)
+    const UnitState state = state_at(unit, begin);
+    if (!tl.intervals.empty() && tl.intervals.back().state == state &&
+        tl.intervals.back().end == begin) {
+      tl.intervals.back().end = end;
+    } else {
+      tl.intervals.push_back({begin, end, state});
+    }
+  }
+  for (const UnitInterval& iv : tl.intervals) {
+    tl.state_cycles[static_cast<std::size_t>(iv.state)] += iv.end - iv.begin;
+  }
+  const Cycles ready = tl.state_cycles[static_cast<std::size_t>(
+      UnitState::kReady)];
+  tl.utilization = static_cast<double>(ready) /
+                   static_cast<double>(shape.span());
+  return tl;
+}
+
+double grain_utilization(const std::vector<UnitTimeline>& units, Grain grain,
+                         Cycles span) {
+  Cycles ready = 0;
+  std::size_t n = 0;
+  for (const UnitTimeline& tl : units) {
+    if (tl.grain != grain) continue;
+    ++n;
+    ready += tl.state_cycles[static_cast<std::size_t>(UnitState::kReady)];
+  }
+  if (n == 0 || span == 0) return 0.0;
+  return static_cast<double>(ready) / (static_cast<double>(n) *
+                                       static_cast<double>(span));
+}
+
+}  // namespace
+
+OccupancyAnalysis analyze_occupancy(const std::vector<TraceEvent>& events,
+                                    const TraceShape& shape) {
+  OccupancyAnalysis occ;
+  const std::vector<UnitEvents> units = slice_unit_events(events, shape);
+  occ.units.reserve(units.size());
+  for (std::size_t i = 0; i < units.size(); ++i) {
+    occ.units.push_back(build_timeline(units[i], shape, i));
+  }
+  occ.fg_utilization = grain_utilization(occ.units, Grain::kFine, shape.span());
+  occ.cg_utilization =
+      grain_utilization(occ.units, Grain::kCoarse, shape.span());
+
+  // Fragmentation / compaction over the FG containers: sweep the union of
+  // all FG interval boundaries and measure the free set's shape on each
+  // elementary segment.
+  if (shape.num_prcs > 0 && shape.span() > 0) {
+    std::vector<Cycles> points{shape.span_begin, shape.span_end};
+    for (std::size_t u = 0; u < shape.num_prcs; ++u) {
+      for (const UnitInterval& iv : occ.units[u].intervals) {
+        points.push_back(iv.begin);
+      }
+    }
+    std::sort(points.begin(), points.end());
+    points.erase(std::unique(points.begin(), points.end()), points.end());
+    std::vector<std::size_t> cursor(shape.num_prcs, 0);
+    double frag_weighted = 0.0;
+    double compaction_weighted = 0.0;
+    for (std::size_t i = 0; i + 1 < points.size(); ++i) {
+      const Cycles begin = points[i];
+      const double len = static_cast<double>(points[i + 1] - begin);
+      unsigned free_count = 0;
+      unsigned largest_run = 0;
+      unsigned run = 0;
+      for (std::size_t u = 0; u < shape.num_prcs; ++u) {
+        const auto& ivs = occ.units[u].intervals;
+        while (cursor[u] < ivs.size() && ivs[cursor[u]].end <= begin) {
+          ++cursor[u];
+        }
+        const bool free =
+            cursor[u] < ivs.size() && ivs[cursor[u]].begin <= begin &&
+            ivs[cursor[u]].state == UnitState::kEmpty;
+        if (free) {
+          ++free_count;
+          ++run;
+          largest_run = std::max(largest_run, run);
+        } else {
+          run = 0;
+        }
+      }
+      if (free_count > 0) {
+        frag_weighted += len * (1.0 - static_cast<double>(largest_run) /
+                                          static_cast<double>(free_count));
+        compaction_weighted +=
+            len * static_cast<double>(free_count - largest_run);
+      }
+    }
+    const double span = static_cast<double>(shape.span());
+    occ.fragmentation_index = frag_weighted / span;
+    occ.compaction_opportunity = compaction_weighted / span;
+  }
+  return occ;
+}
+
+}  // namespace mrts::obs

@@ -1,0 +1,77 @@
+#pragma once
+/// \file occupancy.h
+/// Fabric occupancy timelines derived from a trace: what every PRC / CG
+/// fabric was doing at every cycle of the run, reduced to per-unit interval
+/// lists plus the aggregate metrics migration-style policies need —
+/// utilization, a fragmentation index and a "compaction opportunity" count
+/// (how many occupied FG containers would have to move, on average, to make
+/// the free space contiguous — the trigger metric of Mestra-style
+/// defragmentation, PAPERS.md).
+///
+/// Classification per unit, highest priority first:
+///   quarantined (from kQuarantine onward) > loading/repairing (inside a
+///   scheduled load span; scrub-tagged loads are "repairing") > ready (after
+///   any kReconfigComplete) > empty. Scheduled load spans are taken at their
+///   enqueue-time estimates, so loads later cancelled by a re-selection
+///   still show as loading (the fabric reserved the port for them).
+
+#include <string>
+#include <vector>
+
+#include "obs/analysis.h"
+#include "util/types.h"
+
+namespace mrts::obs {
+
+/// What one unit was doing over one interval.
+enum class UnitState : std::uint8_t {
+  kEmpty = 0,    ///< no configuration loaded (or evicted and not reloaded)
+  kLoading,      ///< a scheduled load span is streaming into the unit
+  kRepairing,    ///< a scrub-initiated repair load is streaming
+  kReady,        ///< holds a loaded configuration (serving executions)
+  kQuarantined,  ///< permanently disabled by a fault diagnosis
+};
+inline constexpr std::size_t kNumUnitStates = 5;
+
+const char* to_string(UnitState state);
+
+/// Half-open interval [begin, end) of one unit in one state. Timelines are
+/// gapless partitions of the trace span: consecutive intervals share a
+/// boundary and states always differ across it.
+struct UnitInterval {
+  Cycles begin = 0;
+  Cycles end = 0;
+  UnitState state = UnitState::kEmpty;
+};
+
+/// One unit's full-span timeline plus its per-state cycle totals.
+struct UnitTimeline {
+  std::string name;  ///< "fg0".."cg1"
+  Grain grain = Grain::kFine;
+  std::vector<UnitInterval> intervals;
+  Cycles state_cycles[kNumUnitStates] = {};  ///< sums to the trace span
+  double utilization = 0.0;  ///< ready cycles / span (0 for an empty span)
+};
+
+struct OccupancyAnalysis {
+  std::vector<UnitTimeline> units;  ///< FG units first, then CG
+  /// Ready unit-cycles / (units * span); 0.0 when there are no units of the
+  /// grain (never NaN).
+  double fg_utilization = 0.0;
+  double cg_utilization = 0.0;
+  /// Time-weighted FG fragmentation: at each instant with f > 0 free PRCs
+  /// whose largest contiguous free run is r, the fragmentation is 1 - r/f
+  /// (0 = one solid free block, ->1 = free space fully scattered).
+  double fragmentation_index = 0.0;
+  /// Time-weighted mean of (f - r): how many scattered free PRCs a
+  /// compaction pass could consolidate into the largest run. 0 when the
+  /// free space is already contiguous.
+  double compaction_opportunity = 0.0;
+};
+
+/// Builds per-unit timelines and the aggregate occupancy metrics for
+/// \p events under \p shape. Deterministic for a given event vector.
+OccupancyAnalysis analyze_occupancy(const std::vector<TraceEvent>& events,
+                                    const TraceShape& shape);
+
+}  // namespace mrts::obs

@@ -1,0 +1,66 @@
+#include "obs/run_report.h"
+
+#include <algorithm>
+#include <map>
+
+namespace mrts::obs {
+namespace {
+
+/// Exact nearest-rank percentile over a sorted sample.
+Cycles nearest_rank(const std::vector<Cycles>& sorted, double p) {
+  if (sorted.empty()) return 0;
+  const double rank = p * static_cast<double>(sorted.size());
+  std::size_t index = static_cast<std::size_t>(rank);
+  if (static_cast<double>(index) < rank) ++index;  // ceil
+  if (index == 0) index = 1;
+  return sorted[std::min(index, sorted.size()) - 1];
+}
+
+}  // namespace
+
+RunReport analyze_trace(const std::vector<TraceEvent>& events,
+                        const AnalysisConfig& config) {
+  RunReport report;
+  report.total_events = events.size();
+  report.shape = infer_shape(events, config);
+  report.occupancy = analyze_occupancy(events, report.shape);
+  report.accounting = account_cycles(events, report.shape, report.occupancy);
+  report.critical_path = analyze_critical_path(events, report.shape);
+
+  struct Samples {
+    std::size_t admitted = 0;
+    std::size_t bounced = 0;
+    std::vector<Cycles> latencies;
+  };
+  std::map<std::uint32_t, Samples> by_tenant;
+  for (const TraceEvent& e : events) {
+    if (e.kind == TraceEventKind::kTenantAdmission) {
+      Samples& s = by_tenant[e.tenant];
+      if (e.arg1 != 0) {
+        ++s.admitted;
+      } else {
+        ++s.bounced;
+      }
+    } else if (e.kind == TraceEventKind::kTenantCompletion) {
+      by_tenant[e.tenant].latencies.push_back(e.duration);
+    }
+  }
+  for (auto& [tenant, s] : by_tenant) {
+    std::sort(s.latencies.begin(), s.latencies.end());
+    TenantLatency lat;
+    lat.tenant = tenant;
+    lat.admitted = s.admitted;
+    lat.bounced = s.bounced;
+    lat.completed = s.latencies.size();
+    if (!s.latencies.empty()) {
+      lat.min = s.latencies.front();
+      lat.max = s.latencies.back();
+      lat.p50 = nearest_rank(s.latencies, 0.50);
+      lat.p99 = nearest_rank(s.latencies, 0.99);
+    }
+    report.tenant_latency.push_back(lat);
+  }
+  return report;
+}
+
+}  // namespace mrts::obs

@@ -1,0 +1,48 @@
+#pragma once
+/// \file run_report.h
+/// The RunReport: everything the analysis engine derives from one trace,
+/// in one struct, serialized to JSON / CSV / markdown by obs/report_io.h
+/// and surfaced by `mrts_cli trace-analyze` and `run --report`. A report is
+/// a deterministic function of the event vector — same trace, same bytes.
+
+#include <cstdint>
+#include <vector>
+
+#include "obs/analysis.h"
+#include "obs/critical_path.h"
+#include "obs/cycle_accounting.h"
+#include "obs/occupancy.h"
+#include "util/types.h"
+
+namespace mrts::obs {
+
+/// Per-tenant admission-to-completion latency, from the scheduler's
+/// kTenantAdmission / kTenantCompletion events (run_multi_tenant stamps
+/// them). Percentiles are exact nearest-rank over the completed tasks'
+/// latencies — the numbers a future mrts_serve SLO check would gate on.
+struct TenantLatency {
+  std::uint32_t tenant = 0;
+  std::size_t admitted = 0;   ///< admission decisions that let the task run
+  std::size_t bounced = 0;    ///< admission decisions that rejected it
+  std::size_t completed = 0;  ///< tasks with a completion event
+  Cycles min = 0;
+  Cycles p50 = 0;
+  Cycles p99 = 0;
+  Cycles max = 0;
+};
+
+struct RunReport {
+  std::size_t total_events = 0;
+  TraceShape shape;
+  CycleAccounting accounting;
+  OccupancyAnalysis occupancy;
+  CriticalPathAnalysis critical_path;
+  std::vector<TenantLatency> tenant_latency;  ///< ascending tenant id
+};
+
+/// Runs every analysis pass over \p events. \p config overrides the fabric
+/// shape when the trace alone cannot pin it (see AnalysisConfig).
+RunReport analyze_trace(const std::vector<TraceEvent>& events,
+                        const AnalysisConfig& config = {});
+
+}  // namespace mrts::obs

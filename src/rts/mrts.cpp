@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "util/trace.h"
+
 namespace mrts {
 namespace {
 
@@ -69,6 +71,12 @@ std::string MRts::name() const {
 
 void MRts::attach_observability(TraceRecorder* trace,
                                 CounterRegistry* counters) {
+  // A tenant-bound instance attributes every event it records — ECU / MPU /
+  // selector sites don't carry an explicit tenant, so they inherit it from
+  // the recorder; the shared fabric stamps its own active tenant per event.
+  if (trace != nullptr && tenant_ != kUnownedTenant) {
+    trace->set_default_tenant(tenant_);
+  }
   mpu_.attach_observability(trace, counters);
   ecu_.attach_observability(trace, counters);
   heuristic_.attach_observability(trace, counters);

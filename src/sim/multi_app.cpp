@@ -1,10 +1,12 @@
 #include "sim/multi_app.h"
 
+#include <algorithm>
 #include <limits>
 #include <stdexcept>
 
 #include "sim/arbiter.h"
 #include "sim/fb_simulator.h"
+#include "util/trace.h"
 
 namespace mrts {
 namespace {
@@ -51,6 +53,7 @@ MultiTenantResult run_multi_tenant(const std::vector<Task>& tasks,
     MultiTenantTaskResult& tr = result.tasks[i];
     tr.run.name = tasks[i].name;
     tr.tenant = tasks[i].tenant;
+    tr.admitted_at = std::max(start, tasks[i].release);
     // Admission control: a tenant whose reservation no longer fits the
     // usable (post-quarantine) capacity is bounced before running anything.
     if (tasks[i].tenant != kUnownedTenant &&
@@ -58,6 +61,15 @@ MultiTenantResult run_multi_tenant(const std::vector<Task>& tasks,
       tr.admitted = false;
       tr.admission_reason = arbiter->admission_reason(tasks[i].tenant);
       next_block[i] = tasks[i].trace->blocks.size();  // nothing to run
+    }
+    if (tasks[i].recorder != nullptr) {
+      // Bounce decisions are made up front at `start`; an admitted task's
+      // decision point is when it becomes eligible (release-gated).
+      tasks[i].recorder->record(
+          {TraceEventKind::kTenantAdmission, kTrackApp,
+           tr.admitted ? tr.admitted_at : start, 0,
+           static_cast<std::uint32_t>(i), tr.admitted ? 1u : 0u, 0.0, 0.0,
+           tasks[i].tenant});
     }
   }
 
@@ -110,6 +122,17 @@ MultiTenantResult run_multi_tenant(const std::vector<Task>& tasks,
     MultiTenantTaskResult& tr = result.tasks[i];
     if (tr.admitted && tasks[i].deadline != 0) {
       tr.deadline_met = tr.run.finished_at <= tasks[i].deadline;
+    }
+    // Admission-to-completion span, the raw material for trace-analyze's
+    // per-tenant latency percentiles. Only tasks that actually ran blocks
+    // have a completion point.
+    if (tasks[i].recorder != nullptr && tr.admitted &&
+        !tr.run.block_cycles.empty()) {
+      tasks[i].recorder->record(
+          {TraceEventKind::kTenantCompletion, kTrackApp, tr.admitted_at,
+           tr.run.finished_at - tr.admitted_at, static_cast<std::uint32_t>(i),
+           0, static_cast<double>(tr.run.block_cycles.size()), 0.0,
+           tasks[i].tenant});
     }
   }
   result.total_cycles = cursor - start;

@@ -79,6 +79,10 @@ struct MultiTenantTaskResult {
   /// fits the usable post-quarantine capacity): the task ran zero blocks.
   bool admitted = true;
   std::string admission_reason;  ///< why admission failed ("" when admitted)
+  /// Absolute cycle the task became eligible to run (max of the run start
+  /// and the task's release). finished_at - admitted_at is the
+  /// admission-to-completion latency reported per tenant by trace-analyze.
+  Cycles admitted_at = 0;
   /// finished_at <= deadline; vacuously true without a deadline or when the
   /// task was bounced before running.
   bool deadline_met = true;

@@ -24,6 +24,26 @@ void Histogram::observe(double value) {
   ++buckets_[bucket_of(value)];
 }
 
+double Histogram::percentile(double p) const {
+  if (count_ == 0) return 0.0;
+  p = std::clamp(p, 0.0, 1.0);
+  const double target = p * static_cast<double>(count_);
+  double cumulative = 0.0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    const double n = static_cast<double>(buckets_[i]);
+    if (n == 0.0) continue;
+    if (target <= cumulative + n) {
+      const double lo = i == 0 ? 0.0 : std::ldexp(1.0, static_cast<int>(i) - 1);
+      const double hi = std::ldexp(1.0, static_cast<int>(i));
+      const double fraction = std::max(0.0, (target - cumulative) / n);
+      const double value = lo + (hi - lo) * fraction;
+      return std::clamp(value, min_, max_);
+    }
+    cumulative += n;
+  }
+  return max_;
+}
+
 void Histogram::merge(const Histogram& other) {
   if (other.count_ == 0) return;
   if (count_ == 0) {

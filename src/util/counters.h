@@ -41,6 +41,15 @@ class Histogram {
     return buckets_;
   }
 
+  /// Estimated value at quantile \p p in [0, 1] (p = 0.5 -> median).
+  /// Nearest-rank target p * count is located by walking the cumulative
+  /// bucket counts, then interpolated linearly inside the bucket's
+  /// [2^(i-1), 2^i) range — exact when the target lands on a cumulative
+  /// bucket boundary (returns the bucket's upper edge) — and finally
+  /// clamped to the observed [min, max], which makes single-value
+  /// distributions exact too. Returns 0 for an empty histogram.
+  double percentile(double p) const;
+
   /// Bucket index a value falls into.
   static std::size_t bucket_of(double value);
 

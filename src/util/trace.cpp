@@ -30,6 +30,10 @@ constexpr std::array<const char*, kNumTraceEventKinds> kKindNames = {
     "scrub.repair",    "selector.cache",
     // Multi-tenant arbitration kinds (dotted, matching their counters).
     "tenant.eviction", "tenant.quota_hit",
+    // Scheduler admission/completion timestamps (dotted, matching their
+    // counters) — the raw material of the per-tenant latency percentiles in
+    // obs/run_report.h.
+    "tenant.admitted", "tenant.completed",
 };
 
 /// Must match ImplKind in rts/rts_interface.h (util cannot include rts
@@ -142,6 +146,11 @@ std::string event_label(const TraceEvent& e, const IseLibrary* lib) {
     case TraceEventKind::kTenantQuotaHit:
       return "eviction redirected onto over-quota tenant " +
              std::to_string(e.arg0);
+    case TraceEventKind::kTenantAdmission:
+      return "task " + std::to_string(e.arg0) +
+             (e.arg1 != 0 ? " admitted" : " bounced");
+    case TraceEventKind::kTenantCompletion:
+      return "task " + std::to_string(e.arg0) + " completed";
   }
   return "?";
 }
@@ -179,6 +188,9 @@ std::string track_name(std::int32_t track) {
 
 void TraceRecorder::record(const TraceEvent& event) {
   events_.push_back(event);
+  if (event.tenant == 0 && default_tenant_ != 0) {
+    events_.back().tenant = default_tenant_;
+  }
 }
 
 std::size_t TraceRecorder::count(TraceEventKind kind) const {
@@ -230,7 +242,8 @@ void write_chrome_trace(std::ostream& os, const std::vector<TraceEvent>& events,
       os << ",\"ph\":\"i\",\"s\":\"t\"";
     }
     os << ",\"args\":{\"at_cycles\":" << e.at << ",\"arg0\":" << e.arg0
-       << ",\"arg1\":" << e.arg1 << ",\"v0\":" << format_double(e.v0)
+       << ",\"arg1\":" << e.arg1 << ",\"tenant\":" << e.tenant
+       << ",\"v0\":" << format_double(e.v0)
        << ",\"v1\":" << format_double(e.v1) << "}}";
   }
   os << "\n],\"displayTimeUnit\":\"ms\"}\n";
@@ -242,6 +255,7 @@ void write_trace_jsonl(std::ostream& os, const std::vector<TraceEvent>& events,
     os << "{\"kind\":\"" << to_string(e.kind) << "\",\"at\":" << e.at
        << ",\"dur\":" << e.duration << ",\"track\":" << e.track
        << ",\"arg0\":" << e.arg0 << ",\"arg1\":" << e.arg1
+       << ",\"tenant\":" << e.tenant
        << ",\"v0\":" << format_double(e.v0) << ",\"v1\":" << format_double(e.v1)
        << ",\"label\":\"" << json_escape(event_label(e, lib)) << "\"}\n";
   }
@@ -293,6 +307,12 @@ std::optional<std::string> json_token(const std::string& line,
 }  // namespace
 
 std::optional<TraceEvent> parse_trace_jsonl_line(const std::string& line) {
+  // A truncated write can leave a prefix whose kind/at tokens still parse;
+  // requiring the object's braces catches lines cut off mid-token.
+  const auto first = line.find_first_not_of(" \t\r");
+  if (first == std::string::npos || line[first] != '{') return std::nullopt;
+  const auto last = line.find_last_not_of(" \t\r");
+  if (line[last] != '}') return std::nullopt;
   const auto kind_token = json_token(line, "kind");
   const auto at_token = json_token(line, "at");
   if (!kind_token || !at_token) return std::nullopt;
@@ -316,6 +336,10 @@ std::optional<TraceEvent> parse_trace_jsonl_line(const std::string& line) {
   if (const auto t = json_token(line, "arg1")) {
     e.arg1 = static_cast<std::uint32_t>(std::strtoul(t->c_str(), nullptr, 10));
   }
+  if (const auto t = json_token(line, "tenant")) {
+    // Optional so traces written before the tenant field existed still parse.
+    e.tenant = static_cast<std::uint32_t>(std::strtoul(t->c_str(), nullptr, 10));
+  }
   if (const auto t = json_token(line, "v0")) {
     e.v0 = std::strtod(t->c_str(), nullptr);
   }
@@ -325,14 +349,33 @@ std::optional<TraceEvent> parse_trace_jsonl_line(const std::string& line) {
   return e;
 }
 
+ParsedTrace parse_trace_jsonl(std::istream& in) {
+  ParsedTrace parsed;
+  std::string line;
+  while (std::getline(in, line)) {
+    ++parsed.lines;
+    if (line.empty()) continue;  // blank line / trailing newline
+    auto event = parse_trace_jsonl_line(line);
+    if (!event) {
+      parsed.bad_line = parsed.lines;
+      break;
+    }
+    parsed.events.push_back(*event);
+  }
+  return parsed;
+}
+
 TraceSummary summarize_trace_jsonl(std::istream& in) {
   TraceSummary summary;
   std::string line;
+  std::size_t line_number = 0;
   while (std::getline(in, line)) {
+    ++line_number;
     if (line.empty()) continue;
     const auto event = parse_trace_jsonl_line(line);
     if (!event) {
       ++summary.parse_errors;
+      if (summary.first_bad_line == 0) summary.first_bad_line = line_number;
       continue;
     }
     ++summary.total_events;
@@ -340,6 +383,9 @@ TraceSummary summarize_trace_jsonl(std::istream& in) {
     if (event->at < summary.first_cycle) summary.first_cycle = event->at;
     if (event->at + event->duration > summary.last_cycle) {
       summary.last_cycle = event->at + event->duration;
+    }
+    if (event->duration > 0) {
+      summary.span_durations.observe(static_cast<double>(event->duration));
     }
   }
   return summary;

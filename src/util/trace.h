@@ -25,6 +25,7 @@
 #include <string_view>
 #include <vector>
 
+#include "util/counters.h"
 #include "util/types.h"
 
 namespace mrts {
@@ -52,7 +53,8 @@ enum class TraceEventKind : std::uint8_t {
   kReconfigStart,    ///< load scheduled on a port (arg0 = dp, arg1 = grain,
                      ///< duration = load cycles, track = container)
   kReconfigComplete, ///< load completion point (arg0 = dp, arg1 = grain)
-  kReconfigCancel,   ///< pending loads evicted before start (v0 = count)
+  kReconfigCancel,   ///< pending loads evicted before start on one port
+                     ///< (arg1 = grain of the port, v0 = count)
   kCgContextSwitch,  ///< CG context switch penalty paid (arg0 = dp,
                      ///< duration = switch cycles)
   kOccupancy,        ///< fabric occupancy sample after install
@@ -73,8 +75,14 @@ enum class TraceEventKind : std::uint8_t {
   kTenantQuotaHit,     ///< eviction redirected onto an over-quota /
                        ///< best-effort tenant's coldest container (arg0 =
                        ///< redirected-to owner, arg1 = grain, v0 = requester)
+  kTenantAdmission,    ///< scheduler admission decision for one task
+                       ///< (arg0 = task index, arg1 = 1 admitted / 0 bounced,
+                       ///< tenant = the tenant acting)
+  kTenantCompletion,   ///< one task's admission-to-completion span
+                       ///< (arg0 = task index, at = admission cycle,
+                       ///< duration = latency, v0 = blocks completed)
 };
-inline constexpr std::size_t kNumTraceEventKinds = 20;
+inline constexpr std::size_t kNumTraceEventKinds = 22;
 
 const char* to_string(TraceEventKind kind);
 std::optional<TraceEventKind> trace_kind_from_string(std::string_view name);
@@ -101,6 +109,11 @@ struct TraceEvent {
   std::uint32_t arg1 = 0;
   double v0 = 0.0;
   double v1 = 0.0;
+  /// Tenant on whose behalf the event happened (a raw TenantId; 0 =
+  /// unowned/single-app). Sites that know the acting tenant stamp it
+  /// explicitly; everything else inherits the recorder's default tenant,
+  /// so per-task recorders in multi-tenant runs attribute every event.
+  std::uint32_t tenant = 0;
 };
 
 /// Per-simulator event sink. Not thread-safe by design: one recorder per
@@ -110,7 +123,13 @@ class TraceRecorder {
   /// Appends one event. Deliberately out of line: instrumented hot loops
   /// stay small (a pointer test + call on the traced path, just the test
   /// when detached) instead of inlining vector growth machinery per site.
+  /// Events arriving with tenant == 0 are stamped with the default tenant.
   void record(const TraceEvent& event);
+
+  /// Tenant attributed to events that are recorded without an explicit
+  /// tenant stamp (tenant-bound MRts instances set this on attach).
+  void set_default_tenant(std::uint32_t tenant) { default_tenant_ = tenant; }
+  std::uint32_t default_tenant() const { return default_tenant_; }
 
   const std::vector<TraceEvent>& events() const { return events_; }
   std::size_t size() const { return events_.size(); }
@@ -122,6 +141,7 @@ class TraceRecorder {
 
  private:
   std::vector<TraceEvent> events_;
+  std::uint32_t default_tenant_ = 0;
 };
 
 /// Sim-cycle timestamp -> microseconds for the Chrome `ts`/`dur` fields
@@ -153,13 +173,32 @@ bool write_trace_jsonl_file(const std::string& path,
 /// they are derived data). nullopt on malformed input.
 std::optional<TraceEvent> parse_trace_jsonl_line(const std::string& line);
 
+/// A whole JSONL trace read into memory — the reusable event stream behind
+/// `mrts_cli trace-analyze` and the obs/ analysis engine. Reading stops at
+/// the first malformed non-empty line (`bad_line`, 1-based, names it; 0 =
+/// none). An empty stream, blank lines and a trailing newline are all fine
+/// and yield zero events with ok() == true; a truncated last line (e.g. a
+/// crash mid-write) is a parse error, never a crash.
+struct ParsedTrace {
+  std::vector<TraceEvent> events;
+  std::size_t lines = 0;     ///< lines consumed, including blank ones
+  std::size_t bad_line = 0;  ///< 1-based first malformed line; 0 = none
+  bool ok() const { return bad_line == 0; }
+};
+
+ParsedTrace parse_trace_jsonl(std::istream& in);
+
 /// Aggregate of a JSONL trace stream (the `mrts_cli trace-summary` verb).
 struct TraceSummary {
   std::size_t total_events = 0;
   std::size_t parse_errors = 0;  ///< non-empty lines that failed to parse
+  std::size_t first_bad_line = 0;  ///< 1-based; 0 = no parse errors
   std::size_t per_kind[kNumTraceEventKinds] = {};
   Cycles first_cycle = kNeverCycles;  ///< kNeverCycles when no events
   Cycles last_cycle = 0;              ///< end of the latest span
+  /// Durations of all span events (duration > 0), for the p50/p90/p99 line
+  /// of `trace-summary`.
+  Histogram span_durations;
 };
 
 TraceSummary summarize_trace_jsonl(std::istream& in);

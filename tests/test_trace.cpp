@@ -140,7 +140,7 @@ TEST(TraceExport, ChromeJsonOfEmptyTraceIsValid) {
 TEST(TraceExport, JsonlRoundTripsEveryField) {
   std::vector<TraceEvent> events;
   events.push_back({TraceEventKind::kSelectorEval, kTrackSelector, 123, 0, 9,
-                    4, -2.25, 1e9});
+                    4, -2.25, 1e9, 7});
   events.push_back({TraceEventKind::kReconfigStart, kTrackCgBase, 400, 60, 1,
                     1, 0.0, 0.0});
   std::ostringstream os;
@@ -161,9 +161,18 @@ TEST(TraceExport, JsonlRoundTripsEveryField) {
     EXPECT_EQ(parsed->arg1, events[i].arg1);
     EXPECT_DOUBLE_EQ(parsed->v0, events[i].v0);
     EXPECT_DOUBLE_EQ(parsed->v1, events[i].v1);
+    EXPECT_EQ(parsed->tenant, events[i].tenant);
     ++i;
   }
   EXPECT_EQ(i, events.size());
+
+  // Pre-tenant traces (no "tenant" token) still parse; the field defaults
+  // to kUnownedTenant.
+  const auto legacy = parse_trace_jsonl_line(
+      "{\"kind\":\"block_begin\",\"at\":5,\"dur\":0,\"track\":0,"
+      "\"arg0\":1,\"arg1\":2,\"v0\":0,\"v1\":0}");
+  ASSERT_TRUE(legacy.has_value());
+  EXPECT_EQ(legacy->tenant, kUnownedTenant);
 }
 
 TEST(TraceExport, SummaryAggregatesKindsAndCycleRange) {

@@ -8,11 +8,15 @@
 //       idle machine and print the round-by-round trace.
 //
 //   mrts_cli run <h264|sdr> [prcs] [cg] [frames] [--trace <file>]
-//            [--fault-rate <p>] [--fault-seed <n>] [--max-retries <n>]
+//            [--report <file>] [--fault-rate <p>] [--fault-seed <n>]
+//            [--max-retries <n>]
 //       Run a built-in workload under every run-time system and print the
 //       comparison summary. With --trace, the mRTS run records a flight
 //       recorder trace: *.jsonl writes JSON Lines, anything else writes
 //       Chrome trace-event JSON (load it in Perfetto / chrome://tracing).
+//       With --report, the mRTS run's trace is analyzed in memory and the
+//       RunReport written to the file (.json / .csv / anything-else =
+//       markdown) — works with or without --trace.
 //       --fault-rate enables the deterministic fault injector on the mRTS
 //       run (arch/fault_model.h): p in [0,1] drives load CRC failures,
 //       transient upsets and permanent quarantines; --fault-seed seeds the
@@ -29,11 +33,20 @@
 //       not fit are bounced by admission control and reported as such.
 //
 //   mrts_cli trace-summary <trace.jsonl>
-//       Validate a JSONL trace and print per-kind event counts.
+//       Validate a JSONL trace and print per-kind event counts plus the
+//       span-duration p50/p90/p99.
+//
+//   mrts_cli trace-analyze <trace.jsonl> [--out <file>]
+//       Run the obs/ analysis engine over a saved JSONL trace: cycle
+//       accounting, occupancy, reconfiguration critical path and per-tenant
+//       latency. Prints the markdown report to stdout, or writes --out
+//       (.json / .csv / anything-else = markdown). A malformed trace is an
+//       input error naming the first bad line (exit 2), never a crash.
 //
 // Exit code 0 on success, 1 on usage errors (unknown verb, bad or trailing
 // arguments), 2 on input/runtime errors (unreadable files, bad content).
 
+#include <algorithm>
 #include <cerrno>
 #include <cmath>
 #include <cstdint>
@@ -42,6 +55,7 @@
 #include <cstring>
 #include <fstream>
 #include <map>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -60,6 +74,7 @@ int usage() {
                "<KERNEL=e[,tf,tb]> ...\n"
                "  mrts_cli run <h264|sdr> [prcs] [cg] [frames] "
                "[--trace <file.json|file.jsonl>]\n"
+               "           [--report <file.json|file.csv|file.md>]\n"
                "           [--fault-rate <p>] [--fault-seed <n>] "
                "[--max-retries <n>]\n"
                "  mrts_cli run-multi <prcs> <cg> <blocks> "
@@ -67,6 +82,8 @@ int usage() {
                "           POLICY: weighted[:W] | reserved:<P>+<C> | "
                "best-effort\n"
                "  mrts_cli trace-summary <trace.jsonl>\n"
+               "  mrts_cli trace-analyze <trace.jsonl> "
+               "[--out <file.json|file.csv|file.md>]\n"
                "exit codes: 0 success, 1 usage error, 2 input error\n");
   return 1;
 }
@@ -239,7 +256,7 @@ void print_counters(const CounterRegistry& counters) {
 
 int cmd_run(const std::string& which, unsigned prcs, unsigned cg,
             unsigned frames, const std::string& trace_path,
-            const FaultModelConfig& fault) {
+            const std::string& report_path, const FaultModelConfig& fault) {
   IseLibrary const* lib = nullptr;
   ApplicationTrace const* trace = nullptr;
   H264Application h264;
@@ -265,6 +282,9 @@ int cmd_run(const std::string& which, unsigned prcs, unsigned cg,
   const auto profile = profile_application(*trace, *lib);
 
   const bool traced = !trace_path.empty();
+  // --report needs the event stream too; the recorder stays in memory when
+  // only a report was asked for.
+  const bool instrument = traced || !report_path.empty();
   TraceRecorder recorder;
   CounterRegistry counters;
 
@@ -283,7 +303,7 @@ int cmd_run(const std::string& which, unsigned prcs, unsigned cg,
   MRtsConfig mrts_config;
   mrts_config.fault = fault;  // baselines stay fault-free for comparison
   MRts mrts_rts(*lib, cg, prcs, mrts_config);
-  report(mrts_rts, traced);
+  report(mrts_rts, instrument);
   RisppRts rispp(*lib, cg, prcs);
   report(rispp);
   Morpheus4sRts morpheus(*lib, cg, prcs, profile);
@@ -327,6 +347,20 @@ int cmd_run(const std::string& which, unsigned prcs, unsigned cg,
                 trace_path.c_str(),
                 jsonl ? "JSON Lines" : "Chrome trace-event JSON");
     print_counters(counters);
+  }
+  if (!report_path.empty()) {
+    obs::AnalysisConfig config;
+    config.num_prcs = prcs;
+    config.num_cg = cg;
+    const obs::RunReport run_report =
+        obs::analyze_trace(recorder.events(), config);
+    if (!obs::write_report_file(report_path, run_report)) {
+      std::fprintf(stderr, "error: cannot write report file '%s'\n",
+                   report_path.c_str());
+      return 2;
+    }
+    std::printf("\nwrote run report (%zu events analyzed) to %s\n",
+                run_report.total_events, report_path.c_str());
   }
   return 0;
 }
@@ -479,10 +513,7 @@ int cmd_run_multi(unsigned prcs, unsigned cg, unsigned blocks,
   TextTable table({"task", "policy", "prio", "status", "blocks", "Mcycles",
                    "blocks/Mcyc", "evicted others", "evicted by others",
                    "quota redirects"});
-  std::vector<double> throughputs;
-  std::uint64_t total_blocks = 0;
-  for (std::size_t i = 0, next_result = 0; i < specs.size(); ++i) {
-    const TenantPolicy& p = specs[i].policy;
+  auto policy_text = [](const TenantPolicy& p) {
     std::string policy = std::string(to_string(p.share));
     if (p.share == TenantShare::kWeighted) {
       policy += ":" + std::to_string(p.weight);
@@ -490,10 +521,15 @@ int cmd_run_multi(unsigned prcs, unsigned cg, unsigned blocks,
       policy += ":" + std::to_string(p.reserved_prcs) + "+" +
                 std::to_string(p.reserved_cg);
     }
+    return policy;
+  };
+  std::vector<double> throughputs;
+  std::uint64_t total_blocks = 0;
+  std::vector<std::size_t> bounced;
+  for (std::size_t i = 0, next_result = 0; i < specs.size(); ++i) {
+    const TenantPolicy& p = specs[i].policy;
     if (!regs[i].admitted) {
-      table.add_values(specs[i].name, policy, p.priority,
-                       "bounced: " + regs[i].reason, 0, "-", "-", "-", "-",
-                       "-");
+      bounced.push_back(i);
       continue;
     }
     const MultiTenantTaskResult& tr = result.tasks[next_result++];
@@ -505,11 +541,22 @@ int cmd_run_multi(unsigned prcs, unsigned cg, unsigned blocks,
                   static_cast<double>(tr.run.active_cycles);
     throughputs.push_back(throughput);
     total_blocks += tr.run.block_cycles.size();
-    table.add_values(specs[i].name, policy, p.priority, "ok",
+    table.add_values(specs[i].name, policy_text(p), p.priority, "ok",
                      tr.run.block_cycles.size(),
                      format_mcycles(tr.run.active_cycles),
                      format_double(throughput, 2), stats.evictions_caused,
                      stats.evictions_suffered, stats.quota_redirects);
+  }
+  // Bounced-tenant diagnostics sort by name (not registration order): the
+  // rows are stable under spec reordering, so smoke-test diffs don't churn.
+  std::sort(bounced.begin(), bounced.end(),
+            [&specs](std::size_t a, std::size_t b) {
+              return specs[a].name < specs[b].name;
+            });
+  for (const std::size_t i : bounced) {
+    table.add_values(specs[i].name, policy_text(specs[i].policy),
+                     specs[i].policy.priority, "bounced: " + regs[i].reason, 0,
+                     "-", "-", "-", "-", "-");
   }
   std::printf("%u PRCs + %u CG fabrics, %u blocks/task, %zu task(s):\n%s",
               prcs, cg, blocks, specs.size(), table.render().c_str());
@@ -532,8 +579,9 @@ int cmd_trace_summary(const std::string& path) {
   }
   const TraceSummary summary = summarize_trace_jsonl(in);
   if (summary.parse_errors > 0) {
-    std::fprintf(stderr, "error: %zu malformed line(s) in '%s'\n",
-                 summary.parse_errors, path.c_str());
+    std::fprintf(stderr,
+                 "error: %zu malformed line(s) in '%s' (first at line %zu)\n",
+                 summary.parse_errors, path.c_str(), summary.first_bad_line);
     return 2;
   }
   std::printf("%zu events", summary.total_events);
@@ -543,6 +591,16 @@ int cmd_trace_summary(const std::string& path) {
                 static_cast<unsigned long long>(summary.last_cycle));
   }
   std::printf("\n");
+  if (summary.span_durations.count() > 0) {
+    const Histogram& h = summary.span_durations;
+    std::printf(
+        "span durations: %llu spans, p50 %s, p90 %s, p99 %s, max %s cycles\n",
+        static_cast<unsigned long long>(h.count()),
+        format_double(h.percentile(0.50), 0).c_str(),
+        format_double(h.percentile(0.90), 0).c_str(),
+        format_double(h.percentile(0.99), 0).c_str(),
+        format_double(h.max(), 0).c_str());
+  }
   // Rows sort by kind *name*, not enum order: the table then matches the
   // (alphabetical) counter table — e.g. the selector.cache row lands next to
   // the selector.cache.{hit,miss} counters — and stays stable when new enum
@@ -555,6 +613,35 @@ int cmd_trace_summary(const std::string& path) {
   TextTable table({"kind", "events"});
   for (const auto& [kind, events] : rows) table.add_values(kind, events);
   std::printf("%s", table.render().c_str());
+  return 0;
+}
+
+int cmd_trace_analyze(const std::string& path, const std::string& out_path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "error: cannot open '%s'\n", path.c_str());
+    return 2;
+  }
+  const ParsedTrace parsed = parse_trace_jsonl(in);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "error: malformed trace line %zu in '%s'\n",
+                 parsed.bad_line, path.c_str());
+    return 2;
+  }
+  const obs::RunReport report = obs::analyze_trace(parsed.events);
+  if (out_path.empty()) {
+    std::ostringstream os;
+    obs::write_report_markdown(os, report);
+    std::printf("%s", os.str().c_str());
+    return 0;
+  }
+  if (!obs::write_report_file(out_path, report)) {
+    std::fprintf(stderr, "error: cannot write report file '%s'\n",
+                 out_path.c_str());
+    return 2;
+  }
+  std::printf("wrote run report (%zu events analyzed) to %s\n",
+              report.total_events, out_path.c_str());
   return 0;
 }
 
@@ -577,6 +664,7 @@ int main(int argc, char** argv) {
     }
     if (command == "run") {
       std::string trace_path;
+      std::string report_path;
       double fault_rate = 0.0;
       std::uint64_t fault_seed = 42;
       unsigned max_retries = 3;
@@ -586,6 +674,9 @@ int main(int argc, char** argv) {
         if (arg == "--trace") {
           if (i + 1 >= argc || !trace_path.empty()) return usage();
           trace_path = argv[++i];
+        } else if (arg == "--report") {
+          if (i + 1 >= argc || !report_path.empty()) return usage();
+          report_path = argv[++i];
         } else if (arg == "--fault-rate") {
           if (i + 1 >= argc) return usage();
           if (!parse_probability(argv[++i], &fault_rate)) {
@@ -636,7 +727,8 @@ int main(int argc, char** argv) {
       if (fault_rate > 0.0) {
         fault = FaultModelConfig::uniform(fault_rate, fault_seed, max_retries);
       }
-      return cmd_run(positional[0], prcs, cg, frames, trace_path, fault);
+      return cmd_run(positional[0], prcs, cg, frames, trace_path, report_path,
+                     fault);
     }
     if (command == "run-multi") {
       if (argc < 6) return usage();
@@ -662,6 +754,17 @@ int main(int argc, char** argv) {
     if (command == "trace-summary") {
       if (argc != 3) return usage();
       return cmd_trace_summary(argv[2]);
+    }
+    if (command == "trace-analyze") {
+      if (argc < 3) return usage();
+      std::string out_path;
+      if (argc == 5) {
+        if (std::string(argv[3]) != "--out") return usage();
+        out_path = argv[4];
+      } else if (argc != 3) {
+        return usage();
+      }
+      return cmd_trace_analyze(argv[2], out_path);
     }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
