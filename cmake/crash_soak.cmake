@@ -1,0 +1,105 @@
+# Crash-soak for checkpoint/restore, run as a ctest via `cmake -P`: a run
+# that is interrupted (checkpoint at a cycle boundary — the moment a kill
+# would land) and resumed in a *fresh* process must be byte-identical to the
+# uninterrupted golden run: same stdout, same trace JSONL, same run report.
+# Both legs execute in separate scratch directories with identical relative
+# output paths, so any divergence shows up as a file diff, not a path diff.
+# Malformed snapshots must be input errors (exit 2), never crashes.
+#
+# Inputs: -DMRTS_CLI=<path to mrts_cli> -DWORK_DIR=<scratch dir>
+
+if(NOT DEFINED MRTS_CLI OR NOT DEFINED WORK_DIR)
+  message(FATAL_ERROR "usage: cmake -DMRTS_CLI=... -DWORK_DIR=... -P crash_soak.cmake")
+endif()
+
+# One faulty observed workload for every leg: faults make the state worth
+# checkpointing (RNG cursor, quarantines, fault counters must all resume).
+set(app h264 4 1 3 --fault-rate 0.05 --fault-seed 7 --max-retries 1
+    --trace run.jsonl --report report.csv)
+
+function(run_leg dir out_var)
+  file(MAKE_DIRECTORY "${WORK_DIR}/${dir}")
+  execute_process(
+    COMMAND "${MRTS_CLI}" ${ARGN}
+    WORKING_DIRECTORY "${WORK_DIR}/${dir}"
+    RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "'${ARGN}' in ${dir} exited ${rc}:\n${out}${err}")
+  endif()
+  set(${out_var} "${out}" PARENT_SCOPE)
+endfunction()
+
+function(expect_identical label a b)
+  execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files
+                  "${WORK_DIR}/${a}" "${WORK_DIR}/${b}" RESULT_VARIABLE rc)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "${label}: ${a} and ${b} differ — the restored run "
+                        "is not bit-identical to the golden run")
+  endif()
+endfunction()
+
+# --- 1. Golden: the uninterrupted run. --------------------------------------
+run_leg(golden golden_stdout run ${app})
+
+# --- 2. Kill + restore: checkpoint mid-run, resume in a fresh process. ------
+run_leg(resumed ckpt_stdout checkpoint ${app} --at-cycle 1000000
+        --out run.snapshot)
+run_leg(resumed restore_stdout restore run.snapshot)
+
+if(NOT restore_stdout STREQUAL golden_stdout)
+  file(WRITE "${WORK_DIR}/golden_stdout.txt" "${golden_stdout}")
+  file(WRITE "${WORK_DIR}/restore_stdout.txt" "${restore_stdout}")
+  message(FATAL_ERROR "restored stdout differs from the golden run "
+                      "(see golden_stdout.txt / restore_stdout.txt)")
+endif()
+expect_identical("trace" golden/run.jsonl resumed/run.jsonl)
+expect_identical("report" golden/report.csv resumed/report.csv)
+
+# --- 3. Periodic checkpoints: run --checkpoint-every, restore the last one. -
+set(periodic ${app} --checkpoint-every 2000000 --checkpoint ckpt.snapshot)
+run_leg(periodic periodic_stdout run ${periodic})
+if(NOT periodic_stdout MATCHES "checkpoint stream: [1-9]")
+  message(FATAL_ERROR "periodic run wrote no checkpoints:\n${periodic_stdout}")
+endif()
+file(COPY "${WORK_DIR}/periodic/ckpt.snapshot"
+     DESTINATION "${WORK_DIR}/periodic_resumed")
+run_leg(periodic_resumed periodic_restore_stdout restore ckpt.snapshot)
+if(NOT periodic_restore_stdout STREQUAL periodic_stdout)
+  file(WRITE "${WORK_DIR}/periodic_stdout.txt" "${periodic_stdout}")
+  file(WRITE "${WORK_DIR}/periodic_restore_stdout.txt"
+       "${periodic_restore_stdout}")
+  message(FATAL_ERROR "restore of the last periodic checkpoint diverged "
+                      "(see periodic_stdout.txt / periodic_restore_stdout.txt)")
+endif()
+expect_identical("periodic trace" periodic/run.jsonl periodic_resumed/run.jsonl)
+expect_identical("periodic report" periodic/report.csv
+                 periodic_resumed/report.csv)
+
+# --- 4. Exit-code contract: broken snapshots are input errors (2). ----------
+file(WRITE "${WORK_DIR}/garbage.snapshot" "this is not an mrts snapshot\n")
+execute_process(
+  COMMAND "${MRTS_CLI}" restore "${WORK_DIR}/garbage.snapshot"
+  RESULT_VARIABLE rc OUTPUT_QUIET ERROR_VARIABLE err)
+if(NOT rc EQUAL 2)
+  message(FATAL_ERROR "garbage snapshot exited ${rc}, expected input error 2")
+endif()
+if(NOT err MATCHES "offset")
+  message(FATAL_ERROR "garbage snapshot error does not name the failing "
+                      "byte offset: ${err}")
+endif()
+execute_process(
+  COMMAND "${MRTS_CLI}" restore "${WORK_DIR}/does_not_exist.snapshot"
+  RESULT_VARIABLE rc OUTPUT_QUIET ERROR_QUIET)
+if(NOT rc EQUAL 2)
+  message(FATAL_ERROR "missing snapshot exited ${rc}, expected input error 2")
+endif()
+# Checkpointing past the end of the run: nothing left to save.
+execute_process(
+  COMMAND "${MRTS_CLI}" checkpoint h264 2 1 2 --at-cycle 999999999999
+          --out "${WORK_DIR}/late.snapshot"
+  RESULT_VARIABLE rc OUTPUT_QUIET ERROR_QUIET)
+if(NOT rc EQUAL 2)
+  message(FATAL_ERROR "--at-cycle past run end exited ${rc}, expected 2")
+endif()
+
+message(STATUS "crash soak OK: restored runs are bit-identical")

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "util/snapshot_io.h"
+
 namespace mrts {
 
 CgFabric::CgFabric(CgFabricParams params)
@@ -107,6 +109,36 @@ void CgFabric::append_instance_ready_times(DataPathId dp,
   for (const auto& c : contexts_) {
     if (c.occupant == dp) out.push_back(c.ready_at);
   }
+}
+
+void CgFabric::save_state(SnapshotWriter& w) const {
+  w.u64(contexts_.size());
+  for (const auto& c : contexts_) {
+    w.u32(raw(c.occupant));
+    w.u64(c.ready_at);
+  }
+  w.boolean(active_.has_value());
+  w.u32(active_.value_or(0));
+}
+
+void CgFabric::load_state(SnapshotReader& r) {
+  const std::size_t at = r.pos();
+  const std::uint64_t n = r.u64();
+  if (n != contexts_.size()) {
+    throw SnapshotError("snapshot CG context count does not match this fabric",
+                        at);
+  }
+  for (auto& c : contexts_) {
+    c.occupant = DataPathId{r.u32()};
+    c.ready_at = r.u64();
+  }
+  const bool has_active = r.boolean();
+  const std::size_t slot_at = r.pos();
+  const std::uint32_t slot = r.u32();
+  if (has_active && slot >= contexts_.size()) {
+    throw SnapshotError("snapshot active CG slot out of range", slot_at);
+  }
+  active_ = has_active ? std::optional<unsigned>(slot) : std::nullopt;
 }
 
 }  // namespace mrts

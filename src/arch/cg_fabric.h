@@ -15,6 +15,9 @@
 
 namespace mrts {
 
+class SnapshotWriter;
+class SnapshotReader;
+
 /// Architectural constants of one CG fabric (Section 5.1 of the paper).
 struct CgFabricParams {
   unsigned instruction_bits = 80;
@@ -86,6 +89,11 @@ class CgFabric {
   /// Allocation-free variant: appends the same ready times to \p out.
   void append_instance_ready_times(DataPathId dp,
                                    std::vector<Cycles>& out) const;
+
+  /// Slot-exact capture/restore (rts/snapshot.h), including the active
+  /// context marker — load() is policy-driven, so restore bypasses it.
+  void save_state(SnapshotWriter& w) const;
+  void load_state(SnapshotReader& r);
 
  private:
   CgFabricParams params_;

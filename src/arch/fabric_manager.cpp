@@ -7,6 +7,7 @@
 #include "arch/fault_model.h"
 #include "util/counters.h"
 #include "util/logging.h"
+#include "util/snapshot_io.h"
 #include "util/trace.h"
 
 namespace mrts {
@@ -789,6 +790,153 @@ std::size_t FabricManager::prefetch(
   return started;
 }
 
+const char* to_string(MigrationStatus status) {
+  switch (status) {
+    case MigrationStatus::kMigrated: return "migrated";
+    case MigrationStatus::kNothingToMigrate: return "nothing-to-migrate";
+    case MigrationStatus::kTargetUnavailable: return "target-unavailable";
+    case MigrationStatus::kSourceQuarantined: return "source-quarantined";
+    case MigrationStatus::kCopyFailed: return "copy-failed";
+  }
+  return "?";
+}
+
+MigrationResult FabricManager::migrate_prc(unsigned from, unsigned to,
+                                           Cycles now) {
+  MigrationResult res;
+  if (from >= fg_.num_prcs() || to >= fg_.num_prcs()) {
+    res.status = MigrationStatus::kTargetUnavailable;
+    return res;
+  }
+  if (prc_quarantined_[from]) {
+    // The source died before the drain completed: abort with nothing
+    // mutated so the caller can pick another source.
+    res.status = MigrationStatus::kSourceQuarantined;
+    return res;
+  }
+  const Prc src = fg_.prc(from);
+  if (src.empty()) {
+    res.status = MigrationStatus::kNothingToMigrate;
+    return res;
+  }
+  if (to == from || prc_quarantined_[to] || !fg_.prc(to).empty() ||
+      !placeable_prc(to)) {
+    res.status = MigrationStatus::kTargetUnavailable;
+    return res;
+  }
+
+  ++state_epoch_;
+  res.dp = src.occupant;
+  // Drain: in-flight executions bind the source until its configuration is
+  // fully streamed/usable; the context copy starts no earlier.
+  const Cycles start = std::max(now, src.ready_at);
+  res.drained_at = start;
+  trace_record({TraceEventKind::kMigrationStart,
+                kTrackFgBase + static_cast<std::int32_t>(from), start, 0,
+                raw(src.occupant), static_cast<std::uint32_t>(Grain::kFine),
+                static_cast<double>(from), static_cast<double>(to)});
+  if (counters_ != nullptr) counters_->add("migration.started");
+
+  const StreamedLoad copy =
+      stream_load(src.occupant, to, Grain::kFine, start, "fabric.fg_loads");
+  if (!copy.success) {
+    // CRC retries exhausted (the stream may have quarantined the target);
+    // the source keeps serving, the caller retries elsewhere.
+    res.status = MigrationStatus::kCopyFailed;
+    if (counters_ != nullptr) counters_->add("migration.failed");
+    return res;
+  }
+
+  fg_.place(to, src.occupant, copy.ready);
+  prc_owner_[to] = prc_owner_[from];
+  fg_.evict(from);
+  prc_owner_[from] = kUnownedTenant;
+  if (prc_reserved_[from]) {
+    prc_reserved_[from] = false;
+    prc_reserved_[to] = true;
+  }
+  trace_record({TraceEventKind::kMigrationComplete,
+                kTrackFgBase + static_cast<std::int32_t>(to), copy.ready,
+                copy.ready - start, raw(src.occupant),
+                static_cast<std::uint32_t>(Grain::kFine),
+                static_cast<double>(from), static_cast<double>(to)});
+  if (counters_ != nullptr) counters_->add("migration.completed");
+  res.status = MigrationStatus::kMigrated;
+  res.ready_at = copy.ready;
+  return res;
+}
+
+MigrationResult FabricManager::migrate_cg(unsigned from, unsigned to,
+                                          Cycles now) {
+  MigrationResult res;
+  if (from >= cg_.size() || to >= cg_.size()) {
+    res.status = MigrationStatus::kTargetUnavailable;
+    return res;
+  }
+  if (cg_quarantined_[from]) {
+    res.status = MigrationStatus::kSourceQuarantined;
+    return res;
+  }
+  // Oldest resident context (lowest ready_at; ties to the lowest slot).
+  std::optional<unsigned> slot;
+  for (unsigned s = 0; s < cg_[from].capacity(); ++s) {
+    const CgContext& ctx = cg_[from].context(s);
+    if (ctx.empty()) continue;
+    if (!slot || ctx.ready_at < cg_[from].context(*slot).ready_at) slot = s;
+  }
+  if (!slot) {
+    res.status = MigrationStatus::kNothingToMigrate;
+    return res;
+  }
+  if (to == from || cg_quarantined_[to] || !placeable_cg(to) ||
+      cg_[to].resident_count() >= cg_[to].capacity()) {
+    // Migration never evicts live contexts on the target.
+    res.status = MigrationStatus::kTargetUnavailable;
+    return res;
+  }
+
+  ++state_epoch_;
+  const CgContext ctx = cg_[from].context(*slot);
+  res.dp = ctx.occupant;
+  const Cycles start = std::max(now, ctx.ready_at);
+  res.drained_at = start;
+  trace_record({TraceEventKind::kMigrationStart,
+                kTrackCgBase + static_cast<std::int32_t>(from), start, 0,
+                raw(ctx.occupant), static_cast<std::uint32_t>(Grain::kCoarse),
+                static_cast<double>(from), static_cast<double>(to)});
+  if (counters_ != nullptr) counters_->add("migration.started");
+
+  const StreamedLoad copy =
+      stream_load(ctx.occupant, to, Grain::kCoarse, start, "fabric.cg_loads");
+  if (!copy.success) {
+    res.status = MigrationStatus::kCopyFailed;
+    if (counters_ != nullptr) counters_->add("migration.failed");
+    return res;
+  }
+
+  cg_[to].load(ctx.occupant, copy.ready);
+  cg_owner_[to] = cg_owner_[from];
+  cg_[from].evict(*slot);
+  if (cg_pinned_[from] == ctx.occupant) {
+    cg_pinned_[to] = ctx.occupant;
+    cg_pinned_[from] = kInvalidDataPath;
+  }
+  if (cg_reserved_[from] && cg_[from].resident_count() == 0) {
+    cg_reserved_[from] = false;
+    cg_reserved_[to] = true;
+  }
+  if (cg_[from].resident_count() == 0) cg_owner_[from] = kUnownedTenant;
+  trace_record({TraceEventKind::kMigrationComplete,
+                kTrackCgBase + static_cast<std::int32_t>(to), copy.ready,
+                copy.ready - start, raw(ctx.occupant),
+                static_cast<std::uint32_t>(Grain::kCoarse),
+                static_cast<double>(from), static_cast<double>(to)});
+  if (counters_ != nullptr) counters_->add("migration.completed");
+  res.status = MigrationStatus::kMigrated;
+  res.ready_at = copy.ready;
+  return res;
+}
+
 std::optional<Cycles> FabricManager::acquire_mono_cg(DataPathId mono_dp,
                                                      Cycles now) {
   ++state_epoch_;
@@ -980,6 +1128,106 @@ void FabricManager::reset() {
   // permanent faults are physical damage, and the injector's stream is one
   // deterministic timeline per simulator instance.
   next_scrub_ = 0;
+}
+
+namespace {
+
+void save_bool_vector(SnapshotWriter& w, const std::vector<bool>& v) {
+  w.u64(v.size());
+  for (bool b : v) w.boolean(b);
+}
+
+void load_bool_vector(SnapshotReader& r, std::vector<bool>& v,
+                      const char* what) {
+  const std::size_t n = r.length(1u << 20, what);
+  if (n != v.size()) {
+    throw SnapshotError(std::string("snapshot ") + what +
+                            " size does not match this fabric",
+                        r.pos());
+  }
+  for (std::size_t i = 0; i < n; ++i) v[i] = r.boolean();
+}
+
+void save_tenant_vector(SnapshotWriter& w, const std::vector<TenantId>& v) {
+  w.u64(v.size());
+  for (TenantId t : v) w.u32(t);
+}
+
+void load_tenant_vector(SnapshotReader& r, std::vector<TenantId>& v,
+                        const char* what) {
+  const std::size_t n = r.length(1u << 20, what);
+  if (n != v.size()) {
+    throw SnapshotError(std::string("snapshot ") + what +
+                            " size does not match this fabric",
+                        r.pos());
+  }
+  for (std::size_t i = 0; i < n; ++i) v[i] = r.u32();
+}
+
+}  // namespace
+
+void FabricManager::save_state(SnapshotWriter& w) const {
+  // Shape header first so a mismatched restore fails before any payload is
+  // even parsed.
+  w.u32(fg_.num_prcs());
+  w.u32(static_cast<std::uint32_t>(cg_.size()));
+  fg_.save_state(w);
+  for (const auto& fabric : cg_) fabric.save_state(w);
+  reconfig_.save_state(w);
+  save_bool_vector(w, prc_reserved_);
+  save_bool_vector(w, cg_reserved_);
+  w.u64(cg_pinned_.size());
+  for (DataPathId dp : cg_pinned_) w.u32(raw(dp));
+  w.u64(reconfig_stats_.fg_loads);
+  w.u64(reconfig_stats_.cg_loads);
+  w.u64(reconfig_stats_.fg_bytes);
+  w.u64(reconfig_stats_.cg_bytes);
+  w.u64(reconfig_stats_.cancelled_loads);
+  w.u64(reconfig_stats_.reused_instances);
+  w.u32(active_tenant_);
+  save_tenant_vector(w, prc_owner_);
+  save_tenant_vector(w, cg_owner_);
+  save_bool_vector(w, prc_quarantined_);
+  save_bool_vector(w, cg_quarantined_);
+  w.u32(usable_prcs_);
+  w.u32(usable_cg_);
+  w.u64(next_scrub_);
+  w.u64(state_epoch_);
+}
+
+void FabricManager::load_state(SnapshotReader& r) {
+  const std::uint32_t prcs = r.u32();
+  const std::uint32_t cgs = r.u32();
+  if (prcs != fg_.num_prcs() || cgs != cg_.size()) {
+    throw SnapshotError(
+        "snapshot fabric shape does not match this fabric", r.pos());
+  }
+  fg_.load_state(r);
+  for (auto& fabric : cg_) fabric.load_state(r);
+  reconfig_.load_state(r);
+  load_bool_vector(r, prc_reserved_, "PRC reservation set");
+  load_bool_vector(r, cg_reserved_, "CG reservation set");
+  const std::size_t pins = r.length(1u << 20, "CG pin set");
+  if (pins != cg_pinned_.size()) {
+    throw SnapshotError("snapshot CG pin set size does not match this fabric",
+                        r.pos());
+  }
+  for (std::size_t i = 0; i < pins; ++i) cg_pinned_[i] = DataPathId{r.u32()};
+  reconfig_stats_.fg_loads = r.u64();
+  reconfig_stats_.cg_loads = r.u64();
+  reconfig_stats_.fg_bytes = r.u64();
+  reconfig_stats_.cg_bytes = r.u64();
+  reconfig_stats_.cancelled_loads = r.u64();
+  reconfig_stats_.reused_instances = r.u64();
+  active_tenant_ = r.u32();
+  load_tenant_vector(r, prc_owner_, "PRC owner table");
+  load_tenant_vector(r, cg_owner_, "CG owner table");
+  load_bool_vector(r, prc_quarantined_, "PRC quarantine set");
+  load_bool_vector(r, cg_quarantined_, "CG quarantine set");
+  usable_prcs_ = r.u32();
+  usable_cg_ = r.u32();
+  next_scrub_ = r.u64();
+  state_epoch_ = r.u64();
 }
 
 }  // namespace mrts

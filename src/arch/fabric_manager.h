@@ -30,6 +30,8 @@ class TraceRecorder;
 struct TraceEvent;
 class CounterRegistry;
 class FaultModel;
+class SnapshotWriter;
+class SnapshotReader;
 
 /// A request to realize one ISE: its data-path instances in reconfiguration
 /// order (repeats allowed — an ISE may use several instances of a data path).
@@ -76,6 +78,29 @@ struct ReconfigStats {
   std::uint64_t reused_instances = 0; ///< loads avoided by reuse
 };
 
+/// Outcome of one live-migration attempt (migrate_prc / migrate_cg).
+enum class MigrationStatus : std::uint8_t {
+  kMigrated = 0,         ///< context copied; source released, target loading
+  kNothingToMigrate,     ///< the source container holds no configuration
+  kTargetUnavailable,    ///< target occupied/quarantined/inaccessible/same
+  kSourceQuarantined,    ///< source quarantined before the drain completed;
+                         ///< nothing was mutated — retry from another source
+  kCopyFailed,           ///< the copy stream exhausted its CRC retries; the
+                         ///< source stays intact (the target may have been
+                         ///< quarantined by the failed stream's diagnosis)
+};
+
+const char* to_string(MigrationStatus status);
+
+struct MigrationResult {
+  MigrationStatus status = MigrationStatus::kNothingToMigrate;
+  DataPathId dp = kInvalidDataPath;  ///< data path that was (to be) moved
+  Cycles drained_at = 0;    ///< drain point: when the copy stream could start
+  Cycles ready_at = kNeverCycles;  ///< usable-on-target cycle (on success)
+
+  bool migrated() const { return status == MigrationStatus::kMigrated; }
+};
+
 class FabricManager {
  public:
   /// \param table data-path registry (not owned; must outlive the manager).
@@ -120,6 +145,24 @@ class FabricManager {
   /// will claim them via reuse). Returns the number of loads started.
   std::size_t prefetch(const std::vector<IsePlacementRequest>& future,
                        Cycles now);
+
+  /// Live ISE migration (Mestra-style, PAPERS.md): moves the configuration
+  /// of PRC \p from onto the empty, non-quarantined PRC \p to. The move
+  /// first drains the source — the copy stream cannot start before the
+  /// source's configuration is fully loaded (max(now, ready_at)) — then
+  /// streams the context through the regular FG reconfiguration port (same
+  /// per-byte cost model and fault semantics as any load, including CRC
+  /// retries and permanent-fault quarantine of the *target*). On success the
+  /// source is released and its reservation/ownership transfer to the
+  /// target; on a failed copy the source stays intact so the caller can
+  /// retry onto another container. Bumps state_epoch() on any mutation.
+  MigrationResult migrate_prc(unsigned from, unsigned to, Cycles now);
+
+  /// CG counterpart: moves the oldest resident context of CG fabric \p from
+  /// into a free context slot of fabric \p to (live contexts on the target
+  /// are never evicted by a migration). Same drain/copy/fault semantics as
+  /// migrate_prc, on the fast CG port.
+  MigrationResult migrate_cg(unsigned from, unsigned to, Cycles now);
 
   /// Realizes (or re-activates) a monoCG-Extension \p mono_dp on a CG fabric
   /// that is not reserved by the current selection. Returns the cycle at
@@ -246,6 +289,17 @@ class FabricManager {
   bool observability_attached() const {
     return trace_ != nullptr || counters_ != nullptr;
   }
+
+  /// Whole-fabric capture/restore (rts/snapshot.h): placement, port
+  /// backlogs, reservations/pins, owners, quarantine set, reconfig stats,
+  /// scrub schedule and the state epoch. The attached fault model, the
+  /// arbitration hook and the observability streams are *not* part of the
+  /// fabric's state — the restoring process reconstructs and re-attaches
+  /// them before calling load_state. load_state validates the stored shape
+  /// against this fabric and throws SnapshotError before mutating anything
+  /// on mismatch.
+  void save_state(SnapshotWriter& w) const;
+  void load_state(SnapshotReader& r);
 
  private:
   /// Forwards one event to the attached recorder, stamping the currently

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/snapshot_io.h"
+
 namespace mrts {
 
 FaultModelConfig FaultModelConfig::uniform(double rate, std::uint64_t seed,
@@ -59,6 +61,30 @@ bool FaultModel::upset() {
 
 bool FaultModel::permanent() {
   return rng_.bernoulli(config_.permanent_fault_prob);
+}
+
+void FaultModel::save_state(SnapshotWriter& w) const {
+  rng_.save_state(w);
+  w.u64(stats_.injected);
+  w.u64(stats_.load_failures);
+  w.u64(stats_.retries);
+  w.u64(stats_.failed_loads);
+  w.u64(stats_.transient_upsets);
+  w.u64(stats_.scrub_repairs);
+  w.u64(stats_.quarantined_prcs);
+  w.u64(stats_.quarantined_cg);
+}
+
+void FaultModel::load_state(SnapshotReader& r) {
+  rng_.load_state(r);
+  stats_.injected = r.u64();
+  stats_.load_failures = r.u64();
+  stats_.retries = r.u64();
+  stats_.failed_loads = r.u64();
+  stats_.transient_upsets = r.u64();
+  stats_.scrub_repairs = r.u64();
+  stats_.quarantined_prcs = r.u64();
+  stats_.quarantined_cg = r.u64();
 }
 
 }  // namespace mrts

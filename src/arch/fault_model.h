@@ -31,6 +31,9 @@
 
 namespace mrts {
 
+class SnapshotWriter;
+class SnapshotReader;
+
 /// Probabilities and policy knobs of the injector. All probabilities are
 /// per-event Bernoulli parameters in [0, 1]; the default config injects
 /// nothing (any_faults() == false), which is the zero-overhead fast path.
@@ -121,6 +124,14 @@ class FaultModel {
 
   FaultStats& stats() { return stats_; }
   const FaultStats& stats() const { return stats_; }
+
+  /// Captures/restores the RNG stream position and the cumulative stats so
+  /// a restored run draws exactly the faults the uninterrupted one would
+  /// have, and its final fault table resumes from the checkpointed values
+  /// (rts/snapshot.h). The config itself travels in the snapshot meta
+  /// header — the restoring process reconstructs the model from it first.
+  void save_state(SnapshotWriter& w) const;
+  void load_state(SnapshotReader& r);
 
  private:
   FaultModelConfig config_;

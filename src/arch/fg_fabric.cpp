@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "util/snapshot_io.h"
+
 namespace mrts {
 
 FgFabric::FgFabric(unsigned num_prcs) : prcs_(num_prcs) {}
@@ -58,6 +60,26 @@ std::vector<Cycles> FgFabric::instance_ready_times(DataPathId dp) const {
   }
   std::sort(out.begin(), out.end());
   return out;
+}
+
+void FgFabric::save_state(SnapshotWriter& w) const {
+  w.u64(prcs_.size());
+  for (const auto& prc : prcs_) {
+    w.u32(raw(prc.occupant));
+    w.u64(prc.ready_at);
+  }
+}
+
+void FgFabric::load_state(SnapshotReader& r) {
+  const std::size_t at = r.pos();
+  const std::uint64_t n = r.u64();
+  if (n != prcs_.size()) {
+    throw SnapshotError("snapshot PRC count does not match this fabric", at);
+  }
+  for (auto& prc : prcs_) {
+    prc.occupant = DataPathId{r.u32()};
+    prc.ready_at = r.u64();
+  }
 }
 
 }  // namespace mrts

@@ -14,6 +14,9 @@
 
 namespace mrts {
 
+class SnapshotWriter;
+class SnapshotReader;
+
 /// State of one Partially Reconfigurable Container.
 struct Prc {
   /// Data path currently mapped onto this PRC (or being loaded).
@@ -62,6 +65,11 @@ class FgFabric {
   /// Ready times of all instances of \p dp currently placed (including ones
   /// still being loaded), sorted ascending.
   std::vector<Cycles> instance_ready_times(DataPathId dp) const;
+
+  /// Placement-exact capture/restore (rts/snapshot.h). load_state validates
+  /// the stored PRC count against the live fabric before mutating.
+  void save_state(SnapshotWriter& w) const;
+  void load_state(SnapshotReader& r);
 
  private:
   std::vector<Prc> prcs_;

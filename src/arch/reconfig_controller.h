@@ -20,6 +20,9 @@
 
 namespace mrts {
 
+class SnapshotWriter;
+class SnapshotReader;
+
 /// Identifier of a queued reconfiguration job.
 using ReconfigJobId = std::uint64_t;
 
@@ -74,6 +77,11 @@ class ReconfigPort {
   std::uint64_t total_jobs() const { return next_id_; }
   Cycles total_busy_cycles() const { return total_busy_; }
 
+  /// Queue-exact capture/restore (rts/snapshot.h): the FIFO backlog, the
+  /// job-id counter and the busy-cycle tally all resume where they were.
+  void save_state(SnapshotWriter& w) const;
+  void load_state(SnapshotReader& r);
+
  private:
   void retime(Cycles now);
 
@@ -89,6 +97,9 @@ class ReconfigController {
   const ReconfigPort& fg_port() const { return fg_; }
   ReconfigPort& cg_port() { return cg_; }
   const ReconfigPort& cg_port() const { return cg_; }
+
+  void save_state(SnapshotWriter& w) const;
+  void load_state(SnapshotReader& r);
 
  private:
   ReconfigPort fg_;

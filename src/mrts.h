@@ -37,8 +37,10 @@
 #include "baselines/rispp_rts.h"
 #include "baselines/risc_only_rts.h"
 #include "rts/ecu.h"
+#include "rts/migration.h"
 #include "rts/mpu.h"
 #include "rts/mrts.h"
+#include "rts/snapshot.h"
 #include "rts/profit.h"
 #include "rts/reconfig_plan.h"
 #include "rts/rts_interface.h"

@@ -42,6 +42,8 @@ class TraceRecorder;
 class CounterRegistry;
 struct ExecEvent;       // sim/schedule.h
 class ObservationSink;  // sim/obs_accum.h
+class SnapshotWriter;
+class SnapshotReader;
 
 /// Per-implementation execution counters.
 struct EcuStats {
@@ -110,6 +112,19 @@ class Ecu {
 
   const EcuStats& stats() const { return stats_; }
   void reset();
+
+  /// Block-boundary state capture/restore (rts/snapshot.h). Checkpoints are
+  /// taken between blocks, where the only ECU state that can influence the
+  /// remainder of the run is: the cumulative stats, each kernel's monoCG
+  /// knowledge (mono_ready survives blocks — a loaded context may still be
+  /// resident), the last ImplKind reported to the flight recorder (gates
+  /// kEcuDecision emission, so the resumed trace suffix stays identical)
+  /// and the last-executed kernel. Timelines/steady memos are *not* stored:
+  /// restore marks every kernel needs-rebuild, and rebuilds are pure
+  /// functions of (library, fabric state, now) — exactly how begin_block
+  /// re-derives them in the uninterrupted run.
+  void save_state(SnapshotWriter& w) const;
+  void load_state(SnapshotReader& r);
 
   /// Attaches the flight recorder / counter registry (either may be null).
   /// Detached (the default) the per-execution instrumentation is a single

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <vector>
 
 #include "util/counters.h"
+#include "util/snapshot_io.h"
 #include "util/trace.h"
 
 namespace mrts {
@@ -78,6 +80,38 @@ std::optional<TriggerEntry> Mpu::forecast(FunctionalBlockId fb,
 void Mpu::reset() {
   forecasts_.clear();
   observations_ = 0;
+}
+
+void Mpu::save_state(SnapshotWriter& w) const {
+  std::vector<std::uint64_t> keys;
+  keys.reserve(forecasts_.size());
+  for (const auto& [id, f] : forecasts_) keys.push_back(id);
+  std::sort(keys.begin(), keys.end());
+  w.u64(keys.size());
+  for (std::uint64_t id : keys) {
+    const KernelForecast& f = forecasts_.at(id);
+    w.u64(id);
+    f.executions.save_state(w);
+    f.time_to_first.save_state(w);
+    f.time_between.save_state(w);
+  }
+  w.u64(observations_);
+}
+
+void Mpu::load_state(SnapshotReader& r) {
+  std::unordered_map<std::uint64_t, KernelForecast> forecasts;
+  const std::size_t n = r.length(1u << 20, "MPU forecast table");
+  forecasts.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t id = r.u64();
+    KernelForecast f;
+    f.executions.load_state(r);
+    f.time_to_first.load_state(r);
+    f.time_between.load_state(r);
+    forecasts.emplace(id, f);
+  }
+  observations_ = r.u64();
+  forecasts_ = std::move(forecasts);
 }
 
 }  // namespace mrts

@@ -19,6 +19,8 @@ namespace mrts {
 
 class TraceRecorder;
 class CounterRegistry;
+class SnapshotWriter;
+class SnapshotReader;
 
 class Mpu {
  public:
@@ -45,6 +47,12 @@ class Mpu {
   std::uint64_t observations() const { return observations_; }
 
   void reset();
+
+  /// Exact forecast-table capture/restore (rts/snapshot.h). Entries are
+  /// written in ascending key order so the byte stream is independent of
+  /// unordered_map iteration order (snapshot determinism contract).
+  void save_state(SnapshotWriter& w) const;
+  void load_state(SnapshotReader& r);
 
   /// Attaches the flight recorder / counter registry (either may be null).
   void attach_observability(TraceRecorder* trace, CounterRegistry* counters) {

@@ -1,7 +1,10 @@
 #include "rts/mrts.h"
 
+#include <algorithm>
 #include <stdexcept>
+#include <vector>
 
+#include "util/snapshot_io.h"
 #include "util/trace.h"
 
 namespace mrts {
@@ -33,6 +36,7 @@ MRts::MRts(const IseLibrary& lib, unsigned num_cg_fabrics, unsigned num_prcs,
   optimal_.set_tuning(config_.selector_tuning);
   heuristic_.attach_profit_cache(&profit_cache_);
   optimal_.attach_profit_cache(&profit_cache_);
+  defrag_ = DefragPolicy(config_.defrag);
   if (config_.fault.any_faults()) {
     fault_model_ = std::make_unique<FaultModel>(config_.fault);
     fabric_->attach_fault_model(fault_model_.get());
@@ -53,6 +57,7 @@ MRts::MRts(const IseLibrary& lib, FabricManager& shared_fabric,
   optimal_.set_tuning(config_.selector_tuning);
   heuristic_.attach_profit_cache(&profit_cache_);
   optimal_.attach_profit_cache(&profit_cache_);
+  defrag_ = DefragPolicy(config_.defrag);
   if (config_.fault.any_faults()) {
     fault_model_ = std::make_unique<FaultModel>(config_.fault);
     fabric_->attach_fault_model(fault_model_.get());
@@ -109,6 +114,20 @@ SelectionOutcome MRts::on_trigger(const TriggerInstruction& programmed,
   // the selector snapshots capacity, so it re-plans with the post-fault
   // fabric instead of tripping install()'s capacity check.
   fabric_->scrub(now);
+
+  // Self-healing (rts/migration.h): when that scrub quarantined additional
+  // containers, compact the survivors before the selector snapshots the
+  // fabric — it then plans against the defragmented free space.
+  if (config_.defrag.enabled) {
+    const FabricUsage usage = fabric_->usage();
+    const unsigned quarantined = usage.quarantined_prcs + usage.quarantined_cg;
+    if (quarantined > seen_quarantined_) {
+      const DefragReport rep = defrag_.recover(*fabric_, now);
+      ++stats_.defrag_passes;
+      stats_.defrag_migrations += rep.migrated;
+    }
+    seen_quarantined_ = quarantined;
+  }
 
   // MPU: replace the programmer's offline forecasts with monitored values.
   const TriggerInstruction refined = mpu_.refine(programmed);
@@ -235,6 +254,109 @@ Cycles MRts::execute_events(const ExecEvent* events, const ExecRun* runs,
 
 void MRts::on_block_end(const BlockObservation& observed, Cycles now) {
   mpu_.observe(observed, now);
+}
+
+void MRts::save_state(SnapshotWriter& w) const {
+  fabric_->save_state(w);
+  w.boolean(fault_model_ != nullptr);
+  if (fault_model_ != nullptr) fault_model_->save_state(w);
+  mpu_.save_state(w);
+  ecu_.save_state(w);
+  w.u64(stats_.triggers);
+  w.u64(stats_.profit_evaluations);
+  w.u64(stats_.total_selection_cycles);
+  w.u64(stats_.total_blocking_cycles);
+  w.u64(stats_.selected_ises);
+  w.u64(stats_.selected_mg_ises);
+  w.u64(stats_.selected_fg_ises);
+  w.u64(stats_.selected_cg_ises);
+  w.u64(stats_.reused_instances);
+  w.u64(stats_.lookahead_prefetches);
+  w.u64(stats_.defrag_passes);
+  w.u64(stats_.defrag_migrations);
+  // Lookahead predictor state, in ascending key order so the byte stream is
+  // independent of unordered_map iteration order.
+  std::vector<std::uint32_t> keys;
+  keys.reserve(successor_.size());
+  for (const auto& [from, to] : successor_) keys.push_back(from);
+  std::sort(keys.begin(), keys.end());
+  w.u64(keys.size());
+  for (std::uint32_t from : keys) {
+    w.u32(from);
+    w.u32(successor_.at(from));
+  }
+  keys.clear();
+  for (const auto& [fb, ti] : trigger_cache_) keys.push_back(fb);
+  std::sort(keys.begin(), keys.end());
+  w.u64(keys.size());
+  for (std::uint32_t fb : keys) {
+    const TriggerInstruction& ti = trigger_cache_.at(fb);
+    w.u32(fb);
+    w.u32(raw(ti.functional_block));
+    w.u64(ti.entries.size());
+    for (const TriggerEntry& e : ti.entries) {
+      w.u32(raw(e.kernel));
+      w.f64(e.expected_executions);
+      w.u64(e.time_to_first);
+      w.u64(e.time_between);
+    }
+  }
+  w.u32(raw(last_block_));
+  w.u32(seen_quarantined_);
+}
+
+void MRts::load_state(SnapshotReader& r) {
+  fabric_->load_state(r);
+  const bool has_fault = r.boolean();
+  if (has_fault != (fault_model_ != nullptr)) {
+    throw SnapshotError(
+        "snapshot fault-model presence does not match this runtime", r.pos());
+  }
+  if (fault_model_ != nullptr) fault_model_->load_state(r);
+  mpu_.load_state(r);
+  ecu_.load_state(r);
+  stats_.triggers = r.u64();
+  stats_.profit_evaluations = r.u64();
+  stats_.total_selection_cycles = r.u64();
+  stats_.total_blocking_cycles = r.u64();
+  stats_.selected_ises = r.u64();
+  stats_.selected_mg_ises = r.u64();
+  stats_.selected_fg_ises = r.u64();
+  stats_.selected_cg_ises = r.u64();
+  stats_.reused_instances = r.u64();
+  stats_.lookahead_prefetches = r.u64();
+  stats_.defrag_passes = r.u64();
+  stats_.defrag_migrations = r.u64();
+  std::unordered_map<std::uint32_t, std::uint32_t> successor;
+  const std::size_t ns = r.length(1u << 20, "successor table");
+  successor.reserve(ns);
+  for (std::size_t i = 0; i < ns; ++i) {
+    const std::uint32_t from = r.u32();
+    successor[from] = r.u32();
+  }
+  std::unordered_map<std::uint32_t, TriggerInstruction> triggers;
+  const std::size_t nt = r.length(1u << 20, "trigger cache");
+  triggers.reserve(nt);
+  for (std::size_t i = 0; i < nt; ++i) {
+    const std::uint32_t fb = r.u32();
+    TriggerInstruction ti;
+    ti.functional_block = FunctionalBlockId{r.u32()};
+    const std::size_t ne = r.length(1u << 20, "trigger entry list");
+    ti.entries.reserve(ne);
+    for (std::size_t j = 0; j < ne; ++j) {
+      TriggerEntry e;
+      e.kernel = KernelId{r.u32()};
+      e.expected_executions = r.f64();
+      e.time_to_first = r.u64();
+      e.time_between = r.u64();
+      ti.entries.push_back(e);
+    }
+    triggers.emplace(fb, std::move(ti));
+  }
+  last_block_ = FunctionalBlockId{r.u32()};
+  seen_quarantined_ = r.u32();
+  successor_ = std::move(successor);
+  trigger_cache_ = std::move(triggers);
 }
 
 void MRts::reset() {

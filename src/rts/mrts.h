@@ -14,6 +14,7 @@
 #include "arch/fault_model.h"
 #include "isa/ise_library.h"
 #include "rts/ecu.h"
+#include "rts/migration.h"
 #include "rts/mpu.h"
 #include "rts/profit_cache.h"
 #include "rts/rts_interface.h"
@@ -56,6 +57,11 @@ struct MRtsConfig {
   /// selection and output byte is identical at any setting; baseline()
   /// reproduces the pre-optimization implementation for A/B timing.
   SelectorTuning selector_tuning;
+  /// Migration-based self-healing (rts/migration.h): after a scrub that
+  /// quarantined additional containers, compact the surviving FG
+  /// configurations so the free space stays contiguous. Default-off keeps
+  /// fault-free and legacy fault runs bit-identical.
+  DefragConfig defrag;
 };
 
 /// Aggregated run statistics of one mRTS instance.
@@ -70,6 +76,8 @@ struct MRtsRunStats {
   std::uint64_t selected_cg_ises = 0;
   std::uint64_t reused_instances = 0;
   std::uint64_t lookahead_prefetches = 0;  ///< speculative loads started
+  std::uint64_t defrag_passes = 0;         ///< recovery passes triggered
+  std::uint64_t defrag_migrations = 0;     ///< completed live migrations
 };
 
 class MRts final : public RuntimeSystem {
@@ -152,6 +160,18 @@ class MRts final : public RuntimeSystem {
   const MRtsRunStats& run_stats() const { return stats_; }
   const MRtsConfig& config() const { return config_; }
 
+  /// Whole-instance state capture/restore (rts/snapshot.h): fabric +
+  /// reconfiguration ports, fault injector RNG/stats, MPU forecasts, ECU
+  /// block-boundary state, run stats, lookahead predictor and the
+  /// self-healing watermark. The restoring process must construct this
+  /// instance from the *same* MRtsConfig/library/fabric shape first (the
+  /// snapshot meta header carries those); load_state validates what it can
+  /// (fabric shape, fault-model presence) and throws SnapshotError before
+  /// mutating on mismatch. The profit cache needs no state — every select()
+  /// clears it.
+  void save_state(SnapshotWriter& w) const;
+  void load_state(SnapshotReader& r);
+
  private:
   const IseLibrary* lib_;
   MRtsConfig config_;
@@ -174,6 +194,10 @@ class MRts final : public RuntimeSystem {
   ProfitCache profit_cache_;
   Ecu ecu_;
   MRtsRunStats stats_;
+  /// Self-healing policy + the quarantine count it last acted on (recovery
+  /// runs only when a scrub *grew* the set). Part of the snapshot state.
+  DefragPolicy defrag_;
+  unsigned seen_quarantined_ = 0;
 
   // Lookahead state: block-successor predictor + programmed-trigger cache.
   std::unordered_map<std::uint32_t, std::uint32_t> successor_;

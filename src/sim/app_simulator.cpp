@@ -6,24 +6,37 @@ namespace mrts {
 
 AppRunResult run_application(RuntimeSystem& rts, const ApplicationTrace& trace,
                              TraceRecorder* recorder) {
-  rts.reset();
-  AppRunResult result;
-  result.rts_name = rts.name();
-  result.block_cycles.reserve(trace.blocks.size());
+  AppRunProgress progress;
+  run_application_portion(rts, trace, progress, recorder);
+  return std::move(progress.partial);
+}
 
-  Cycles cursor = 0;
-  for (const auto& block : trace.blocks) {
-    const FbRunResult fb = run_block(rts, block, cursor, recorder);
-    cursor += fb.cycles;
-    result.block_cycles.push_back(fb.cycles);
-    result.blocking_overhead += fb.blocking_overhead;
-    for (std::size_t i = 0; i < kNumImplKinds; ++i) {
-      result.impl_executions[i] += fb.impl_executions[i];
-      result.impl_cycles[i] += fb.impl_cycles[i];
-    }
+bool run_application_portion(RuntimeSystem& rts, const ApplicationTrace& trace,
+                             AppRunProgress& progress, TraceRecorder* recorder,
+                             Cycles stop_at_cycle) {
+  if (!progress.started()) {
+    rts.reset();
+    progress.partial = AppRunResult{};
+    progress.partial.rts_name = rts.name();
+    progress.partial.block_cycles.reserve(trace.blocks.size());
+    progress.cursor = 0;
   }
-  result.total_cycles = cursor;
-  return result;
+  while (progress.next_block < trace.blocks.size()) {
+    if (progress.cursor >= stop_at_cycle) return false;
+    const FbRunResult fb =
+        run_block(rts, trace.blocks[progress.next_block], progress.cursor,
+                  recorder);
+    progress.cursor += fb.cycles;
+    progress.partial.block_cycles.push_back(fb.cycles);
+    progress.partial.blocking_overhead += fb.blocking_overhead;
+    for (std::size_t i = 0; i < kNumImplKinds; ++i) {
+      progress.partial.impl_executions[i] += fb.impl_executions[i];
+      progress.partial.impl_cycles[i] += fb.impl_cycles[i];
+    }
+    ++progress.next_block;
+  }
+  progress.partial.total_cycles = progress.cursor;
+  return true;
 }
 
 std::vector<Cycles> risc_latency_table(const IseLibrary& lib) {

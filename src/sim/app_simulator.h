@@ -41,6 +41,29 @@ struct AppRunResult {
 AppRunResult run_application(RuntimeSystem& rts, const ApplicationTrace& trace,
                              TraceRecorder* recorder = nullptr);
 
+/// Mid-run position of a resumable application run (rts/snapshot.h): the
+/// next block to execute, the cycle cursor and the aggregates of the blocks
+/// already executed. Default-constructed = fresh run.
+struct AppRunProgress {
+  std::size_t next_block = 0;
+  Cycles cursor = 0;
+  AppRunResult partial;
+
+  bool started() const { return next_block > 0 || !partial.block_cycles.empty(); }
+};
+
+/// Resumable variant of run_application: executes blocks from
+/// \p progress.next_block until the trace ends or — checked at each block
+/// boundary — \p progress.cursor has reached \p stop_at_cycle. A fresh
+/// progress resets the RTS first; a resumed one (from a snapshot) must not,
+/// so it continues exactly where the checkpointed run stopped. Returns true
+/// when the whole trace has run (progress.partial is then the final result,
+/// bit-identical to run_application's).
+bool run_application_portion(RuntimeSystem& rts, const ApplicationTrace& trace,
+                             AppRunProgress& progress,
+                             TraceRecorder* recorder = nullptr,
+                             Cycles stop_at_cycle = kNeverCycles);
+
 /// Deterministic profiling pass (corresponds to the offline profiling the
 /// paper's trigger instructions and static baselines rely on): derives the
 /// RISC-mode trigger values of every block instance and averages them per

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "util/snapshot_io.h"
+
 namespace mrts {
 
 std::size_t Histogram::bucket_of(double value) {
@@ -88,6 +90,55 @@ const Histogram* CounterRegistry::histogram(std::string_view name) const {
 void CounterRegistry::clear() {
   counters_.clear();
   histograms_.clear();
+}
+
+void Histogram::save_state(SnapshotWriter& w) const {
+  w.u64(count_);
+  w.f64(sum_);
+  w.f64(min_);
+  w.f64(max_);
+  for (std::uint64_t b : buckets_) w.u64(b);
+}
+
+void Histogram::load_state(SnapshotReader& r) {
+  count_ = r.u64();
+  sum_ = r.f64();
+  min_ = r.f64();
+  max_ = r.f64();
+  for (auto& b : buckets_) b = r.u64();
+}
+
+void CounterRegistry::save_state(SnapshotWriter& w) const {
+  w.u64(counters_.size());
+  for (const auto& [name, value] : counters_) {
+    w.str(name);
+    w.u64(value);
+  }
+  w.u64(histograms_.size());
+  for (const auto& [name, histogram] : histograms_) {
+    w.str(name);
+    histogram.save_state(w);
+  }
+}
+
+void CounterRegistry::load_state(SnapshotReader& r) {
+  std::map<std::string, std::uint64_t, std::less<>> counters;
+  std::map<std::string, Histogram, std::less<>> histograms;
+  const std::size_t num_counters = r.length(1u << 20, "counter table");
+  for (std::size_t i = 0; i < num_counters; ++i) {
+    std::string name = r.str();
+    const std::uint64_t value = r.u64();
+    counters.emplace(std::move(name), value);
+  }
+  const std::size_t num_histograms = r.length(1u << 20, "histogram table");
+  for (std::size_t i = 0; i < num_histograms; ++i) {
+    std::string name = r.str();
+    Histogram h;
+    h.load_state(r);
+    histograms.emplace(std::move(name), h);
+  }
+  counters_ = std::move(counters);
+  histograms_ = std::move(histograms);
 }
 
 void CounterRegistry::merge(const CounterRegistry& other) {

@@ -21,6 +21,9 @@
 
 namespace mrts {
 
+class SnapshotWriter;
+class SnapshotReader;
+
 /// Fixed-bucket log2 histogram plus exact count/sum/min/max. Buckets cover
 /// value magnitudes [2^(i-1), 2^i); bucket 0 collects everything < 1
 /// (including non-positive values).
@@ -55,6 +58,11 @@ class Histogram {
 
   /// Adds \p other's observations into this histogram.
   void merge(const Histogram& other);
+
+  /// Exact capture/restore (rts/snapshot.h): the running double sum is
+  /// order-dependent, so the restored bit pattern must equal the live one.
+  void save_state(SnapshotWriter& w) const;
+  void load_state(SnapshotReader& r);
 
  private:
   std::uint64_t count_ = 0;
@@ -95,6 +103,11 @@ class CounterRegistry {
   /// merge over per-point registries in submission order yields a
   /// deterministic aggregate independent of which worker ran which point.
   void merge(const CounterRegistry& other);
+
+  /// Whole-registry capture/restore (rts/snapshot.h). load_state replaces
+  /// the current contents; names round-trip in lexicographic order.
+  void save_state(SnapshotWriter& w) const;
+  void load_state(SnapshotReader& r);
 
  private:
   std::map<std::string, std::uint64_t, std::less<>> counters_;

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "util/snapshot_io.h"
+
 namespace mrts {
 namespace {
 
@@ -92,5 +94,17 @@ bool Rng::bernoulli(double p) {
 }
 
 Rng Rng::split() { return Rng(next_u64()); }
+
+void Rng::save_state(SnapshotWriter& w) const {
+  for (std::uint64_t word : state_) w.u64(word);
+  w.f64(spare_);
+  w.boolean(has_spare_);
+}
+
+void Rng::load_state(SnapshotReader& r) {
+  for (auto& word : state_) word = r.u64();
+  spare_ = r.f64();
+  has_spare_ = r.boolean();
+}
 
 }  // namespace mrts

@@ -9,6 +9,9 @@
 
 namespace mrts {
 
+class SnapshotWriter;
+class SnapshotReader;
+
 /// xoshiro256** 1.0 by Blackman & Vigna, seeded via splitmix64.
 /// Deliberately self-contained (no <random> engine) so results are identical
 /// across standard-library implementations.
@@ -42,6 +45,12 @@ class Rng {
 
   /// Creates an independent child stream (jump-free split via re-seeding).
   Rng split();
+
+  /// Whole-generator state capture/restore (rts/snapshot.h): the four
+  /// xoshiro words plus the Box–Muller spare, so a restored stream emits
+  /// exactly the draws the uninterrupted one would have.
+  void save_state(SnapshotWriter& w) const;
+  void load_state(SnapshotReader& r);
 
  private:
   std::uint64_t state_[4];

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "util/snapshot_io.h"
+
 namespace mrts {
 
 void RunningStats::add(double x) {
@@ -43,6 +45,18 @@ void Ewma::observe(double observed) {
 void Ewma::reset(double initial) {
   value_ = initial;
   n_ = 0;
+}
+
+void Ewma::save_state(SnapshotWriter& w) const {
+  w.f64(alpha_);
+  w.f64(value_);
+  w.u64(n_);
+}
+
+void Ewma::load_state(SnapshotReader& r) {
+  alpha_ = r.f64();
+  value_ = r.f64();
+  n_ = static_cast<std::size_t>(r.u64());
 }
 
 double geometric_mean(const std::vector<double>& values) {

@@ -8,6 +8,9 @@
 
 namespace mrts {
 
+class SnapshotWriter;
+class SnapshotReader;
+
 /// Welford-style running mean/variance plus min/max.
 class RunningStats {
  public:
@@ -51,6 +54,11 @@ class Ewma {
 
   /// Resets to a fresh initial prediction.
   void reset(double initial);
+
+  /// Exact state capture/restore (rts/snapshot.h): alpha, the prediction's
+  /// IEEE bit pattern and the observation count.
+  void save_state(SnapshotWriter& w) const;
+  void load_state(SnapshotReader& r);
 
  private:
   double alpha_;

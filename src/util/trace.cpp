@@ -34,6 +34,11 @@ constexpr std::array<const char*, kNumTraceEventKinds> kKindNames = {
     // counters) — the raw material of the per-tenant latency percentiles in
     // obs/run_report.h.
     "tenant.admitted", "tenant.completed",
+    // Migration + checkpoint/restore kinds (dotted, matching their
+    // counters): the robustness timeline of defragmentation passes and
+    // crash-resilient runs.
+    "migration.start", "migration.complete",
+    "snapshot.save",   "snapshot.restore",
 };
 
 /// Must match ImplKind in rts/rts_interface.h (util cannot include rts
@@ -151,6 +156,19 @@ std::string event_label(const TraceEvent& e, const IseLibrary* lib) {
              (e.arg1 != 0 ? " admitted" : " bounced");
     case TraceEventKind::kTenantCompletion:
       return "task " + std::to_string(e.arg0) + " completed";
+    case TraceEventKind::kMigrationStart:
+    case TraceEventKind::kMigrationComplete: {
+      const char* unit =
+          e.arg1 == static_cast<std::uint32_t>(Grain::kFine) ? "PRC"
+                                                             : "CG fabric";
+      return dp_name(lib, e.arg0) + ": " + unit + " " +
+             std::to_string(static_cast<std::uint64_t>(e.v0)) + " -> " +
+             std::to_string(static_cast<std::uint64_t>(e.v1));
+    }
+    case TraceEventKind::kSnapshotSave:
+      return "checkpoint #" + std::to_string(e.arg0) + " saved";
+    case TraceEventKind::kSnapshotRestore:
+      return "checkpoint #" + std::to_string(e.arg0) + " restored";
   }
   return "?";
 }

@@ -81,8 +81,24 @@ enum class TraceEventKind : std::uint8_t {
   kTenantCompletion,   ///< one task's admission-to-completion span
                        ///< (arg0 = task index, at = admission cycle,
                        ///< duration = latency, v0 = blocks completed)
+  kMigrationStart,     ///< live migration drained the source and began the
+                       ///< context copy (arg0 = dp, arg1 = grain,
+                       ///< v0 = source container, v1 = destination,
+                       ///< track = source container)
+  kMigrationComplete,  ///< migrated context ready on the destination
+                       ///< (arg0 = dp, arg1 = grain, duration = copy span,
+                       ///< v0 = source, v1 = destination, track = dest)
+  kSnapshotSave,       ///< whole-runtime checkpoint serialized
+                       ///< (arg0 = snapshot sequence number; recorded before
+                       ///< the image is built, so the snapshot contains its
+                       ///< own marker and a restored run's trace matches the
+                       ///< uninterrupted one byte for byte)
+  kSnapshotRestore,    ///< runtime state restored from a snapshot
+                       ///< (arg0 = snapshot sequence number, v0 = bytes;
+                       ///< diagnostic only — never recorded into the resumed
+                       ///< run's own trace, see rts/snapshot.h)
 };
-inline constexpr std::size_t kNumTraceEventKinds = 22;
+inline constexpr std::size_t kNumTraceEventKinds = 26;
 
 const char* to_string(TraceEventKind kind);
 std::optional<TraceEventKind> trace_kind_from_string(std::string_view name);

@@ -23,6 +23,26 @@
 //       injector and --max-retries bounds the per-load retry budget.
 //       Malformed values (negative/NaN rates, out-of-range seeds) are
 //       input errors: exit code 2, never silently clamped.
+//       --checkpoint-every N (with --checkpoint <file>) additionally writes
+//       a whole-runtime snapshot of the mRTS run every N cycles (absolute
+//       grid: at cycles N, 2N, ... — atomically overwriting <file>), so the
+//       run can be killed at any point and resumed with `restore`.
+//
+//   mrts_cli checkpoint <h264|sdr> [prcs] [cg] [frames] --at-cycle <c>
+//            --out <file> [--trace ...] [--report ...] [--fault-* ...]
+//       Run only the mRTS leg of the comparison up to cycle <c> and write a
+//       one-shot whole-runtime snapshot (format mrts.snapshot.v1) to <file>.
+//       A run that finishes before <c> is an input error (exit 2) — there is
+//       nothing left to checkpoint.
+//
+//   mrts_cli restore <snapshot>
+//       Resume a checkpointed run in a fresh process and finish it. The
+//       workload, fabric shape, fault config and observability outputs are
+//       reconstructed from the snapshot's meta header; the resumed run is
+//       bit-identical to the uninterrupted one — same stdout, same trace
+//       file, same report. Truncated/corrupt/wrong-version snapshots are
+//       input errors naming the failing byte offset (exit 2), and never
+//       partially mutate the runtime.
 //
 //   mrts_cli run-multi <prcs> <cg> <blocks> <NAME=POLICY[:ARG][@PRIO]> ...
 //       Multi-tenant simulation: one synthetic task per spec, every task's
@@ -77,6 +97,12 @@ int usage() {
                "           [--report <file.json|file.csv|file.md>]\n"
                "           [--fault-rate <p>] [--fault-seed <n>] "
                "[--max-retries <n>]\n"
+               "           [--checkpoint-every <cycles> --checkpoint <file>]\n"
+               "  mrts_cli checkpoint <h264|sdr> [prcs] [cg] [frames] "
+               "--at-cycle <c> --out <file>\n"
+               "           [--trace ...] [--report ...] [--fault-rate <p>] "
+               "[--fault-seed <n>] [--max-retries <n>]\n"
+               "  mrts_cli restore <snapshot>\n"
                "  mrts_cli run-multi <prcs> <cg> <blocks> "
                "<NAME=POLICY[:ARG][@PRIO]> ...\n"
                "           POLICY: weighted[:W] | reserved:<P>+<C> | "
@@ -254,37 +280,55 @@ void print_counters(const CounterRegistry& counters) {
   }
 }
 
-int cmd_run(const std::string& which, unsigned prcs, unsigned cg,
-            unsigned frames, const std::string& trace_path,
-            const std::string& report_path, const FaultModelConfig& fault) {
+/// One built-in workload, owning storage selected by build_workload.
+struct Workload {
   IseLibrary const* lib = nullptr;
   ApplicationTrace const* trace = nullptr;
   H264Application h264;
   SdrApplication sdr;
+};
+
+bool build_workload(const std::string& which, unsigned frames, Workload* w) {
   if (which == "h264") {
     H264AppParams params;
     params.frames = frames;
-    h264 = build_h264_application(params);
-    lib = &h264.library;
-    trace = &h264.trace;
-  } else if (which == "sdr") {
+    w->h264 = build_h264_application(params);
+    w->lib = &w->h264.library;
+    w->trace = &w->h264.trace;
+    return true;
+  }
+  if (which == "sdr") {
     SdrAppParams params;
     params.bursts = frames;
-    sdr = build_sdr_application(params);
-    lib = &sdr.library;
-    trace = &sdr.trace;
-  } else {
-    return usage();
+    w->sdr = build_sdr_application(params);
+    w->lib = &w->sdr.library;
+    w->trace = &w->sdr.trace;
+    return true;
   }
+  return false;
+}
+
+/// The `run` comparison, shared with `restore`: every run parameter comes
+/// from the CheckpointMeta (the `run` verb builds one from its arguments,
+/// `restore` decodes one from the snapshot), so a resumed run replays the
+/// exact same code path — byte-identical stdout, trace and report. With
+/// \p resume set, the mRTS leg continues from the snapshot instead of
+/// starting fresh; the (deterministic) baselines simply re-run.
+int run_compare(const CheckpointMeta& meta,
+                const std::vector<std::uint8_t>* resume) {
+  Workload w;
+  if (!build_workload(meta.app, meta.frames, &w)) return usage();
+  const IseLibrary* lib = w.lib;
+  const ApplicationTrace* trace = w.trace;
 
   RiscOnlyRts risc(*lib);
   const AppRunResult risc_run = run_application(risc, *trace);
   const auto profile = profile_application(*trace, *lib);
 
-  const bool traced = !trace_path.empty();
+  const bool traced = !meta.trace_path.empty();
   // --report needs the event stream too; the recorder stays in memory when
   // only a report was asked for.
-  const bool instrument = traced || !report_path.empty();
+  const bool instrument = traced || !meta.report_path.empty();
   TraceRecorder recorder;
   CounterRegistry counters;
 
@@ -300,19 +344,67 @@ int cmd_run(const std::string& which, unsigned prcs, unsigned cg,
                      speedup(risc_run.total_cycles, r.total_cycles));
   };
   report(risc);
+
   MRtsConfig mrts_config;
-  mrts_config.fault = fault;  // baselines stay fault-free for comparison
-  MRts mrts_rts(*lib, cg, prcs, mrts_config);
-  report(mrts_rts, instrument);
-  RisppRts rispp(*lib, cg, prcs);
+  mrts_config.fault = meta.fault;  // baselines stay fault-free for comparison
+  MRts mrts_rts(*lib, meta.cg, meta.prcs, mrts_config);
+  // The mRTS leg runs resumably: restored from the snapshot when resuming,
+  // stopped at every absolute N-cycle boundary when checkpointing. The
+  // checkpoint grid is a pure function of the cycle cursor, so a run that is
+  // killed and restored (even repeatedly) still checkpoints at the same
+  // cycles and converges to the same final state.
+  if (instrument) mrts_rts.attach_observability(&recorder, &counters);
+  TraceRecorder* rec = instrument ? &recorder : nullptr;
+  CounterRegistry* ctr = instrument ? &counters : nullptr;
+  AppRunProgress progress;
+  std::uint64_t sequence = 0;
+  if (resume != nullptr) {
+    apply_snapshot(*resume, mrts_rts, progress, rec, ctr);
+    sequence = meta.sequence;
+  }
+  if (meta.checkpoint_every > 0) {
+    while (true) {
+      const Cycles stop = (progress.cursor / meta.checkpoint_every + 1) *
+                          meta.checkpoint_every;
+      if (run_application_portion(mrts_rts, *trace, progress, rec, stop)) {
+        break;
+      }
+      ++sequence;
+      // The save marker goes in *before* the image is built so the snapshot
+      // contains its own marker: a restore from checkpoint k then replays
+      // markers 1..k and the trace stays identical to the uninterrupted run.
+      if (rec != nullptr) {
+        rec->record({TraceEventKind::kSnapshotSave, kTrackApp, progress.cursor,
+                     0, static_cast<std::uint32_t>(sequence), 0, 0.0, 0.0});
+      }
+      CheckpointMeta snap_meta = meta;
+      snap_meta.sequence = sequence;
+      const std::vector<std::uint8_t> bytes =
+          build_snapshot(snap_meta, mrts_rts, progress, rec, ctr);
+      if (!write_snapshot_file(meta.checkpoint_path, bytes)) {
+        std::fprintf(stderr, "error: cannot write checkpoint file '%s'\n",
+                     meta.checkpoint_path.c_str());
+        return 2;
+      }
+    }
+  } else {
+    run_application_portion(mrts_rts, *trace, progress, rec);
+  }
+  table.add_values(progress.partial.rts_name,
+                   format_mcycles(progress.partial.total_cycles),
+                   speedup(risc_run.total_cycles,
+                           progress.partial.total_cycles));
+
+  RisppRts rispp(*lib, meta.cg, meta.prcs);
   report(rispp);
-  Morpheus4sRts morpheus(*lib, cg, prcs, profile);
+  Morpheus4sRts morpheus(*lib, meta.cg, meta.prcs, profile);
   report(morpheus);
-  OfflineOptimalRts offline(*lib, cg, prcs, profile);
+  OfflineOptimalRts offline(*lib, meta.cg, meta.prcs, profile);
   report(offline);
 
   std::printf("%s on %u PRCs + %u CG fabrics, %u frames/bursts:\n%s",
-              which.c_str(), prcs, cg, frames, table.render().c_str());
+              meta.app.c_str(), meta.prcs, meta.cg, meta.frames,
+              table.render().c_str());
 
   if (mrts_rts.fault_model() != nullptr) {
     const FaultStats& fs = mrts_rts.fault_model()->stats();
@@ -322,7 +414,7 @@ int cmd_run(const std::string& which, unsigned prcs, unsigned cg,
         "  load CRC failures %llu, retries %llu, abandoned loads %llu\n"
         "  transient upsets %llu, scrub repairs %llu, quarantined PRCs %llu, "
         "quarantined CG %llu\n",
-        static_cast<unsigned long long>(fault.seed),
+        static_cast<unsigned long long>(meta.fault.seed),
         static_cast<unsigned long long>(fs.injected),
         static_cast<unsigned long long>(fs.load_failures),
         static_cast<unsigned long long>(fs.retries),
@@ -333,35 +425,91 @@ int cmd_run(const std::string& which, unsigned prcs, unsigned cg,
         static_cast<unsigned long long>(fs.quarantined_cg));
   }
 
+  if (meta.checkpoint_every > 0) {
+    // `sequence` counts the run's whole checkpoint stream (a resumed run
+    // continues the numbering from the snapshot), so interrupted and
+    // uninterrupted runs print the same total.
+    std::printf("\ncheckpoint stream: %llu snapshot(s) every %llu cycles -> "
+                "%s\n",
+                static_cast<unsigned long long>(sequence),
+                static_cast<unsigned long long>(meta.checkpoint_every),
+                meta.checkpoint_path.c_str());
+  }
+
   if (traced) {
-    const bool jsonl = ends_with(trace_path, ".jsonl");
+    const bool jsonl = ends_with(meta.trace_path, ".jsonl");
     const bool ok =
-        jsonl ? write_trace_jsonl_file(trace_path, recorder.events(), lib)
-              : write_chrome_trace_file(trace_path, recorder.events(), lib);
+        jsonl ? write_trace_jsonl_file(meta.trace_path, recorder.events(), lib)
+              : write_chrome_trace_file(meta.trace_path, recorder.events(),
+                                        lib);
     if (!ok) {
       std::fprintf(stderr, "error: cannot write trace file '%s'\n",
-                   trace_path.c_str());
+                   meta.trace_path.c_str());
       return 2;
     }
     std::printf("\nwrote %zu trace events to %s (%s)\n", recorder.size(),
-                trace_path.c_str(),
+                meta.trace_path.c_str(),
                 jsonl ? "JSON Lines" : "Chrome trace-event JSON");
     print_counters(counters);
   }
-  if (!report_path.empty()) {
+  if (!meta.report_path.empty()) {
     obs::AnalysisConfig config;
-    config.num_prcs = prcs;
-    config.num_cg = cg;
+    config.num_prcs = meta.prcs;
+    config.num_cg = meta.cg;
     const obs::RunReport run_report =
         obs::analyze_trace(recorder.events(), config);
-    if (!obs::write_report_file(report_path, run_report)) {
+    if (!obs::write_report_file(meta.report_path, run_report)) {
       std::fprintf(stderr, "error: cannot write report file '%s'\n",
-                   report_path.c_str());
+                   meta.report_path.c_str());
       return 2;
     }
     std::printf("\nwrote run report (%zu events analyzed) to %s\n",
-                run_report.total_events, report_path.c_str());
+                run_report.total_events, meta.report_path.c_str());
   }
+  return 0;
+}
+
+/// The `checkpoint` verb: run only the mRTS leg up to --at-cycle and write a
+/// one-shot snapshot. No baselines run and no save marker is recorded — the
+/// later `restore` then produces output byte-identical to a plain `run`
+/// (the crash-soak check diffs exactly that).
+int cmd_checkpoint(const CheckpointMeta& meta, Cycles at_cycle) {
+  Workload w;
+  if (!build_workload(meta.app, meta.frames, &w)) return usage();
+
+  const bool instrument =
+      !meta.trace_path.empty() || !meta.report_path.empty();
+  TraceRecorder recorder;
+  CounterRegistry counters;
+  MRtsConfig mrts_config;
+  mrts_config.fault = meta.fault;
+  MRts rts(*w.lib, meta.cg, meta.prcs, mrts_config);
+  if (instrument) rts.attach_observability(&recorder, &counters);
+
+  AppRunProgress progress;
+  if (run_application_portion(rts, *w.trace, progress,
+                              instrument ? &recorder : nullptr, at_cycle)) {
+    std::fprintf(stderr,
+                 "error: run completed at cycle %llu, before --at-cycle %llu; "
+                 "nothing left to checkpoint\n",
+                 static_cast<unsigned long long>(progress.cursor),
+                 static_cast<unsigned long long>(at_cycle));
+    return 2;
+  }
+  const std::vector<std::uint8_t> bytes =
+      build_snapshot(meta, rts, progress, instrument ? &recorder : nullptr,
+                     instrument ? &counters : nullptr);
+  if (!write_snapshot_file(meta.checkpoint_path, bytes)) {
+    std::fprintf(stderr, "error: cannot write snapshot file '%s'\n",
+                 meta.checkpoint_path.c_str());
+    return 2;
+  }
+  std::printf("checkpointed %s at cycle %llu (block %zu/%zu) to %s "
+              "(%zu bytes)\n",
+              meta.app.c_str(),
+              static_cast<unsigned long long>(progress.cursor),
+              progress.next_block, w.trace->blocks.size(),
+              meta.checkpoint_path.c_str(), bytes.size());
   return 0;
 }
 
@@ -662,12 +810,16 @@ int main(int argc, char** argv) {
                         static_cast<unsigned>(std::atoi(argv[4])), argv + 5,
                         argc - 5);
     }
-    if (command == "run") {
+    if (command == "run" || command == "checkpoint") {
+      const bool checkpoint_verb = command == "checkpoint";
       std::string trace_path;
       std::string report_path;
       double fault_rate = 0.0;
       std::uint64_t fault_seed = 42;
       unsigned max_retries = 3;
+      std::uint64_t checkpoint_every = 0;
+      std::string checkpoint_path;
+      std::uint64_t at_cycle = 0;
       std::vector<std::string> positional;
       for (int i = 2; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -704,6 +856,31 @@ int main(int argc, char** argv) {
                          argv[i]);
             return 2;
           }
+        } else if (!checkpoint_verb && arg == "--checkpoint-every") {
+          if (i + 1 >= argc) return usage();
+          if (!parse_seed(argv[++i], &checkpoint_every) ||
+              checkpoint_every == 0) {
+            std::fprintf(stderr,
+                         "error: invalid --checkpoint-every '%s' (expected a "
+                         "positive cycle count)\n",
+                         argv[i]);
+            return 2;
+          }
+        } else if (!checkpoint_verb && arg == "--checkpoint") {
+          if (i + 1 >= argc || !checkpoint_path.empty()) return usage();
+          checkpoint_path = argv[++i];
+        } else if (checkpoint_verb && arg == "--at-cycle") {
+          if (i + 1 >= argc) return usage();
+          if (!parse_seed(argv[++i], &at_cycle) || at_cycle == 0) {
+            std::fprintf(stderr,
+                         "error: invalid --at-cycle '%s' (expected a "
+                         "positive cycle count)\n",
+                         argv[i]);
+            return 2;
+          }
+        } else if (checkpoint_verb && arg == "--out") {
+          if (i + 1 >= argc || !checkpoint_path.empty()) return usage();
+          checkpoint_path = argv[++i];
         } else if (!arg.empty() && arg[0] == '-') {
           return usage();  // unknown option
         } else {
@@ -711,24 +888,50 @@ int main(int argc, char** argv) {
         }
       }
       if (positional.empty() || positional.size() > 4) return usage();
-      const unsigned prcs =
-          positional.size() > 1
-              ? static_cast<unsigned>(std::atoi(positional[1].c_str()))
-              : 2;
-      const unsigned cg =
-          positional.size() > 2
-              ? static_cast<unsigned>(std::atoi(positional[2].c_str()))
-              : 2;
-      const unsigned frames =
+      // --checkpoint-every/--checkpoint come as a pair; checkpoint needs
+      // both --at-cycle and --out.
+      if (!checkpoint_verb &&
+          (checkpoint_every > 0) != !checkpoint_path.empty()) {
+        return usage();
+      }
+      if (checkpoint_verb && (at_cycle == 0 || checkpoint_path.empty())) {
+        return usage();
+      }
+      CheckpointMeta meta;
+      meta.app = positional[0];
+      meta.prcs = positional.size() > 1
+                      ? static_cast<unsigned>(std::atoi(positional[1].c_str()))
+                      : 2;
+      meta.cg = positional.size() > 2
+                    ? static_cast<unsigned>(std::atoi(positional[2].c_str()))
+                    : 2;
+      meta.frames =
           positional.size() > 3
               ? static_cast<unsigned>(std::atoi(positional[3].c_str()))
               : 8;
-      FaultModelConfig fault;  // default: fault-free
-      if (fault_rate > 0.0) {
-        fault = FaultModelConfig::uniform(fault_rate, fault_seed, max_retries);
+      if (fault_rate > 0.0) {  // default meta.fault: fault-free
+        meta.fault =
+            FaultModelConfig::uniform(fault_rate, fault_seed, max_retries);
       }
-      return cmd_run(positional[0], prcs, cg, frames, trace_path, report_path,
-                     fault);
+      meta.trace_path = trace_path;
+      meta.report_path = report_path;
+      meta.checkpoint_every = checkpoint_every;
+      meta.checkpoint_path = checkpoint_path;
+      if (checkpoint_verb) return cmd_checkpoint(meta, at_cycle);
+      return run_compare(meta, nullptr);
+    }
+    if (command == "restore") {
+      if (argc != 3) return usage();
+      std::vector<std::uint8_t> bytes;
+      std::string err;
+      if (!read_snapshot_file(argv[2], &bytes, &err)) {
+        std::fprintf(stderr, "error: %s\n", err.c_str());
+        return 2;
+      }
+      // Throws SnapshotError (exit 2 below) on truncated/corrupt/
+      // wrong-version images, before any runtime state exists to damage.
+      const CheckpointMeta meta = read_snapshot_meta(bytes);
+      return run_compare(meta, &bytes);
     }
     if (command == "run-multi") {
       if (argc < 6) return usage();
