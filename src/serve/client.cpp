@@ -1,0 +1,196 @@
+#include "serve/client.h"
+
+#include <errno.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <time.h>
+#include <unistd.h>
+
+#include <cstring>
+
+namespace mrts::serve {
+
+namespace {
+
+void sleep_ms(unsigned ms) {
+  timespec ts{};
+  ts.tv_sec = ms / 1000;
+  ts.tv_nsec = static_cast<long>(ms % 1000) * 1000000;
+  nanosleep(&ts, nullptr);
+}
+
+}  // namespace
+
+Client::~Client() { close_now(); }
+
+void Client::close_now() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+bool Client::connect_to(const std::string& socket_path, std::string* err) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socket_path.empty() || socket_path.size() >= sizeof(addr.sun_path)) {
+    if (err != nullptr) *err = "socket path empty or too long";
+    return false;
+  }
+  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+
+  // The server may still be binding its socket: retry for ~2 s.
+  for (int attempt = 0; attempt < 100; ++attempt) {
+    fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd_ < 0) {
+      if (err != nullptr) *err = std::strerror(errno);
+      return false;
+    }
+    if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) == 0) {
+      return true;
+    }
+    close_now();
+    sleep_ms(20);
+  }
+  if (err != nullptr) *err = "cannot connect to " + socket_path;
+  return false;
+}
+
+bool Client::request(const std::vector<std::uint8_t>& frame, FrameType expect,
+                     Frame* response, std::string* err) {
+  if (fd_ < 0) {
+    if (err != nullptr) *err = "not connected";
+    return false;
+  }
+  std::size_t sent = 0;
+  while (sent < frame.size()) {
+    const ssize_t n = ::write(fd_, frame.data() + sent, frame.size() - sent);
+    if (n <= 0) {
+      if (err != nullptr) *err = "write failed: " + std::string(std::strerror(errno));
+      close_now();
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+
+  std::uint8_t buf[4096];
+  for (;;) {
+    const FrameDecoder::Result r = decoder_.next(response);
+    if (r == FrameDecoder::Result::kFrame) break;
+    if (r == FrameDecoder::Result::kError) {
+      if (err != nullptr) *err = "server sent a malformed frame";
+      close_now();
+      return false;
+    }
+    const ssize_t n = ::read(fd_, buf, sizeof(buf));
+    if (n <= 0) {
+      if (err != nullptr) *err = "connection closed by server";
+      close_now();
+      return false;
+    }
+    decoder_.feed(buf, static_cast<std::size_t>(n));
+  }
+
+  if (response->type == static_cast<std::uint8_t>(FrameType::kError)) {
+    if (!decode(*response, &last_error_)) {
+      if (err != nullptr) *err = "malformed ERROR frame";
+      close_now();
+      return false;
+    }
+    if (err != nullptr) *err = last_error_.detail;
+    if (last_error_.fatal != 0) close_now();
+    return false;
+  }
+  if (response->type != static_cast<std::uint8_t>(expect)) {
+    if (err != nullptr) {
+      *err = std::string("unexpected response frame ") +
+             std::to_string(response->type);
+    }
+    return false;
+  }
+  return true;
+}
+
+bool Client::hello(HelloOkFrame* out, std::string* err) {
+  HelloFrame frame;
+  frame.client_name = "mrts_client";
+  Frame response;
+  if (!request(encode(frame), FrameType::kHelloOk, &response, err)) {
+    return false;
+  }
+  if (!decode(response, out)) {
+    if (err != nullptr) *err = "malformed HELLO_OK payload";
+    return false;
+  }
+  return true;
+}
+
+bool Client::submit(const SubmitFrame& spec, SubmitOkFrame* out,
+                    std::string* err) {
+  Frame response;
+  if (!request(encode(spec), FrameType::kSubmitOk, &response, err)) {
+    return false;
+  }
+  if (!decode(response, out)) {
+    if (err != nullptr) *err = "malformed SUBMIT_OK payload";
+    return false;
+  }
+  return true;
+}
+
+bool Client::poll_job(std::uint64_t job_id, JobStatusFrame* out,
+                      std::string* err) {
+  PollFrame frame;
+  frame.job_id = job_id;
+  Frame response;
+  if (!request(encode(frame), FrameType::kJobStatus, &response, err)) {
+    return false;
+  }
+  if (!decode(response, out)) {
+    if (err != nullptr) *err = "malformed JOB_STATUS payload";
+    return false;
+  }
+  return true;
+}
+
+bool Client::poll_until_final(std::uint64_t job_id, JobStatusFrame* out,
+                              std::string* err) {
+  for (;;) {
+    if (!poll_job(job_id, out, err)) return false;
+    if (static_cast<WireJobState>(out->state) != WireJobState::kQueued) {
+      return true;
+    }
+    sleep_ms(1);
+  }
+}
+
+bool Client::cancel(std::uint64_t job_id, CancelOkFrame* out,
+                    std::string* err) {
+  CancelFrame frame;
+  frame.job_id = job_id;
+  Frame response;
+  if (!request(encode(frame), FrameType::kCancelOk, &response, err)) {
+    return false;
+  }
+  if (!decode(response, out)) {
+    if (err != nullptr) *err = "malformed CANCEL_OK payload";
+    return false;
+  }
+  return true;
+}
+
+bool Client::disconnect(ByeFrame* out, std::string* err) {
+  DisconnectFrame frame;
+  Frame response;
+  const bool ok = request(encode(frame), FrameType::kBye, &response, err);
+  if (ok && out != nullptr && !decode(response, out)) {
+    if (err != nullptr) *err = "malformed BYE payload";
+    close_now();
+    return false;
+  }
+  close_now();
+  return ok;
+}
+
+}  // namespace mrts::serve

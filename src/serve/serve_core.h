@@ -1,0 +1,198 @@
+#pragma once
+/// \file serve_core.h
+/// ServeCore: the deterministic sim side of `mrts_serve`. One resident
+/// fabric + FabricArbiter + ISE library serve an unbounded stream of tenant
+/// jobs: submit() runs admission control and queues the job, run_next()
+/// executes the FIFO head through the event-driven multi-tenant scheduler
+/// (sim/multi_app.h) and turns its trace slice into a RunReport JSON plus a
+/// counter delta. The core has zero socket, thread or wall-clock
+/// dependencies — everything it produces is a deterministic function of the
+/// (submit, run, cancel) operation sequence, which it also records as a
+/// replayable job log (`mrts.joblog.v1`, see docs/SERVING.md). The I/O
+/// shell (serve/server.h) is a thin untrusted-bytes frontend over this
+/// class; tests drive the core directly.
+
+#include <cstdint>
+#include <deque>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "arch/fabric_manager.h"
+#include "isa/ise_library.h"
+#include "serve/wire.h"
+#include "sim/arbiter.h"
+#include "util/counters.h"
+#include "util/trace.h"
+#include "util/types.h"
+
+namespace mrts::serve {
+
+/// Shape of the resident service. The defaults are the documented
+/// `mrts_serve` defaults (docs/SERVING.md); the job log header pins them so
+/// replays reconstruct the same core.
+struct ServeConfig {
+  unsigned prcs = 6;          ///< resident fabric: FG containers
+  unsigned cg = 2;            ///< resident fabric: CG fabrics
+  unsigned job_classes = 4;   ///< synthetic kernel classes, SUBMIT job_class < this
+  unsigned max_blocks = 64;   ///< SUBMIT blocks must be in [1, max_blocks]
+  unsigned macroblocks = 24;  ///< macroblock loop length per functional block
+  std::size_t max_queue = 256;  ///< queued-job ceiling (kQueueFull beyond)
+};
+
+/// Job lifecycle inside the core. v1 runs jobs one at a time, so there is
+/// no resident kRunning state — a job goes kQueued -> kDone atomically from
+/// the client's point of view (WireJobState::kRunning stays reserved).
+enum class JobState : std::uint8_t {
+  kQueued = 0,
+  kDone = 1,
+  kBounced = 2,
+  kCancelled = 3,
+};
+
+const char* to_string(JobState state);
+WireJobState to_wire(JobState state);
+
+/// One accepted job and everything the protocol can ask about it.
+struct JobRecord {
+  std::uint64_t id = 0;
+  std::uint32_t owner = 0;  ///< opaque session tag (0 in replays)
+  SubmitFrame spec;
+  JobState state = JobState::kQueued;
+  TenantId tenant = kUnownedTenant;
+  std::string reason;        ///< bounce/cancel reason ("" otherwise)
+  Cycles admitted_at = 0;    ///< absolute sim cycle (done jobs)
+  Cycles finished_at = 0;    ///< absolute sim cycle (done jobs)
+  /// Final report, delivered exactly once: the first status() after
+  /// completion carries them, then they are freed (report_delivered).
+  std::string report_json;     ///< obs/report_io.h JSON of the job's trace
+  std::string counters_delta;  ///< "name +delta" lines, sorted by name
+  bool report_delivered = false;
+};
+
+class ServeCore {
+ public:
+  explicit ServeCore(const ServeConfig& config = {});
+  ~ServeCore();
+
+  ServeCore(const ServeCore&) = delete;
+  ServeCore& operator=(const ServeCore&) = delete;
+
+  const ServeConfig& config() const { return config_; }
+
+  /// Validates a SUBMIT payload against the documented field ranges
+  /// (docs/PROTOCOL.md): tenant-name charset/length, share enum, weight
+  /// [1, 1000], priority <= 1000000, job_class < config.job_classes,
+  /// blocks [1, config.max_blocks]. False fills \p err with the
+  /// client-visible kBadSpec detail.
+  bool validate_spec(const SubmitFrame& spec, std::string* err) const;
+
+  /// Admission + enqueue. \p spec must have passed validate_spec. Returns
+  /// the job id (ids start at 1 and are never reused). The job is either
+  /// kQueued (admitted) or kBounced immediately (record's reason carries
+  /// the arbiter's verdict). Returns 0 without creating a job when the
+  /// queue is full or the core is draining — the caller maps that to
+  /// kQueueFull / kShuttingDown.
+  std::uint64_t submit(std::uint32_t owner, const SubmitFrame& spec);
+
+  /// Executes the FIFO head job to completion on the resident fabric and
+  /// builds its report. Returns false when the queue is empty.
+  bool run_next();
+  /// Drains the whole queue.
+  void run_all();
+
+  /// Cancels a queued job. Ownership is enforced when \p owner is nonzero
+  /// (a job may only be cancelled by the session that submitted it; replay
+  /// cancels with owner 0 bypass the check). Sets \p error to kUnknownJob /
+  /// kForeignJob on rejection; returns true with *cancelled = false when
+  /// the job exists but already left the queue ("too late").
+  bool cancel(std::uint64_t job_id, std::uint32_t owner, bool* cancelled,
+              WireError* error);
+
+  /// Cancels every queued job owned by \p owner (session teardown); returns
+  /// how many were cancelled.
+  std::uint64_t cancel_all(std::uint32_t owner);
+
+  /// Job lookup (nullptr for unknown ids).
+  const JobRecord* job(std::uint64_t job_id) const;
+  /// Queue position of a queued job: 0 = next to run.
+  std::uint64_t queue_position(std::uint64_t job_id) const;
+
+  /// Builds the JOB_STATUS answer for a poll. The first poll of a finished
+  /// job carries the report (report_included = 1) and frees it; later polls
+  /// repeat the metadata only. False when the job id is unknown.
+  bool status(std::uint64_t job_id, JobStatusFrame* out);
+
+  /// Stops accepting submissions (kShuttingDown); queued jobs still run.
+  void begin_drain() { draining_ = true; }
+  bool draining() const { return draining_; }
+
+  std::size_t queue_depth() const { return queue_.size(); }
+  std::size_t jobs_created() const { return jobs_.size(); }
+  Cycles clock() const { return clock_; }
+  const FabricArbiter& arbiter() const { return *arbiter_; }
+
+  /// The operation log: header line plus one line per submit/run/cancel, in
+  /// execution order (`mrts.joblog.v1`, docs/SERVING.md). Feeding it to
+  /// replay_job_log() reproduces every report byte-identically.
+  const std::vector<std::string>& job_log() const { return log_; }
+
+ private:
+  struct JobWorkload;
+
+  void run_job(JobRecord& job);
+  void log_submit(const JobRecord& job);
+
+  ServeConfig config_;
+  bool draining_ = false;
+  Cycles clock_ = 0;  ///< logical sim clock, advances by each job's span
+
+  IseLibrary library_;
+  std::vector<KernelId> kernels_;  ///< one per job class
+  // recorder_/counters_ before fabric_: the fabric holds pointers to them
+  // once the first job attaches observability.
+  TraceRecorder recorder_;
+  CounterRegistry counters_;
+  std::unique_ptr<FabricManager> fabric_;
+  std::unique_ptr<FabricArbiter> arbiter_;
+
+  std::map<std::uint64_t, JobRecord> jobs_;
+  std::deque<std::uint64_t> queue_;
+  std::uint64_t next_job_id_ = 1;
+  std::vector<std::string> log_;
+};
+
+/// One job's outcome as seen by a replay consumer.
+struct ReplayJob {
+  std::uint64_t id = 0;
+  JobState state = JobState::kDone;
+  std::string reason;
+  Cycles admitted_at = 0;
+  Cycles finished_at = 0;
+  std::string report_json;
+  std::string counters_delta;
+};
+
+struct ReplayResult {
+  bool ok = false;
+  std::string error;  ///< parse/config error when !ok
+  ServeConfig config;
+  std::vector<ReplayJob> jobs;  ///< ascending job id
+};
+
+/// Replays a `mrts.joblog.v1` stream through a fresh ServeCore built from
+/// the log's header config and returns every job's final state + report.
+/// Deterministic: the same log produces byte-identical reports, which is
+/// what the serve-smoke CI job asserts against the reports the live server
+/// streamed to its clients.
+ReplayResult replay_job_log(std::istream& in);
+
+/// Canonical one-job-per-record text form used to compare live-served
+/// reports against a replay (CI's byte-identity check): a "== job <id>
+/// <state>" header line, the bounce/cancel reason when present, then the
+/// report JSON and counter-delta blocks.
+void write_replay_record(std::ostream& os, const ReplayJob& job);
+
+}  // namespace mrts::serve

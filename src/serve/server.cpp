@@ -1,0 +1,223 @@
+#include "serve/server.h"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+namespace mrts::serve {
+
+namespace {
+
+bool set_nonblocking(int fd) {
+  const int flags = fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+}  // namespace
+
+Server::Server(ServerConfig config)
+    : config_(std::move(config)), core_(config_.core) {}
+
+Server::~Server() {
+  for (Connection& conn : connections_) {
+    if (conn.fd >= 0) {
+      ::close(conn.fd);
+      ++stats_.fds_closed;
+    }
+  }
+  connections_.clear();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    ::unlink(config_.socket_path.c_str());
+  }
+}
+
+bool Server::start(std::string* err) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (config_.socket_path.empty() ||
+      config_.socket_path.size() >= sizeof(addr.sun_path)) {
+    if (err != nullptr) *err = "socket path empty or too long";
+    return false;
+  }
+  std::memcpy(addr.sun_path, config_.socket_path.c_str(),
+              config_.socket_path.size() + 1);
+
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    if (err != nullptr) *err = std::strerror(errno);
+    return false;
+  }
+  ::unlink(config_.socket_path.c_str());  // stale socket from a crashed run
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0 ||
+      ::listen(listen_fd_, 64) != 0 || !set_nonblocking(listen_fd_)) {
+    if (err != nullptr) *err = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  return true;
+}
+
+void Server::accept_clients() {
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) return;  // EAGAIN or transient error: nothing to accept
+    if (!set_nonblocking(fd)) {
+      ::close(fd);
+      continue;
+    }
+    Connection conn;
+    conn.fd = fd;
+    conn.session = std::make_unique<Session>(next_session_id_++, &core_);
+    connections_.push_back(std::move(conn));
+    ++stats_.sessions_opened;
+    ++stats_.fds_opened;
+  }
+}
+
+void Server::close_connection(Connection& conn) {
+  if (conn.fd < 0) return;
+  conn.session->abort();  // no-op when the session already closed cleanly
+  ::close(conn.fd);
+  conn.fd = -1;
+  ++stats_.fds_closed;
+  ++stats_.sessions_closed;
+}
+
+bool Server::service(Connection& conn, short revents) {
+  if ((revents & (POLLERR | POLLHUP | POLLNVAL)) != 0 && !conn.closing) {
+    // Peer vanished without DISCONNECT; POLLHUP may still accompany final
+    // readable bytes, so try one last drain before tearing down.
+    std::uint8_t buf[4096];
+    for (;;) {
+      const ssize_t n = ::read(conn.fd, buf, sizeof(buf));
+      if (n <= 0) break;
+      conn.session->consume(buf, static_cast<std::size_t>(n), &conn.outbound);
+    }
+    close_connection(conn);
+    return false;
+  }
+
+  if ((revents & POLLIN) != 0) {
+    std::uint8_t buf[4096];
+    for (;;) {
+      const ssize_t n = ::read(conn.fd, buf, sizeof(buf));
+      if (n > 0) {
+        if (!conn.session->consume(buf, static_cast<std::size_t>(n),
+                                   &conn.outbound)) {
+          conn.closing = true;  // flush pending responses, then close
+        }
+        continue;
+      }
+      if (n == 0) {  // orderly EOF from the peer
+        conn.closing = true;
+      }
+      break;  // EAGAIN or EOF
+    }
+  }
+
+  while (!conn.outbound.empty()) {
+    const ssize_t n =
+        ::write(conn.fd, conn.outbound.data(), conn.outbound.size());
+    if (n <= 0) break;  // EAGAIN: POLLOUT will resume the flush
+    conn.outbound.erase(conn.outbound.begin(), conn.outbound.begin() + n);
+  }
+
+  if (conn.closing && conn.outbound.empty()) {
+    close_connection(conn);
+    return false;
+  }
+  return true;
+}
+
+int Server::run(const volatile std::sig_atomic_t* stop_flag) {
+  while ((stop_flag == nullptr || *stop_flag == 0) &&
+         (config_.exit_after_sessions == 0 ||
+          stats_.sessions_closed < config_.exit_after_sessions ||
+          !connections_.empty())) {
+    std::vector<pollfd> fds;
+    fds.push_back(pollfd{listen_fd_, POLLIN, 0});
+    for (const Connection& conn : connections_) {
+      short events = POLLIN;
+      if (!conn.outbound.empty()) events |= POLLOUT;
+      fds.push_back(pollfd{conn.fd, events, 0});
+    }
+    const int ready = ::poll(fds.data(), fds.size(), /*timeout_ms=*/200);
+    if (ready < 0 && errno != EINTR) break;
+
+    if (ready > 0) {
+      // Service existing connections first: they map one-to-one onto the
+      // pollfd array built above. Accepting before this would grow
+      // connections_ past the fds array and mis-index revents.
+      std::size_t i = 0;
+      std::erase_if(connections_, [&](Connection& conn) {
+        const short revents = fds[++i].revents;
+        return revents != 0 && !service(conn, revents);
+      });
+      if ((fds[0].revents & POLLIN) != 0) accept_clients();
+    }
+    // Sim work happens between I/O rounds: the queue drains while clients
+    // sit in poll loops, so submit -> first poll usually sees kDone.
+    core_.run_all();
+  }
+
+  // Drain: no new submissions, run what is queued, drop the connections.
+  core_.begin_drain();
+  core_.run_all();
+  for (Connection& conn : connections_) close_connection(conn);
+  connections_.clear();
+  write_job_log();
+  print_summary();
+  return 0;
+}
+
+void Server::write_job_log() const {
+  if (config_.job_log_path.empty()) return;
+  std::ofstream out(config_.job_log_path);
+  for (const std::string& line : core_.job_log()) out << line << '\n';
+}
+
+void Server::print_summary() const {
+  if (config_.quiet) return;
+  std::uint64_t done = 0;
+  std::uint64_t bounced = 0;
+  std::uint64_t cancelled = 0;
+  for (std::uint64_t id = 1; id <= core_.jobs_created(); ++id) {
+    const JobRecord* job = core_.job(id);
+    if (job == nullptr) continue;
+    if (job->state == JobState::kDone) ++done;
+    if (job->state == JobState::kBounced) ++bounced;
+    if (job->state == JobState::kCancelled) ++cancelled;
+  }
+  std::printf("mrts_serve: shutdown clean\n");
+  std::printf("sessions opened=%llu closed=%llu leaked=%llu\n",
+              static_cast<unsigned long long>(stats_.sessions_opened),
+              static_cast<unsigned long long>(stats_.sessions_closed),
+              static_cast<unsigned long long>(stats_.sessions_opened -
+                                              stats_.sessions_closed));
+  std::printf("fds opened=%llu closed=%llu leaked=%llu\n",
+              static_cast<unsigned long long>(stats_.fds_opened),
+              static_cast<unsigned long long>(stats_.fds_closed),
+              static_cast<unsigned long long>(stats_.fds_opened -
+                                              stats_.fds_closed));
+  std::printf(
+      "jobs submitted=%llu done=%llu bounced=%llu cancelled=%llu "
+      "queued_left=%llu\n",
+      static_cast<unsigned long long>(core_.jobs_created()),
+      static_cast<unsigned long long>(done),
+      static_cast<unsigned long long>(bounced),
+      static_cast<unsigned long long>(cancelled),
+      static_cast<unsigned long long>(core_.queue_depth()));
+}
+
+}  // namespace mrts::serve

@@ -1,0 +1,84 @@
+#pragma once
+/// \file server.h
+/// Server: the I/O shell of `mrts_serve`. A single-threaded poll() loop
+/// over one AF_UNIX listening socket moves bytes between client
+/// connections and their Session state machines, and drains the ServeCore
+/// job queue between I/O rounds — the sim core itself never sees a socket
+/// (docs/SERVING.md describes the boundary and the threading model). This
+/// header is the only part of serve/ that touches POSIX sockets.
+
+#include <csignal>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "serve/serve_core.h"
+#include "serve/session.h"
+
+namespace mrts::serve {
+
+struct ServerConfig {
+  std::string socket_path;    ///< AF_UNIX path; unlinked on startup+shutdown
+  ServeConfig core;
+  /// Exit once this many sessions have fully closed (0 = run until a stop
+  /// is requested). CI's serve-smoke uses it for bounded runs.
+  std::uint64_t exit_after_sessions = 0;
+  std::string job_log_path;   ///< mrts.joblog.v1 written at shutdown ("" = none)
+  bool quiet = false;         ///< suppress the per-shutdown accounting print
+};
+
+/// Lifetime accounting printed at shutdown and asserted by serve-smoke:
+/// `leaked` numbers must be zero after any churn pattern.
+struct ServerStats {
+  std::uint64_t sessions_opened = 0;
+  std::uint64_t sessions_closed = 0;
+  std::uint64_t fds_opened = 0;   ///< accepted connection fds
+  std::uint64_t fds_closed = 0;
+};
+
+class Server {
+ public:
+  explicit Server(ServerConfig config);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds + listens on config.socket_path. False (with \p err) on failure.
+  bool start(std::string* err);
+
+  /// Runs the event loop until \p stop_flag becomes nonzero (typically set
+  /// by a SIGINT/SIGTERM handler) or the exit_after_sessions budget is
+  /// spent. On exit the core drains (queued jobs of still-open sessions
+  /// run to completion), connections close, the job log is written, and
+  /// the accounting summary prints. Returns 0 on a clean shutdown.
+  int run(const volatile std::sig_atomic_t* stop_flag);
+
+  const ServerStats& stats() const { return stats_; }
+  ServeCore& core() { return core_; }
+
+ private:
+  struct Connection {
+    int fd = -1;
+    std::unique_ptr<Session> session;
+    std::vector<std::uint8_t> outbound;  ///< bytes awaiting the socket
+    bool closing = false;  ///< flush outbound, then close
+  };
+
+  void accept_clients();
+  /// Reads/writes one ready connection; returns false when it was closed.
+  bool service(Connection& conn, short revents);
+  void close_connection(Connection& conn);
+  void write_job_log() const;
+  void print_summary() const;
+
+  ServerConfig config_;
+  ServeCore core_;
+  int listen_fd_ = -1;
+  std::vector<Connection> connections_;
+  std::uint32_t next_session_id_ = 1;
+  ServerStats stats_;
+};
+
+}  // namespace mrts::serve

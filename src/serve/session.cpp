@@ -1,0 +1,207 @@
+#include "serve/session.h"
+
+#include <string>
+
+namespace mrts::serve {
+
+namespace {
+
+void append(std::vector<std::uint8_t>* out,
+            const std::vector<std::uint8_t>& frame) {
+  out->insert(out->end(), frame.begin(), frame.end());
+}
+
+}  // namespace
+
+Session::Session(std::uint32_t id, ServeCore* core) : id_(id), core_(core) {}
+
+bool Session::consume(const std::uint8_t* data, std::size_t size,
+                      std::vector<std::uint8_t>* out) {
+  if (closed_) return false;
+  decoder_.feed(data, size);
+  Frame frame;
+  for (;;) {
+    const FrameDecoder::Result r = decoder_.next(&frame);
+    if (r == FrameDecoder::Result::kNeedMore) return !closed_;
+    if (r == FrameDecoder::Result::kError) {
+      // Framing violations poison the byte stream: one ERROR, then close.
+      send_error(decoder_.error(), "framing error, closing connection", out);
+      abort();
+      return false;
+    }
+    handle_frame(frame, out);
+    if (closed_) return false;
+  }
+}
+
+void Session::abort() {
+  if (state_ != State::kClosed) core_->cancel_all(id_);
+  state_ = State::kClosed;
+  closed_ = true;
+}
+
+void Session::send_error(WireError code, const std::string& detail,
+                         std::vector<std::uint8_t>* out) {
+  ErrorFrame err;
+  err.code = static_cast<std::uint16_t>(code);
+  err.fatal = wire_error_fatal(code) ? 1 : 0;
+  err.detail = detail;
+  append(out, encode(err));
+}
+
+void Session::handle_frame(const Frame& frame, std::vector<std::uint8_t>* out) {
+  if (!frame_type_known(frame.type)) {
+    send_error(WireError::kUnknownType,
+               "unknown frame type " + std::to_string(frame.type), out);
+    return;
+  }
+  const FrameType type = static_cast<FrameType>(frame.type);
+  switch (type) {
+    case FrameType::kHello: {
+      if (state_ != State::kAwaitHello) {
+        send_error(WireError::kProtocolState, "HELLO already exchanged", out);
+        return;
+      }
+      HelloFrame hello;
+      if (!decode(frame, &hello)) {
+        send_error(WireError::kBadPayload, "malformed HELLO payload", out);
+        return;
+      }
+      if (hello.client_version != kWireVersion) {
+        // Version negotiation is an application-level reject: the *frame*
+        // was well-formed v1, the client just wants a generation we do not
+        // speak. Unlike a kBadVersion in a frame header (fatal), the
+        // connection survives and the client may retry with v1.
+        ErrorFrame err;
+        err.code = static_cast<std::uint16_t>(WireError::kBadVersion);
+        err.fatal = 0;
+        err.detail = "server speaks mrts.wire.v1 only";
+        append(out, encode(err));
+        return;
+      }
+      HelloOkFrame ok;
+      ok.session_id = id_;
+      ok.prcs = core_->config().prcs;
+      ok.cg = core_->config().cg;
+      ok.job_classes = core_->config().job_classes;
+      ok.banner = "mrts_serve";
+      append(out, encode(ok));
+      state_ = State::kReady;
+      return;
+    }
+    case FrameType::kSubmit: {
+      if (state_ != State::kReady) {
+        send_error(WireError::kProtocolState, "SUBMIT before HELLO", out);
+        return;
+      }
+      SubmitFrame submit;
+      if (!decode(frame, &submit)) {
+        send_error(WireError::kBadPayload, "malformed SUBMIT payload", out);
+        return;
+      }
+      std::string why;
+      if (!core_->validate_spec(submit, &why)) {
+        send_error(WireError::kBadSpec, why, out);
+        return;
+      }
+      if (core_->draining()) {
+        send_error(WireError::kShuttingDown, "server is draining", out);
+        return;
+      }
+      const std::uint64_t id = core_->submit(id_, submit);
+      if (id == 0) {
+        send_error(WireError::kQueueFull, "job queue at capacity", out);
+        return;
+      }
+      ++jobs_submitted_;
+      const JobRecord* job = core_->job(id);
+      SubmitOkFrame ok;
+      ok.job_id = id;
+      ok.tenant = job->tenant;
+      ok.admitted = job->state == JobState::kBounced ? 0 : 1;
+      ok.bounce_reason = job->reason;
+      append(out, encode(ok));
+      return;
+    }
+    case FrameType::kPoll: {
+      if (state_ != State::kReady) {
+        send_error(WireError::kProtocolState, "POLL before HELLO", out);
+        return;
+      }
+      PollFrame poll;
+      if (!decode(frame, &poll)) {
+        send_error(WireError::kBadPayload, "malformed POLL payload", out);
+        return;
+      }
+      const JobRecord* job = core_->job(poll.job_id);
+      if (job == nullptr) {
+        send_error(WireError::kUnknownJob,
+                   "no job " + std::to_string(poll.job_id), out);
+        return;
+      }
+      if (job->owner != id_) {
+        send_error(WireError::kForeignJob,
+                   "job " + std::to_string(poll.job_id) +
+                       " belongs to another session",
+                   out);
+        return;
+      }
+      JobStatusFrame status;
+      core_->status(poll.job_id, &status);
+      append(out, encode(status));
+      return;
+    }
+    case FrameType::kCancel: {
+      if (state_ != State::kReady) {
+        send_error(WireError::kProtocolState, "CANCEL before HELLO", out);
+        return;
+      }
+      CancelFrame cancel;
+      if (!decode(frame, &cancel)) {
+        send_error(WireError::kBadPayload, "malformed CANCEL payload", out);
+        return;
+      }
+      bool cancelled = false;
+      WireError err = WireError::kNone;
+      if (!core_->cancel(cancel.job_id, id_, &cancelled, &err)) {
+        send_error(err, "cannot cancel job " + std::to_string(cancel.job_id),
+                   out);
+        return;
+      }
+      CancelOkFrame ok;
+      ok.job_id = cancel.job_id;
+      ok.cancelled = cancelled ? 1 : 0;
+      append(out, encode(ok));
+      return;
+    }
+    case FrameType::kDisconnect: {
+      DisconnectFrame bye_req;
+      if (!decode(frame, &bye_req)) {
+        send_error(WireError::kBadPayload, "DISCONNECT carries no payload",
+                   out);
+        return;
+      }
+      ByeFrame bye;
+      bye.jobs_submitted = jobs_submitted_;
+      bye.jobs_auto_cancelled = core_->cancel_all(id_);
+      append(out, encode(bye));
+      state_ = State::kClosed;
+      closed_ = true;
+      return;
+    }
+    case FrameType::kHelloOk:
+    case FrameType::kSubmitOk:
+    case FrameType::kJobStatus:
+    case FrameType::kCancelOk:
+    case FrameType::kBye:
+    case FrameType::kError:
+      // Server-to-client frame types arriving at the server: well-framed
+      // but nonsensical in this direction.
+      send_error(WireError::kProtocolState,
+                 std::string(to_string(type)) + " is a server-side frame",
+                 out);
+      return;
+  }
+}
+
+}  // namespace mrts::serve

@@ -1,0 +1,66 @@
+#pragma once
+/// \file session.h
+/// Session: the per-connection protocol state machine of `mrts_serve`.
+/// Pure bytes-in / bytes-out over a ServeCore — no sockets, no threads —
+/// so the whole request/response surface (HELLO negotiation, SUBMIT
+/// admission, POLL report delivery, CANCEL, DISCONNECT accounting, every
+/// error path of docs/PROTOCOL.md) is unit-testable by feeding byte
+/// strings (tests/test_serve.cpp). The I/O shell (serve/server.h) owns one
+/// Session per accepted connection and moves bytes between it and the
+/// socket.
+
+#include <cstdint>
+#include <vector>
+
+#include "serve/serve_core.h"
+#include "serve/wire.h"
+
+namespace mrts::serve {
+
+class Session {
+ public:
+  /// \p id is the nonzero session id (job-ownership tag in the core);
+  /// \p core must outlive this object.
+  Session(std::uint32_t id, ServeCore* core);
+
+  /// Feeds received bytes through the frame decoder and appends every
+  /// response frame to \p out. Returns false when the connection must
+  /// close after flushing \p out: a fatal framing error (poisoned
+  /// decoder), or a completed DISCONNECT/BYE exchange.
+  bool consume(const std::uint8_t* data, std::size_t size,
+               std::vector<std::uint8_t>* out);
+  bool consume(const std::vector<std::uint8_t>& bytes,
+               std::vector<std::uint8_t>* out) {
+    return consume(bytes.data(), bytes.size(), out);
+  }
+
+  /// Abrupt teardown (peer hung up without DISCONNECT): auto-cancels the
+  /// session's queued jobs, exactly like the DISCONNECT path, so a crashed
+  /// client cannot leak queue entries. Idempotent.
+  void abort();
+
+  bool closed() const { return closed_; }
+  std::uint32_t id() const { return id_; }
+  std::uint64_t jobs_submitted() const { return jobs_submitted_; }
+
+ private:
+  enum class State {
+    kAwaitHello,  ///< nothing but HELLO is legal yet
+    kReady,       ///< negotiated; SUBMIT/POLL/CANCEL/DISCONNECT accepted
+    kClosed,      ///< BYE sent or fatal error; no further frames
+  };
+
+  void handle_frame(const Frame& frame, std::vector<std::uint8_t>* out);
+  /// Appends an ERROR frame; fatal errors also close the session.
+  void send_error(WireError code, const std::string& detail,
+                  std::vector<std::uint8_t>* out);
+
+  std::uint32_t id_;
+  ServeCore* core_;
+  FrameDecoder decoder_;
+  State state_ = State::kAwaitHello;
+  bool closed_ = false;
+  std::uint64_t jobs_submitted_ = 0;
+};
+
+}  // namespace mrts::serve

@@ -18,7 +18,7 @@ FabricArbiter::Registration FabricArbiter::register_tenant(
     throw std::invalid_argument(
         "FabricArbiter::register_tenant: weighted tenant needs weight >= 1");
   }
-  tenants_.push_back(Tenant{std::move(name), policy, true, "", {}});
+  tenants_.push_back(Tenant{std::move(name), policy, true, false, "", {}});
   const TenantId id = static_cast<TenantId>(tenants_.size());
   Tenant& tenant = tenants_.back();
 
@@ -57,17 +57,10 @@ FabricArbiter::Registration FabricArbiter::register_tenant(
     }
   }
 
-  // Recompute the equal-weights degenerate-case flag over weighted tenants.
-  equal_weights_ = true;
-  unsigned first_weight = 0;
-  for (const Tenant& t : tenants_) {
-    if (t.policy.share != TenantShare::kWeighted) continue;
-    if (first_weight == 0) {
-      first_weight = t.policy.weight;
-    } else if (t.policy.weight != first_weight) {
-      equal_weights_ = false;
-      break;
-    }
+  if (policy.share == TenantShare::kWeighted) {
+    ++live_weight_counts_[policy.weight];
+    total_weight_ += policy.weight;
+    equal_weights_ = live_weight_counts_.size() <= 1;
   }
 
   Registration reg;
@@ -77,6 +70,35 @@ FabricArbiter::Registration FabricArbiter::register_tenant(
   return reg;
 }
 
+void FabricArbiter::release_tenant(TenantId id) {
+  Tenant* t = find(id);
+  if (t == nullptr || t->released_slot) return;
+  t->released_slot = true;
+  // Reserved partitions return to the shared pool; any data paths the tenant
+  // still has installed there become pool-reclaimable immediately.
+  if (t->policy.share == TenantShare::kReserved) {
+    for (TenantId& owner : prc_partition_) {
+      if (owner == id) owner = kUnownedTenant;
+    }
+    for (TenantId& owner : cg_partition_) {
+      if (owner == id) owner = kUnownedTenant;
+    }
+  }
+  if (t->policy.share == TenantShare::kWeighted) {
+    const auto it = live_weight_counts_.find(t->policy.weight);
+    if (it != live_weight_counts_.end() && --it->second == 0) {
+      live_weight_counts_.erase(it);
+    }
+    total_weight_ -= t->policy.weight;
+    equal_weights_ = live_weight_counts_.size() <= 1;
+  }
+}
+
+bool FabricArbiter::released(TenantId id) const {
+  const Tenant* t = find(id);
+  return t != nullptr && t->released_slot;
+}
+
 TenantBinding FabricArbiter::binding(TenantId id) const {
   if (!admitted(id)) return TenantBinding{};
   return TenantBinding{fabric_, id};
@@ -84,7 +106,7 @@ TenantBinding FabricArbiter::binding(TenantId id) const {
 
 bool FabricArbiter::admitted(TenantId id) const {
   const Tenant* t = find(id);
-  if (t == nullptr || !t->registered_ok) return false;
+  if (t == nullptr || !t->registered_ok || t->released_slot) return false;
   if (t->policy.share != TenantShare::kReserved) return true;
   // Quarantines after registration shrink the partition; the reservation
   // must still fit the usable capacity.
@@ -103,6 +125,7 @@ bool FabricArbiter::admitted(TenantId id) const {
 std::string FabricArbiter::admission_reason(TenantId id) const {
   const Tenant* t = find(id);
   if (t == nullptr) return "unknown tenant";
+  if (t->released_slot) return "tenant slot released";
   if (!t->registered_ok) return t->reject_reason;
   if (!admitted(id)) {
     return "quarantined capacity no longer fits the reservation";
@@ -171,6 +194,9 @@ bool FabricArbiter::prefer_evict(TenantId tenant, TenantId owner,
   const Tenant* t = find(tenant);
   const TenantShare requester_share =
       t != nullptr ? t->policy.share : TenantShare::kBestEffort;
+  // A released tenant's leftover data paths have no live entitlement:
+  // reclaim them like best-effort holdings.
+  if (o->released_slot) return requester_share != TenantShare::kBestEffort;
   switch (o->policy.share) {
     case TenantShare::kBestEffort:
       // Entitled tenants reclaim from best-effort ones first; between
@@ -203,13 +229,7 @@ unsigned FabricArbiter::pool_capacity(Grain grain) const {
   return n;
 }
 
-std::uint64_t FabricArbiter::total_weight() const {
-  std::uint64_t sum = 0;
-  for (const Tenant& t : tenants_) {
-    if (t.policy.share == TenantShare::kWeighted) sum += t.policy.weight;
-  }
-  return sum;
-}
+std::uint64_t FabricArbiter::total_weight() const { return total_weight_; }
 
 bool FabricArbiter::over_quota(const Tenant& owner, TenantId owner_id,
                                Grain grain) const {

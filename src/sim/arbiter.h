@@ -23,6 +23,7 @@
 /// in its destructor; like the fabric it must not be shared across threads.
 
 #include <cstdint>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -70,6 +71,20 @@ class FabricArbiter final : public FabricArbitration {
   /// admission bounce.
   TenantBinding binding(TenantId id) const;
 
+  /// Retires a tenant slot once its job is done (the serving layer calls
+  /// this after every completed/cancelled job so a resident arbiter survives
+  /// unbounded tenant churn). A reserved tenant's partition containers
+  /// return to the shared pool, the tenant stops counting toward the
+  /// weighted-quota arithmetic, and admitted(id) becomes false; the id is
+  /// never reused. Data paths the tenant still owns on the fabric stay
+  /// installed — a released owner is treated like a best-effort tenant by
+  /// prefer_evict, so leftovers are reclaimed first. Unknown or already
+  /// released ids are ignored (idempotent).
+  void release_tenant(TenantId id);
+
+  /// True when release_tenant(id) was called for a known tenant.
+  bool released(TenantId id) const;
+
   /// Live admission status: registration succeeded *and* a reserved
   /// tenant's partition still fits the usable post-quarantine capacity.
   bool admitted(TenantId id) const;
@@ -106,6 +121,7 @@ class FabricArbiter final : public FabricArbitration {
     std::string name;
     TenantPolicy policy;
     bool registered_ok = true;  ///< registration-time admission
+    bool released_slot = false;  ///< retired via release_tenant()
     std::string reject_reason;
     TenantStats stats;
   };
@@ -136,9 +152,14 @@ class FabricArbiter final : public FabricArbitration {
   std::vector<Tenant> tenants_;
   std::vector<TenantId> prc_partition_;  ///< kUnownedTenant = pool
   std::vector<TenantId> cg_partition_;
-  /// All weighted tenants share one weight: quota preference is off and the
-  /// fabric's native eviction order applies (the legacy degenerate case).
+  /// All live weighted tenants share one weight: quota preference is off and
+  /// the fabric's native eviction order applies (the legacy degenerate
+  /// case). Maintained incrementally (weight -> live tenant count) so a
+  /// resident server's unbounded register/release churn stays O(log n) per
+  /// tenant instead of O(tenants) rescans.
   bool equal_weights_ = true;
+  std::map<unsigned, std::size_t> live_weight_counts_;
+  std::uint64_t total_weight_ = 0;
 };
 
 /// Jain's fairness index of \p xs: (Σx)² / (n·Σx²) in [1/n, 1]; 1.0 for an

@@ -1,0 +1,97 @@
+#include "util/cli_spec.h"
+
+#include <sstream>
+
+namespace mrts {
+
+CliSpec::CliSpec(std::string binary, std::string summary,
+                 std::string exit_note)
+    : binary_(std::move(binary)),
+      summary_(std::move(summary)),
+      exit_note_(std::move(exit_note)) {}
+
+CliVerb& CliSpec::add_verb(std::string name, std::string positionals,
+                           std::string help) {
+  CliVerb verb;
+  verb.name = std::move(name);
+  verb.positionals = std::move(positionals);
+  verb.help = std::move(help);
+  verbs_.push_back(std::move(verb));
+  return verbs_.back();
+}
+
+const CliVerb* CliSpec::verb(std::string_view name) const {
+  for (const CliVerb& v : verbs_) {
+    if (v.name == name) return &v;
+  }
+  return nullptr;
+}
+
+const CliFlag* CliSpec::flag(const CliVerb& verb, std::string_view name) {
+  for (const CliFlag& f : verb.flags) {
+    if (f.name == name) return &f;
+  }
+  return nullptr;
+}
+
+std::string CliSpec::usage_line(const CliVerb& verb) const {
+  std::string line = "  " + binary_;
+  if (!verb.name.empty()) line += " " + verb.name;
+  if (!verb.positionals.empty()) line += " " + verb.positionals;
+  if (!verb.flags.empty()) line += " [flags]";
+  return line;
+}
+
+std::string CliSpec::verb_help(const CliVerb& verb) const {
+  std::ostringstream os;
+  os << "usage:\n" << usage_line(verb) << '\n';
+  if (!verb.help.empty()) os << "  " << verb.help << '\n';
+  if (!verb.flags.empty()) {
+    os << "flags:\n";
+    std::size_t width = 0;
+    for (const CliFlag& f : verb.flags) {
+      const std::size_t n =
+          f.name.size() + (f.value.empty() ? 0 : f.value.size() + 1);
+      width = n > width ? n : width;
+    }
+    for (const CliFlag& f : verb.flags) {
+      std::string head = f.name;
+      if (!f.value.empty()) head += " " + f.value;
+      os << "  " << head << std::string(width - head.size() + 2, ' ')
+         << f.help << '\n';
+    }
+  }
+  os << exit_note_ << '\n';
+  return os.str();
+}
+
+std::string CliSpec::help() const {
+  std::ostringstream os;
+  os << binary_ << " - " << summary_ << "\n\nusage:\n";
+  for (const CliVerb& v : verbs_) os << usage_line(v) << '\n';
+  for (const CliVerb& v : verbs_) {
+    if (v.flags.empty() && v.help.empty()) continue;
+    os << '\n';
+    if (!v.name.empty()) {
+      os << v.name << ": " << v.help << '\n';
+    } else if (!v.help.empty()) {
+      os << v.help << '\n';
+    }
+    std::size_t width = 0;
+    for (const CliFlag& f : v.flags) {
+      const std::size_t n =
+          f.name.size() + (f.value.empty() ? 0 : f.value.size() + 1);
+      width = n > width ? n : width;
+    }
+    for (const CliFlag& f : v.flags) {
+      std::string head = f.name;
+      if (!f.value.empty()) head += " " + f.value;
+      os << "  " << head << std::string(width - head.size() + 2, ' ')
+         << f.help << '\n';
+    }
+  }
+  os << '\n' << exit_note_ << '\n';
+  return os.str();
+}
+
+}  // namespace mrts

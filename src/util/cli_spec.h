@@ -1,0 +1,65 @@
+#pragma once
+/// \file cli_spec.h
+/// Declarative CLI flag tables shared by the tool binaries (mrts_cli,
+/// mrts_serve, mrts_loadgen). Each binary defines one CliSpec — its verbs,
+/// positionals and flags — and both its `--help` output *and* its parser's
+/// flag lookup come from that single table, so the help text cannot drift
+/// from what the parser accepts (the PR 9 bugfix: `run` had grown flags its
+/// usage text never mentioned). tests/test_cli_spec.cpp pins the contract.
+///
+/// The table knows flag *names*, whether a flag takes a value, and the help
+/// strings; value validation stays in the binaries' strict parsers (a flag
+/// table has no business knowing what a probability looks like).
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mrts {
+
+struct CliFlag {
+  std::string name;   ///< including dashes, e.g. "--trace"
+  std::string value;  ///< value placeholder, e.g. "<file>"; "" = boolean flag
+  std::string help;   ///< one-line description
+};
+
+struct CliVerb {
+  std::string name;         ///< "" for verbless binaries
+  std::string positionals;  ///< e.g. "<h264|sdr> [prcs] [cg] [frames]"
+  std::string help;         ///< one-line description
+  std::vector<CliFlag> flags;
+};
+
+class CliSpec {
+ public:
+  /// \p exit_note is the shared exit-code contract line printed at the end
+  /// of every help text (stated once in docs/CLI.md, repeated by the tools).
+  CliSpec(std::string binary, std::string summary, std::string exit_note);
+
+  CliVerb& add_verb(std::string name, std::string positionals,
+                    std::string help);
+
+  const std::vector<CliVerb>& verbs() const { return verbs_; }
+  /// Verb lookup by name; nullptr when unknown.
+  const CliVerb* verb(std::string_view name) const;
+  /// Flag lookup within a verb; nullptr when the verb does not accept it.
+  static const CliFlag* flag(const CliVerb& verb, std::string_view name);
+
+  /// Full `--help` text: usage lines for every verb, then per-verb flag
+  /// tables, then the exit-code note.
+  std::string help() const;
+  /// One verb's help: its usage line plus its flag table.
+  std::string verb_help(const CliVerb& verb) const;
+
+  const std::string& binary() const { return binary_; }
+
+ private:
+  std::string usage_line(const CliVerb& verb) const;
+
+  std::string binary_;
+  std::string summary_;
+  std::string exit_note_;
+  std::vector<CliVerb> verbs_;
+};
+
+}  // namespace mrts

@@ -1,0 +1,89 @@
+// Tests for the declarative CLI flag tables (util/cli_spec.h). The tables
+// are the single source of truth for the tool binaries: the parser looks
+// flags up in them and --help is rendered from them, so these tests pin the
+// rendering/lookup contract that keeps help text and accepted flags in
+// lockstep (the bug this PR fixes: `run` had grown flags its usage text
+// never mentioned).
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "util/cli_spec.h"
+
+namespace mrts {
+namespace {
+
+CliSpec make_spec() {
+  CliSpec spec("toolbin", "does tool things",
+               "exit codes: 0 success, 1 usage error, 2 input error");
+  CliVerb& run = spec.add_verb("run", "<app> [n]", "run an app");
+  run.flags = {
+      {"--trace", "<file>", "write a trace"},
+      {"--fast", "", "skip the slow path"},
+  };
+  spec.add_verb("list", "", "list things");
+  return spec;
+}
+
+TEST(CliSpec, VerbAndFlagLookup) {
+  const CliSpec spec = make_spec();
+  ASSERT_NE(spec.verb("run"), nullptr);
+  ASSERT_NE(spec.verb("list"), nullptr);
+  EXPECT_EQ(spec.verb("nope"), nullptr);
+
+  const CliVerb& run = *spec.verb("run");
+  const CliFlag* trace = CliSpec::flag(run, "--trace");
+  ASSERT_NE(trace, nullptr);
+  EXPECT_EQ(trace->value, "<file>");  // takes a value
+  const CliFlag* fast = CliSpec::flag(run, "--fast");
+  ASSERT_NE(fast, nullptr);
+  EXPECT_TRUE(fast->value.empty());  // boolean flag
+  // Unknown flags are a lookup miss, which the binaries turn into usage().
+  EXPECT_EQ(CliSpec::flag(run, "--bogus"), nullptr);
+  EXPECT_EQ(CliSpec::flag(*spec.verb("list"), "--trace"), nullptr);
+}
+
+TEST(CliSpec, HelpListsEveryVerbEveryFlagAndTheExitNote) {
+  const CliSpec spec = make_spec();
+  const std::string help = spec.help();
+  // The core contract: anything in the table appears in the help text. The
+  // parser accepts exactly the table, so help cannot drift from reality.
+  for (const CliVerb& verb : spec.verbs()) {
+    if (!verb.name.empty()) {
+      EXPECT_NE(help.find(verb.name), std::string::npos) << verb.name;
+    }
+    if (!verb.positionals.empty()) {
+      EXPECT_NE(help.find(verb.positionals), std::string::npos);
+    }
+    for (const CliFlag& flag : verb.flags) {
+      EXPECT_NE(help.find(flag.name), std::string::npos) << flag.name;
+      EXPECT_NE(help.find(flag.help), std::string::npos) << flag.name;
+    }
+  }
+  EXPECT_NE(help.find("toolbin"), std::string::npos);
+  EXPECT_NE(help.find("exit codes: 0 success, 1 usage error, 2 input error"),
+            std::string::npos);
+}
+
+TEST(CliSpec, UsageLineMentionsFlagsOnlyWhenTheVerbHasAny) {
+  const CliSpec spec = make_spec();
+  const std::string with_flags = spec.verb_help(*spec.verb("run"));
+  EXPECT_NE(with_flags.find("[flags]"), std::string::npos);
+  const std::string without = spec.verb_help(*spec.verb("list"));
+  EXPECT_EQ(without.find("[flags]"), std::string::npos);
+  EXPECT_EQ(without.find("--"), std::string::npos);
+}
+
+TEST(CliSpec, VerblessBinaryRendersABareUsageLine) {
+  CliSpec spec("served", "serves", "exit codes: 0 success");
+  CliVerb& main_verb = spec.add_verb("", "", "");
+  main_verb.flags = {{"--socket", "<path>", "socket path"}};
+  const std::string help = spec.help();
+  EXPECT_NE(help.find("served"), std::string::npos);
+  EXPECT_NE(help.find("--socket"), std::string::npos);
+  EXPECT_NE(help.find("[flags]"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mrts

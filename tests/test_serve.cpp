@@ -1,0 +1,542 @@
+// Tests for the socket-free serving layer: ServeCore job lifecycle
+// (admission, FIFO execution, exactly-once report delivery, cancel
+// semantics, job-log replay identity) and the Session protocol state
+// machine driven purely with byte strings — the HELLO gate, version
+// negotiation, error-code selection, DISCONNECT accounting, fatal-framing
+// teardown and garbage-byte survival of docs/PROTOCOL.md.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "serve/serve_core.h"
+#include "serve/session.h"
+#include "serve/wire.h"
+#include "util/rng.h"
+
+namespace mrts::serve {
+namespace {
+
+/// Small resident shape so each job simulates in well under a second.
+ServeConfig small_config() {
+  ServeConfig config;
+  config.prcs = 4;
+  config.cg = 1;
+  config.job_classes = 2;
+  config.max_blocks = 8;
+  config.macroblocks = 4;
+  config.max_queue = 8;
+  return config;
+}
+
+SubmitFrame weighted_job(const std::string& name, std::uint64_t seed) {
+  SubmitFrame spec;
+  spec.name = name;
+  spec.share = static_cast<std::uint8_t>(WireShare::kWeighted);
+  spec.weight = 2;
+  spec.job_class = 1;
+  spec.blocks = 1;
+  spec.seed = seed;
+  return spec;
+}
+
+// ---------------------------------------------------------------------------
+// ServeCore
+// ---------------------------------------------------------------------------
+
+TEST(ServeCore, SubmitRunStatusDeliversReportExactlyOnce) {
+  ServeCore core(small_config());
+  const std::uint64_t id = core.submit(1, weighted_job("t1", 42));
+  ASSERT_EQ(id, 1u);
+  ASSERT_EQ(core.job(id)->state, JobState::kQueued);
+  EXPECT_EQ(core.queue_depth(), 1u);
+
+  EXPECT_TRUE(core.run_next());
+  EXPECT_EQ(core.job(id)->state, JobState::kDone);
+  EXPECT_EQ(core.queue_depth(), 0u);
+  EXPECT_GT(core.clock(), 0u);
+
+  JobStatusFrame first;
+  ASSERT_TRUE(core.status(id, &first));
+  EXPECT_EQ(first.state, static_cast<std::uint8_t>(WireJobState::kDone));
+  EXPECT_EQ(first.report_included, 1);
+  EXPECT_NE(first.report_json.find("mrts.run_report.v1"), std::string::npos);
+  EXPECT_FALSE(first.counters_delta.empty());
+  EXPECT_EQ(first.latency_cycles, first.finished_at - first.admitted_at);
+
+  // Second poll: metadata repeats, the report was freed after delivery.
+  JobStatusFrame second;
+  ASSERT_TRUE(core.status(id, &second));
+  EXPECT_EQ(second.report_included, 0);
+  EXPECT_TRUE(second.report_json.empty());
+  EXPECT_EQ(second.finished_at, first.finished_at);
+}
+
+TEST(ServeCore, ValidateSpecEnforcesDocumentedRanges) {
+  ServeCore core(small_config());
+  std::string why;
+
+  SubmitFrame ok = weighted_job("ok_name.0-1", 1);
+  EXPECT_TRUE(core.validate_spec(ok, &why));
+
+  SubmitFrame bad = ok;
+  bad.name = "";
+  EXPECT_FALSE(core.validate_spec(bad, &why));
+  bad.name = std::string(65, 'a');
+  EXPECT_FALSE(core.validate_spec(bad, &why));
+  bad.name = "spaces are bad";
+  EXPECT_FALSE(core.validate_spec(bad, &why));
+  EXPECT_NE(why.find("[A-Za-z0-9_.-]"), std::string::npos);
+
+  bad = ok;
+  bad.share = 3;
+  EXPECT_FALSE(core.validate_spec(bad, &why));
+
+  bad = ok;
+  bad.weight = 0;
+  EXPECT_FALSE(core.validate_spec(bad, &why));
+  bad.weight = 1001;
+  EXPECT_FALSE(core.validate_spec(bad, &why));
+  // Weight is a weighted-share knob only: ignored for best-effort.
+  bad.share = static_cast<std::uint8_t>(WireShare::kBestEffort);
+  EXPECT_TRUE(core.validate_spec(bad, &why));
+
+  bad = ok;
+  bad.priority = 1000001;
+  EXPECT_FALSE(core.validate_spec(bad, &why));
+
+  bad = ok;
+  bad.job_class = small_config().job_classes;
+  EXPECT_FALSE(core.validate_spec(bad, &why));
+
+  bad = ok;
+  bad.blocks = 0;
+  EXPECT_FALSE(core.validate_spec(bad, &why));
+  bad.blocks = small_config().max_blocks + 1;
+  EXPECT_FALSE(core.validate_spec(bad, &why));
+}
+
+TEST(ServeCore, OversizedReservationBouncesWithReason) {
+  ServeCore core(small_config());
+  SubmitFrame spec = weighted_job("greedy", 1);
+  spec.share = static_cast<std::uint8_t>(WireShare::kReserved);
+  spec.reserved_prcs = small_config().prcs + 1;
+  const std::uint64_t id = core.submit(1, spec);
+  ASSERT_NE(id, 0u);
+  EXPECT_EQ(core.job(id)->state, JobState::kBounced);
+  EXPECT_FALSE(core.job(id)->reason.empty());
+  EXPECT_EQ(core.queue_depth(), 0u);
+
+  // A bounced tenant releases its slot: a follow-up sane job still fits.
+  const std::uint64_t next = core.submit(1, weighted_job("sane", 2));
+  core.run_all();
+  EXPECT_EQ(core.job(next)->state, JobState::kDone);
+}
+
+TEST(ServeCore, CancelSemantics) {
+  ServeCore core(small_config());
+  const std::uint64_t first = core.submit(1, weighted_job("a", 1));
+  const std::uint64_t second = core.submit(1, weighted_job("b", 2));
+  EXPECT_EQ(core.queue_position(second), 1u);
+
+  bool cancelled = false;
+  WireError error = WireError::kNone;
+
+  // Unknown job.
+  EXPECT_FALSE(core.cancel(999, 1, &cancelled, &error));
+  EXPECT_EQ(error, WireError::kUnknownJob);
+
+  // Foreign owner.
+  EXPECT_FALSE(core.cancel(second, 2, &cancelled, &error));
+  EXPECT_EQ(error, WireError::kForeignJob);
+
+  // Queued: cancels, leaves the queue, frees the arbiter slot.
+  EXPECT_TRUE(core.cancel(second, 1, &cancelled, &error));
+  EXPECT_TRUE(cancelled);
+  EXPECT_EQ(core.job(second)->state, JobState::kCancelled);
+  EXPECT_EQ(core.queue_depth(), 1u);
+
+  // Already ran: "too late" is a success with cancelled = false.
+  EXPECT_TRUE(core.run_next());
+  EXPECT_TRUE(core.cancel(first, 1, &cancelled, &error));
+  EXPECT_FALSE(cancelled);
+  EXPECT_EQ(core.job(first)->state, JobState::kDone);
+
+  // Replay-style owner 0 bypasses the ownership check.
+  const std::uint64_t third = core.submit(7, weighted_job("c", 3));
+  EXPECT_TRUE(core.cancel(third, 0, &cancelled, &error));
+  EXPECT_TRUE(cancelled);
+}
+
+TEST(ServeCore, CancelAllOnlyTouchesTheOwner) {
+  ServeCore core(small_config());
+  core.submit(1, weighted_job("s1a", 1));
+  core.submit(2, weighted_job("s2a", 2));
+  core.submit(1, weighted_job("s1b", 3));
+  EXPECT_EQ(core.cancel_all(1), 2u);
+  EXPECT_EQ(core.queue_depth(), 1u);
+  EXPECT_EQ(core.cancel_all(1), 0u);  // idempotent
+}
+
+TEST(ServeCore, QueueFullAndDrainingRejectSubmits) {
+  ServeConfig config = small_config();
+  config.max_queue = 2;
+  ServeCore core(config);
+  EXPECT_NE(core.submit(1, weighted_job("q1", 1)), 0u);
+  EXPECT_NE(core.submit(1, weighted_job("q2", 2)), 0u);
+  EXPECT_EQ(core.submit(1, weighted_job("q3", 3)), 0u);  // queue full
+  EXPECT_EQ(core.jobs_created(), 2u);  // the rejected submit left no record
+
+  core.begin_drain();
+  EXPECT_EQ(core.submit(1, weighted_job("late", 4)), 0u);
+  core.run_all();  // queued jobs still run to completion while draining
+  EXPECT_EQ(core.job(1)->state, JobState::kDone);
+  EXPECT_EQ(core.job(2)->state, JobState::kDone);
+}
+
+TEST(ServeCore, SameOpSequenceIsDeterministic) {
+  auto drive = [](ServeCore& core) {
+    core.submit(1, weighted_job("d1", 11));
+    SubmitFrame res = weighted_job("d2", 22);
+    res.share = static_cast<std::uint8_t>(WireShare::kReserved);
+    res.reserved_prcs = 2;
+    core.submit(1, res);
+    core.run_all();
+  };
+  ServeCore a(small_config());
+  ServeCore b(small_config());
+  drive(a);
+  drive(b);
+  for (std::uint64_t id = 1; id <= 2; ++id) {
+    JobStatusFrame sa, sb;
+    ASSERT_TRUE(a.status(id, &sa));
+    ASSERT_TRUE(b.status(id, &sb));
+    EXPECT_EQ(sa.report_json, sb.report_json) << "job " << id;
+    EXPECT_EQ(sa.counters_delta, sb.counters_delta) << "job " << id;
+    EXPECT_EQ(sa.finished_at, sb.finished_at) << "job " << id;
+  }
+}
+
+TEST(ServeCore, JobLogReplayReproducesReportsByteIdentically) {
+  ServeCore core(small_config());
+  core.submit(3, weighted_job("r1", 5));
+  SubmitFrame bounced = weighted_job("r2", 6);
+  bounced.share = static_cast<std::uint8_t>(WireShare::kReserved);
+  bounced.reserved_prcs = small_config().prcs + 1;
+  core.submit(3, bounced);
+  const std::uint64_t to_cancel = core.submit(3, weighted_job("r3", 7));
+  core.run_next();
+  bool cancelled = false;
+  core.cancel(to_cancel, 3, &cancelled, nullptr);
+  core.submit(3, weighted_job("r4", 8));
+  core.run_all();
+
+  // Capture what the live side streamed (first-poll reports) as records.
+  std::ostringstream live;
+  for (std::uint64_t id = 1; id <= core.jobs_created(); ++id) {
+    JobStatusFrame status;
+    ASSERT_TRUE(core.status(id, &status));
+    ReplayJob record;
+    record.id = id;
+    record.state = core.job(id)->state;
+    record.reason = status.reason;
+    record.admitted_at = status.admitted_at;
+    record.finished_at = status.finished_at;
+    record.report_json = status.report_json;
+    record.counters_delta = status.counters_delta;
+    write_replay_record(live, record);
+  }
+
+  std::ostringstream log;
+  for (const std::string& line : core.job_log()) log << line << '\n';
+  std::istringstream log_in(log.str());
+  const ReplayResult replayed = replay_job_log(log_in);
+  ASSERT_TRUE(replayed.ok) << replayed.error;
+  ASSERT_EQ(replayed.jobs.size(), core.jobs_created());
+
+  std::ostringstream replay;
+  for (const ReplayJob& job : replayed.jobs) write_replay_record(replay, job);
+  EXPECT_EQ(live.str(), replay.str());
+}
+
+TEST(ServeCore, ReplayRejectsMalformedLogs) {
+  auto replay_of = [](const std::string& text) {
+    std::istringstream in(text);
+    return replay_job_log(in);
+  };
+  EXPECT_FALSE(replay_of("").ok);
+  EXPECT_FALSE(replay_of("not.a.joblog\n").ok);
+  EXPECT_FALSE(replay_of("mrts.joblog.v1 prcs=4\n").ok);  // incomplete header
+  const std::string header =
+      "mrts.joblog.v1 prcs=4 cg=1 job_classes=2 max_blocks=8 macroblocks=4 "
+      "max_queue=8\n";
+  EXPECT_TRUE(replay_of(header).ok);  // empty op stream is a valid log
+  EXPECT_FALSE(replay_of(header + "frobnicate 1\n").ok);
+  EXPECT_FALSE(replay_of(header + "run 1\n").ok);  // run with empty queue
+  EXPECT_FALSE(replay_of(header + "submit 1 t\n").ok);  // short submit
+  // Job-id mismatch: the log claims id 5, a fresh core would assign 1.
+  EXPECT_FALSE(replay_of(header + "submit 5 t 0 1 0 0 0 0 1 9\n").ok);
+}
+
+// ---------------------------------------------------------------------------
+// Session: the protocol state machine, driven with raw bytes.
+// ---------------------------------------------------------------------------
+
+/// Collects the response bytes and splits them back into decoded frames.
+struct SessionHarness {
+  ServeCore core;
+  Session session;
+
+  explicit SessionHarness(std::uint32_t id = 1)
+      : core(small_config()), session(id, &core) {}
+
+  /// Feeds one encoded request, returns the response frames. \p alive
+  /// receives consume()'s keep-open verdict.
+  std::vector<Frame> roundtrip(const std::vector<std::uint8_t>& bytes,
+                               bool* alive = nullptr) {
+    std::vector<std::uint8_t> out;
+    const bool keep = session.consume(bytes, &out);
+    if (alive != nullptr) *alive = keep;
+    FrameDecoder decoder;
+    decoder.feed(out);
+    std::vector<Frame> frames;
+    Frame frame;
+    while (decoder.next(&frame) == FrameDecoder::Result::kFrame) {
+      frames.push_back(frame);
+    }
+    EXPECT_EQ(decoder.buffered(), 0u);
+    return frames;
+  }
+
+  void handshake() {
+    const std::vector<Frame> frames = roundtrip(encode(HelloFrame{}));
+    ASSERT_EQ(frames.size(), 1u);
+    ASSERT_EQ(frames[0].type, static_cast<std::uint8_t>(FrameType::kHelloOk));
+  }
+};
+
+ErrorFrame expect_error(const std::vector<Frame>& frames, WireError code) {
+  ErrorFrame err;
+  EXPECT_EQ(frames.size(), 1u);
+  if (!frames.empty()) {
+    EXPECT_EQ(frames[0].type, static_cast<std::uint8_t>(FrameType::kError));
+    EXPECT_TRUE(decode(frames[0], &err));
+    EXPECT_EQ(err.code, static_cast<std::uint16_t>(code));
+  }
+  return err;
+}
+
+TEST(Session, SubmitBeforeHelloIsAStateErrorTheSessionSurvives) {
+  SessionHarness h;
+  bool alive = false;
+  const std::vector<Frame> frames =
+      h.roundtrip(encode(weighted_job("early", 1)), &alive);
+  const ErrorFrame err = expect_error(frames, WireError::kProtocolState);
+  EXPECT_EQ(err.fatal, 0);
+  EXPECT_TRUE(alive);
+  h.handshake();  // HELLO still works afterwards
+}
+
+TEST(Session, HelloNegotiatesAndRepeatsAreRejected) {
+  SessionHarness h(77);
+  const std::vector<Frame> frames = h.roundtrip(encode(HelloFrame{1, "cli"}));
+  ASSERT_EQ(frames.size(), 1u);
+  HelloOkFrame ok;
+  ASSERT_TRUE(decode(frames[0], &ok));
+  EXPECT_EQ(ok.server_version, kWireVersion);
+  EXPECT_EQ(ok.session_id, 77u);
+  EXPECT_EQ(ok.prcs, 4u);
+  EXPECT_EQ(ok.cg, 1u);
+  EXPECT_EQ(ok.job_classes, 2u);
+
+  expect_error(h.roundtrip(encode(HelloFrame{})), WireError::kProtocolState);
+}
+
+TEST(Session, UnsupportedClientVersionIsRecoverable) {
+  SessionHarness h;
+  bool alive = false;
+  // The frame is well-formed v1; only the *requested* version is wrong, so
+  // the reject is application-level and the connection survives.
+  const std::vector<Frame> frames =
+      h.roundtrip(encode(HelloFrame{2, "future"}), &alive);
+  const ErrorFrame err = expect_error(frames, WireError::kBadVersion);
+  EXPECT_EQ(err.fatal, 0);
+  EXPECT_TRUE(alive);
+  h.handshake();  // retrying with v1 succeeds
+}
+
+TEST(Session, FullJobLifecycleOverBytes) {
+  SessionHarness h;
+  h.handshake();
+
+  std::vector<Frame> frames = h.roundtrip(encode(weighted_job("wire1", 9)));
+  ASSERT_EQ(frames.size(), 1u);
+  SubmitOkFrame submit_ok;
+  ASSERT_TRUE(decode(frames[0], &submit_ok));
+  EXPECT_EQ(submit_ok.job_id, 1u);
+  EXPECT_EQ(submit_ok.admitted, 1);
+
+  frames = h.roundtrip(encode(PollFrame{submit_ok.job_id}));
+  JobStatusFrame status;
+  ASSERT_TRUE(decode(frames.at(0), &status));
+  EXPECT_EQ(status.state, static_cast<std::uint8_t>(WireJobState::kQueued));
+
+  h.core.run_all();
+  frames = h.roundtrip(encode(PollFrame{submit_ok.job_id}));
+  ASSERT_TRUE(decode(frames.at(0), &status));
+  EXPECT_EQ(status.state, static_cast<std::uint8_t>(WireJobState::kDone));
+  EXPECT_EQ(status.report_included, 1);
+  EXPECT_NE(status.report_json.find("mrts.run_report.v1"), std::string::npos);
+
+  bool alive = true;
+  frames = h.roundtrip(encode(DisconnectFrame{}), &alive);
+  ASSERT_EQ(frames.size(), 1u);
+  ByeFrame bye;
+  ASSERT_TRUE(decode(frames[0], &bye));
+  EXPECT_EQ(bye.jobs_submitted, 1u);
+  EXPECT_EQ(bye.jobs_auto_cancelled, 0u);
+  EXPECT_FALSE(alive);
+  EXPECT_TRUE(h.session.closed());
+}
+
+TEST(Session, DisconnectAutoCancelsQueuedJobs) {
+  SessionHarness h;
+  h.handshake();
+  h.roundtrip(encode(weighted_job("q1", 1)));
+  h.roundtrip(encode(weighted_job("q2", 2)));
+  bool alive = true;
+  const std::vector<Frame> frames =
+      h.roundtrip(encode(DisconnectFrame{}), &alive);
+  ByeFrame bye;
+  ASSERT_TRUE(decode(frames.at(0), &bye));
+  EXPECT_EQ(bye.jobs_submitted, 2u);
+  EXPECT_EQ(bye.jobs_auto_cancelled, 2u);
+  EXPECT_FALSE(alive);
+  EXPECT_EQ(h.core.queue_depth(), 0u);
+  EXPECT_EQ(h.core.job(1)->state, JobState::kCancelled);
+}
+
+TEST(Session, AbortCancelsQueuedJobsAndIsIdempotent) {
+  SessionHarness h;
+  h.handshake();
+  h.roundtrip(encode(weighted_job("crash", 1)));
+  h.session.abort();
+  EXPECT_TRUE(h.session.closed());
+  EXPECT_EQ(h.core.queue_depth(), 0u);
+  h.session.abort();  // second abort is a no-op
+  std::vector<std::uint8_t> out;
+  EXPECT_FALSE(h.session.consume(encode(PollFrame{1}), &out));
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(Session, ErrorCodeSelection) {
+  SessionHarness h(1);
+  h.handshake();
+
+  // Unknown job id.
+  expect_error(h.roundtrip(encode(PollFrame{404})), WireError::kUnknownJob);
+
+  // Foreign job: another session's submission.
+  Session other(2, &h.core);
+  std::vector<std::uint8_t> out;
+  other.consume(encode(HelloFrame{}), &out);
+  out.clear();
+  other.consume(encode(weighted_job("theirs", 1)), &out);
+  expect_error(h.roundtrip(encode(PollFrame{1})), WireError::kForeignJob);
+  expect_error(h.roundtrip(encode(CancelFrame{1})), WireError::kForeignJob);
+
+  // Invalid spec.
+  SubmitFrame bad = weighted_job("bad name", 1);
+  const ErrorFrame err = expect_error(h.roundtrip(encode(bad)),
+                                      WireError::kBadSpec);
+  EXPECT_EQ(err.fatal, 0);
+
+  // Draining server.
+  h.core.begin_drain();
+  expect_error(h.roundtrip(encode(weighted_job("late", 2))),
+               WireError::kShuttingDown);
+}
+
+TEST(Session, ServerSideFrameTypesAreProtocolErrors) {
+  SessionHarness h;
+  h.handshake();
+  expect_error(h.roundtrip(encode(ByeFrame{})), WireError::kProtocolState);
+  expect_error(h.roundtrip(encode(SubmitOkFrame{})),
+               WireError::kProtocolState);
+}
+
+TEST(Session, UnknownFrameTypeIsRecoverable) {
+  SessionHarness h;
+  h.handshake();
+  bool alive = false;
+  const std::vector<Frame> frames = h.roundtrip(
+      encode_frame(static_cast<FrameType>(0x0C), {}), &alive);
+  expect_error(frames, WireError::kUnknownType);
+  EXPECT_TRUE(alive);
+}
+
+TEST(Session, FatalFramingErrorSendsOneErrorAndCleansUp) {
+  SessionHarness h;
+  h.handshake();
+  h.roundtrip(encode(weighted_job("doomed", 1)));
+  ASSERT_EQ(h.core.queue_depth(), 1u);
+
+  std::vector<std::uint8_t> garbage(32, 0xAB);  // not even a magic
+  bool alive = false;
+  const std::vector<Frame> frames = h.roundtrip(garbage, &alive);
+  const ErrorFrame err = expect_error(frames, WireError::kBadMagic);
+  EXPECT_EQ(err.fatal, 1);
+  EXPECT_FALSE(alive);
+  EXPECT_TRUE(h.session.closed());
+  // The fatal teardown auto-cancelled the queued job, like a crash would.
+  EXPECT_EQ(h.core.queue_depth(), 0u);
+}
+
+TEST(Session, TruncatedFrameAcrossFeedsStillParses) {
+  SessionHarness h;
+  const std::vector<std::uint8_t> hello = encode(HelloFrame{1, "slowpoke"});
+  std::vector<std::uint8_t> out;
+  EXPECT_TRUE(h.session.consume(hello.data(), 5, &out));
+  EXPECT_TRUE(out.empty());  // nothing answered for a partial frame
+  EXPECT_TRUE(h.session.consume(hello.data() + 5, hello.size() - 5, &out));
+  FrameDecoder decoder;
+  decoder.feed(out);
+  Frame frame;
+  ASSERT_EQ(decoder.next(&frame), FrameDecoder::Result::kFrame);
+  EXPECT_EQ(frame.type, static_cast<std::uint8_t>(FrameType::kHelloOk));
+}
+
+TEST(Session, SeededGarbageChurnNeverCrashesTheCore) {
+  // 50 sessions fed random garbage (sometimes prefixed with a valid HELLO)
+  // must never crash, never leak queue entries past abort, and must leave
+  // the core usable for a real session afterwards.
+  ServeCore core(small_config());
+  Rng rng(123);
+  for (std::uint32_t s = 1; s <= 50; ++s) {
+    Session session(s, &core);
+    std::vector<std::uint8_t> stream;
+    if (rng.next_below(2) == 0) {
+      const std::vector<std::uint8_t> hello = encode(HelloFrame{});
+      stream.insert(stream.end(), hello.begin(), hello.end());
+    }
+    const std::size_t size = 1 + rng.next_below(256);
+    for (std::size_t i = 0; i < size; ++i) {
+      stream.push_back(static_cast<std::uint8_t>(rng.next_below(256)));
+    }
+    std::vector<std::uint8_t> out;
+    session.consume(stream, &out);
+    session.abort();
+  }
+  EXPECT_EQ(core.queue_depth(), 0u);
+
+  Session survivor(99, &core);
+  std::vector<std::uint8_t> out;
+  EXPECT_TRUE(survivor.consume(encode(HelloFrame{}), &out));
+  EXPECT_FALSE(out.empty());
+}
+
+}  // namespace
+}  // namespace mrts::serve

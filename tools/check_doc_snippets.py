@@ -1,0 +1,138 @@
+#!/usr/bin/env python3
+"""Compile-checker for fenced code snippets in the serving docs.
+
+Extracts every fenced code block from docs/SERVING.md and docs/PROTOCOL.md
+(plus docs/CLI.md) and verifies the blocks cannot rot:
+
+  * ``cpp`` / ``c++`` blocks are compiled with ``-fsyntax-only`` against the
+    repo's ``src/`` include root. A block that is a complete translation
+    unit (contains ``int main``) compiles as-is; fragments are wrapped in a
+    function body.
+  * ``sh`` / ``bash`` / ``shell`` blocks are syntax-checked with ``sh -n``.
+    Lines are statements for the checker even when the doc shows them as a
+    session (a trailing ``&`` or a bare binary name is fine — ``sh -n``
+    parses, it does not execute).
+  * untagged fences (ASCII diagrams, hex dumps, transcripts) are skipped.
+
+Exit code 0 = every snippet parses/compiles, 1 = at least one failure
+(printed as ``file:line: message`` with the compiler output). Stdlib only:
+
+    python3 tools/check_doc_snippets.py [--compiler c++]
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import shutil
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DOC_FILES = ("docs/SERVING.md", "docs/PROTOCOL.md", "docs/CLI.md")
+FENCE_RE = re.compile(r"^(```|~~~)\s*([A-Za-z+]*)\s*$")
+
+CPP_TAGS = {"cpp", "c++"}
+SH_TAGS = {"sh", "bash", "shell"}
+
+
+def extract_snippets(path: Path) -> list[tuple[int, str, str]]:
+    """(start line, language tag, body) for every tagged fenced block."""
+    snippets: list[tuple[int, str, str]] = []
+    tag = None
+    start = 0
+    body: list[str] = []
+    for lineno, line in enumerate(
+        path.read_text(encoding="utf-8").splitlines(), start=1
+    ):
+        m = FENCE_RE.match(line)
+        if m and tag is None:
+            tag = m.group(2).lower()
+            start = lineno
+            body = []
+        elif m:
+            if tag:
+                snippets.append((start, tag, "\n".join(body) + "\n"))
+            tag = None
+        elif tag is not None:
+            body.append(line)
+    return snippets
+
+
+def check_cpp(body: str, compiler: str, workdir: Path) -> str | None:
+    """None on success, compiler output on failure."""
+    if "int main" not in body:
+        # Fragment: give it includes and a function body to live in.
+        body = (
+            '#include "serve/client.h"\n#include "serve/serve_core.h"\n'
+            "void snippet() {\n" + body + "}\n"
+        )
+    source = workdir / "snippet.cpp"
+    source.write_text(body, encoding="utf-8")
+    proc = subprocess.run(
+        [
+            compiler,
+            "-std=c++20",
+            "-fsyntax-only",
+            f"-I{REPO_ROOT / 'src'}",
+            str(source),
+        ],
+        capture_output=True,
+        text=True,
+    )
+    return None if proc.returncode == 0 else proc.stderr.strip()
+
+
+def check_sh(body: str) -> str | None:
+    proc = subprocess.run(
+        ["sh", "-n"], input=body, capture_output=True, text=True
+    )
+    return None if proc.returncode == 0 else proc.stderr.strip()
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--compiler",
+        default="c++",
+        help="C++ compiler used for -fsyntax-only checks (default: c++)",
+    )
+    args = parser.parse_args()
+
+    if shutil.which(args.compiler) is None:
+        print(f"error: compiler '{args.compiler}' not found", file=sys.stderr)
+        return 1
+
+    errors: list[str] = []
+    checked = 0
+    with tempfile.TemporaryDirectory() as tmp:
+        workdir = Path(tmp)
+        for rel in DOC_FILES:
+            path = REPO_ROOT / rel
+            if not path.is_file():
+                errors.append(f"{rel}: file missing")
+                continue
+            for lineno, tag, body in extract_snippets(path):
+                if tag in CPP_TAGS:
+                    failure = check_cpp(body, args.compiler, workdir)
+                elif tag in SH_TAGS:
+                    failure = check_sh(body)
+                else:
+                    continue
+                checked += 1
+                if failure is not None:
+                    errors.append(f"{rel}:{lineno}: {tag} snippet fails:\n{failure}")
+
+    for e in errors:
+        print(e, file=sys.stderr)
+    print(
+        f"checked {checked} doc snippets: "
+        f"{'OK' if not errors else f'{len(errors)} failure(s)'}"
+    )
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -63,6 +63,13 @@
 //       (.json / .csv / anything-else = markdown). A malformed trace is an
 //       input error naming the first bad line (exit 2), never a crash.
 //
+//   mrts_cli --help / mrts_cli <verb> --help
+//       Print the flag table of every verb (or one verb) and exit 0. The
+//       help text is generated from the same CliSpec table the parsers
+//       consult (util/cli_spec.h), so it cannot drift from what the binary
+//       accepts; `run`/`checkpoint` also take --no-bb-cache to disable the
+//       simulator fast paths (outputs stay bit-identical).
+//
 // Exit code 0 on success, 1 on usage errors (unknown verb, bad or trailing
 // arguments), 2 on input/runtime errors (unreadable files, bad content).
 
@@ -80,37 +87,84 @@
 #include <vector>
 
 #include "mrts.h"
+#include "util/cli_spec.h"
+#include "util/fastpath.h"
 #include "util/table.h"
 
 namespace {
 
 using namespace mrts;
 
+/// The single source of truth for verbs and flags: `--help` renders this
+/// table and the parsers look flags up in it, so the two cannot drift
+/// (tests/test_cli_spec.cpp and the cli_help smoke pin the contract).
+const CliSpec& cli_spec() {
+  static const CliSpec spec = [] {
+    CliSpec s("mrts_cli", "command-line driver for the mRTS library",
+              "exit codes: 0 success, 1 usage error, 2 input error");
+    s.add_verb("info", "<library.txt>",
+               "print the kernels and ISE variants of a library file");
+    s.add_verb("select", "<library.txt> <prcs> <cg> <KERNEL=e[,tf,tb]> ...",
+               "run one heuristic selection for the given trigger forecast "
+               "on an idle machine");
+    const std::vector<CliFlag> shared_run_flags = {
+        {"--trace", "<file>",
+         "record the mRTS run's flight recorder (.jsonl = JSON Lines, "
+         "anything else = Chrome trace-event JSON)"},
+        {"--report", "<file>",
+         "analyze the mRTS run's trace in memory and write the RunReport "
+         "(.json / .csv / anything else = markdown)"},
+        {"--fault-rate", "<p>",
+         "enable the deterministic fault injector, p in [0,1]"},
+        {"--fault-seed", "<n>", "fault-injector seed (default 42)"},
+        {"--max-retries", "<n>",
+         "per-load retry budget in [0,1000] (default 3)"},
+        {"--no-bb-cache", "",
+         "disable the decoded basic-block caches and the batched "
+         "frame-execution fast path (outputs stay bit-identical)"},
+    };
+    CliVerb& run = s.add_verb(
+        "run", "<h264|sdr> [prcs] [cg] [frames]",
+        "run a built-in workload under every run-time system and print the "
+        "comparison summary");
+    run.flags = shared_run_flags;
+    run.flags.push_back(
+        {"--checkpoint-every", "<cycles>",
+         "write a whole-runtime snapshot every N cycles (needs "
+         "--checkpoint)"});
+    run.flags.push_back({"--checkpoint", "<file>",
+                         "snapshot file for --checkpoint-every (atomically "
+                         "overwritten)"});
+    CliVerb& checkpoint = s.add_verb(
+        "checkpoint", "<h264|sdr> [prcs] [cg] [frames]",
+        "run the mRTS leg up to --at-cycle and write a one-shot snapshot");
+    checkpoint.flags = shared_run_flags;
+    checkpoint.flags.push_back(
+        {"--at-cycle", "<c>", "cycle to checkpoint at (required)"});
+    checkpoint.flags.push_back(
+        {"--out", "<file>", "snapshot output file (required)"});
+    s.add_verb("restore", "<snapshot>",
+               "resume a checkpointed run in a fresh process and finish it "
+               "bit-identically");
+    s.add_verb("run-multi", "<prcs> <cg> <blocks> <NAME=POLICY[:ARG][@PRIO]> ...",
+               "multi-tenant simulation behind a FabricArbiter; POLICY is "
+               "weighted[:W] | reserved:<P>+<C> | best-effort");
+    s.add_verb("trace-summary", "<trace.jsonl>",
+               "validate a JSONL trace and print per-kind event counts plus "
+               "span-duration percentiles");
+    CliVerb& analyze = s.add_verb(
+        "trace-analyze", "<trace.jsonl>",
+        "run the obs/ analysis engine over a saved JSONL trace");
+    analyze.flags = {{"--out", "<file>",
+                      "write the report to a file (.json / .csv / anything "
+                      "else = markdown) instead of stdout"}};
+    return s;
+  }();
+  return spec;
+}
+
 int usage() {
-  std::fprintf(stderr,
-               "usage:\n"
-               "  mrts_cli info <library.txt>\n"
-               "  mrts_cli select <library.txt> <prcs> <cg> "
-               "<KERNEL=e[,tf,tb]> ...\n"
-               "  mrts_cli run <h264|sdr> [prcs] [cg] [frames] "
-               "[--trace <file.json|file.jsonl>]\n"
-               "           [--report <file.json|file.csv|file.md>]\n"
-               "           [--fault-rate <p>] [--fault-seed <n>] "
-               "[--max-retries <n>]\n"
-               "           [--checkpoint-every <cycles> --checkpoint <file>]\n"
-               "  mrts_cli checkpoint <h264|sdr> [prcs] [cg] [frames] "
-               "--at-cycle <c> --out <file>\n"
-               "           [--trace ...] [--report ...] [--fault-rate <p>] "
-               "[--fault-seed <n>] [--max-retries <n>]\n"
-               "  mrts_cli restore <snapshot>\n"
-               "  mrts_cli run-multi <prcs> <cg> <blocks> "
-               "<NAME=POLICY[:ARG][@PRIO]> ...\n"
-               "           POLICY: weighted[:W] | reserved:<P>+<C> | "
-               "best-effort\n"
-               "  mrts_cli trace-summary <trace.jsonl>\n"
-               "  mrts_cli trace-analyze <trace.jsonl> "
-               "[--out <file.json|file.csv|file.md>]\n"
-               "exit codes: 0 success, 1 usage error, 2 input error\n");
+  std::fputs(cli_spec().help().c_str(), stderr);
   return 1;
 }
 
@@ -798,6 +852,20 @@ int cmd_trace_analyze(const std::string& path, const std::string& out_path) {
 int main(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string command = argv[1];
+  if (command == "--help" || command == "help") {
+    std::fputs(cli_spec().help().c_str(), stdout);
+    return 0;
+  }
+  // `mrts_cli <verb> --help` prints the verb's table-generated help and
+  // exits 0, before any argument validation.
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--help") == 0) {
+      const CliVerb* verb = cli_spec().verb(command);
+      if (verb == nullptr) return usage();
+      std::fputs(cli_spec().verb_help(*verb).c_str(), stdout);
+      return 0;
+    }
+  }
   try {
     if (command == "info") {
       if (argc != 3) return usage();
@@ -821,70 +889,78 @@ int main(int argc, char** argv) {
       std::string checkpoint_path;
       std::uint64_t at_cycle = 0;
       std::vector<std::string> positional;
+      // Flag recognition comes from the spec table (run and checkpoint have
+      // different flag sets there); only the value validation lives here.
+      const CliVerb& verb_spec = *cli_spec().verb(command);
       for (int i = 2; i < argc; ++i) {
         const std::string arg = argv[i];
-        if (arg == "--trace") {
-          if (i + 1 >= argc || !trace_path.empty()) return usage();
-          trace_path = argv[++i];
-        } else if (arg == "--report") {
-          if (i + 1 >= argc || !report_path.empty()) return usage();
-          report_path = argv[++i];
-        } else if (arg == "--fault-rate") {
+        if (arg.empty() || arg[0] != '-') {
+          positional.push_back(arg);
+          continue;
+        }
+        const CliFlag* flag = CliSpec::flag(verb_spec, arg);
+        if (flag == nullptr) return usage();  // unknown option for this verb
+        const char* value = nullptr;
+        if (!flag->value.empty()) {
           if (i + 1 >= argc) return usage();
-          if (!parse_probability(argv[++i], &fault_rate)) {
+          value = argv[++i];
+        }
+        if (arg == "--trace") {
+          if (!trace_path.empty()) return usage();
+          trace_path = value;
+        } else if (arg == "--report") {
+          if (!report_path.empty()) return usage();
+          report_path = value;
+        } else if (arg == "--fault-rate") {
+          if (!parse_probability(value, &fault_rate)) {
             std::fprintf(stderr,
                          "error: invalid --fault-rate '%s' (expected a "
                          "probability in [0,1])\n",
-                         argv[i]);
+                         value);
             return 2;
           }
         } else if (arg == "--fault-seed") {
-          if (i + 1 >= argc) return usage();
-          if (!parse_seed(argv[++i], &fault_seed)) {
+          if (!parse_seed(value, &fault_seed)) {
             std::fprintf(stderr,
                          "error: invalid --fault-seed '%s' (expected an "
                          "unsigned 64-bit integer)\n",
-                         argv[i]);
+                         value);
             return 2;
           }
         } else if (arg == "--max-retries") {
-          if (i + 1 >= argc) return usage();
-          if (!parse_retries(argv[++i], &max_retries)) {
+          if (!parse_retries(value, &max_retries)) {
             std::fprintf(stderr,
                          "error: invalid --max-retries '%s' (expected an "
                          "integer in [0,1000])\n",
-                         argv[i]);
+                         value);
             return 2;
           }
-        } else if (!checkpoint_verb && arg == "--checkpoint-every") {
-          if (i + 1 >= argc) return usage();
-          if (!parse_seed(argv[++i], &checkpoint_every) ||
-              checkpoint_every == 0) {
+        } else if (arg == "--no-bb-cache") {
+          set_fastpath_enabled(false);
+        } else if (arg == "--checkpoint-every") {
+          if (!parse_seed(value, &checkpoint_every) || checkpoint_every == 0) {
             std::fprintf(stderr,
                          "error: invalid --checkpoint-every '%s' (expected a "
                          "positive cycle count)\n",
-                         argv[i]);
+                         value);
             return 2;
           }
-        } else if (!checkpoint_verb && arg == "--checkpoint") {
-          if (i + 1 >= argc || !checkpoint_path.empty()) return usage();
-          checkpoint_path = argv[++i];
-        } else if (checkpoint_verb && arg == "--at-cycle") {
-          if (i + 1 >= argc) return usage();
-          if (!parse_seed(argv[++i], &at_cycle) || at_cycle == 0) {
+        } else if (arg == "--checkpoint") {
+          if (!checkpoint_path.empty()) return usage();
+          checkpoint_path = value;
+        } else if (arg == "--at-cycle") {
+          if (!parse_seed(value, &at_cycle) || at_cycle == 0) {
             std::fprintf(stderr,
                          "error: invalid --at-cycle '%s' (expected a "
                          "positive cycle count)\n",
-                         argv[i]);
+                         value);
             return 2;
           }
-        } else if (checkpoint_verb && arg == "--out") {
-          if (i + 1 >= argc || !checkpoint_path.empty()) return usage();
-          checkpoint_path = argv[++i];
-        } else if (!arg.empty() && arg[0] == '-') {
-          return usage();  // unknown option
+        } else if (arg == "--out") {
+          if (!checkpoint_path.empty()) return usage();
+          checkpoint_path = value;
         } else {
-          positional.push_back(arg);
+          return usage();  // flag in the table but not handled: keep in sync
         }
       }
       if (positional.empty() || positional.size() > 4) return usage();

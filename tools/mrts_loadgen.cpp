@@ -1,0 +1,299 @@
+// mrts_loadgen — churn load generator for mrts_serve.
+//
+//   mrts_loadgen --socket <path> --cycles <n> [--seed <n>] [flags]
+//       Drive <n> tenant connect/submit/poll/disconnect cycles against a
+//       running mrts_serve. Each cycle opens a fresh connection, negotiates
+//       HELLO, submits a deterministic pseudo-random job mix (share policy,
+//       weight/reservation, job class, block count all derived from
+//       --seed), polls every job to its final state, records it, and says
+//       DISCONNECT — with optional cancel and hard-drop cycles mixed in to
+//       stress queue cleanup. The acceptance bar for the serving layer is
+//       10,000+ cycles against one resident fabric with zero leaked
+//       sessions/fds on the server's shutdown summary.
+//
+//       --save-reports writes one record per job (same format as
+//       `mrts_serve --replay`), so CI can diff live-served reports against
+//       a job-log replay byte for byte.
+//
+// Exit code 0 when every cycle completed, 1 on usage errors, 2 on
+// connection/protocol failures.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "serve/client.h"
+#include "serve/serve_core.h"
+#include "util/cli_spec.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace mrts;
+using namespace mrts::serve;
+
+const CliSpec& cli_spec() {
+  static const CliSpec spec = [] {
+    CliSpec s("mrts_loadgen",
+              "tenant connect/submit/disconnect churn generator for "
+              "mrts_serve",
+              "exit codes: 0 success, 1 usage error, 2 input error");
+    CliVerb& main_verb = s.add_verb("", "", "");
+    main_verb.flags = {
+        {"--socket", "<path>", "mrts_serve AF_UNIX socket (required)"},
+        {"--cycles", "<n>", "connect/submit/disconnect cycles (required)"},
+        {"--seed", "<n>", "job-mix seed (default 1)"},
+        {"--jobs-per-cycle", "<n>", "SUBMITs per connection (default 1)"},
+        {"--cancel-every", "<n>",
+         "every n-th cycle cancels its last job instead of waiting "
+         "(default 0 = never)"},
+        {"--drop-every", "<n>",
+         "every n-th cycle closes the socket without DISCONNECT to "
+         "exercise server-side cleanup (default 0 = never)"},
+        {"--save-reports", "<file>",
+         "append every job's final record (mrts_serve --replay format)"},
+        {"--quiet", "", "suppress the completion summary"},
+    };
+    return s;
+  }();
+  return spec;
+}
+
+int usage() {
+  std::fputs(cli_spec().help().c_str(), stderr);
+  return 1;
+}
+
+bool parse_unsigned(const char* text, std::uint64_t max, std::uint64_t* out) {
+  if (text == nullptr || *text == '\0') return false;
+  std::uint64_t n = 0;
+  for (const char* p = text; *p != '\0'; ++p) {
+    if (*p < '0' || *p > '9') return false;
+    if (n > max / 10) return false;
+    n = n * 10 + static_cast<std::uint64_t>(*p - '0');
+    if (n > max) return false;
+  }
+  *out = n;
+  return true;
+}
+
+/// Deterministic job mix: mostly weighted pool tenants, some best-effort,
+/// an occasional reservation (a few of which are oversized on purpose, to
+/// exercise the admission-bounce path end to end).
+SubmitFrame make_job(Rng& rng, const HelloOkFrame& shape, std::uint64_t cycle,
+                     std::uint64_t index) {
+  SubmitFrame job;
+  job.name = "lg" + std::to_string(cycle) + "_" + std::to_string(index);
+  const std::uint64_t mix = rng.next_u64() % 10;
+  if (mix < 6) {
+    job.share = static_cast<std::uint8_t>(WireShare::kWeighted);
+    job.weight = 1 + static_cast<std::uint32_t>(rng.next_u64() % 4);
+  } else if (mix < 8) {
+    job.share = static_cast<std::uint8_t>(WireShare::kBestEffort);
+  } else {
+    job.share = static_cast<std::uint8_t>(WireShare::kReserved);
+    // 1..prcs+1: the +1 cases do not fit and must bounce with a reason.
+    job.reserved_prcs =
+        1 + static_cast<std::uint32_t>(rng.next_u64() % (shape.prcs + 1));
+    job.reserved_cg = static_cast<std::uint32_t>(rng.next_u64() % 2);
+  }
+  job.priority = static_cast<std::uint32_t>(rng.next_u64() % 3);
+  job.job_class =
+      static_cast<std::uint32_t>(rng.next_u64() % shape.job_classes);
+  job.blocks = 1 + static_cast<std::uint32_t>(rng.next_u64() % 2);
+  job.seed = rng.next_u64();
+  return job;
+}
+
+/// Converts a JOB_STATUS answer into the shared replay-record form.
+ReplayJob to_record(const JobStatusFrame& status) {
+  ReplayJob record;
+  record.id = status.job_id;
+  switch (static_cast<WireJobState>(status.state)) {
+    case WireJobState::kQueued:
+    case WireJobState::kRunning:
+      record.state = JobState::kQueued;
+      break;
+    case WireJobState::kDone:
+      record.state = JobState::kDone;
+      break;
+    case WireJobState::kBounced:
+      record.state = JobState::kBounced;
+      break;
+    case WireJobState::kCancelled:
+      record.state = JobState::kCancelled;
+      break;
+  }
+  record.reason = status.reason;
+  record.admitted_at = status.admitted_at;
+  record.finished_at = status.finished_at;
+  record.report_json = status.report_json;
+  record.counters_delta = status.counters_delta;
+  return record;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string socket_path;
+  std::uint64_t cycles = 0;
+  std::uint64_t seed = 1;
+  std::uint64_t jobs_per_cycle = 1;
+  std::uint64_t cancel_every = 0;
+  std::uint64_t drop_every = 0;
+  std::string save_reports;
+  bool quiet = false;
+
+  const CliVerb& verb = *cli_spec().verb("");
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help") {
+      std::fputs(cli_spec().help().c_str(), stdout);
+      return 0;
+    }
+    const CliFlag* flag = CliSpec::flag(verb, arg);
+    if (flag == nullptr) return usage();
+    const char* value = nullptr;
+    if (!flag->value.empty()) {
+      if (i + 1 >= argc) return usage();
+      value = argv[++i];
+    }
+    bool ok = true;
+    if (arg == "--socket") {
+      socket_path = value;
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else if (arg == "--save-reports") {
+      save_reports = value;
+    } else if (arg == "--cycles") {
+      ok = parse_unsigned(value, 100000000, &cycles) && cycles > 0;
+    } else if (arg == "--seed") {
+      ok = parse_unsigned(value, ~0ull, &seed);
+    } else if (arg == "--jobs-per-cycle") {
+      ok = parse_unsigned(value, 64, &jobs_per_cycle) && jobs_per_cycle > 0;
+    } else if (arg == "--cancel-every") {
+      ok = parse_unsigned(value, 1u << 30, &cancel_every);
+    } else if (arg == "--drop-every") {
+      ok = parse_unsigned(value, 1u << 30, &drop_every);
+    }
+    if (!ok) {
+      std::fprintf(stderr, "error: invalid value for %s: '%s'\n", arg.c_str(),
+                   value == nullptr ? "" : value);
+      return 2;
+    }
+  }
+  if (socket_path.empty() || cycles == 0) return usage();
+
+  std::ofstream reports;
+  if (!save_reports.empty()) {
+    reports.open(save_reports);
+    if (!reports) {
+      std::fprintf(stderr, "error: cannot write '%s'\n", save_reports.c_str());
+      return 2;
+    }
+  }
+
+  Rng rng(seed);
+  std::uint64_t jobs_done = 0;
+  std::uint64_t jobs_bounced = 0;
+  std::uint64_t jobs_cancelled = 0;
+  std::uint64_t dropped_cycles = 0;
+
+  for (std::uint64_t cycle = 0; cycle < cycles; ++cycle) {
+    Client client;
+    std::string err;
+    if (!client.connect_to(socket_path, &err)) {
+      std::fprintf(stderr, "error: cycle %llu: %s\n",
+                   static_cast<unsigned long long>(cycle), err.c_str());
+      return 2;
+    }
+    HelloOkFrame shape;
+    if (!client.hello(&shape, &err)) {
+      std::fprintf(stderr, "error: cycle %llu: HELLO failed: %s\n",
+                   static_cast<unsigned long long>(cycle), err.c_str());
+      return 2;
+    }
+
+    const bool drop = drop_every != 0 && (cycle + 1) % drop_every == 0;
+    const bool cancel_last =
+        !drop && cancel_every != 0 && (cycle + 1) % cancel_every == 0;
+
+    std::vector<std::uint64_t> job_ids;
+    for (std::uint64_t j = 0; j < jobs_per_cycle; ++j) {
+      const SubmitFrame spec = make_job(rng, shape, cycle, j);
+      SubmitOkFrame ok;
+      if (!client.submit(spec, &ok, &err)) {
+        std::fprintf(stderr, "error: cycle %llu: SUBMIT failed: %s\n",
+                     static_cast<unsigned long long>(cycle), err.c_str());
+        return 2;
+      }
+      job_ids.push_back(ok.job_id);
+    }
+
+    if (drop) {
+      // Simulated client crash: the server must auto-cancel what is still
+      // queued and account the session as closed, not leaked.
+      client.close_now();
+      ++dropped_cycles;
+      continue;
+    }
+
+    if (cancel_last && !job_ids.empty()) {
+      CancelOkFrame cancel_ok;
+      if (!client.cancel(job_ids.back(), &cancel_ok, &err)) {
+        std::fprintf(stderr, "error: cycle %llu: CANCEL failed: %s\n",
+                     static_cast<unsigned long long>(cycle), err.c_str());
+        return 2;
+      }
+    }
+
+    for (std::uint64_t id : job_ids) {
+      JobStatusFrame status;
+      if (!client.poll_until_final(id, &status, &err)) {
+        std::fprintf(stderr, "error: cycle %llu: POLL failed: %s\n",
+                     static_cast<unsigned long long>(cycle), err.c_str());
+        return 2;
+      }
+      switch (static_cast<WireJobState>(status.state)) {
+        case WireJobState::kDone:
+          ++jobs_done;
+          break;
+        case WireJobState::kBounced:
+          ++jobs_bounced;
+          break;
+        case WireJobState::kCancelled:
+          ++jobs_cancelled;
+          break;
+        default:
+          break;
+      }
+      if (reports.is_open()) {
+        std::ostringstream os;
+        write_replay_record(os, to_record(status));
+        reports << os.str();
+      }
+    }
+
+    ByeFrame bye;
+    if (!client.disconnect(&bye, &err)) {
+      std::fprintf(stderr, "error: cycle %llu: DISCONNECT failed: %s\n",
+                   static_cast<unsigned long long>(cycle), err.c_str());
+      return 2;
+    }
+  }
+
+  if (!quiet) {
+    std::printf(
+        "mrts_loadgen: %llu cycles complete (%llu dropped), jobs done=%llu "
+        "bounced=%llu cancelled=%llu\n",
+        static_cast<unsigned long long>(cycles),
+        static_cast<unsigned long long>(dropped_cycles),
+        static_cast<unsigned long long>(jobs_done),
+        static_cast<unsigned long long>(jobs_bounced),
+        static_cast<unsigned long long>(jobs_cancelled));
+  }
+  return 0;
+}

@@ -1,0 +1,186 @@
+// mrts_serve — the persistent mRTS job-ingestion server.
+//
+//   mrts_serve --socket <path> [shape/limit flags]
+//       Serve mrts.wire.v1 (docs/PROTOCOL.md) on an AF_UNIX socket: accept
+//       tenant jobs, admit them through the resident FabricArbiter, run
+//       admitted jobs on one resident fabric and stream each job's
+//       RunReport JSON + counter deltas back to its client. SIGINT/SIGTERM
+//       drain the queue and shut down cleanly; --exit-after bounds the run
+//       for CI. docs/SERVING.md describes the lifecycle, threading model
+//       and determinism contract.
+//
+//   mrts_serve --replay <joblog> [--out <file>]
+//       Replay a job log (mrts.joblog.v1, written via --job-log) through a
+//       fresh sim core and print every job's final record. Byte-identical
+//       to what the live server streamed for the same log — the serve-smoke
+//       CI job diffs the two.
+//
+// Exit code 0 on success, 1 on usage errors, 2 on input/runtime errors.
+
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "serve/serve_core.h"
+#include "serve/server.h"
+#include "util/cli_spec.h"
+
+namespace {
+
+using namespace mrts;
+using namespace mrts::serve;
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void handle_stop_signal(int) { g_stop = 1; }
+
+const CliSpec& cli_spec() {
+  static const CliSpec spec = [] {
+    CliSpec s("mrts_serve", "persistent mRTS job-ingestion server "
+                            "(mrts.wire.v1 over AF_UNIX)",
+              "exit codes: 0 success, 1 usage error, 2 input error");
+    CliVerb& main_verb = s.add_verb("", "", "");
+    main_verb.flags = {
+        {"--socket", "<path>", "AF_UNIX socket path to serve on (required "
+                               "unless --replay)"},
+        {"--prcs", "<n>", "resident fabric: FG containers (default 6)"},
+        {"--cg", "<n>", "resident fabric: CG fabrics (default 2)"},
+        {"--job-classes", "<n>", "synthetic kernel classes (default 4)"},
+        {"--max-blocks", "<n>", "per-job functional-block ceiling (default 64)"},
+        {"--macroblocks", "<n>", "macroblock-loop length per block (default 24)"},
+        {"--max-queue", "<n>", "queued-job ceiling (default 256)"},
+        {"--exit-after", "<sessions>",
+         "exit once this many sessions have closed (default 0 = run until "
+         "SIGINT/SIGTERM)"},
+        {"--job-log", "<file>", "write the mrts.joblog.v1 operation log at "
+                                "shutdown"},
+        {"--replay", "<joblog>", "replay a job log through a fresh sim core "
+                                 "instead of serving"},
+        {"--out", "<file>", "replay output file (default stdout)"},
+        {"--quiet", "", "suppress the shutdown accounting summary"},
+    };
+    return s;
+  }();
+  return spec;
+}
+
+int usage() {
+  std::fputs(cli_spec().help().c_str(), stderr);
+  return 1;
+}
+
+bool parse_unsigned(const char* text, std::uint64_t max, std::uint64_t* out) {
+  if (text == nullptr || *text == '\0') return false;
+  std::uint64_t n = 0;
+  for (const char* p = text; *p != '\0'; ++p) {
+    if (*p < '0' || *p > '9') return false;
+    if (n > max / 10) return false;
+    n = n * 10 + static_cast<std::uint64_t>(*p - '0');
+    if (n > max) return false;
+  }
+  *out = n;
+  return true;
+}
+
+int run_replay(const std::string& joblog_path, const std::string& out_path) {
+  std::ifstream in(joblog_path);
+  if (!in) {
+    std::fprintf(stderr, "error: cannot open '%s'\n", joblog_path.c_str());
+    return 2;
+  }
+  const ReplayResult result = replay_job_log(in);
+  if (!result.ok) {
+    std::fprintf(stderr, "error: %s\n", result.error.c_str());
+    return 2;
+  }
+  std::ostringstream os;
+  for (const ReplayJob& job : result.jobs) write_replay_record(os, job);
+  if (out_path.empty()) {
+    std::fputs(os.str().c_str(), stdout);
+    return 0;
+  }
+  std::ofstream out(out_path);
+  if (!out) {
+    std::fprintf(stderr, "error: cannot write '%s'\n", out_path.c_str());
+    return 2;
+  }
+  out << os.str();
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ServerConfig config;
+  std::string replay_path;
+  std::string out_path;
+
+  const CliVerb& verb = *cli_spec().verb("");
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help") {
+      std::fputs(cli_spec().help().c_str(), stdout);
+      return 0;
+    }
+    const CliFlag* flag = CliSpec::flag(verb, arg);
+    if (flag == nullptr) return usage();
+    const char* value = nullptr;
+    if (!flag->value.empty()) {
+      if (i + 1 >= argc) return usage();
+      value = argv[++i];
+    }
+    std::uint64_t n = 0;
+    if (arg == "--socket") {
+      config.socket_path = value;
+    } else if (arg == "--job-log") {
+      config.job_log_path = value;
+    } else if (arg == "--replay") {
+      replay_path = value;
+    } else if (arg == "--out") {
+      out_path = value;
+    } else if (arg == "--quiet") {
+      config.quiet = true;
+    } else if (arg == "--prcs" && parse_unsigned(value, 1024, &n) && n > 0) {
+      config.core.prcs = static_cast<unsigned>(n);
+    } else if (arg == "--cg" && parse_unsigned(value, 1024, &n) && n > 0) {
+      config.core.cg = static_cast<unsigned>(n);
+    } else if (arg == "--job-classes" && parse_unsigned(value, 64, &n) &&
+               n > 0) {
+      config.core.job_classes = static_cast<unsigned>(n);
+    } else if (arg == "--max-blocks" && parse_unsigned(value, 100000, &n) &&
+               n > 0) {
+      config.core.max_blocks = static_cast<unsigned>(n);
+    } else if (arg == "--macroblocks" && parse_unsigned(value, 100000, &n) &&
+               n > 0) {
+      config.core.macroblocks = static_cast<unsigned>(n);
+    } else if (arg == "--max-queue" && parse_unsigned(value, 1000000, &n) &&
+               n > 0) {
+      config.core.max_queue = static_cast<std::size_t>(n);
+    } else if (arg == "--exit-after" && parse_unsigned(value, 1u << 30, &n)) {
+      config.exit_after_sessions = n;
+    } else {
+      std::fprintf(stderr, "error: invalid value for %s: '%s'\n", arg.c_str(),
+                   value == nullptr ? "" : value);
+      return 2;
+    }
+  }
+
+  if (!replay_path.empty()) return run_replay(replay_path, out_path);
+  if (config.socket_path.empty()) return usage();
+
+  std::signal(SIGINT, handle_stop_signal);
+  std::signal(SIGTERM, handle_stop_signal);
+  // A client tearing down mid-write must not kill the server.
+  std::signal(SIGPIPE, SIG_IGN);
+
+  Server server(std::move(config));
+  std::string err;
+  if (!server.start(&err)) {
+    std::fprintf(stderr, "error: cannot listen: %s\n", err.c_str());
+    return 2;
+  }
+  return server.run(&g_stop);
+}
