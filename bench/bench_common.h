@@ -21,6 +21,7 @@
 #include "baselines/risc_only_rts.h"
 #include "rts/mrts.h"
 #include "sim/app_simulator.h"
+#include "sim/machine.h"
 #include "sim/metrics.h"
 #include "sim/sweep_runner.h"
 #include "util/counters.h"
@@ -63,12 +64,16 @@ struct EvalContext {
   AppRunResult run_mrts(unsigned cg, unsigned prcs, MRtsConfig config = {},
                         TraceRecorder* recorder = nullptr,
                         CounterRegistry* counters = nullptr) const {
-    MRts rts(app.library, cg, prcs, config);
-    // Attach through the RuntimeSystem base lifecycle API (a no-op on
-    // systems without observability), same as the CLI driver.
-    RuntimeSystem& base = rts;
+    // One single-core private-fabric machine per sweep point: the Machine
+    // performs exactly the legacy `MRts(lib, cg, prcs, config)` construction
+    // and the attach-before-run ordering (sim/machine.h).
+    MachineConfig mc;
+    mc.prcs = prcs;
+    mc.cg_fabrics = cg;
+    Machine machine(app.library, mc);
+    RuntimeSystem& base = machine.add_rts(config);
     if (recorder != nullptr || counters != nullptr) {
-      base.attach_observability(recorder, counters);
+      machine.attach_observability(recorder, counters);
     }
     return run_application(base, app.trace, recorder);
   }

@@ -32,7 +32,7 @@
 
 #include "bench_common.h"
 #include "isa/ise_builder.h"
-#include "sim/arbiter.h"
+#include "sim/machine.h"
 #include "sim/multi_app.h"
 #include "workload/workload_gen.h"
 
@@ -133,24 +133,29 @@ PointResult run_point(const PointKey& key) {
     }
   }
 
-  FabricManager shared(kCgFabrics, kPrcs, &combined.data_paths());
-  FabricArbiter arbiter(shared);
+  // One arbitrated machine per point (sim/machine.h): the machine owns the
+  // shared fabric + arbiter and builds the tenant-bound MRts instances,
+  // replacing the hand-wired FabricManager/FabricArbiter/MRts construction.
+  MachineConfig mc;
+  mc.prcs = kPrcs;
+  mc.cg_fabrics = kCgFabrics;
+  mc.tenancy = Tenancy::kArbitrated;
+  Machine machine(combined, mc);
+  FabricArbiter& arbiter = machine.arbiter();
   std::vector<FabricArbiter::Registration> regs;
-  std::vector<std::unique_ptr<MRts>> systems(key.tenants);
   std::vector<Task> tasks;
   PointResult result;
   for (unsigned i = 0; i < key.tenants; ++i) {
     const TenantPolicy policy = policy_for(key.scenario, i);
     regs.push_back(
-        arbiter.register_tenant("T" + std::to_string(i), policy));
+        machine.register_tenant("T" + std::to_string(i), policy));
     if (!regs.back().admitted) {
       ++result.bounced;
       continue;
     }
-    systems[i] = std::make_unique<MRts>(combined, arbiter.binding(regs[i].id));
     Task task;
     task.name = "T" + std::to_string(i);
-    task.rts = systems[i].get();
+    task.rts = &machine.add_rts(regs[i].id);
     task.trace = &traces[i];
     task.priority = policy.priority;
     task.tenant = regs[i].id;

@@ -1,0 +1,68 @@
+# CMP smoke for the run-cmp verb, run as a ctest via `cmake -P`: the CMP
+# scheduler must be deterministic (identical stdout run-to-run), must honour
+# the degenerate-case contract (one core at hop distance 1 completes in
+# exactly the cycles run-multi reports for the same workload), must charge
+# transfer cycles on non-flat topologies, and must hold the 0/1/2 exit-code
+# contract for malformed invocations.
+#
+# Inputs: -DMRTS_CLI=<path to mrts_cli> -DWORK_DIR=<scratch dir>
+
+if(NOT DEFINED MRTS_CLI OR NOT DEFINED WORK_DIR)
+  message(FATAL_ERROR "usage: cmake -DMRTS_CLI=... -DWORK_DIR=... -P cmp_smoke.cmake")
+endif()
+file(MAKE_DIRECTORY "${WORK_DIR}")
+
+function(run_cli out_var expected_rc)
+  execute_process(
+    COMMAND "${MRTS_CLI}" ${ARGN}
+    WORKING_DIRECTORY "${WORK_DIR}"
+    RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+  if(NOT rc EQUAL expected_rc)
+    message(FATAL_ERROR "'${ARGN}' exited ${rc}, expected ${expected_rc}:\n${out}${err}")
+  endif()
+  set(${out_var} "${out}" PARENT_SCOPE)
+endfunction()
+
+# --- 1. Determinism: the same invocation twice is byte-identical. -----------
+run_cli(first 0 run-cmp 4 4 2 6 A=weighted:3 B=reserved:1+1@2)
+run_cli(second 0 run-cmp 4 4 2 6 A=weighted:3 B=reserved:1+1@2)
+if(NOT first STREQUAL second)
+  message(FATAL_ERROR "run-cmp is not deterministic across runs")
+endif()
+
+# --- 2. Degenerate case: one core at distance 1 = run-multi's cycles. -------
+run_cli(cmp1 0 run-cmp 1 4 2 6 A=weighted:2)
+run_cli(multi 0 run-multi 4 2 6 A=weighted:2)
+string(REGEX MATCH "makespan ([0-9.]+) Mcycles" _ "${cmp1}")
+set(cmp_mcycles "${CMAKE_MATCH_1}")
+string(REGEX MATCH "total ([0-9.]+) Mcycles" _ "${multi}")
+set(multi_mcycles "${CMAKE_MATCH_1}")
+if(NOT cmp_mcycles OR NOT cmp_mcycles STREQUAL multi_mcycles)
+  message(FATAL_ERROR "one-core run-cmp makespan '${cmp_mcycles}' != "
+                      "run-multi total '${multi_mcycles}'")
+endif()
+if(NOT cmp1 MATCHES "port wait")
+  message(FATAL_ERROR "run-cmp table is missing the port-wait column:\n${cmp1}")
+endif()
+
+# --- 3. Topology: a hop stride charges transfer cycles; flat does not. ------
+run_cli(flat 0 run-cmp 3 4 2 6)
+run_cli(chain 0 run-cmp 3 4 2 6 --hop-stride 2)
+if(NOT chain MATCHES "\\| 5 +\\|")
+  message(FATAL_ERROR "stride-2 chain does not place core 2 at 5 hops:\n${chain}")
+endif()
+string(REGEX MATCHALL "\\| 0 +\\| 0 +\\|" flat_zero "${flat}")
+list(LENGTH flat_zero flat_zero_rows)
+if(flat_zero_rows EQUAL 0)
+  message(FATAL_ERROR "flat topology charged transfer cycles:\n${flat}")
+endif()
+
+# --- 4. Exit-code contract. -------------------------------------------------
+run_cli(_ 2 run-cmp 2 4 2 6 A=weighted:1 B=weighted:1 C=weighted:1) # specs > cores
+run_cli(_ 2 run-cmp 2 4 2 6 A=bogus)        # malformed policy: input error
+run_cli(_ 2 run-cmp 0 4 2 6)                # zero cores: input error
+run_cli(_ 1 run-cmp 2 4 2 6 --hop-stride)   # missing flag value: usage error
+run_cli(_ 1 run-cmp 2 4 2 6 --unknown-flag) # unknown flag: usage error
+run_cli(_ 1 run-cmp 2 4)                    # too few positionals: usage error
+
+message(STATUS "cmp smoke OK: deterministic, degenerate-exact, 0/1/2 contract holds")

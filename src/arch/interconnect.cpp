@@ -1,16 +1,49 @@
 #include "arch/interconnect.h"
 
 #include <cstdlib>
+#include <stdexcept>
 
 namespace mrts {
 
-Interconnect::Interconnect(InterconnectParams params) : params_(params) {}
+Interconnect::Interconnect(InterconnectParams params)
+    : params_(std::move(params)) {
+  for (const unsigned d : params_.core_hop_distance) {
+    if (d == 0) {
+      throw std::invalid_argument(
+          "Interconnect: core hop distances must be >= 1");
+    }
+  }
+}
+
+unsigned Interconnect::core_distance(unsigned core) const {
+  const auto& hops = params_.core_hop_distance;
+  if (core < hops.size()) return hops[core];
+  // Past the configured prefix the chain keeps growing one hop per core, so
+  // a partially specified topology stays monotone instead of snapping back
+  // to distance 1.
+  if (hops.empty()) return 1;
+  return hops.back() + (core - static_cast<unsigned>(hops.size()) + 1);
+}
+
+Cycles Interconnect::core_extra_cycles(unsigned core) const {
+  return params_.core_link_cycles *
+         static_cast<Cycles>(core_distance(core) - 1);
+}
 
 Cycles Interconnect::transfer_cycles(const NodeAddr& src,
                                      const NodeAddr& dst) const {
   if (src == dst) return 0;
+  if (src.kind == NodeKind::kCore && dst.kind == NodeKind::kCore) {
+    // Core-to-core traffic routes through the fabric complex the chain hangs
+    // off: both chain segments are traversed.
+    return params_.core_link_cycles *
+           static_cast<Cycles>(core_distance(src.index) +
+                               core_distance(dst.index));
+  }
   if (src.kind == NodeKind::kCore || dst.kind == NodeKind::kCore) {
-    return params_.core_link_cycles;
+    const unsigned core =
+        src.kind == NodeKind::kCore ? src.index : dst.index;
+    return params_.core_link_cycles * static_cast<Cycles>(core_distance(core));
   }
   if (src.kind == NodeKind::kCgFabric && dst.kind == NodeKind::kCgFabric) {
     const unsigned lo = std::min(src.index, dst.index);

@@ -5,7 +5,15 @@
 ///   * communication within the FG fabric (between PRCs): 1 cycle.
 /// The model is a static topology with hop counting; it is consulted when
 /// composing multi-data-path ISEs to charge transfer cycles between the data
-/// paths mapped to different fabric elements.
+/// paths mapped to different fabric elements, and by the CMP scheduler
+/// (sim/cmp.h) to charge per-core operand transfers to the shared fabric.
+///
+/// Cores form a linear chain hanging off the fabric complex (the same shape
+/// as the CG chain): core c sits `core_hop_distance[c]` hops away from the
+/// fabric, so a core<->fabric transfer costs `core_link_cycles * distance`.
+/// An empty distance vector puts every core at distance 1, which reproduces
+/// the historical flat `core_link_cycles` cost exactly — the single-core
+/// degenerate case, pinned by tests/test_scratchpad_interconnect.cpp.
 
 #include <cstdint>
 #include <vector>
@@ -20,8 +28,26 @@ enum class NodeKind : std::uint8_t { kCore, kCgFabric, kPrc };
 struct InterconnectParams {
   Cycles cg_hop_cycles = 2;     ///< CG <-> CG point-to-point link
   Cycles prc_hop_cycles = 1;    ///< PRC <-> PRC inside the FG fabric
-  Cycles core_link_cycles = 2;  ///< core <-> any fabric
+  Cycles core_link_cycles = 2;  ///< core <-> any fabric, per core hop
   Cycles cross_grain_cycles = 3;  ///< CG <-> FG (via shared scratch pad)
+  /// Hop distance of each core to the fabric complex (index = core index).
+  /// Empty = every core at distance 1 (the legacy flat model). Cores beyond
+  /// the vector continue the chain at one extra hop per index, so a partial
+  /// vector still yields a well-defined topology. All entries must be >= 1
+  /// (the Interconnect constructor validates).
+  std::vector<unsigned> core_hop_distance;
+
+  /// A linear chain of \p cores cores with \p stride extra hops per index:
+  /// core c at distance 1 + c * stride. stride 0 is the flat/degenerate
+  /// topology (every core at distance 1).
+  static InterconnectParams linear_chain(unsigned cores, unsigned stride) {
+    InterconnectParams p;
+    p.core_hop_distance.reserve(cores);
+    for (unsigned c = 0; c < cores; ++c) {
+      p.core_hop_distance.push_back(1 + c * stride);
+    }
+    return p;
+  }
 };
 
 /// Endpoint address: kind plus index within the kind.
@@ -34,12 +60,25 @@ struct NodeAddr {
 
 /// Computes transfer latencies between nodes. CG fabrics form a linear
 /// point-to-point chain (hop count = index distance); PRCs share an intra-FPGA
-/// network (1 cycle between any two).
+/// network (1 cycle between any two); cores hang off the fabric complex on a
+/// linear chain with per-core hop distances.
 class Interconnect {
  public:
+  /// Throws std::invalid_argument when a core hop distance is zero.
   explicit Interconnect(InterconnectParams params = {});
 
   const InterconnectParams& params() const { return params_; }
+
+  /// Hop distance of \p core to the fabric complex (>= 1). Cores beyond the
+  /// configured vector continue the chain one hop further per index.
+  unsigned core_distance(unsigned core) const;
+
+  /// Extra cycles one core<->fabric transfer costs for \p core compared to
+  /// the flat (distance-1) model: core_link_cycles * (distance - 1). Zero
+  /// for every core in the degenerate topology — the CMP scheduler charges
+  /// exactly this on top of the legacy timeline, so zero extra hops
+  /// reproduce run_multi_tenant bit-exactly.
+  Cycles core_extra_cycles(unsigned core) const;
 
   /// Latency of moving one operand (register-sized word) from \p src to
   /// \p dst. Zero when src == dst.

@@ -50,8 +50,10 @@
 // Simulation & workloads
 #include "sim/app_simulator.h"
 #include "sim/arbiter.h"
+#include "sim/cmp.h"
 #include "sim/energy.h"
 #include "sim/fb_simulator.h"
+#include "sim/machine.h"
 #include "sim/metrics.h"
 #include "sim/iss_bridge.h"
 #include "sim/multi_app.h"

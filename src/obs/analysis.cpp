@@ -9,7 +9,9 @@ bool is_fg_track(std::int32_t track) {
   return track >= kTrackFgBase && track < kTrackCgBase;
 }
 
-bool is_cg_track(std::int32_t track) { return track >= kTrackCgBase; }
+bool is_cg_track(std::int32_t track) {
+  return track >= kTrackCgBase && track < kTrackCoreBase;
+}
 
 }  // namespace
 

@@ -87,6 +87,27 @@ CycleAccounting account_cycles(const std::vector<TraceEvent>& events,
     acc.tenants.push_back(std::move(row));
   }
 
+  // CMP per-core rows from core.slice spans: the slice's interconnect
+  // transfer cycles (v0) play the role of the stall bucket.
+  std::map<std::uint32_t, std::vector<BlockSpan>> by_core;
+  for (const TraceEvent& e : events) {
+    if (e.kind != TraceEventKind::kCoreSlice) continue;
+    BlockSpan b;
+    b.at = e.at;
+    b.end = e.at + e.duration;
+    b.stall = std::min(e.duration, static_cast<Cycles>(e.v0));
+    b.tenant = e.tenant;
+    by_core[e.arg0].push_back(b);
+  }
+  for (auto& [core, slices] : by_core) {
+    std::sort(slices.begin(), slices.end(),
+              [](const BlockSpan& a, const BlockSpan& b) { return a.at < b.at; });
+    AccountingRow row;
+    row.key = "core" + std::to_string(core);
+    account_blocks(row, slices, acc.span_begin, acc.span_end);
+    acc.cores.push_back(std::move(row));
+  }
+
   for (const UnitTimeline& tl : occupancy.units) {
     AccountingRow row;
     row.key = tl.name;

@@ -20,6 +20,12 @@
 ///  * unit (fg*/cg*) — mapped from its occupancy timeline: ready ->
 ///    execute, loading -> reconfig-stall, repairing -> scrub-repair,
 ///    empty/quarantined -> pure-idle (arbiter-idle stays 0).
+///  * CMP core (core<i>) — from the core.slice events of a run_cmp trace
+///    (sim/cmp.h): execute is slice time net of interconnect transfers,
+///    reconfig-stall is those transfer cycles (v0), gaps between slices are
+///    arbiter-idle and the lead-in/tail pure-idle. Single-core traces have
+///    no core.slice events and produce no rows, so legacy reports are
+///    unchanged.
 
 #include <array>
 #include <cstdint>
@@ -68,6 +74,9 @@ struct CycleAccounting {
   std::vector<AccountingRow> tenants;
   /// One row per fabric unit, FG first ("fg0".."cgN"), from \p occupancy.
   std::vector<AccountingRow> units;
+  /// One row per CMP core observed on core.slice events ("core<i>",
+  /// ascending core index). Empty for single-core traces.
+  std::vector<AccountingRow> cores;
 };
 
 /// Accounts \p events against the occupancy timelines (computed by the

@@ -66,8 +66,18 @@ void write_report_json(std::ostream& os, const RunReport& r) {
     os << (i == 0 ? "\n" : ",\n");
     json_row(os, r.accounting.units[i], "row", "      ");
   }
-  os << (r.accounting.units.empty() ? "" : "\n    ") << "]\n";
-  os << "  },\n";
+  os << (r.accounting.units.empty() ? "" : "\n    ") << "]";
+  // CMP per-core rows exist only for run_cmp traces; the key is omitted
+  // entirely otherwise so single-core reports stay byte-identical.
+  if (!r.accounting.cores.empty()) {
+    os << ",\n    \"cores\": [";
+    for (std::size_t i = 0; i < r.accounting.cores.size(); ++i) {
+      os << (i == 0 ? "\n" : ",\n");
+      json_row(os, r.accounting.cores[i], "row", "      ");
+    }
+    os << "\n    ]";
+  }
+  os << "\n  },\n";
 
   os << "  \"occupancy\": {\n";
   os << "    \"fg_utilization\": " << fmt(r.occupancy.fg_utilization) << ",\n";
@@ -138,6 +148,7 @@ void write_report_csv(std::ostream& os, const RunReport& r) {
   csv_row(r.accounting.core);
   for (const AccountingRow& row : r.accounting.tenants) csv_row(row);
   for (const AccountingRow& row : r.accounting.units) csv_row(row);
+  for (const AccountingRow& row : r.accounting.cores) csv_row(row);
   os << "occupancy,fabric,fg_utilization," << fmt(r.occupancy.fg_utilization)
      << "\n";
   os << "occupancy,fabric,cg_utilization," << fmt(r.occupancy.cg_utilization)
@@ -193,6 +204,7 @@ void write_report_markdown(std::ostream& os, const RunReport& r) {
   md_row(r.accounting.core);
   for (const AccountingRow& row : r.accounting.tenants) md_row(row);
   for (const AccountingRow& row : r.accounting.units) md_row(row);
+  for (const AccountingRow& row : r.accounting.cores) md_row(row);
 
   os << "\n## Occupancy\n\n";
   os << "- FG utilization: " << fmt(r.occupancy.fg_utilization) << "\n";

@@ -85,24 +85,27 @@ ServeCore::ServeCore(const ServeConfig& config) : config_(config) {
     build.cg_data_dps = 1;
     kernels_.push_back(build_kernel_ises(library_, build));
   }
-  fabric_ = std::make_unique<FabricManager>(config_.cg, config_.prcs,
-                                            &library_.data_paths());
-  arbiter_ = std::make_unique<FabricArbiter>(*fabric_);
+  MachineConfig machine_config;
+  machine_config.prcs = config_.prcs;
+  machine_config.cg_fabrics = config_.cg;
+  machine_config.tenancy = Tenancy::kArbitrated;
+  machine_ = std::make_unique<Machine>(library_, machine_config);
 
   std::ostringstream header;
   header << "mrts.joblog.v1 prcs=" << config_.prcs << " cg=" << config_.cg
          << " job_classes=" << config_.job_classes
          << " max_blocks=" << config_.max_blocks
          << " macroblocks=" << config_.macroblocks
-         << " max_queue=" << config_.max_queue;
+         << " max_queue=" << config_.max_queue
+         << " retain_jobs=" << config_.retain_jobs;
   log_.push_back(header.str());
 }
 
 ServeCore::~ServeCore() {
-  // The fabric holds recorder_/counters_ pointers once a job attached them;
-  // arbiter_ detaches from the fabric in its own destructor. Member order
-  // (recorder_/counters_ before fabric_ before arbiter_... reversed on
-  // destruction) keeps every raw pointer valid until its holder is gone.
+  // The machine's fabric holds recorder_/counters_ pointers once a job
+  // attached them; the machine destroys arbiter-then-fabric itself. Member
+  // order (recorder_/counters_ before machine_... reversed on destruction)
+  // keeps every raw pointer valid until its holder is gone.
 }
 
 bool ServeCore::validate_spec(const SubmitFrame& spec, std::string* err) const {
@@ -165,12 +168,13 @@ std::uint64_t ServeCore::submit(std::uint32_t owner, const SubmitFrame& spec) {
   policy.reserved_cg = spec.reserved_cg;
   policy.priority = spec.priority;
   const FabricArbiter::Registration reg =
-      arbiter_->register_tenant(spec.name, policy);
+      machine_->register_tenant(spec.name, policy);
   job.tenant = reg.id;
   if (!reg.admitted) {
     job.state = JobState::kBounced;
     job.reason = reg.reason;
-    arbiter_->release_tenant(reg.id);
+    ++bounced_;
+    machine_->arbiter().release_tenant(reg.id);
     return id;
   }
   queue_.push_back(id);
@@ -199,18 +203,20 @@ void ServeCore::run_job(JobRecord& job) {
     w.trace.blocks.push_back(std::move(inst));
   }
 
-  MRts rts(library_, arbiter_->binding(job.tenant));
-  rts.attach_observability(&recorder_, &counters_);
+  // Caller-owned machine build (sim/machine.h make_rts): the instance dies
+  // with this job, exactly like the hand-constructed MRts it replaces.
+  const std::unique_ptr<MRts> rts = machine_->make_rts(job.tenant, {});
+  rts->attach_observability(&recorder_, &counters_);
 
   Task task;
   task.name = job.spec.name;
-  task.rts = &rts;
+  task.rts = rts.get();
   task.trace = &w.trace;
   task.recorder = &recorder_;
   task.priority = job.spec.priority;
   task.tenant = job.tenant;
   const MultiTenantResult result =
-      run_multi_tenant({task}, arbiter_.get(), clock_);
+      run_multi_tenant({task}, &machine_->arbiter(), clock_);
   clock_ += result.total_cycles;
 
   const MultiTenantTaskResult& tr = result.tasks.front();
@@ -219,7 +225,8 @@ void ServeCore::run_job(JobRecord& job) {
     // reservation): surfaced exactly like a submit-time bounce.
     job.state = JobState::kBounced;
     job.reason = tr.admission_reason;
-    arbiter_->release_tenant(job.tenant);
+    ++bounced_;
+    machine_->arbiter().release_tenant(job.tenant);
     return;
   }
 
@@ -243,8 +250,9 @@ void ServeCore::run_job(JobRecord& job) {
   }
   job.counters_delta = delta.str();
 
-  arbiter_->release_tenant(job.tenant);
+  machine_->arbiter().release_tenant(job.tenant);
   job.state = JobState::kDone;
+  ++done_;
 }
 
 bool ServeCore::run_next() {
@@ -278,8 +286,9 @@ bool ServeCore::cancel(std::uint64_t job_id, std::uint32_t owner,
     return true;
   }
   queue_.erase(std::find(queue_.begin(), queue_.end(), job_id));
-  arbiter_->release_tenant(job.tenant);
+  machine_->arbiter().release_tenant(job.tenant);
   job.state = JobState::kCancelled;
+  ++cancelled_;
   job.reason = "cancelled by client";
   log_.push_back("cancel " + std::to_string(job_id));
   if (cancelled != nullptr) *cancelled = true;
@@ -339,7 +348,24 @@ bool ServeCore::status(std::uint64_t job_id, JobStatusFrame* out) {
     case JobState::kCancelled:
       break;
   }
+  // The poll has now seen the record's final state (for done jobs that
+  // includes the report payload, delivered just above): mark it for FIFO
+  // reclaim. May erase `job` itself when retain_jobs is 0 — nothing below
+  // touches it.
+  if (job.state != JobState::kQueued && !job.retired &&
+      (job.state != JobState::kDone || job.report_delivered)) {
+    retire(job);
+  }
   return true;
+}
+
+void ServeCore::retire(JobRecord& job) {
+  job.retired = true;
+  retired_.push_back(job.id);
+  while (retired_.size() > config_.retain_jobs) {
+    jobs_.erase(retired_.front());
+    retired_.pop_front();
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -394,13 +420,17 @@ ReplayResult replay_job_log(std::istream& in) {
   }
   std::uint64_t prcs = 0, cg = 0, classes = 0, max_blocks = 0,
                 macroblocks = 0, max_queue = 0;
+  // Optional field: logs written before the retention GC existed omit it.
+  // Replays never poll status(), so the value is config-only here anyway.
+  std::uint64_t retain_jobs = ServeConfig{}.retain_jobs;
   for (std::size_t i = 1; i < header.size(); ++i) {
     const std::string& tok = header[i];
     if (!parse_kv(tok, "prcs", &prcs) && !parse_kv(tok, "cg", &cg) &&
         !parse_kv(tok, "job_classes", &classes) &&
         !parse_kv(tok, "max_blocks", &max_blocks) &&
         !parse_kv(tok, "macroblocks", &macroblocks) &&
-        !parse_kv(tok, "max_queue", &max_queue)) {
+        !parse_kv(tok, "max_queue", &max_queue) &&
+        !parse_kv(tok, "retain_jobs", &retain_jobs)) {
       return fail(1, "unknown header field '" + tok + "'");
     }
   }
@@ -415,6 +445,7 @@ ReplayResult replay_job_log(std::istream& in) {
   config.max_blocks = static_cast<unsigned>(max_blocks);
   config.macroblocks = static_cast<unsigned>(macroblocks);
   config.max_queue = static_cast<std::size_t>(max_queue);
+  config.retain_jobs = static_cast<std::size_t>(retain_jobs);
   result.config = config;
 
   ServeCore core(config);

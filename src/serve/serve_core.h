@@ -24,6 +24,7 @@
 #include "isa/ise_library.h"
 #include "serve/wire.h"
 #include "sim/arbiter.h"
+#include "sim/machine.h"
 #include "util/counters.h"
 #include "util/trace.h"
 #include "util/types.h"
@@ -40,6 +41,14 @@ struct ServeConfig {
   unsigned max_blocks = 64;   ///< SUBMIT blocks must be in [1, max_blocks]
   unsigned macroblocks = 24;  ///< macroblock loop length per functional block
   std::size_t max_queue = 256;  ///< queued-job ceiling (kQueueFull beyond)
+  /// Finished job records kept around for late polls after their payload
+  /// was delivered. A record is retired once a status() poll has seen its
+  /// final state (for done jobs: once the report-carrying poll happened);
+  /// the oldest retired records beyond this bound are reclaimed FIFO, after
+  /// which their id polls as kUnknownJob. Bounds resident memory under an
+  /// unbounded job stream; never reclaims undelivered reports or queued
+  /// jobs, and never fires during a job-log replay (replays do not poll).
+  std::size_t retain_jobs = 1024;
 };
 
 /// Job lifecycle inside the core. v1 runs jobs one at a time, so there is
@@ -70,6 +79,9 @@ struct JobRecord {
   std::string report_json;     ///< obs/report_io.h JSON of the job's trace
   std::string counters_delta;  ///< "name +delta" lines, sorted by name
   bool report_delivered = false;
+  /// Queued for FIFO reclaim (ServeConfig::retain_jobs): the record's final
+  /// state has been polled and it holds no undelivered payload.
+  bool retired = false;
 };
 
 class ServeCore {
@@ -130,9 +142,20 @@ class ServeCore {
   bool draining() const { return draining_; }
 
   std::size_t queue_depth() const { return queue_.size(); }
-  std::size_t jobs_created() const { return jobs_.size(); }
+  /// Ids handed out so far (ids are dense from 1, never reused). Counts
+  /// records even after the retention GC reclaimed them.
+  std::size_t jobs_created() const {
+    return static_cast<std::size_t>(next_job_id_ - 1);
+  }
+  /// Records currently resident in memory; bounded by the queue depth plus
+  /// undelivered results plus ServeConfig::retain_jobs retired records.
+  std::size_t resident_jobs() const { return jobs_.size(); }
+  /// Lifetime per-final-state tallies (survive record reclamation).
+  std::uint64_t jobs_done() const { return done_; }
+  std::uint64_t jobs_bounced() const { return bounced_; }
+  std::uint64_t jobs_cancelled() const { return cancelled_; }
   Cycles clock() const { return clock_; }
-  const FabricArbiter& arbiter() const { return *arbiter_; }
+  const FabricArbiter& arbiter() const { return machine_->arbiter(); }
 
   /// The operation log: header line plus one line per submit/run/cancel, in
   /// execution order (`mrts.joblog.v1`, docs/SERVING.md). Feeding it to
@@ -144,6 +167,9 @@ class ServeCore {
 
   void run_job(JobRecord& job);
   void log_submit(const JobRecord& job);
+  /// Marks a polled terminal record for FIFO reclaim and evicts the oldest
+  /// retired records beyond ServeConfig::retain_jobs.
+  void retire(JobRecord& job);
 
   ServeConfig config_;
   bool draining_ = false;
@@ -151,16 +177,21 @@ class ServeCore {
 
   IseLibrary library_;
   std::vector<KernelId> kernels_;  ///< one per job class
-  // recorder_/counters_ before fabric_: the fabric holds pointers to them
-  // once the first job attaches observability.
+  // recorder_/counters_ before machine_: the machine's fabric holds
+  // pointers to them once the first job attaches observability.
   TraceRecorder recorder_;
   CounterRegistry counters_;
-  std::unique_ptr<FabricManager> fabric_;
-  std::unique_ptr<FabricArbiter> arbiter_;
+  /// The resident topology (sim/machine.h, arbitrated tenancy): owns the
+  /// shared fabric + arbiter and builds the per-job MRts instances.
+  std::unique_ptr<Machine> machine_;
 
   std::map<std::uint64_t, JobRecord> jobs_;
   std::deque<std::uint64_t> queue_;
+  std::deque<std::uint64_t> retired_;  ///< reclaim order (oldest first)
   std::uint64_t next_job_id_ = 1;
+  std::uint64_t done_ = 0;
+  std::uint64_t bounced_ = 0;
+  std::uint64_t cancelled_ = 0;
   std::vector<std::string> log_;
 };
 

@@ -189,16 +189,11 @@ void Server::write_job_log() const {
 
 void Server::print_summary() const {
   if (config_.quiet) return;
-  std::uint64_t done = 0;
-  std::uint64_t bounced = 0;
-  std::uint64_t cancelled = 0;
-  for (std::uint64_t id = 1; id <= core_.jobs_created(); ++id) {
-    const JobRecord* job = core_.job(id);
-    if (job == nullptr) continue;
-    if (job->state == JobState::kDone) ++done;
-    if (job->state == JobState::kBounced) ++bounced;
-    if (job->state == JobState::kCancelled) ++cancelled;
-  }
+  // Lifetime counters, not a record walk: the retention GC (ServeConfig::
+  // retain_jobs) may have reclaimed old records by now.
+  const std::uint64_t done = core_.jobs_done();
+  const std::uint64_t bounced = core_.jobs_bounced();
+  const std::uint64_t cancelled = core_.jobs_cancelled();
   std::printf("mrts_serve: shutdown clean\n");
   std::printf("sessions opened=%llu closed=%llu leaked=%llu\n",
               static_cast<unsigned long long>(stats_.sessions_opened),

@@ -1,0 +1,108 @@
+#include "sim/cmp.h"
+
+#include <limits>
+
+#include "arch/fabric_manager.h"
+#include "util/trace.h"
+
+namespace mrts {
+
+CmpResult run_cmp(const std::vector<CmpCore>& cores,
+                  const Interconnect& interconnect, FabricArbiter* arbiter,
+                  const CmpParams& params) {
+  CmpResult result;
+  if (cores.empty()) return result;
+
+  // Validation + admission happen per core at construction, in core order:
+  // with one core this is exactly run_multi_tenant's up-front pass.
+  std::vector<TaskStream> streams;
+  streams.reserve(cores.size());
+  for (const CmpCore& core : cores) {
+    streams.emplace_back(core.tasks, arbiter, core.start, "run_cmp");
+  }
+
+  std::vector<Cycles> extra_per_block(cores.size());
+  for (std::size_t c = 0; c < cores.size(); ++c) {
+    extra_per_block[c] =
+        static_cast<Cycles>(params.transfers_per_block) *
+        interconnect.core_extra_cycles(static_cast<unsigned>(c));
+  }
+
+  result.cores.resize(cores.size());
+
+  // Single reconfiguration port of the pooled fabric: when the port drains
+  // after the latest fabric-mutating slice (the fabric's own streamed-load
+  // backlog, fg_port_free_at) and which core ran it. A later core whose
+  // mutating slice begins inside that window waits out the overlap.
+  Cycles port_busy_until = 0;
+  std::size_t port_owner = cores.size();
+
+  for (;;) {
+    // Advance the unfinished core whose local clock is earliest, so shared-
+    // fabric mutations interleave in global timestamp order.
+    std::size_t pick = cores.size();
+    for (std::size_t c = 0; c < cores.size(); ++c) {
+      if (streams[c].done()) continue;
+      if (pick == cores.size() || streams[c].cursor() < streams[pick].cursor()) {
+        pick = c;
+      }
+    }
+    if (pick == cores.size()) break;
+
+    TaskStream& stream = streams[pick];
+    const std::uint64_t epoch_before =
+        params.fabric != nullptr ? params.fabric->state_epoch() : 0;
+    const TaskStream::Turn turn = stream.step(extra_per_block[pick]);
+    if (!turn.ran) continue;
+
+    CmpCoreResult& core_result = result.cores[pick];
+    core_result.interconnect_cycles += turn.extra;
+
+    Cycles wait = 0;
+    const bool mutated = params.fabric != nullptr &&
+                         params.fabric->state_epoch() != epoch_before;
+    if (mutated) {
+      ++core_result.reconfig_slices;
+      if (port_owner != cores.size() && port_owner != pick &&
+          turn.begin < port_busy_until) {
+        wait = port_busy_until - turn.begin;
+        stream.charge(turn.task, wait);
+        core_result.port_wait_cycles += wait;
+      }
+      port_busy_until = params.fabric->fg_port_free_at(turn.begin);
+      port_owner = pick;
+    }
+
+    const Task& task = stream.task(turn.task);
+    if (task.recorder != nullptr) {
+      const auto core_idx = static_cast<std::uint32_t>(pick);
+      const std::int32_t track =
+          kTrackCoreBase + static_cast<std::int32_t>(pick);
+      task.recorder->record({TraceEventKind::kCoreSlice, track, turn.begin,
+                             stream.cursor() - turn.begin, core_idx,
+                             turn.blocks, static_cast<double>(turn.extra),
+                             static_cast<double>(wait), task.tenant});
+      if (turn.extra > 0) {
+        task.recorder->record(
+            {TraceEventKind::kCoreTransfer, track, turn.begin, turn.extra,
+             core_idx, params.transfers_per_block * turn.blocks,
+             static_cast<double>(
+                 interconnect.core_distance(static_cast<unsigned>(pick))),
+             0.0, task.tenant});
+      }
+    }
+  }
+
+  Cycles earliest_start = std::numeric_limits<Cycles>::max();
+  Cycles latest_end = 0;
+  for (std::size_t c = 0; c < cores.size(); ++c) {
+    result.cores[c].run = streams[c].take_result();
+    earliest_start = std::min(earliest_start, cores[c].start);
+    latest_end =
+        std::max(latest_end, cores[c].start + result.cores[c].run.total_cycles);
+  }
+  result.total_cycles = latest_end - earliest_start;
+  return result;
+}
+
+}  // namespace mrts

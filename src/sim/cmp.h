@@ -1,0 +1,88 @@
+#pragma once
+/// \file cmp.h
+/// Chip-multiprocessor simulation: N RISC cores, each running its own task
+/// stream with its own RTS instances, contending for one shared PRC/CG pool
+/// over the modeled interconnect (arch/interconnect.h). This generalizes
+/// run_multi_tenant (sim/multi_app.h) from one core to N by driving one
+/// TaskStream per core turn-by-turn in global-time order:
+///
+///   * each scheduling turn advances the unfinished core whose local clock is
+///     earliest (ties break to the lowest core index), so mutations of the
+///     shared fabric — installations, evictions, arbitration — interleave in
+///     timestamp order exactly as they would on the single reconfiguration
+///     port of the pooled fabric;
+///   * every functional block charges its operand traffic to the shared pool
+///     through the interconnect: transfers_per_block transfers, each costing
+///     core_extra_cycles(core) on top of the flat link cost already folded
+///     into the block timings (so the canonical distance-1 topology adds
+///     exactly zero);
+///   * fabric-mutating slices (state-epoch change) contend for the single
+///     reconfiguration port: after such a slice the port stays busy until
+///     the fabric's streamed-load backlog drains (fg_port_free_at), and the
+///     next core whose mutating slice begins inside that window pays the
+///     overlap as port-wait cycles.
+///
+/// Degenerate-case contract (pinned by tests/test_cmp.cpp): one core at hop
+/// distance 1 reproduces run_multi_tenant bit-exactly — same results, same
+/// trace events (modulo the purely additive core.slice markers).
+
+#include <vector>
+
+#include "arch/interconnect.h"
+#include "sim/multi_app.h"
+
+namespace mrts {
+
+class FabricManager;
+
+/// One core of the CMP: its task stream plus the scheduling start offset of
+/// its local clock.
+struct CmpCore {
+  std::vector<Task> tasks;
+  Cycles start = 0;
+};
+
+struct CmpParams {
+  /// Operand transfers between the core and the shared fabric charged per
+  /// executed functional block. Each costs core_extra_cycles(core), i.e.
+  /// zero at hop distance 1.
+  unsigned transfers_per_block = 2;
+  /// Fabric whose state epoch detects reconfiguring slices for the
+  /// port-contention model; null disables contention accounting (e.g. when
+  /// cores run on private fabrics).
+  const FabricManager* fabric = nullptr;
+};
+
+/// Per-core outcome: the core's multi-tenant result plus the CMP-specific
+/// charges broken out.
+struct CmpCoreResult {
+  MultiTenantResult run;
+  /// Total interconnect transfer cycles charged to this core's blocks
+  /// (already included in run's cycle totals).
+  Cycles interconnect_cycles = 0;
+  /// Reconfiguration-port wait charged to this core (already included).
+  Cycles port_wait_cycles = 0;
+  /// Scheduling turns in which this core's slice mutated the shared fabric.
+  std::uint64_t reconfig_slices = 0;
+};
+
+struct CmpResult {
+  /// Makespan: latest local completion time across cores, minus the earliest
+  /// start.
+  Cycles total_cycles = 0;
+  std::vector<CmpCoreResult> cores;
+};
+
+/// Runs every core's task stream to completion over the shared fabric.
+/// Validation mirrors run_multi_tenant (std::invalid_argument, messages
+/// prefixed "run_cmp: "); an empty core list yields an empty result.
+/// With one core whose hop distance is 1 the result (and each task
+/// recorder's event stream, minus core.slice/core.transfer events) is
+/// bit-identical to run_multi_tenant(cores[0].tasks, arbiter,
+/// cores[0].start).
+CmpResult run_cmp(const std::vector<CmpCore>& cores,
+                  const Interconnect& interconnect,
+                  FabricArbiter* arbiter = nullptr,
+                  const CmpParams& params = {});
+
+}  // namespace mrts

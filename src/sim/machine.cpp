@@ -1,0 +1,96 @@
+#include "sim/machine.h"
+
+#include <stdexcept>
+
+namespace mrts {
+
+Machine::Machine(const IseLibrary& lib, MachineConfig config)
+    : lib_(&lib),
+      config_(std::move(config)),
+      interconnect_(config_.interconnect) {
+  if (config_.cores == 0) {
+    throw std::invalid_argument("Machine: zero cores");
+  }
+  if (config_.tenancy != Tenancy::kPrivate) {
+    fabric_ = std::make_unique<FabricManager>(config_.cg_fabrics, config_.prcs,
+                                              &lib_->data_paths());
+    if (config_.tenancy == Tenancy::kArbitrated) {
+      arbiter_ = std::make_unique<FabricArbiter>(*fabric_);
+    }
+  }
+}
+
+// Out of line so the unique_ptr members destroy in declaration-reverse
+// order with complete types: RTS instances first, then the arbiter (which
+// detaches from the fabric), then the fabric.
+Machine::~Machine() = default;
+
+FabricManager& Machine::fabric() {
+  if (fabric_ == nullptr) {
+    throw std::logic_error("Machine: private-tenancy machines have no shared "
+                           "fabric");
+  }
+  return *fabric_;
+}
+
+FabricArbiter& Machine::arbiter() {
+  if (arbiter_ == nullptr) {
+    throw std::logic_error("Machine: no arbiter (tenancy is not arbitrated)");
+  }
+  return *arbiter_;
+}
+
+FabricArbiter::Registration Machine::register_tenant(std::string name,
+                                                     TenantPolicy policy) {
+  return arbiter().register_tenant(std::move(name), std::move(policy));
+}
+
+RuntimeSystem& Machine::add_rts() { return add_rts(config_.rts); }
+
+RuntimeSystem& Machine::add_rts(const MRtsConfig& config) {
+  switch (config_.tenancy) {
+    case Tenancy::kPrivate:
+      owned_.push_back(std::make_unique<MRts>(*lib_, config_.cg_fabrics,
+                                              config_.prcs, config));
+      break;
+    case Tenancy::kShared:
+      owned_.push_back(std::make_unique<MRts>(*lib_, *fabric_, config));
+      break;
+    case Tenancy::kArbitrated:
+      throw std::logic_error(
+          "Machine: arbitrated machines build tenant-bound instances — use "
+          "add_rts(tenant)");
+  }
+  return *owned_.back();
+}
+
+RuntimeSystem& Machine::add_rts(TenantId tenant) {
+  return add_rts(tenant, config_.rts);
+}
+
+RuntimeSystem& Machine::add_rts(TenantId tenant, const MRtsConfig& config) {
+  owned_.push_back(make_rts(tenant, config));
+  return *owned_.back();
+}
+
+std::unique_ptr<MRts> Machine::make_rts(TenantId tenant,
+                                        const MRtsConfig& config) {
+  return std::make_unique<MRts>(*lib_, arbiter().binding(tenant), config);
+}
+
+void Machine::attach_observability(TraceRecorder* trace,
+                                   CounterRegistry* counters) {
+  for (const auto& rts : owned_) {
+    rts->attach_observability(trace, counters);
+  }
+}
+
+bool Machine::attach_fault_model(FaultModel* model) {
+  bool any = false;
+  for (const auto& rts : owned_) {
+    any = rts->attach_fault_model(model) || any;
+  }
+  return any;
+}
+
+}  // namespace mrts

@@ -24,33 +24,34 @@ bool strictly_better(const Task& a, const Task& b) {
 
 }  // namespace
 
-MultiTenantResult run_multi_tenant(const std::vector<Task>& tasks,
-                                   FabricArbiter* arbiter, Cycles start) {
+TaskStream::TaskStream(const std::vector<Task>& tasks, FabricArbiter* arbiter,
+                       Cycles start, const char* who)
+    : tasks_(&tasks), start_(start), cursor_(start), last_(tasks.size() - 1) {
+  const std::string prefix = std::string(who) + ": ";
   for (const Task& t : tasks) {
     if (t.rts == nullptr || t.trace == nullptr) {
-      throw std::invalid_argument("run_multi_tenant: null task member");
+      throw std::invalid_argument(prefix + "null task member");
     }
     if (t.slice_blocks == 0) {
-      throw std::invalid_argument("run_multi_tenant: zero slice weight");
+      throw std::invalid_argument(prefix + "zero slice weight");
     }
     if (t.tenant != kUnownedTenant) {
       if (arbiter == nullptr) {
-        throw std::invalid_argument(
-            "run_multi_tenant: task '" + t.name +
-            "' names a tenant but no arbiter was given");
+        throw std::invalid_argument(prefix + "task '" + t.name +
+                                    "' names a tenant but no arbiter was "
+                                    "given");
       }
       if (!arbiter->known(t.tenant)) {
-        throw std::invalid_argument("run_multi_tenant: task '" + t.name +
+        throw std::invalid_argument(prefix + "task '" + t.name +
                                     "' names an unknown tenant id");
       }
     }
   }
 
-  MultiTenantResult result;
-  result.tasks.resize(tasks.size());
-  std::vector<std::size_t> next_block(tasks.size(), 0);
+  result_.tasks.resize(tasks.size());
+  next_block_.assign(tasks.size(), 0);
   for (std::size_t i = 0; i < tasks.size(); ++i) {
-    MultiTenantTaskResult& tr = result.tasks[i];
+    MultiTenantTaskResult& tr = result_.tasks[i];
     tr.run.name = tasks[i].name;
     tr.tenant = tasks[i].tenant;
     tr.admitted_at = std::max(start, tasks[i].release);
@@ -60,7 +61,7 @@ MultiTenantResult run_multi_tenant(const std::vector<Task>& tasks,
         !arbiter->admitted(tasks[i].tenant)) {
       tr.admitted = false;
       tr.admission_reason = arbiter->admission_reason(tasks[i].tenant);
-      next_block[i] = tasks[i].trace->blocks.size();  // nothing to run
+      next_block_[i] = tasks[i].trace->blocks.size();  // nothing to run
     }
     if (tasks[i].recorder != nullptr) {
       // Bounce decisions are made up front at `start`; an admitted task's
@@ -72,54 +73,78 @@ MultiTenantResult run_multi_tenant(const std::vector<Task>& tasks,
            tasks[i].tenant});
     }
   }
+  if (tasks.empty()) done_ = true;
+}
 
-  Cycles cursor = start;
-  // Cyclic tiebreak state: the scan for the next task starts right after the
-  // previously scheduled one, so equal-priority tasks take turns exactly
-  // like the legacy round-robin.
-  std::size_t last = tasks.size() - 1;
-  for (;;) {
-    // Earliest release among unfinished-but-unreleased tasks, in case the
-    // core has to idle.
-    Cycles next_release = kNoDeadline;
-    std::size_t pick = tasks.size();
-    for (std::size_t step = 1; step <= tasks.size(); ++step) {
-      const std::size_t i = (last + step) % tasks.size();
-      if (next_block[i] >= tasks[i].trace->blocks.size()) continue;
-      if (tasks[i].release > cursor) {
-        if (tasks[i].release < next_release) next_release = tasks[i].release;
-        continue;
-      }
-      if (pick == tasks.size() || strictly_better(tasks[i], tasks[pick])) {
-        pick = i;
-      }
-    }
-    if (pick == tasks.size()) {
-      if (next_release == kNoDeadline) break;  // all tasks finished
-      cursor = next_release;  // idle until the next task is released
+TaskStream::Turn TaskStream::step(Cycles extra_per_block) {
+  Turn turn;
+  if (done_) return turn;
+  const std::vector<Task>& tasks = *tasks_;
+
+  // Earliest release among unfinished-but-unreleased tasks, in case the
+  // core has to idle.
+  Cycles next_release = kNoDeadline;
+  std::size_t pick = tasks.size();
+  for (std::size_t step = 1; step <= tasks.size(); ++step) {
+    const std::size_t i = (last_ + step) % tasks.size();
+    if (next_block_[i] >= tasks[i].trace->blocks.size()) continue;
+    if (tasks[i].release > cursor_) {
+      if (tasks[i].release < next_release) next_release = tasks[i].release;
       continue;
     }
-
-    for (unsigned slice = 0; slice < tasks[pick].slice_blocks; ++slice) {
-      if (next_block[pick] >= tasks[pick].trace->blocks.size()) break;
-      const FunctionalBlockInstance& block =
-          tasks[pick].trace->blocks[next_block[pick]++];
-      const FbRunResult r =
-          run_block(*tasks[pick].rts, block, cursor, tasks[pick].recorder);
-      cursor += r.cycles;
-      TaskRunResult& task_result = result.tasks[pick].run;
-      task_result.active_cycles += r.cycles;
-      task_result.finished_at = cursor;
-      task_result.block_cycles.push_back(r.cycles);
-      for (std::size_t k = 0; k < kNumImplKinds; ++k) {
-        task_result.impl_executions[k] += r.impl_executions[k];
-      }
+    if (pick == tasks.size() || strictly_better(tasks[i], tasks[pick])) {
+      pick = i;
     }
-    last = pick;
+  }
+  if (pick == tasks.size()) {
+    if (next_release == kNoDeadline) {
+      done_ = true;  // all tasks finished
+    } else {
+      cursor_ = next_release;  // idle until the next task is released
+    }
+    return turn;
   }
 
+  turn.ran = true;
+  turn.task = pick;
+  turn.begin = cursor_;
+  for (unsigned slice = 0; slice < tasks[pick].slice_blocks; ++slice) {
+    if (next_block_[pick] >= tasks[pick].trace->blocks.size()) break;
+    const FunctionalBlockInstance& block =
+        tasks[pick].trace->blocks[next_block_[pick]++];
+    const FbRunResult r =
+        run_block(*tasks[pick].rts, block, cursor_, tasks[pick].recorder);
+    cursor_ += r.cycles + extra_per_block;
+    TaskRunResult& task_result = result_.tasks[pick].run;
+    task_result.active_cycles += r.cycles + extra_per_block;
+    task_result.finished_at = cursor_;
+    task_result.block_cycles.push_back(r.cycles + extra_per_block);
+    for (std::size_t k = 0; k < kNumImplKinds; ++k) {
+      task_result.impl_executions[k] += r.impl_executions[k];
+    }
+    ++turn.blocks;
+    turn.extra += extra_per_block;
+  }
+  last_ = pick;
+  turn.end = cursor_;
+  return turn;
+}
+
+void TaskStream::charge(std::size_t task, Cycles cycles) {
+  if (cycles == 0) return;
+  cursor_ += cycles;
+  TaskRunResult& task_result = result_.tasks[task].run;
+  task_result.active_cycles += cycles;
+  task_result.finished_at = cursor_;
+  if (!task_result.block_cycles.empty()) {
+    task_result.block_cycles.back() += cycles;
+  }
+}
+
+MultiTenantResult TaskStream::take_result() {
+  const std::vector<Task>& tasks = *tasks_;
   for (std::size_t i = 0; i < tasks.size(); ++i) {
-    MultiTenantTaskResult& tr = result.tasks[i];
+    MultiTenantTaskResult& tr = result_.tasks[i];
     if (tr.admitted && tasks[i].deadline != 0) {
       tr.deadline_met = tr.run.finished_at <= tasks[i].deadline;
     }
@@ -135,8 +160,15 @@ MultiTenantResult run_multi_tenant(const std::vector<Task>& tasks,
            tasks[i].tenant});
     }
   }
-  result.total_cycles = cursor - start;
-  return result;
+  result_.total_cycles = cursor_ - start_;
+  return std::move(result_);
+}
+
+MultiTenantResult run_multi_tenant(const std::vector<Task>& tasks,
+                                   FabricArbiter* arbiter, Cycles start) {
+  TaskStream stream(tasks, arbiter, start, "run_multi_tenant");
+  while (!stream.done()) stream.step();
+  return stream.take_result();
 }
 
 TimeSlicedResult run_time_sliced(const std::vector<Task>& tasks,

@@ -93,6 +93,61 @@ struct MultiTenantResult {
   std::vector<MultiTenantTaskResult> tasks;
 };
 
+/// Resumable form of the run_multi_tenant scheduling loop: construction does
+/// the validation and the up-front admission pass, each step() runs exactly
+/// one scheduling turn (one slice of the picked task, or one idle jump to the
+/// earliest release), and take_result() finalizes deadlines/completion events
+/// and hands the result out. run_multi_tenant() is implemented as
+/// "step until done" over one stream, so driving a stream turn-by-turn — as
+/// the CMP scheduler (sim/cmp.h) does with one stream per core — produces the
+/// identical block/event sequence by construction.
+class TaskStream {
+ public:
+  /// Validates the tasks (throws std::invalid_argument with messages
+  /// prefixed "<who>: ") and performs the admission pass at \p start.
+  TaskStream(const std::vector<Task>& tasks, FabricArbiter* arbiter,
+             Cycles start, const char* who = "run_multi_tenant");
+
+  /// Outcome of one scheduling turn.
+  struct Turn {
+    bool ran = false;     ///< false: idle jump (or the stream just finished)
+    std::size_t task = 0;  ///< picked task index (valid when ran)
+    Cycles begin = 0;      ///< slice start (valid when ran)
+    Cycles end = 0;        ///< slice end == cursor() after the turn
+    unsigned blocks = 0;   ///< functional blocks executed this turn
+    Cycles extra = 0;      ///< interconnect cycles charged within the slice
+  };
+
+  /// Runs one turn. \p extra_per_block is charged after every executed block
+  /// (the CMP scheduler's per-core interconnect transfer cost; 0 — the
+  /// single-core / zero-extra-hop case — leaves the legacy timeline
+  /// untouched). No-op once done().
+  Turn step(Cycles extra_per_block = 0);
+
+  /// Charges \p cycles of wait at the current cursor to task \p task (the CMP
+  /// scheduler's reconfiguration-port contention): advances the cursor and
+  /// attributes the cycles to the task's active time and its latest block.
+  void charge(std::size_t task, Cycles cycles);
+
+  bool done() const { return done_; }
+  Cycles cursor() const { return cursor_; }
+  const Task& task(std::size_t i) const { return (*tasks_)[i]; }
+  std::size_t num_tasks() const { return tasks_->size(); }
+
+  /// Finalizes deadline_met / completion events and returns the result.
+  /// Call exactly once, after done().
+  MultiTenantResult take_result();
+
+ private:
+  const std::vector<Task>* tasks_;
+  Cycles start_;
+  Cycles cursor_;
+  std::size_t last_;
+  std::vector<std::size_t> next_block_;
+  MultiTenantResult result_;
+  bool done_ = false;
+};
+
 /// Runs all tasks to completion, weighted round-robin (slice_blocks
 /// functional blocks per turn) on the single core. Tasks are NOT reset
 /// (callers decide whether learned state carries over); the shared fabric

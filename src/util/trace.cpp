@@ -39,6 +39,9 @@ constexpr std::array<const char*, kNumTraceEventKinds> kKindNames = {
     // crash-resilient runs.
     "migration.start", "migration.complete",
     "snapshot.save",   "snapshot.restore",
+    // CMP scheduler kinds (sim/cmp.h): per-core slices and operand traffic
+    // to the shared fabric over the interconnect.
+    "core.slice",      "core.transfer",
 };
 
 /// Must match ImplKind in rts/rts_interface.h (util cannot include rts
@@ -169,6 +172,12 @@ std::string event_label(const TraceEvent& e, const IseLibrary* lib) {
       return "checkpoint #" + std::to_string(e.arg0) + " saved";
     case TraceEventKind::kSnapshotRestore:
       return "checkpoint #" + std::to_string(e.arg0) + " restored";
+    case TraceEventKind::kCoreSlice:
+      return "core " + std::to_string(e.arg0) + ": " +
+             std::to_string(e.arg1) + " block(s)";
+    case TraceEventKind::kCoreTransfer:
+      return "core " + std::to_string(e.arg0) + ": " +
+             std::to_string(e.arg1) + " transfer(s)";
   }
   return "?";
 }
@@ -194,6 +203,9 @@ std::string track_name(std::int32_t track) {
     case kTrackSelector: return "ISE selector";
     case kTrackMpu: return "MPU forecasts";
     default: break;
+  }
+  if (track >= kTrackCoreBase) {
+    return "core " + std::to_string(track - kTrackCoreBase);
   }
   if (track >= kTrackCgBase) {
     return "CG fabric " + std::to_string(track - kTrackCgBase);

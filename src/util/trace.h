@@ -97,8 +97,19 @@ enum class TraceEventKind : std::uint8_t {
                        ///< (arg0 = snapshot sequence number, v0 = bytes;
                        ///< diagnostic only — never recorded into the resumed
                        ///< run's own trace, see rts/snapshot.h)
+  kCoreSlice,          ///< one CMP scheduling turn of a core (sim/cmp.h):
+                       ///< track = kTrackCoreBase + core, at/duration = slice
+                       ///< span, arg0 = core, arg1 = blocks executed,
+                       ///< v0 = interconnect transfer cycles inside the
+                       ///< slice, v1 = reconfig-port wait charged after it
+  kCoreTransfer,       ///< per-slice operand traffic between a core and the
+                       ///< shared fabric (arg0 = core, arg1 = transfers,
+                       ///< duration = total transfer cycles, v0 = hop
+                       ///< distance). Only emitted when the core sits more
+                       ///< than one hop out, so single-core / zero-extra-hop
+                       ///< traces stay byte-identical to run_multi_tenant.
 };
-inline constexpr std::size_t kNumTraceEventKinds = 26;
+inline constexpr std::size_t kNumTraceEventKinds = 28;
 
 const char* to_string(TraceEventKind kind);
 std::optional<TraceEventKind> trace_kind_from_string(std::string_view name);
@@ -111,6 +122,7 @@ inline constexpr std::int32_t kTrackSelector = 2;  ///< selector rounds
 inline constexpr std::int32_t kTrackMpu = 3;       ///< forecast errors
 inline constexpr std::int32_t kTrackFgBase = 100;  ///< + PRC index
 inline constexpr std::int32_t kTrackCgBase = 200;  ///< + CG fabric index
+inline constexpr std::int32_t kTrackCoreBase = 300;  ///< + CMP core index
 
 std::string track_name(std::int32_t track);
 

@@ -1,0 +1,526 @@
+// Tests for the CMP simulation layer (sim/cmp.h) and the unified Machine
+// construction API (sim/machine.h): the one-core degenerate case must
+// reproduce run_multi_tenant bit-exactly (results AND trace events), the
+// interconnect/port charges must appear exactly where the topology says,
+// and machine-built runtime systems must be indistinguishable from the
+// hand-wired constructions they replace.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "arch/fabric_manager.h"
+#include "arch/fault_model.h"
+#include "isa/ise_builder.h"
+#include "rts/mrts.h"
+#include "sim/app_simulator.h"
+#include "sim/arbiter.h"
+#include "sim/cmp.h"
+#include "sim/machine.h"
+#include "sim/multi_app.h"
+#include "util/trace.h"
+#include "workload/workload_gen.h"
+
+namespace mrts {
+namespace {
+
+/// A combined library with one synthetic kernel per task plus one
+/// application trace per task, all sharing one data-path table (the
+/// shared-fabric requirement). Same generator as the fig12/fig15 harnesses.
+struct CmpApp {
+  IseLibrary library;
+  std::vector<KernelId> kernels;
+  std::vector<ApplicationTrace> traces;
+};
+
+CmpApp make_apps(unsigned tasks, unsigned blocks) {
+  CmpApp app;
+  for (unsigned i = 0; i < tasks; ++i) {
+    const std::string name = "T" + std::to_string(i);
+    IseBuildSpec spec;
+    spec.kernel_name = name;
+    spec.sw_latency = 700;
+    spec.control_fraction = 0.4;
+    spec.fg_data_path_names = {name + "_ctrl_fg", name + "_dp_fg"};
+    spec.cg_data_path_names = {name + "_mac_cg"};
+    spec.fg_control_dps = 1;
+    spec.cg_data_dps = 1;
+    app.kernels.push_back(build_kernel_ises(app.library, spec));
+  }
+  app.traces.resize(tasks);
+  for (unsigned i = 0; i < tasks; ++i) {
+    Rng rng(1000 + i);
+    for (unsigned b = 0; b < blocks; ++b) {
+      FunctionalBlockInstance inst = make_block_instance(
+          FunctionalBlockId{0}, /*macroblocks=*/400,
+          {{app.kernels[i], 8.0, 25, 0.1}}, /*entry_gap=*/200,
+          /*tail_gap=*/200, rng);
+      stamp_programmed_trigger(inst, app.library);
+      app.traces[i].blocks.push_back(std::move(inst));
+    }
+  }
+  return app;
+}
+
+TenantPolicy weighted(unsigned weight, unsigned priority = 0) {
+  TenantPolicy p;
+  p.share = TenantShare::kWeighted;
+  p.weight = weight;
+  p.priority = priority;
+  return p;
+}
+
+TenantPolicy reserved(unsigned prcs, unsigned cg, unsigned priority = 0) {
+  TenantPolicy p;
+  p.share = TenantShare::kReserved;
+  p.reserved_prcs = prcs;
+  p.reserved_cg = cg;
+  p.priority = priority;
+  return p;
+}
+
+bool is_cmp_marker(const TraceEvent& e) {
+  return e.kind == TraceEventKind::kCoreSlice ||
+         e.kind == TraceEventKind::kCoreTransfer;
+}
+
+std::vector<TraceEvent> without_cmp_markers(const std::vector<TraceEvent>& in) {
+  std::vector<TraceEvent> out;
+  for (const TraceEvent& e : in) {
+    if (!is_cmp_marker(e)) out.push_back(e);
+  }
+  return out;
+}
+
+void expect_events_identical(const std::vector<TraceEvent>& a,
+                             const std::vector<TraceEvent>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].kind, b[i].kind) << "event " << i;
+    EXPECT_EQ(a[i].track, b[i].track) << "event " << i;
+    EXPECT_EQ(a[i].at, b[i].at) << "event " << i;
+    EXPECT_EQ(a[i].duration, b[i].duration) << "event " << i;
+    EXPECT_EQ(a[i].arg0, b[i].arg0) << "event " << i;
+    EXPECT_EQ(a[i].arg1, b[i].arg1) << "event " << i;
+    EXPECT_EQ(a[i].v0, b[i].v0) << "event " << i;
+    EXPECT_EQ(a[i].v1, b[i].v1) << "event " << i;
+    EXPECT_EQ(a[i].tenant, b[i].tenant) << "event " << i;
+  }
+}
+
+void expect_results_identical(const MultiTenantResult& a,
+                              const MultiTenantResult& b) {
+  EXPECT_EQ(a.total_cycles, b.total_cycles);
+  ASSERT_EQ(a.tasks.size(), b.tasks.size());
+  for (std::size_t i = 0; i < a.tasks.size(); ++i) {
+    EXPECT_EQ(a.tasks[i].run.name, b.tasks[i].run.name);
+    EXPECT_EQ(a.tasks[i].run.active_cycles, b.tasks[i].run.active_cycles);
+    EXPECT_EQ(a.tasks[i].run.finished_at, b.tasks[i].run.finished_at);
+    EXPECT_EQ(a.tasks[i].run.block_cycles, b.tasks[i].run.block_cycles);
+    EXPECT_EQ(a.tasks[i].run.impl_executions, b.tasks[i].run.impl_executions);
+    EXPECT_EQ(a.tasks[i].tenant, b.tasks[i].tenant);
+    EXPECT_EQ(a.tasks[i].admitted, b.tasks[i].admitted);
+    EXPECT_EQ(a.tasks[i].admission_reason, b.tasks[i].admission_reason);
+    EXPECT_EQ(a.tasks[i].admitted_at, b.tasks[i].admitted_at);
+    EXPECT_EQ(a.tasks[i].deadline_met, b.tasks[i].deadline_met);
+  }
+}
+
+/// Builds a 2-tenant arbitrated workload and its tasks against the given
+/// fabric objects. \p recorder (optional) is attached to both tasks.
+struct ArbitratedRig {
+  CmpApp app;
+  std::unique_ptr<FabricManager> fabric;
+  std::unique_ptr<FabricArbiter> arbiter;
+  std::vector<std::unique_ptr<MRts>> rts;
+  std::vector<Task> tasks;
+};
+
+ArbitratedRig make_rig(unsigned tenants, unsigned blocks,
+                       TraceRecorder* recorder) {
+  ArbitratedRig rig;
+  rig.app = make_apps(tenants, blocks);
+  rig.fabric = std::make_unique<FabricManager>(
+      1, 2, &rig.app.library.data_paths());
+  rig.arbiter = std::make_unique<FabricArbiter>(*rig.fabric);
+  for (unsigned i = 0; i < tenants; ++i) {
+    const auto reg = rig.arbiter->register_tenant("T" + std::to_string(i),
+                                                  weighted(1 + i));
+    rig.rts.push_back(
+        std::make_unique<MRts>(rig.app.library, rig.arbiter->binding(reg.id)));
+    Task task;
+    task.name = "T" + std::to_string(i);
+    task.rts = rig.rts.back().get();
+    task.trace = &rig.app.traces[i];
+    task.tenant = reg.id;
+    task.recorder = recorder;
+    rig.tasks.push_back(std::move(task));
+  }
+  return rig;
+}
+
+// ---------------------------------------------------------------------------
+// The degenerate-case contract.
+
+TEST(Cmp, OneCoreReproducesRunMultiTenantBitExactly) {
+  TraceRecorder ref_rec;
+  ArbitratedRig ref = make_rig(2, 6, &ref_rec);
+  const MultiTenantResult expected = run_multi_tenant(ref.tasks,
+                                                      ref.arbiter.get());
+
+  TraceRecorder cmp_rec;
+  ArbitratedRig rig = make_rig(2, 6, &cmp_rec);
+  std::vector<CmpCore> cores(1);
+  cores[0].tasks = rig.tasks;
+  CmpParams params;
+  params.fabric = rig.fabric.get();
+  const CmpResult actual =
+      run_cmp(cores, Interconnect(), rig.arbiter.get(), params);
+
+  ASSERT_EQ(actual.cores.size(), 1u);
+  EXPECT_EQ(actual.total_cycles, expected.total_cycles);
+  EXPECT_EQ(actual.cores[0].interconnect_cycles, 0u);
+  EXPECT_EQ(actual.cores[0].port_wait_cycles, 0u);
+  expect_results_identical(actual.cores[0].run, expected);
+
+  // The trace streams agree event for event once the purely additive
+  // core.slice markers are removed (no core.transfer may appear at all:
+  // distance 1 means zero extra cycles).
+  for (const TraceEvent& e : cmp_rec.events()) {
+    EXPECT_NE(e.kind, TraceEventKind::kCoreTransfer);
+  }
+  expect_events_identical(without_cmp_markers(cmp_rec.events()),
+                          ref_rec.events());
+}
+
+TEST(Cmp, OneCoreMarkersCoverTheTimeline) {
+  TraceRecorder rec;
+  ArbitratedRig rig = make_rig(2, 4, &rec);
+  std::vector<CmpCore> cores(1);
+  cores[0].tasks = rig.tasks;
+  CmpParams params;
+  params.fabric = rig.fabric.get();
+  const CmpResult result =
+      run_cmp(cores, Interconnect(), rig.arbiter.get(), params);
+
+  unsigned slices = 0;
+  std::uint64_t blocks = 0;
+  for (const TraceEvent& e : rec.events()) {
+    if (e.kind != TraceEventKind::kCoreSlice) continue;
+    ++slices;
+    blocks += e.arg1;
+    EXPECT_EQ(e.track, kTrackCoreBase);
+    EXPECT_EQ(e.arg0, 0u);
+    EXPECT_EQ(e.v0, 0.0);  // no transfer cycles at distance 1
+    EXPECT_EQ(e.v1, 0.0);  // no port contention with one core
+  }
+  EXPECT_GT(slices, 0u);
+  std::uint64_t ran = 0;
+  for (const MultiTenantTaskResult& t : result.cores[0].run.tasks) {
+    ran += t.run.block_cycles.size();
+  }
+  EXPECT_EQ(blocks, ran);
+}
+
+// ---------------------------------------------------------------------------
+// Interconnect charging.
+
+TEST(Cmp, FlatTopologyChargesNoTransferCycles) {
+  ArbitratedRig rig = make_rig(4, 3, nullptr);
+  std::vector<CmpCore> cores(4);
+  for (std::size_t c = 0; c < 4; ++c) cores[c].tasks = {rig.tasks[c]};
+  CmpParams params;
+  params.fabric = rig.fabric.get();
+  const CmpResult result = run_cmp(
+      cores, Interconnect(InterconnectParams::linear_chain(4, 0)),
+      rig.arbiter.get(), params);
+  for (const CmpCoreResult& core : result.cores) {
+    EXPECT_EQ(core.interconnect_cycles, 0u);
+  }
+}
+
+TEST(Cmp, ChainTopologyChargesPerBlockTransfers) {
+  const unsigned kBlocks = 3;
+  ArbitratedRig rig = make_rig(2, kBlocks, nullptr);
+  std::vector<CmpCore> cores(2);
+  cores[0].tasks = {rig.tasks[0]};
+  cores[1].tasks = {rig.tasks[1]};
+  const Interconnect icn(InterconnectParams::linear_chain(2, 1));
+  CmpParams params;
+  params.transfers_per_block = 3;
+  params.fabric = rig.fabric.get();
+  const CmpResult result = run_cmp(cores, icn, rig.arbiter.get(), params);
+
+  // Core 0 sits at distance 1 (zero extra); core 1 at distance 2 pays
+  // transfers_per_block * core_link_cycles * (distance - 1) per block.
+  EXPECT_EQ(result.cores[0].interconnect_cycles, 0u);
+  const Cycles per_block = 3 * icn.core_extra_cycles(1);
+  EXPECT_GT(per_block, 0u);
+  EXPECT_EQ(result.cores[1].interconnect_cycles, kBlocks * per_block);
+  // The charge lands inside the core's own timeline.
+  EXPECT_GE(result.cores[1].run.tasks[0].run.active_cycles,
+            kBlocks * per_block);
+}
+
+TEST(Cmp, MultiCoreRunsAreDeterministic) {
+  auto run_once = [] {
+    ArbitratedRig rig = make_rig(4, 4, nullptr);
+    std::vector<CmpCore> cores(4);
+    for (std::size_t c = 0; c < 4; ++c) cores[c].tasks = {rig.tasks[c]};
+    CmpParams params;
+    params.fabric = rig.fabric.get();
+    return run_cmp(cores, Interconnect(InterconnectParams::linear_chain(4, 1)),
+                   rig.arbiter.get(), params);
+  };
+  const CmpResult a = run_once();
+  const CmpResult b = run_once();
+  EXPECT_EQ(a.total_cycles, b.total_cycles);
+  ASSERT_EQ(a.cores.size(), b.cores.size());
+  for (std::size_t c = 0; c < a.cores.size(); ++c) {
+    EXPECT_EQ(a.cores[c].interconnect_cycles, b.cores[c].interconnect_cycles);
+    EXPECT_EQ(a.cores[c].port_wait_cycles, b.cores[c].port_wait_cycles);
+    EXPECT_EQ(a.cores[c].reconfig_slices, b.cores[c].reconfig_slices);
+    expect_results_identical(a.cores[c].run, b.cores[c].run);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Cross-core arbitration semantics.
+
+TEST(Cmp, ReservedPartitionIsolatedAcrossCores) {
+  CmpApp app = make_apps(3, 4);
+  FabricManager fabric(2, 4, &app.library.data_paths());
+  FabricArbiter arbiter(fabric);
+  const auto rt = arbiter.register_tenant("rt", reserved(1, 1, 2));
+  const auto w1 = arbiter.register_tenant("w1", weighted(2));
+  const auto w2 = arbiter.register_tenant("w2", weighted(2));
+  ASSERT_TRUE(rt.admitted);
+  MRts rts0(app.library, arbiter.binding(rt.id));
+  MRts rts1(app.library, arbiter.binding(w1.id));
+  MRts rts2(app.library, arbiter.binding(w2.id));
+
+  std::vector<CmpCore> cores(3);
+  const TenantId ids[3] = {rt.id, w1.id, w2.id};
+  MRts* rts[3] = {&rts0, &rts1, &rts2};
+  for (std::size_t c = 0; c < 3; ++c) {
+    Task task;
+    task.name = c == 0 ? "rt" : "w" + std::to_string(c);
+    task.rts = rts[c];
+    task.trace = &app.traces[c];
+    task.tenant = ids[c];
+    if (c == 0) task.priority = 2;
+    cores[c].tasks.push_back(std::move(task));
+  }
+  CmpParams params;
+  params.fabric = &fabric;
+  const CmpResult result = run_cmp(cores, Interconnect(), &arbiter, params);
+
+  // Every core completed its blocks, and the reserved tenant's hard
+  // partition was never stolen by the weighted tenants on the other cores.
+  for (const CmpCoreResult& core : result.cores) {
+    EXPECT_EQ(core.run.tasks[0].run.block_cycles.size(), 4u);
+  }
+  EXPECT_EQ(arbiter.stats(rt.id).evictions_suffered, 0u);
+  EXPECT_EQ(arbiter.stats(rt.id).quota_redirects, 0u);
+}
+
+TEST(Cmp, QuarantinedTenantIsBouncedItsCoreIdles) {
+  CmpApp app = make_apps(2, 4);
+  FabricManager fabric(1, 2, &app.library.data_paths());
+  FabricArbiter arbiter(fabric);
+  const auto rt = arbiter.register_tenant("rt", reserved(2, 0));
+  const auto w = arbiter.register_tenant("w", weighted(1));
+  ASSERT_TRUE(rt.admitted);
+
+  // Rate-1.0 injector: the reserved tenant's own loads quarantine its
+  // partition, revoking its admission (same setup as the arbiter tests).
+  MRts doomed(app.library, arbiter.binding(rt.id));
+  FaultModel model(FaultModelConfig::uniform(1.0, 7));
+  RuntimeSystem& base = doomed;
+  ASSERT_TRUE(base.attach_fault_model(&model));
+  run_application(doomed, app.traces[0]);
+  ASSERT_GT(model.stats().quarantined_prcs, 0u);
+  ASSERT_FALSE(arbiter.admitted(rt.id));
+
+  MRts healthy(app.library, arbiter.binding(w.id));
+  std::vector<CmpCore> cores(2);
+  Task dead;
+  dead.name = "rt";
+  dead.rts = &doomed;
+  dead.trace = &app.traces[0];
+  dead.tenant = rt.id;
+  cores[0].tasks.push_back(std::move(dead));
+  Task alive;
+  alive.name = "w";
+  alive.rts = &healthy;
+  alive.trace = &app.traces[1];
+  alive.tenant = w.id;
+  cores[1].tasks.push_back(std::move(alive));
+
+  CmpParams params;
+  params.fabric = &fabric;
+  const CmpResult result = run_cmp(cores, Interconnect(), &arbiter, params);
+
+  // Core 0's only task is bounced up front: zero blocks, reason carried;
+  // core 1 degrades gracefully and still finishes all its blocks.
+  EXPECT_FALSE(result.cores[0].run.tasks[0].admitted);
+  EXPECT_FALSE(result.cores[0].run.tasks[0].admission_reason.empty());
+  EXPECT_TRUE(result.cores[0].run.tasks[0].run.block_cycles.empty());
+  EXPECT_TRUE(result.cores[1].run.tasks[0].admitted);
+  EXPECT_EQ(result.cores[1].run.tasks[0].run.block_cycles.size(), 4u);
+  EXPECT_EQ(result.total_cycles, result.cores[1].run.total_cycles);
+}
+
+TEST(Cmp, ValidationUsesItsOwnPrefix) {
+  std::vector<CmpCore> cores(1);
+  Task task;  // no rts/trace: invalid
+  task.name = "broken";
+  cores[0].tasks.push_back(std::move(task));
+  try {
+    run_cmp(cores, Interconnect());
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_EQ(std::string(e.what()).rfind("run_cmp: ", 0), 0u) << e.what();
+  }
+}
+
+TEST(Cmp, EmptyCoreListYieldsEmptyResult) {
+  const CmpResult result = run_cmp({}, Interconnect());
+  EXPECT_EQ(result.total_cycles, 0u);
+  EXPECT_TRUE(result.cores.empty());
+}
+
+// ---------------------------------------------------------------------------
+// The Machine construction API.
+
+TEST(Machine, PrivateTenancyMatchesHandWiredMRts) {
+  CmpApp app = make_apps(1, 4);
+  MRts hand(app.library, /*num_cg_fabrics=*/2, /*num_prcs=*/4);
+  const AppRunResult expected = run_application(hand, app.traces[0]);
+
+  MachineConfig mc;
+  mc.prcs = 4;
+  mc.cg_fabrics = 2;
+  Machine machine(app.library, mc);
+  RuntimeSystem& rts = machine.add_rts();
+  const AppRunResult actual = run_application(rts, app.traces[0]);
+
+  EXPECT_EQ(actual.total_cycles, expected.total_cycles);
+  EXPECT_TRUE(machine.mrts(0).owns_fabric());
+  EXPECT_EQ(machine.num_rts(), 1u);
+}
+
+TEST(Machine, ArbitratedTenancyMatchesHandWiredStack) {
+  TraceRecorder ref_rec;
+  ArbitratedRig ref = make_rig(2, 5, &ref_rec);
+  const MultiTenantResult expected = run_multi_tenant(ref.tasks,
+                                                      ref.arbiter.get());
+
+  CmpApp app = make_apps(2, 5);
+  MachineConfig mc;
+  mc.prcs = 2;
+  mc.cg_fabrics = 1;
+  mc.tenancy = Tenancy::kArbitrated;
+  Machine machine(app.library, mc);
+  TraceRecorder rec;
+  std::vector<Task> tasks;
+  for (unsigned i = 0; i < 2; ++i) {
+    const auto reg = machine.register_tenant("T" + std::to_string(i),
+                                             weighted(1 + i));
+    Task task;
+    task.name = "T" + std::to_string(i);
+    task.rts = &machine.add_rts(reg.id);
+    task.trace = &app.traces[i];
+    task.tenant = reg.id;
+    task.recorder = &rec;
+    tasks.push_back(std::move(task));
+  }
+  const MultiTenantResult actual = run_multi_tenant(tasks, &machine.arbiter());
+
+  expect_results_identical(actual, expected);
+  expect_events_identical(rec.events(), ref_rec.events());
+}
+
+TEST(Machine, SharedTenancyBindsAllRtsToOneFabric) {
+  CmpApp app = make_apps(2, 2);
+  MachineConfig mc;
+  mc.tenancy = Tenancy::kShared;
+  Machine machine(app.library, mc);
+  machine.add_rts();
+  machine.add_rts();
+  EXPECT_FALSE(machine.mrts(0).owns_fabric());
+  EXPECT_FALSE(machine.mrts(1).owns_fabric());
+  EXPECT_EQ(&machine.mrts(0).fabric(), &machine.fabric());
+  EXPECT_EQ(&machine.mrts(1).fabric(), &machine.fabric());
+}
+
+TEST(Machine, ContractViolationsThrow) {
+  CmpApp app = make_apps(1, 1);
+
+  MachineConfig zero_cores;
+  zero_cores.cores = 0;
+  EXPECT_THROW(Machine(app.library, zero_cores), std::invalid_argument);
+
+  MachineConfig bad_hops;
+  bad_hops.interconnect.core_hop_distance = {0};
+  EXPECT_THROW(Machine(app.library, bad_hops), std::invalid_argument);
+
+  Machine priv(app.library, MachineConfig{});
+  EXPECT_THROW(priv.fabric(), std::logic_error);
+  EXPECT_THROW(priv.arbiter(), std::logic_error);
+  EXPECT_THROW(priv.register_tenant("t", weighted(1)), std::logic_error);
+  EXPECT_THROW(priv.add_rts(TenantId{1}), std::logic_error);
+
+  MachineConfig arb;
+  arb.tenancy = Tenancy::kArbitrated;
+  Machine arbitrated(app.library, arb);
+  // The tenant overloads require a registration: unknown / bounced tenants
+  // surface as the admission bounce, not a crash.
+  EXPECT_THROW(arbitrated.add_rts(TenantId{42}), std::invalid_argument);
+  // The no-tenant overload is for private/shared machines only.
+  EXPECT_THROW(arbitrated.add_rts(), std::logic_error);
+}
+
+TEST(Machine, MakeRtsIsCallerOwned) {
+  CmpApp app = make_apps(1, 2);
+  MachineConfig mc;
+  mc.tenancy = Tenancy::kArbitrated;
+  Machine machine(app.library, mc);
+  const auto reg = machine.register_tenant("t", weighted(1));
+  {
+    std::unique_ptr<MRts> rts = machine.make_rts(reg.id, MRtsConfig{});
+    ASSERT_NE(rts, nullptr);
+    run_application(*rts, app.traces[0]);
+  }
+  // The machine kept no reference: churned instances die with their owner.
+  EXPECT_EQ(machine.num_rts(), 0u);
+  // And the tenant can get a fresh instance afterwards.
+  std::unique_ptr<MRts> again = machine.make_rts(reg.id, MRtsConfig{});
+  EXPECT_NE(again, nullptr);
+}
+
+TEST(Machine, ObservabilityFansOutInCreationOrder) {
+  CmpApp app = make_apps(2, 2);
+  MachineConfig mc;
+  mc.tenancy = Tenancy::kShared;
+  Machine machine(app.library, mc);
+  machine.add_rts();
+  machine.add_rts();
+  TraceRecorder rec;
+  CounterRegistry counters;
+  machine.attach_observability(&rec, &counters);
+  // First attachment claims the shared fabric's event stream (the same
+  // first-wins contract as attaching by hand, pinned by the arbiter tests).
+  run_application(machine.rts(0), app.traces[0]);
+  bool saw_reconfig = false;
+  for (const TraceEvent& e : rec.events()) {
+    saw_reconfig |= e.kind == TraceEventKind::kReconfigStart;
+  }
+  EXPECT_TRUE(saw_reconfig);
+}
+
+}  // namespace
+}  // namespace mrts

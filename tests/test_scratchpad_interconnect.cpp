@@ -97,6 +97,53 @@ TEST(Interconnect, CrossGrainAndCoreLinks) {
   EXPECT_EQ(net.transfer_cycles(cg, prc), 3u);
 }
 
+TEST(Interconnect, DefaultCoreDistanceIsFlat) {
+  // The legacy flat model: every core one hop out, zero extra cycles — the
+  // CMP degenerate case rides on this (sim/cmp.h).
+  Interconnect net;
+  EXPECT_EQ(net.core_distance(0), 1u);
+  EXPECT_EQ(net.core_distance(17), 1u);
+  EXPECT_EQ(net.core_extra_cycles(0), 0u);
+  EXPECT_EQ(net.core_extra_cycles(17), 0u);
+}
+
+TEST(Interconnect, PerCoreHopDistancesScaleTheCoreLink) {
+  InterconnectParams p;
+  p.core_hop_distance = {1, 3};
+  Interconnect net(p);
+  const NodeAddr cg{NodeKind::kCgFabric, 0};
+  EXPECT_EQ(net.core_distance(0), 1u);
+  EXPECT_EQ(net.core_distance(1), 3u);
+  EXPECT_EQ(net.transfer_cycles({NodeKind::kCore, 0}, cg), 2u);
+  EXPECT_EQ(net.transfer_cycles({NodeKind::kCore, 1}, cg), 6u);
+  EXPECT_EQ(net.core_extra_cycles(0), 0u);
+  EXPECT_EQ(net.core_extra_cycles(1), 4u);  // core_link * (distance - 1)
+  // Core <-> core traverses both chains.
+  EXPECT_EQ(net.transfer_cycles({NodeKind::kCore, 0}, {NodeKind::kCore, 1}),
+            8u);
+}
+
+TEST(Interconnect, CoresBeyondTheVectorContinueTheChain) {
+  InterconnectParams p;
+  p.core_hop_distance = {2, 4};
+  Interconnect net(p);
+  EXPECT_EQ(net.core_distance(2), 5u);  // back() + 1
+  EXPECT_EQ(net.core_distance(4), 7u);  // one extra hop per index
+}
+
+TEST(Interconnect, LinearChainFactory) {
+  const InterconnectParams flat = InterconnectParams::linear_chain(3, 0);
+  EXPECT_EQ(flat.core_hop_distance, (std::vector<unsigned>{1, 1, 1}));
+  const InterconnectParams stride2 = InterconnectParams::linear_chain(3, 2);
+  EXPECT_EQ(stride2.core_hop_distance, (std::vector<unsigned>{1, 3, 5}));
+}
+
+TEST(Interconnect, ZeroHopDistanceRejected) {
+  InterconnectParams p;
+  p.core_hop_distance = {1, 0};
+  EXPECT_THROW(Interconnect bad(p), std::invalid_argument);
+}
+
 TEST(Interconnect, PipelineSumsAdjacentTransfers) {
   Interconnect net;
   const std::vector<NodeAddr> chain = {

@@ -220,6 +220,72 @@ TEST(ServeCore, SameOpSequenceIsDeterministic) {
   }
 }
 
+TEST(ServeCore, RetentionGcBoundsResidentRecords) {
+  ServeConfig config = small_config();
+  config.max_queue = 4;
+  config.retain_jobs = 3;
+  ServeCore core(config);
+
+  // Churn: submit, run, poll-to-delivery. Every poll of a finished job
+  // retires it; resident records must stay bounded while the lifetime
+  // tallies keep counting.
+  constexpr std::uint64_t kJobs = 12;
+  for (std::uint64_t i = 0; i < kJobs; ++i) {
+    const std::uint64_t id = core.submit(1, weighted_job("gc", 100 + i));
+    ASSERT_NE(id, 0u);
+    ASSERT_TRUE(core.run_next());
+    JobStatusFrame frame;
+    ASSERT_TRUE(core.status(id, &frame));
+    EXPECT_EQ(frame.report_included, 1);
+    EXPECT_LE(core.resident_jobs(), config.retain_jobs);
+  }
+  EXPECT_EQ(core.jobs_created(), kJobs);
+  EXPECT_EQ(core.jobs_done(), kJobs);
+  EXPECT_EQ(core.resident_jobs(), config.retain_jobs);
+
+  // Reclaimed ids poll as unknown; the most recent retain_jobs survive.
+  JobStatusFrame frame;
+  EXPECT_FALSE(core.status(1, &frame));
+  EXPECT_EQ(core.job(1), nullptr);
+  EXPECT_TRUE(core.status(kJobs, &frame));
+  EXPECT_EQ(frame.report_included, 0);  // already delivered, metadata only
+
+  // An undelivered report is never reclaimed: run jobs without polling
+  // them and the records stay resident past the retention bound.
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    ASSERT_NE(core.submit(1, weighted_job("gc", 200 + i)), 0u);
+    ASSERT_TRUE(core.run_next());
+  }
+  EXPECT_EQ(core.resident_jobs(), config.retain_jobs + 4);
+  EXPECT_EQ(core.jobs_done(), kJobs + 4);
+
+  // A bounced job retires on its first poll (no payload to deliver).
+  SubmitFrame hog = weighted_job("hog", 1);
+  hog.share = static_cast<std::uint8_t>(WireShare::kReserved);
+  hog.reserved_prcs = 999;
+  const std::uint64_t bounced = core.submit(1, hog);
+  ASSERT_EQ(core.job(bounced)->state, JobState::kBounced);
+  ASSERT_TRUE(core.status(bounced, &frame));
+  EXPECT_EQ(core.jobs_bounced(), 1u);
+  EXPECT_TRUE(core.job(bounced)->retired);
+}
+
+TEST(ServeCore, QueuedJobsAreNeverReclaimed) {
+  ServeConfig config = small_config();
+  config.retain_jobs = 0;  // reclaim immediately on delivery
+  ServeCore core(config);
+  const std::uint64_t queued = core.submit(1, weighted_job("q", 7));
+  JobStatusFrame frame;
+  ASSERT_TRUE(core.status(queued, &frame));  // queued poll: no retirement
+  EXPECT_FALSE(core.job(queued)->retired);
+  ASSERT_TRUE(core.run_next());
+  ASSERT_TRUE(core.status(queued, &frame));  // delivery poll retires + evicts
+  EXPECT_EQ(core.job(queued), nullptr);
+  EXPECT_EQ(core.resident_jobs(), 0u);
+  EXPECT_EQ(core.jobs_created(), 1u);
+  EXPECT_EQ(core.jobs_done(), 1u);
+}
+
 TEST(ServeCore, JobLogReplayReproducesReportsByteIdentically) {
   ServeCore core(small_config());
   core.submit(3, weighted_job("r1", 5));

@@ -52,6 +52,17 @@
 //       the scheduling priority (default 0). Tenants whose reservation does
 //       not fit are bounced by admission control and reported as such.
 //
+//   mrts_cli run-cmp <cores> <prcs> <cg> <blocks> [NAME=POLICY[:ARG][@PRIO] ...]
+//       Chip-multiprocessor simulation (sim/cmp.h): <cores> RISC cores, one
+//       synthetic task per core, contending for one shared <prcs>+<cg>
+//       fabric pool behind a FabricArbiter over the modeled interconnect.
+//       Task specs use the run-multi grammar and map to cores in order
+//       (spec i runs on core i); cores without a spec default to
+//       `core<i>=weighted:1`. More specs than cores is a usage error.
+//       --hop-stride <n> places core i at hop distance 1 + i*n (0, the
+//       default, is the flat/degenerate topology); --transfers-per-block <n>
+//       sets the operand transfers charged per block (default 2).
+//
 //   mrts_cli trace-summary <trace.jsonl>
 //       Validate a JSONL trace and print per-kind event counts plus the
 //       span-duration p50/p90/p99.
@@ -149,6 +160,18 @@ const CliSpec& cli_spec() {
     s.add_verb("run-multi", "<prcs> <cg> <blocks> <NAME=POLICY[:ARG][@PRIO]> ...",
                "multi-tenant simulation behind a FabricArbiter; POLICY is "
                "weighted[:W] | reserved:<P>+<C> | best-effort");
+    CliVerb& run_cmp = s.add_verb(
+        "run-cmp", "<cores> <prcs> <cg> <blocks> [NAME=POLICY[:ARG][@PRIO] ...]",
+        "CMP simulation: one task per core sharing one fabric pool over the "
+        "modeled interconnect; specs map to cores in order (default "
+        "core<i>=weighted:1)");
+    run_cmp.flags = {
+        {"--hop-stride", "<n>",
+         "core i sits 1 + i*n interconnect hops from the fabric (default 0 = "
+         "flat topology)"},
+        {"--transfers-per-block", "<n>",
+         "operand transfers charged per functional block (default 2)"},
+    };
     s.add_verb("trace-summary", "<trace.jsonl>",
                "validate a JSONL trace and print per-kind event counts plus "
                "span-duration percentiles");
@@ -401,13 +424,20 @@ int run_compare(const CheckpointMeta& meta,
 
   MRtsConfig mrts_config;
   mrts_config.fault = meta.fault;  // baselines stay fault-free for comparison
-  MRts mrts_rts(*lib, meta.cg, meta.prcs, mrts_config);
+  // Private-tenancy machine (sim/machine.h): performs the legacy
+  // `MRts(lib, cg, prcs, config)` construction and owns the attach ordering.
+  MachineConfig machine_config;
+  machine_config.prcs = meta.prcs;
+  machine_config.cg_fabrics = meta.cg;
+  Machine machine(*lib, machine_config);
+  machine.add_rts(mrts_config);
+  MRts& mrts_rts = machine.mrts(0);
   // The mRTS leg runs resumably: restored from the snapshot when resuming,
   // stopped at every absolute N-cycle boundary when checkpointing. The
   // checkpoint grid is a pure function of the cycle cursor, so a run that is
   // killed and restored (even repeatedly) still checkpoints at the same
   // cycles and converges to the same final state.
-  if (instrument) mrts_rts.attach_observability(&recorder, &counters);
+  if (instrument) machine.attach_observability(&recorder, &counters);
   TraceRecorder* rec = instrument ? &recorder : nullptr;
   CounterRegistry* ctr = instrument ? &counters : nullptr;
   AppRunProgress progress;
@@ -537,8 +567,13 @@ int cmd_checkpoint(const CheckpointMeta& meta, Cycles at_cycle) {
   CounterRegistry counters;
   MRtsConfig mrts_config;
   mrts_config.fault = meta.fault;
-  MRts rts(*w.lib, meta.cg, meta.prcs, mrts_config);
-  if (instrument) rts.attach_observability(&recorder, &counters);
+  MachineConfig machine_config;
+  machine_config.prcs = meta.prcs;
+  machine_config.cg_fabrics = meta.cg;
+  Machine machine(*w.lib, machine_config);
+  machine.add_rts(mrts_config);
+  MRts& rts = machine.mrts(0);
+  if (instrument) machine.attach_observability(&recorder, &counters);
 
   AppRunProgress progress;
   if (run_application_portion(rts, *w.trace, progress,
@@ -645,30 +680,37 @@ bool parse_task_spec(const std::string& spec, TaskSpec* out,
   return true;
 }
 
-int cmd_run_multi(unsigned prcs, unsigned cg, unsigned blocks,
-                  const std::vector<std::string>& spec_args) {
-  std::vector<TaskSpec> specs;
+/// Parses the NAME=POLICY[:ARG][@PRIO] spec arguments shared by run-multi
+/// and run-cmp (exit-code-2 diagnostics on malformed or duplicate specs).
+bool parse_task_specs(const std::vector<std::string>& spec_args,
+                      std::vector<TaskSpec>* specs) {
   for (const std::string& raw_spec : spec_args) {
     TaskSpec spec;
     std::string err;
     if (!parse_task_spec(raw_spec, &spec, &err)) {
       std::fprintf(stderr, "error: bad task spec '%s': %s\n",
                    raw_spec.c_str(), err.c_str());
-      return 2;
+      return false;
     }
-    for (const TaskSpec& prev : specs) {
+    for (const TaskSpec& prev : *specs) {
       if (prev.name == spec.name) {
         std::fprintf(stderr, "error: duplicate task name '%s'\n",
                      spec.name.c_str());
-        return 2;
+        return false;
       }
     }
-    specs.push_back(std::move(spec));
+    specs->push_back(std::move(spec));
   }
+  return true;
+}
 
-  // One synthetic kernel + application per task, all built into one combined
-  // library so every MRts shares the fabric's data-path table.
-  IseLibrary combined;
+/// One synthetic kernel + application per task, all built into one combined
+/// library so every MRts shares the fabric's data-path table. Trace i is
+/// seeded by its spec index, so the same spec list always regenerates the
+/// same workload (the run-multi/run-cmp determinism contract).
+void build_synthetic_workload(const std::vector<TaskSpec>& specs,
+                              unsigned blocks, IseLibrary* combined,
+                              std::vector<ApplicationTrace>* traces) {
   std::vector<KernelId> kernels;
   for (const TaskSpec& spec : specs) {
     IseBuildSpec build;
@@ -679,32 +721,47 @@ int cmd_run_multi(unsigned prcs, unsigned cg, unsigned blocks,
     build.cg_data_path_names = {spec.name + "_mac_cg"};
     build.fg_control_dps = 1;
     build.cg_data_dps = 1;
-    kernels.push_back(build_kernel_ises(combined, build));
+    kernels.push_back(build_kernel_ises(*combined, build));
   }
-  std::vector<ApplicationTrace> traces(specs.size());
+  traces->resize(specs.size());
   for (std::size_t i = 0; i < specs.size(); ++i) {
     Rng rng(1000 + i);
     for (unsigned b = 0; b < blocks; ++b) {
       FunctionalBlockInstance inst = make_block_instance(
           FunctionalBlockId{0}, /*macroblocks=*/400, {{kernels[i], 8.0, 25, 0.1}},
           /*entry_gap=*/200, /*tail_gap=*/200, rng);
-      stamp_programmed_trigger(inst, combined);
-      traces[i].blocks.push_back(std::move(inst));
+      stamp_programmed_trigger(inst, *combined);
+      (*traces)[i].blocks.push_back(std::move(inst));
     }
   }
+}
 
-  FabricManager shared(cg, prcs, &combined.data_paths());
-  FabricArbiter arbiter(shared);
+int cmd_run_multi(unsigned prcs, unsigned cg, unsigned blocks,
+                  const std::vector<std::string>& spec_args) {
+  std::vector<TaskSpec> specs;
+  if (!parse_task_specs(spec_args, &specs)) return 2;
+
+  IseLibrary combined;
+  std::vector<ApplicationTrace> traces;
+  build_synthetic_workload(specs, blocks, &combined, &traces);
+
+  // One arbitrated machine (sim/machine.h) owns the shared fabric, the
+  // arbiter and every tenant-bound MRts, replacing the hand-built
+  // FabricManager/FabricArbiter/MRts wiring.
+  MachineConfig machine_config;
+  machine_config.prcs = prcs;
+  machine_config.cg_fabrics = cg;
+  machine_config.tenancy = Tenancy::kArbitrated;
+  Machine machine(combined, machine_config);
+  FabricArbiter& arbiter = machine.arbiter();
   std::vector<FabricArbiter::Registration> regs;
-  std::vector<std::unique_ptr<MRts>> systems(specs.size());
   std::vector<Task> tasks;
   for (std::size_t i = 0; i < specs.size(); ++i) {
-    regs.push_back(arbiter.register_tenant(specs[i].name, specs[i].policy));
+    regs.push_back(machine.register_tenant(specs[i].name, specs[i].policy));
     if (!regs.back().admitted) continue;  // bounced: reported below
-    systems[i] = std::make_unique<MRts>(combined, arbiter.binding(regs[i].id));
     Task task;
     task.name = specs[i].name;
-    task.rts = systems[i].get();
+    task.rts = &machine.add_rts(regs[i].id);
     task.trace = &traces[i];
     task.priority = specs[i].policy.priority;
     task.tenant = regs[i].id;
@@ -765,6 +822,98 @@ int cmd_run_multi(unsigned prcs, unsigned cg, unsigned blocks,
   if (result.total_cycles > 0) {
     std::printf("\ntotal %s Mcycles, aggregate throughput %.2f blocks/Mcyc, "
                 "Jain fairness index %.4f\n",
+                format_mcycles(result.total_cycles).c_str(),
+                static_cast<double>(total_blocks) * 1e6 /
+                    static_cast<double>(result.total_cycles),
+                jain_fairness_index(throughputs));
+  }
+  return 0;
+}
+
+int cmd_run_cmp(unsigned cores, unsigned prcs, unsigned cg, unsigned blocks,
+                unsigned hop_stride, unsigned transfers_per_block,
+                const std::vector<std::string>& spec_args) {
+  if (spec_args.size() > cores) {
+    std::fprintf(stderr,
+                 "error: %zu task spec(s) for %u core(s) (one task per core)\n",
+                 spec_args.size(), cores);
+    return 2;
+  }
+  // Spec i runs on core i; unspecified cores run the default
+  // `core<i>=weighted:1` tenant. Duplicate names (including collisions with
+  // the defaults) are caught by parse_task_specs.
+  std::vector<std::string> padded = spec_args;
+  for (std::size_t i = padded.size(); i < cores; ++i) {
+    padded.push_back("core" + std::to_string(i) + "=weighted:1");
+  }
+  std::vector<TaskSpec> specs;
+  if (!parse_task_specs(padded, &specs)) return 2;
+
+  IseLibrary combined;
+  std::vector<ApplicationTrace> traces;
+  build_synthetic_workload(specs, blocks, &combined, &traces);
+
+  MachineConfig machine_config;
+  machine_config.cores = cores;
+  machine_config.prcs = prcs;
+  machine_config.cg_fabrics = cg;
+  machine_config.tenancy = Tenancy::kArbitrated;
+  machine_config.interconnect =
+      InterconnectParams::linear_chain(cores, hop_stride);
+  Machine machine(combined, machine_config);
+  const Interconnect& icn = machine.interconnect();
+
+  std::vector<FabricArbiter::Registration> regs;
+  std::vector<CmpCore> cmp_cores(cores);
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    regs.push_back(machine.register_tenant(specs[i].name, specs[i].policy));
+    if (!regs.back().admitted) continue;  // bounced: core idles, reported below
+    Task task;
+    task.name = specs[i].name;
+    task.rts = &machine.add_rts(regs[i].id);
+    task.trace = &traces[i];
+    task.priority = specs[i].policy.priority;
+    task.tenant = regs[i].id;
+    cmp_cores[i].tasks.push_back(std::move(task));
+  }
+  CmpParams params;
+  params.transfers_per_block = transfers_per_block;
+  params.fabric = &machine.fabric();
+  const CmpResult result = run_cmp(cmp_cores, icn, &machine.arbiter(), params);
+
+  TextTable table({"core", "hops", "task", "status", "blocks", "Mcycles",
+                   "blocks/Mcyc", "xfer cyc", "port wait"});
+  std::vector<double> throughputs;
+  std::uint64_t total_blocks = 0;
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    const unsigned hops = icn.core_distance(static_cast<unsigned>(i));
+    if (!regs[i].admitted) {
+      table.add_values(i, hops, specs[i].name, "bounced: " + regs[i].reason,
+                       0, "-", "-", "-", "-");
+      throughputs.push_back(0.0);
+      continue;
+    }
+    const CmpCoreResult& cr = result.cores[i];
+    const TaskRunResult& tr = cr.run.tasks[0].run;
+    const double throughput =
+        tr.active_cycles == 0
+            ? 0.0
+            : static_cast<double>(tr.block_cycles.size()) * 1e6 /
+                  static_cast<double>(tr.active_cycles);
+    throughputs.push_back(throughput);
+    total_blocks += tr.block_cycles.size();
+    table.add_values(i, hops, specs[i].name, "ok", tr.block_cycles.size(),
+                     format_mcycles(tr.active_cycles),
+                     format_double(throughput, 2), cr.interconnect_cycles,
+                     cr.port_wait_cycles);
+  }
+  std::printf("%u core(s) sharing %u PRCs + %u CG fabrics, %u blocks/core, "
+              "hop stride %u, %u transfer(s)/block:\n%s",
+              cores, prcs, cg, blocks, hop_stride, transfers_per_block,
+              table.render().c_str());
+  if (result.total_cycles > 0) {
+    std::printf("\nmakespan %s Mcycles, aggregate throughput %.2f "
+                "blocks/Mcyc, Jain fairness index %.4f\n",
                 format_mcycles(result.total_cycles).c_str(),
                 static_cast<double>(total_blocks) * 1e6 /
                     static_cast<double>(result.total_cycles),
@@ -1029,6 +1178,47 @@ int main(int argc, char** argv) {
         specs.emplace_back(argv[i]);
       }
       return cmd_run_multi(prcs, cg, blocks, specs);
+    }
+    if (command == "run-cmp") {
+      if (argc < 6) return usage();
+      unsigned cores = 0;
+      unsigned prcs = 0;
+      unsigned cg = 0;
+      unsigned blocks = 0;
+      if (!parse_bounded(argv[2], 1024, &cores) || cores == 0 ||
+          !parse_bounded(argv[3], 1024, &prcs) || prcs == 0 ||
+          !parse_bounded(argv[4], 1024, &cg) || cg == 0 ||
+          !parse_bounded(argv[5], 100000, &blocks) || blocks == 0) {
+        std::fprintf(stderr,
+                     "error: invalid core/fabric/block counts '%s %s %s %s' "
+                     "(expected positive integers)\n",
+                     argv[2], argv[3], argv[4], argv[5]);
+        return 2;
+      }
+      unsigned hop_stride = 0;
+      unsigned transfers_per_block = 2;
+      std::vector<std::string> specs;
+      for (int i = 6; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--hop-stride" || arg == "--transfers-per-block") {
+          if (i + 1 >= argc) return usage();
+          unsigned* target =
+              arg == "--hop-stride" ? &hop_stride : &transfers_per_block;
+          if (!parse_bounded(argv[i + 1], 1024, target)) {
+            std::fprintf(stderr, "error: invalid %s '%s' (expected an "
+                         "integer in [0, 1024])\n",
+                         arg.c_str(), argv[i + 1]);
+            return 2;
+          }
+          ++i;
+        } else if (arg[0] == '-') {
+          return usage();
+        } else {
+          specs.push_back(arg);
+        }
+      }
+      return cmd_run_cmp(cores, prcs, cg, blocks, hop_stride,
+                         transfers_per_block, specs);
     }
     if (command == "trace-summary") {
       if (argc != 3) return usage();

@@ -52,6 +52,8 @@ const CliSpec& cli_spec() {
         {"--max-blocks", "<n>", "per-job functional-block ceiling (default 64)"},
         {"--macroblocks", "<n>", "macroblock-loop length per block (default 24)"},
         {"--max-queue", "<n>", "queued-job ceiling (default 256)"},
+        {"--retain-jobs", "<n>", "polled finished-job records kept for late "
+                                 "status polls (default 1024)"},
         {"--exit-after", "<sessions>",
          "exit once this many sessions have closed (default 0 = run until "
          "SIGINT/SIGTERM)"},
@@ -159,6 +161,8 @@ int main(int argc, char** argv) {
     } else if (arg == "--max-queue" && parse_unsigned(value, 1000000, &n) &&
                n > 0) {
       config.core.max_queue = static_cast<std::size_t>(n);
+    } else if (arg == "--retain-jobs" && parse_unsigned(value, 1000000, &n)) {
+      config.core.retain_jobs = static_cast<std::size_t>(n);
     } else if (arg == "--exit-after" && parse_unsigned(value, 1u << 30, &n)) {
       config.exit_after_sessions = n;
     } else {
